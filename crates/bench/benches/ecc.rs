@@ -1,0 +1,58 @@
+//! Wall-clock benches of the ECC baseline (host CPU): field arithmetic,
+//! the Montgomery ladder, and ECIES — the classical side of Table IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlwe_ecc::curve::Point;
+use rlwe_ecc::ecies::{decrypt, encrypt, EciesKeyPair};
+use rlwe_ecc::gf2m::Gf2m;
+use rlwe_ecc::{ladder, Scalar};
+use std::hint::black_box;
+
+fn bench_field(c: &mut Criterion) {
+    let a = Gf2m::from_hex("17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126").unwrap();
+    let b = Gf2m::from_hex("1DB537DECE819B7F70F555A67C427A8CD9BF18AEB9B56E0C11056FAE6A3").unwrap();
+    let mut g = c.benchmark_group("gf2m_233");
+    g.bench_function("mul", |bench| bench.iter(|| black_box(a.mul(&b))));
+    g.bench_function("square", |bench| bench.iter(|| black_box(a.square())));
+    g.bench_function("invert", |bench| bench.iter(|| black_box(a.invert())));
+    g.finish();
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let k = Scalar::random_below_order(&mut rng);
+    let g_pt = Point::generator();
+    let mut g = c.benchmark_group("k233_scalar_mul");
+    g.sample_size(20);
+    g.bench_function("ladder_x_only", |b| {
+        b.iter(|| black_box(ladder::scalar_mul_x(&k, &g_pt.x())))
+    });
+    g.bench_function("ladder_full_point", |b| {
+        b.iter(|| black_box(ladder::scalar_mul(&k, &g_pt)))
+    });
+    g.bench_function("double_and_add_oracle", |b| {
+        b.iter(|| black_box(g_pt.scalar_mul(&k)))
+    });
+    g.finish();
+}
+
+fn bench_ecies(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = EciesKeyPair::generate(&mut rng);
+    let msg = vec![0xA5u8; 32];
+    let ct = encrypt(&kp.public(), &msg, &mut rng).unwrap();
+    let mut g = c.benchmark_group("ecies_k233");
+    g.sample_size(20);
+    g.bench_function("encrypt_32B", |b| {
+        b.iter(|| black_box(encrypt(&kp.public(), &msg, &mut rng).unwrap()))
+    });
+    g.bench_function("decrypt_32B", |b| {
+        b.iter(|| black_box(decrypt(&kp, &ct).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_field, bench_ladder, bench_ecies);
+criterion_main!(benches);

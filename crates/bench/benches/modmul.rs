@@ -1,0 +1,53 @@
+//! Ablation bench: modular-multiplication strategies inside the NTT
+//! butterfly (DESIGN.md §6) — Barrett vs Montgomery vs Shoup vs naive `%`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlwe_zq::montgomery::MontgomeryCtx;
+use rlwe_zq::shoup::ShoupPair;
+use rlwe_zq::{mul_mod, Modulus};
+use std::hint::black_box;
+
+fn bench_modmul(c: &mut Criterion) {
+    let q = 7681u32;
+    let modulus = Modulus::new(q).unwrap();
+    let mont = MontgomeryCtx::new(q).unwrap();
+    let w = 4321u32;
+    let shoup = ShoupPair::new(w, q);
+    let inputs: Vec<u32> = (0..1024u32).map(|i| (i * 97 + 13) % q).collect();
+
+    let mut g = c.benchmark_group("modmul_7681_x1024");
+    g.bench_function("naive_rem", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .fold(0u32, |acc, &a| acc ^ mul_mod(black_box(a), w, q))
+        })
+    });
+    g.bench_function("barrett", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .fold(0u32, |acc, &a| acc ^ modulus.mul(black_box(a), w))
+        })
+    });
+    g.bench_function("shoup_fixed_operand", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .fold(0u32, |acc, &a| acc ^ shoup.mul(black_box(a), q))
+        })
+    });
+    let wm = mont.to_mont(w);
+    let inputs_m: Vec<u32> = inputs.iter().map(|&a| mont.to_mont(a)).collect();
+    g.bench_function("montgomery_in_domain", |b| {
+        b.iter(|| {
+            inputs_m
+                .iter()
+                .fold(0u32, |acc, &a| acc ^ mont.mont_mul(black_box(a), wm))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modmul);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Wall-clock benches of the NTT engine (host CPU): the paper's
+//! optimisation ladder — scalar vs packed vs parallel — plus the
+//! schoolbook baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlwe_ntt::packed::{forward_packed, pack_coeffs};
+use rlwe_ntt::parallel::{forward3, forward3_packed};
+use rlwe_ntt::{schoolbook, NttPlan};
+use std::hint::black_box;
+
+fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_forward");
+    for (n, q) in [(256usize, 7681u32), (512, 12289)] {
+        let plan = NttPlan::new(n, q).unwrap();
+        let poly = demo_poly(n, q, 31);
+        g.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = poly.clone();
+                plan.forward(black_box(&mut a));
+                a
+            })
+        });
+        let packed = pack_coeffs(&poly);
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = packed.clone();
+                forward_packed(&plan, black_box(&mut a));
+                a
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_parallel3");
+    for (n, q) in [(256usize, 7681u32), (512, 12289)] {
+        let plan = NttPlan::new(n, q).unwrap();
+        let pa = demo_poly(n, q, 3);
+        let pb = demo_poly(n, q, 5);
+        let pc = demo_poly(n, q, 7);
+        g.bench_with_input(BenchmarkId::new("three_sequential", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pa.clone();
+                let mut bb = pb.clone();
+                let mut cc = pc.clone();
+                plan.forward(&mut a);
+                plan.forward(&mut bb);
+                plan.forward(&mut cc);
+                (a, bb, cc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pa.clone();
+                let mut bb = pb.clone();
+                let mut cc = pc.clone();
+                forward3(&plan, [&mut a, &mut bb, &mut cc]);
+                (a, bb, cc)
+            })
+        });
+        let wa = pack_coeffs(&pa);
+        let wb = pack_coeffs(&pb);
+        let wc = pack_coeffs(&pc);
+        g.bench_with_input(BenchmarkId::new("fused_packed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = wa.clone();
+                let mut bb = wb.clone();
+                let mut cc = wc.clone();
+                forward3_packed(&plan, [&mut a, &mut bb, &mut cc]);
+                (a, bb, cc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_multiply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("negacyclic_multiply");
+    for (n, q) in [(256usize, 7681u32), (512, 12289)] {
+        let plan = NttPlan::new(n, q).unwrap();
+        let a = demo_poly(n, q, 13);
+        let b = demo_poly(n, q, 17);
+        g.bench_with_input(BenchmarkId::new("ntt", n), &n, |bench, _| {
+            bench.iter(|| plan.negacyclic_mul(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |bench, _| {
+            bench.iter(|| schoolbook::negacyclic_mul(black_box(&a), black_box(&b), q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_inverse");
+    for (n, q) in [(256usize, 7681u32), (512, 12289)] {
+        let plan = NttPlan::new(n, q).unwrap();
+        let poly = demo_poly(n, q, 9);
+        g.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = poly.clone();
+                plan.inverse(black_box(&mut a));
+                a
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_parallel,
+    bench_multiply,
+    bench_inverse
+);
+criterion_main!(benches);

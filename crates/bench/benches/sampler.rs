@@ -1,0 +1,57 @@
+//! Wall-clock benches of the sampler optimisation ladder (host CPU):
+//! the paper's basic → Hamming-weight → clz → LUT1 → LUT1+LUT2 chain,
+//! plus the CDT and rejection baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlwe_sampler::cdt::CdtSampler;
+use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+use rlwe_sampler::rejection::RejectionSampler;
+use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
+use std::hint::black_box;
+
+fn bench_knuth_yao_ladder(c: &mut Criterion) {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ky = KnuthYao::new(pmat.clone()).unwrap();
+    let mut g = c.benchmark_group("knuth_yao_p1");
+    let mut bits = BufferedBitSource::new(SplitMix64::new(1));
+    g.bench_function("basic", |b| b.iter(|| black_box(ky.sample_basic(&mut bits))));
+    g.bench_function("hamming_weight", |b| {
+        b.iter(|| black_box(ky.sample_hw(&mut bits)))
+    });
+    g.bench_function("clz", |b| b.iter(|| black_box(ky.sample_clz(&mut bits))));
+    g.bench_function("lut1", |b| b.iter(|| black_box(ky.sample_lut1(&mut bits))));
+    g.bench_function("lut1_lut2", |b| {
+        b.iter(|| black_box(ky.sample_lut(&mut bits)))
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let cdt = CdtSampler::new(&pmat);
+    let rej = RejectionSampler::new(&pmat);
+    let mut g = c.benchmark_group("baseline_samplers_p1");
+    let mut bits = BufferedBitSource::new(SplitMix64::new(2));
+    g.bench_function("cdt_inversion", |b| b.iter(|| black_box(cdt.sample(&mut bits))));
+    g.bench_function("rejection", |b| b.iter(|| black_box(rej.sample(&mut bits))));
+    g.finish();
+}
+
+fn bench_poly_sampling(c: &mut Criterion) {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ky = KnuthYao::new(pmat).unwrap();
+    let mut g = c.benchmark_group("error_polynomial");
+    let mut bits = BufferedBitSource::new(SplitMix64::new(3));
+    g.bench_function("n256_lut", |b| {
+        b.iter(|| black_box(ky.sample_poly_zq(256, 7681, &mut bits)))
+    });
+    let pmat2 = ProbabilityMatrix::paper_p2().unwrap();
+    let ky2 = KnuthYao::new(pmat2).unwrap();
+    g.bench_function("n512_lut", |b| {
+        b.iter(|| black_box(ky2.sample_poly_zq(512, 12289, &mut bits)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_knuth_yao_ladder, bench_baselines, bench_poly_sampling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Wall-clock benches of the full scheme (host CPU) — the Table II
+//! operations at both security levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlwe_core::{ParamSet, RlweContext};
+use std::hint::black_box;
+
+fn bench_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme");
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let label = if set == ParamSet::P1 { "P1" } else { "P2" };
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x5Au8; ctx.params().message_bytes()];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("keygen", label), &set, |b, _| {
+            b.iter(|| black_box(ctx.generate_keypair(&mut rng).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("encrypt", label), &set, |b, _| {
+            b.iter(|| black_box(ctx.encrypt(&pk, &msg, &mut rng).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("decrypt", label), &set, |b, _| {
+            b.iter(|| black_box(ctx.decrypt(&sk, &ct).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+    let msg = vec![1u8; 32];
+    let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+    let ct_bytes = ct.to_bytes().unwrap();
+    let mut g = c.benchmark_group("serialization");
+    g.bench_function("ciphertext_to_bytes", |b| {
+        b.iter(|| black_box(ct.to_bytes().unwrap()))
+    });
+    g.bench_function("ciphertext_from_bytes", |b| {
+        b.iter(|| black_box(rlwe_core::Ciphertext::from_bytes(&ct_bytes).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheme, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation study: costs each §III optimisation in isolation on the
+//! Cortex-M4F model — the quantitative story behind the paper's design
+//! choices (DESIGN.md §6).
+//!
+//! ```text
+//! cargo run -p rlwe-bench --bin ablation
+//! ```
+
+use rlwe_bench::group_digits;
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_m4sim::{kernels, CostModel, Machine};
+
+fn main() {
+    let ctx = RlweContext::new(ParamSet::P1).expect("P1 is valid");
+    let plan = ctx.plan();
+    let ky = ctx.sampler();
+
+    println!("ABLATION (P1, Cortex-M4F cost model)\n");
+
+    // ----- NTT memory layout (§III-C vs §III-D) -----------------------
+    println!("NTT forward transform, n = 256:");
+    let poly: Vec<u32> = (0..256u32).map(|i| (i * 13 + 2) % 7681).collect();
+    let mut mh = Machine::cortex_m4f(1);
+    let mut a = poly.clone();
+    kernels::ntt_forward_halfword(&mut mh, plan, &mut a);
+    let mut mp = Machine::cortex_m4f(1);
+    let mut b = poly.clone();
+    kernels::ntt_forward_packed(&mut mp, plan, &mut b);
+    println!(
+        "  halfword accesses, no unroll (Alg. 3): {:>8} cycles",
+        group_digits(mh.cycles())
+    );
+    println!(
+        "  packed words, 2x unrolled     (Alg. 4): {:>8} cycles  ({:.0}% saved)",
+        group_digits(mp.cycles()),
+        (1.0 - mp.cycles() as f64 / mh.cycles() as f64) * 100.0
+    );
+
+    // Parallel NTT (§III-D).
+    let mut m3 = Machine::cortex_m4f(1);
+    let mut x = poly.clone();
+    let mut y = poly.clone();
+    let mut z = poly.clone();
+    kernels::ntt_forward3_packed(&mut m3, plan, [&mut x, &mut y, &mut z]);
+    println!(
+        "  3 sequential packed NTTs:               {:>8} cycles",
+        group_digits(3 * mp.cycles())
+    );
+    println!(
+        "  fused parallel triple NTT:              {:>8} cycles  ({:.1}% saved; paper: 8.3%)",
+        group_digits(m3.cycles()),
+        (1.0 - m3.cycles() as f64 / (3 * mp.cycles()) as f64) * 100.0
+    );
+
+    // ----- Knuth-Yao ladder (§III-B) -----------------------------------
+    println!("\nKnuth-Yao sampling, cycles/sample (ideal TRNG, 65 536 samples):");
+    let n = 65_536;
+    let model = CostModel::cortex_m4f_ideal_trng();
+    let run = |label: &str, f: &dyn Fn(&mut Machine)| {
+        let mut m = Machine::with_model(model, 3);
+        f(&mut m);
+        println!("  {label:<44} {:>8.1}", m.cycles() as f64 / n as f64);
+    };
+    run("Alg. 1: per-bit row scan (§III-B1)", &|m| {
+        kernels::ky_sample_poly_basic(m, ky, n, 7681);
+    });
+    run("+ Hamming-weight column skip (prior art)", &|m| {
+        kernels::ky_sample_poly_hw(m, ky, n, 7681);
+    });
+    run("+ trimmed words + clz skip (§III-B4)", &|m| {
+        kernels::ky_sample_poly_clz(m, ky, n, 7681);
+    });
+    run("+ LUT1 + LUT2 (Alg. 2, §III-B5; paper: 28.5)", &|m| {
+        kernels::ky_sample_poly(m, ky, n, 7681);
+    });
+
+    // ----- TRNG management (§III-E) ------------------------------------
+    println!("\nTRNG bit management (3n-sample encryption burst):");
+    let mut ideal = Machine::with_model(model, 4);
+    kernels::ky_sample_poly(&mut ideal, ky, 768, 7681);
+    let mut real = Machine::cortex_m4f(4);
+    kernels::ky_sample_poly(&mut real, ky, 768, 7681);
+    println!(
+        "  ideal TRNG (never stalls):   {:>8} cycles",
+        group_digits(ideal.cycles())
+    );
+    println!(
+        "  140-cycle word period:       {:>8} cycles  ({} stall cycles, {} words)",
+        group_digits(real.cycles()),
+        group_digits(real.trng_stall_cycles()),
+        real.trng_words()
+    );
+}

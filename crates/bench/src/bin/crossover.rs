@@ -1,0 +1,62 @@
+//! Crossover study: where does the NTT overtake schoolbook and Karatsuba
+//! multiplication on this host? Context for the paper's §II-C claim that
+//! the FFT/NTT "is considered the fastest algorithm" for large polynomial
+//! multiplication.
+//!
+//! ```text
+//! cargo run --release -p rlwe-bench --bin crossover
+//! ```
+
+use std::time::Instant;
+
+use rlwe_ntt::{karatsuba, schoolbook, NttPlan};
+
+fn time_us<F: FnMut()>(mut f: F, reps: u32) -> f64 {
+    // Warm up once, then average.
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+}
+
+fn main() {
+    // 12289 = 1 + 3*2^12 supports every power of two up to 2048.
+    let q = 12289u32;
+    println!("NEGACYCLIC MULTIPLICATION CROSSOVER (q = {q}, this host, microseconds)\n");
+    println!(
+        "{:>6}{:>14}{:>14}{:>14}   winner",
+        "n", "schoolbook", "karatsuba", "NTT"
+    );
+    for log_n in 3..=11 {
+        let n = 1usize << log_n;
+        let a = demo(n, q, 31);
+        let b = demo(n, q, 77);
+        let plan = NttPlan::new(n, q).expect("NTT-friendly");
+        let reps = if n <= 128 { 200 } else { 20 };
+        let t_school = time_us(|| {
+            schoolbook::negacyclic_mul(&a, &b, q);
+        }, reps);
+        let t_kara = time_us(|| {
+            karatsuba::negacyclic_mul(&a, &b, q);
+        }, reps);
+        let t_ntt = time_us(|| {
+            plan.negacyclic_mul(&a, &b);
+        }, reps);
+        let winner = if t_ntt <= t_kara && t_ntt <= t_school {
+            "NTT"
+        } else if t_kara <= t_school {
+            "karatsuba"
+        } else {
+            "schoolbook"
+        };
+        println!("{n:>6}{t_school:>14.1}{t_kara:>14.1}{t_ntt:>14.1}   {winner}");
+    }
+    println!("\nAt the paper's n = 256/512 the NTT must already dominate — the");
+    println!("premise of building the whole scheme around it.");
+}

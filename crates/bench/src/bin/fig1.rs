@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 1** — the partial contents of the probability
+//! matrix, with the non-stored all-zero storage words identified.
+//!
+//! ```text
+//! cargo run -p rlwe-bench --bin fig1
+//! ```
+
+use rlwe_sampler::ProbabilityMatrix;
+
+fn main() {
+    let pmat = ProbabilityMatrix::paper_p1().expect("paper P1 matrix");
+    println!("FIG. 1: PARTIAL CONTENTS OF THE PROBABILITY MATRIX (sigma = 11.31/sqrt(2pi))");
+    println!(
+        "rows = {}, cols = {}, total bits = {} (paper: 55 x 109 = 5 995)\n",
+        pmat.rows(),
+        pmat.cols(),
+        pmat.total_bits()
+    );
+    // The paper's figure shows the top-left corner, one column of the
+    // figure per matrix column.
+    let show_rows = 11;
+    let show_cols = 16;
+    println!("top-left corner (row 0 at the top, columns = DDG levels):");
+    print!("{}", pmat.corner_display(show_rows, show_cols));
+
+    // The zero-word trimming the figure annotates (the blue box): the
+    // all-zero high-row words of the early columns.
+    println!("\nzero-word trimming (high-row storage words per column):");
+    let wpc = pmat.words_per_col();
+    let mut skipped_total = 0usize;
+    for c in 0..pmat.cols() {
+        skipped_total += pmat.column_skipped_words(c);
+    }
+    println!("  words per column (untrimmed): {wpc}");
+    println!(
+        "  untrimmed total: {} words (paper: 218)",
+        pmat.untrimmed_words()
+    );
+    println!("  all-zero words dropped: {skipped_total}");
+    println!(
+        "  stored total: {} words (paper: 180)",
+        pmat.stored_words()
+    );
+    // Where the trimming happens: the bottom-left corner of the figure.
+    let first_untrimmed = (0..pmat.cols())
+        .find(|&c| pmat.column_skipped_words(c) == 0)
+        .unwrap_or(pmat.cols());
+    println!(
+        "  columns 0..{first_untrimmed} store fewer than {wpc} words \
+         (the figure's highlighted region)"
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 2** — accumulated probability that the Knuth-Yao
+//! walk finds a terminal node within the first x DDG levels.
+//!
+//! ```text
+//! cargo run -p rlwe-bench --bin fig2
+//! ```
+
+use rlwe_sampler::{ddg, ProbabilityMatrix};
+
+fn main() {
+    let pmat = ProbabilityMatrix::paper_p1().expect("paper P1 matrix");
+    let cdf = ddg::level_cdf(&pmat);
+    println!("FIG. 2: ACCUMULATED SAMPLING PROBABILITY PER DDG LEVEL");
+    println!("(sigma = 11.31/sqrt(2pi); the paper plots levels 3..13)\n");
+    println!("level   P(terminal within level)   bar");
+    for level in 3..=13 {
+        let p = cdf[level - 1];
+        let bar_len = ((p - 0.7).max(0.0) / 0.3 * 50.0).round() as usize;
+        println!("{level:>5}   {p:>24.6}   {}", "#".repeat(bar_len));
+    }
+    println!("\nanchor points:");
+    println!(
+        "  level  8: {:.4} (paper: 0.9727 — the LUT1 hit rate)",
+        cdf[7]
+    );
+    println!(
+        "  level 13: {:.4} (paper: 0.9987 — the LUT1+LUT2 hit rate)",
+        cdf[12]
+    );
+    println!(
+        "\nexpected levels per sample: {:.3} (entropy: {:.3} bits; Knuth-Yao \
+         consumes within 2 bits of the entropy)",
+        ddg::expected_levels(&pmat),
+        ddg::entropy_bits(&pmat)
+    );
+}

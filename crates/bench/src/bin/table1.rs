@@ -1,0 +1,47 @@
+//! Regenerates **Table I** — measured results of major operations.
+//!
+//! ```text
+//! cargo run -p rlwe-bench --bin table1
+//! ```
+
+use rlwe_bench::group_digits;
+use rlwe_core::ParamSet;
+use rlwe_m4sim::report;
+
+fn main() {
+    println!("TABLE I: MEASURED RESULTS OF MAJOR OPERATIONS");
+    println!("(cycles; 'paper' = DWT_CYCCNT on the STM32F407, 'model' = M4F cost model)\n");
+    println!(
+        "{:<28}{:>14}{:>14}{:>10}   {}",
+        "Operation", "paper", "model", "ratio", "params"
+    );
+    println!("{}", "-".repeat(78));
+    for set in [ParamSet::P1, ParamSet::P2] {
+        for row in report::table1(set) {
+            println!(
+                "{:<28}{:>14}{:>14}{:>10.3}   {}",
+                row.operation,
+                group_digits(row.paper_cycles as u64),
+                group_digits(row.model_cycles as u64),
+                row.ratio(),
+                row.params
+            );
+        }
+        println!();
+    }
+    // The derived claims of §IV-A.
+    let p1 = report::table1(ParamSet::P1);
+    let ntt = p1[0].model_cycles;
+    let par = p1[1].model_cycles;
+    let ky = p1[3].model_cycles;
+    println!("Derived claims (P1, model):");
+    println!(
+        "  parallel NTT vs 3 sequential: {:.1}% faster (paper: 8.3%)",
+        (1.0 - par / (3.0 * ntt)) * 100.0
+    );
+    println!(
+        "  Knuth-Yao sampling: {:.1} cycles/sample average (paper: 28.5)",
+        ky / 256.0
+    );
+    println!("\nP1 = (256, 7681, 11.31/sqrt(2pi)), P2 = (512, 12289, 12.18/sqrt(2pi))");
+}

@@ -1,0 +1,62 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! One binary per exhibit (run with `cargo run -p rlwe-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — major-operation cycle counts (M4F cost model) |
+//! | `table2` | Table II — full scheme cycles + flash + RAM |
+//! | `table3` | Table III — building-block comparison incl. literature rows |
+//! | `table4` | Table IV — scheme comparison incl. the ECIES estimate |
+//! | `fig1` | Fig. 1 — probability-matrix corner and zero-word trimming |
+//! | `fig2` | Fig. 2 — DDG-level cumulative termination probability |
+//!
+//! Criterion wall-clock benches of every building block live under
+//! `benches/` (`cargo bench --workspace`). Those measure *this host*, not
+//! the Cortex-M4F; the M4F numbers come from the cost-model binaries.
+
+pub mod literature;
+
+/// Formats one comparison line with a fixed-width layout shared by the
+/// table binaries.
+pub fn fmt_row(label: &str, platform: &str, cycles: f64, params: &str, ours: bool) -> String {
+    let marker = if ours { " *" } else { "  " };
+    format!(
+        "{label:<34}{platform:<18}{:>12}  {params}{marker}",
+        group_digits(cycles.round() as u64)
+    )
+}
+
+/// Renders `1234567` as `1 234 567`, the paper's digit grouping.
+pub fn group_digits(v: u64) -> String {
+    let s = v.to_string();
+    let bytes: Vec<char> = s.chars().collect();
+    let mut out = String::new();
+    for (i, c) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(*c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1 000");
+        assert_eq!(group_digits(121166), "121 166");
+        assert_eq!(group_digits(2761640), "2 761 640");
+    }
+
+    #[test]
+    fn row_marker_distinguishes_our_results() {
+        assert!(fmt_row("x", "y", 1.0, "P1", true).ends_with('*'));
+        assert!(!fmt_row("x", "y", 1.0, "P1", false).ends_with('*'));
+    }
+}

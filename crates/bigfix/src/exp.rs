@@ -1,0 +1,171 @@
+//! High-precision `e^(−x)` for building Gaussian probability tables.
+
+use crate::UFix;
+
+impl UFix {
+    /// Computes `e^(−self)` to the full configured precision.
+    ///
+    /// Strategy: split `x = i + f` with integer `i` and `f ∈ [0, 1)`.
+    /// `e^(−f)` is evaluated with a *nested* Taylor form
+    ///
+    /// ```text
+    /// e^(−f) = 1 − f·T₂,   Tₘ = 1 − (f/m)·Tₘ₊₁,   T_N = 1
+    /// ```
+    ///
+    /// in which every intermediate `Tₘ` stays inside `(0, 1]`, so the
+    /// unsigned truncating arithmetic never underflows. The integer part is
+    /// then applied as `e^(−1)^i` by binary exponentiation (`e^(−1)` itself
+    /// comes from the same series at `f = 1`).
+    ///
+    /// Values whose true result is below the representable resolution
+    /// (`x ≳ frac_bits · ln 2`) return exactly zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rlwe_bigfix::UFix;
+    ///
+    /// let x = UFix::from_ratio(5, 2, 6); // 2.5
+    /// assert!((x.exp_neg().to_f64() - (-2.5f64).exp()).abs() < 1e-15);
+    /// ```
+    pub fn exp_neg(&self) -> UFix {
+        let fl = self.frac_limbs();
+        // Far past the representable range: every limb would truncate to 0.
+        // ln2 * frac_bits is the cutoff; use a safe over-approximation.
+        let cutoff = (self.frac_bits() as u64) + 64;
+        if !self.limbs_above_u64_fit() || self.floor_u64() > cutoff {
+            return UFix::zero(fl);
+        }
+        let i = self.floor_u64();
+        let f = self.fract();
+        let ef = exp_neg_fraction(&f);
+        if i == 0 {
+            return ef;
+        }
+        let e1 = exp_neg_one(fl);
+        ef.mul(&e1.pow(i))
+    }
+
+    /// True when the integer part fits in a u64 (guards `floor_u64`).
+    fn limbs_above_u64_fit(&self) -> bool {
+        // Delegate by attempting the cheap check used in floor_u64.
+        let ints = self.int_limbs();
+        ints.iter().skip(2).all(|&l| l == 0)
+    }
+
+    fn int_limbs(&self) -> &[u32] {
+        &self.as_limbs()[self.frac_limbs()..]
+    }
+}
+
+/// `e^(−f)` for `f ∈ [0, 1]` via the nested alternating Taylor form.
+fn exp_neg_fraction(f: &UFix) -> UFix {
+    let fl = f.frac_limbs();
+    let one = UFix::from_u64(1, fl);
+    debug_assert!(f <= &one, "exp_neg_fraction needs f <= 1");
+    // Enough terms that f^N/N! < 2^-frac_bits even at f = 1:
+    // N! grows past 2^192 at N = 41; add margin.
+    let terms = term_count(f.frac_bits());
+    let mut t = one.clone();
+    for m in (1..=terms).rev() {
+        // T_m = 1 - (f/m) * T_{m+1}; every factor stays within (0, 1].
+        let scaled = f.mul(&t).div_u64(m as u64);
+        t = one.sub(&scaled);
+    }
+    t
+}
+
+/// `e^(−1)` at the requested precision.
+fn exp_neg_one(frac_limbs: usize) -> UFix {
+    exp_neg_fraction(&UFix::from_u64(1, frac_limbs))
+}
+
+/// Number of Taylor terms needed so the truncation error of the nested
+/// series at `f ≤ 1` is below `2^(−bits)`.
+fn term_count(bits: usize) -> usize {
+    // Remainder after N terms is ≤ 1/(N+1)!. Find the smallest N with
+    // (N+1)! > 2^bits, then pad generously — the series is cheap.
+    let mut n = 1usize;
+    let mut log2_fact = 0f64;
+    while log2_fact <= bits as f64 {
+        n += 1;
+        log2_fact += (n as f64).log2();
+    }
+    n + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FL: usize = 6; // 192 fraction bits
+
+    #[test]
+    fn matches_f64_on_a_grid() {
+        for k in 0..60u64 {
+            // x = k/4 covers [0, 15).
+            let x = UFix::from_ratio(k, 4, FL);
+            let want = (-(k as f64) / 4.0).exp();
+            let got = x.exp_neg().to_f64();
+            assert!(
+                (got - want).abs() < 1e-14 * want.max(1e-30),
+                "x={}: got {got}, want {want}",
+                k as f64 / 4.0
+            );
+        }
+    }
+
+    #[test]
+    fn exp_zero_is_one() {
+        assert_eq!(UFix::zero(FL).exp_neg(), UFix::from_u64(1, FL));
+    }
+
+    #[test]
+    fn additivity_exp_a_plus_b() {
+        let a = UFix::from_ratio(13, 8, FL);
+        let b = UFix::from_ratio(29, 16, FL);
+        let lhs = a.add(&b).exp_neg();
+        let rhs = a.exp_neg().mul(&b.exp_neg());
+        let err = if lhs >= rhs { lhs.sub(&rhs) } else { rhs.sub(&lhs) };
+        // Truncating arithmetic: allow ~2^-180 of drift at 192 bits.
+        assert!(err.to_f64() < 1e-54, "err = {}", err.to_f64());
+    }
+
+    #[test]
+    fn monotonically_decreasing() {
+        let mut prev = UFix::zero(FL).exp_neg();
+        for k in 1..100u64 {
+            let cur = UFix::from_ratio(k, 10, FL).exp_neg();
+            assert!(cur < prev, "k={k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn huge_arguments_underflow_to_zero() {
+        let x = UFix::from_u64(100_000, FL);
+        assert!(x.exp_neg().is_zero());
+    }
+
+    #[test]
+    fn result_is_at_most_one() {
+        for k in 0..50u64 {
+            let x = UFix::from_ratio(k, 7, FL);
+            assert!(x.exp_neg() <= UFix::from_u64(1, FL));
+        }
+    }
+
+    #[test]
+    fn known_high_precision_value() {
+        // e^-1 = 0.367879441171442321595523770161460867445811131031767834...
+        // Verify 60 decimal digits' worth of bits by comparing against the
+        // first 16 hex digits of the fractional expansion:
+        // e^-1 in hex = 0.5E2D58D8B3BCDF1A...
+        let e1 = UFix::from_u64(1, FL).exp_neg();
+        let hex = e1.frac_hex();
+        assert!(
+            hex.starts_with("5E2D58D8B3BCDF1A"),
+            "e^-1 frac hex = {hex}"
+        );
+    }
+}

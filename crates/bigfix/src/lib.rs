@@ -1,0 +1,36 @@
+//! Arbitrary-precision binary fixed-point arithmetic.
+//!
+//! The Knuth-Yao sampler in the DATE 2015 paper stores the binary expansions
+//! of discrete Gaussian probabilities to a precision that keeps the
+//! statistical distance to the true distribution below **2⁻⁹⁰**. `f64` gives
+//! only 53 bits, so the probability matrix cannot be built (or verified)
+//! with floating point. This crate provides exactly the arithmetic needed:
+//!
+//! * [`UFix`] — an unsigned binary fixed-point number with a configurable
+//!   number of 32-bit fraction limbs (192 fraction bits by default in the
+//!   sampler crate).
+//! * [`UFix::exp_neg`] — `e^(−x)` to full precision via argument reduction
+//!   and a nested Taylor evaluation that never leaves `[0, 1]`.
+//! * [`pi`] — π computed from scratch with Machin's formula, validated
+//!   against the well-known hexadecimal expansion.
+//!
+//! # Example
+//!
+//! ```
+//! use rlwe_bigfix::UFix;
+//!
+//! // exp(-1) to 192 fractional bits, checked against f64.
+//! let x = UFix::from_u64(1, 6);
+//! let e = x.exp_neg();
+//! assert!((e.to_f64() - (-1.0f64).exp()).abs() < 1e-15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp;
+mod pi;
+mod ufix;
+
+pub use pi::pi;
+pub use ufix::UFix;

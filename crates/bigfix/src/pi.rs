@@ -1,0 +1,106 @@
+//! π from scratch, to arbitrary precision.
+//!
+//! The paper's Gaussian parameter is given as `σ = s/√(2π)` with
+//! `s = 11.31` (P1) or `s = 12.18` (P2), so the exponent of the Gaussian
+//! weight `ρ(k) = exp(−k²/(2σ²)) = exp(−k²·π/s²)` contains π. To build
+//! probability tables good to 2⁻⁹⁰ we need π itself well beyond `f64`.
+
+use crate::UFix;
+
+/// Computes π with `frac_limbs · 32` fraction bits using Machin's formula
+///
+/// ```text
+/// π = 16·arctan(1/5) − 4·arctan(1/239)
+/// ```
+///
+/// The arctangent series is evaluated with two separate positive
+/// accumulators (even and odd terms) so the unsigned arithmetic never
+/// underflows.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_bigfix::pi;
+///
+/// let p = pi(6);
+/// assert!((p.to_f64() - std::f64::consts::PI).abs() < 1e-15);
+/// // First hex digits of the fractional expansion (as in Blowfish's P-array).
+/// assert!(p.frac_hex().starts_with("243F6A88"));
+/// ```
+pub fn pi(frac_limbs: usize) -> UFix {
+    let a5 = arctan_inv(5, frac_limbs);
+    let a239 = arctan_inv(239, frac_limbs);
+    let left = a5.mul_u64(16);
+    let right = a239.mul_u64(4);
+    left.sub(&right)
+}
+
+/// `arctan(1/n)` for integer `n ≥ 2` by the alternating Taylor series
+/// `Σ (−1)^k / ((2k+1)·n^(2k+1))`.
+fn arctan_inv(n: u64, frac_limbs: usize) -> UFix {
+    let mut pos = UFix::zero(frac_limbs);
+    let mut neg = UFix::zero(frac_limbs);
+    // Running power 1/n^(2k+1); each step divides by n².
+    let mut p = UFix::from_ratio(1, n, frac_limbs);
+    let n2 = n * n;
+    let mut k = 0u64;
+    loop {
+        let term = p.div_u64(2 * k + 1);
+        if term.is_zero() {
+            break;
+        }
+        if k % 2 == 0 {
+            pos = pos.add(&term);
+        } else {
+            neg = neg.add(&term);
+        }
+        p.div_u64_in_place(n2);
+        if p.is_zero() {
+            break;
+        }
+        k += 1;
+    }
+    pos.sub(&neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_matches_f64() {
+        assert!((pi(4).to_f64() - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pi_matches_published_hex_expansion() {
+        // π − 3 in hex, 40 digits (e.g. Blowfish P-array / standard tables).
+        let p = pi(6);
+        assert_eq!(p.floor_u64(), 3);
+        assert!(p
+            .frac_hex()
+            .starts_with("243F6A8885A308D313198A2E03707344A4093822"));
+    }
+
+    #[test]
+    fn precision_scales_with_limbs() {
+        // Computing at 8 limbs and truncating to the first 6 limbs' hex
+        // digits must agree with the 6-limb computation except possibly the
+        // very last digits.
+        let p6 = pi(6).frac_hex();
+        let p8 = pi(8).frac_hex();
+        assert_eq!(&p8[..44], &p6[..44]);
+    }
+
+    #[test]
+    fn arctan_one_fifth_matches_f64() {
+        let a = arctan_inv(5, 5);
+        assert!((a.to_f64() - (0.2f64).atan()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn machin_identity_holds_in_f64() {
+        let lhs = 16.0 * (0.2f64).atan() - 4.0 * (1.0 / 239.0f64).atan();
+        assert!((lhs - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

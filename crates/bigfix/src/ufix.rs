@@ -1,0 +1,623 @@
+//! The [`UFix`] unsigned fixed-point type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An unsigned binary fixed-point number.
+///
+/// The value is `Σ limbs[i] · 2^(32·(i − frac_limbs))` with limbs stored
+/// little-endian: the first `frac_limbs` limbs hold the fraction, the rest
+/// the integer part. All arithmetic truncates toward zero at the configured
+/// fraction width, so every operation's error is below `2^(−32·frac_limbs)`.
+///
+/// Operands of binary operations must share the same `frac_limbs`; mixing
+/// precisions is a programming error and panics.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UFix {
+    limbs: Vec<u32>,
+    frac_limbs: usize,
+}
+
+impl UFix {
+    /// Creates the value zero with `frac_limbs` 32-bit fraction limbs.
+    pub fn zero(frac_limbs: usize) -> Self {
+        Self {
+            limbs: vec![0; frac_limbs + 1],
+            frac_limbs,
+        }
+    }
+
+    /// Creates the fixed-point representation of the integer `v`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rlwe_bigfix::UFix;
+    /// assert_eq!(UFix::from_u64(7, 4).to_f64(), 7.0);
+    /// ```
+    pub fn from_u64(v: u64, frac_limbs: usize) -> Self {
+        let mut limbs = vec![0; frac_limbs];
+        limbs.push(v as u32);
+        limbs.push((v >> 32) as u32);
+        let mut out = Self { limbs, frac_limbs };
+        out.normalize();
+        out
+    }
+
+    /// Creates the fixed-point value `num / den`, truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rlwe_bigfix::UFix;
+    /// let third = UFix::from_ratio(1, 3, 6);
+    /// assert!((third.to_f64() - 1.0 / 3.0).abs() < 1e-18);
+    /// ```
+    pub fn from_ratio(num: u64, den: u64, frac_limbs: usize) -> Self {
+        assert!(den != 0, "division by zero");
+        let mut out = Self::from_u64(num, frac_limbs);
+        out.div_u64_in_place(den);
+        out
+    }
+
+    /// Number of fraction limbs (each 32 bits).
+    #[inline]
+    pub fn frac_limbs(&self) -> usize {
+        self.frac_limbs
+    }
+
+    /// Number of fraction bits.
+    #[inline]
+    pub fn frac_bits(&self) -> usize {
+        self.frac_limbs * 32
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// The integer part, truncated toward zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the integer part exceeds `u64::MAX`.
+    pub fn floor_u64(&self) -> u64 {
+        let ints = &self.limbs[self.frac_limbs..];
+        assert!(
+            ints.iter().skip(2).all(|&l| l == 0),
+            "integer part exceeds u64"
+        );
+        let lo = *ints.first().unwrap_or(&0) as u64;
+        let hi = *ints.get(1).unwrap_or(&0) as u64;
+        lo | (hi << 32)
+    }
+
+    /// Returns the fractional part (`self − floor(self)`).
+    pub fn fract(&self) -> Self {
+        let mut limbs = self.limbs[..self.frac_limbs].to_vec();
+        limbs.push(0);
+        Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        }
+    }
+
+    /// The `i`-th fraction bit, counting from 1 at the binary point
+    /// (so bit `i` has weight `2^(−i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or beyond the configured precision.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rlwe_bigfix::UFix;
+    /// let three_quarters = UFix::from_ratio(3, 4, 2);
+    /// assert_eq!(three_quarters.frac_bit(1), 1); // 0.11₂
+    /// assert_eq!(three_quarters.frac_bit(2), 1);
+    /// assert_eq!(three_quarters.frac_bit(3), 0);
+    /// ```
+    pub fn frac_bit(&self, i: usize) -> u8 {
+        assert!(
+            i >= 1 && i <= self.frac_bits(),
+            "fraction bit index {i} out of range 1..={}",
+            self.frac_bits()
+        );
+        let limb = self.frac_limbs - 1 - (i - 1) / 32;
+        let bit = 31 - ((i - 1) % 32) as u32;
+        ((self.limbs[limb] >> bit) & 1) as u8
+    }
+
+    /// Adds two values of equal precision.
+    pub fn add(&self, rhs: &Self) -> Self {
+        self.assert_same_precision(rhs);
+        let n = self.limbs.len().max(rhs.limbs.len()) + 1;
+        let mut limbs = vec![0u32; n];
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as u64;
+            let s = a + b + carry;
+            limbs[i] = s as u32;
+            carry = s >> 32;
+        }
+        debug_assert_eq!(carry, 0);
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Subtracts `rhs` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (the type is unsigned).
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.checked_sub(rhs)
+            .expect("UFix::sub underflow: rhs > self")
+    }
+
+    /// Subtracts `rhs` from `self`, returning `None` on underflow.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        self.assert_same_precision(rhs);
+        if self.cmp(rhs) == Ordering::Less {
+            return None;
+        }
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut limbs = vec![0u32; n];
+        let mut borrow = 0i64;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as i64;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs[i] = d as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        Some(out)
+    }
+
+    /// Multiplies two values of equal precision, truncating the result to
+    /// the same precision.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        self.assert_same_precision(rhs);
+        let mut prod = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = prod[i + j] + a as u64 * b as u64 + carry;
+                prod[i + j] = t & 0xFFFF_FFFF;
+                carry = t >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let t = prod[k] + carry;
+                prod[k] = t & 0xFFFF_FFFF;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        // The product has 2·frac_limbs fraction limbs; drop the lowest
+        // frac_limbs of them (truncation toward zero).
+        let limbs: Vec<u32> = prod[self.frac_limbs..].iter().map(|&l| l as u32).collect();
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Multiplies by a 64-bit integer.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        let (m_lo, m_hi) = (m & 0xFFFF_FFFF, m >> 32);
+        // Multiply by the two 32-bit halves separately and recombine:
+        // self·m = self·m_lo + (self·m_hi) << 32.
+        let lo = self.mul_u32_value(m_lo as u32);
+        if m_hi == 0 {
+            return lo;
+        }
+        let mut hi = self.mul_u32_value(m_hi as u32);
+        hi.limbs.insert(0, 0); // exact shift left by one whole limb
+        lo.add(&hi)
+    }
+
+    fn mul_u32_value(&self, m: u32) -> Self {
+        let mut limbs = vec![0u32; self.limbs.len() + 1];
+        let mut carry = 0u64;
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let t = a as u64 * m as u64 + carry;
+            limbs[i] = t as u32;
+            carry = t >> 32;
+        }
+        limbs[self.limbs.len()] = carry as u32;
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Divides by a 64-bit integer in place, truncating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_u64_in_place(&mut self, d: u64) {
+        assert!(d != 0, "division by zero");
+        if d <= u32::MAX as u64 {
+            let d = d as u32;
+            let mut rem = 0u64;
+            for limb in self.limbs.iter_mut().rev() {
+                let cur = (rem << 32) | *limb as u64;
+                *limb = (cur / d as u64) as u32;
+                rem = cur % d as u64;
+            }
+        } else {
+            // 64-bit divisor: work in 128-bit chunks of two limbs.
+            let mut rem = 0u128;
+            for limb in self.limbs.iter_mut().rev() {
+                let cur = (rem << 32) | *limb as u128;
+                *limb = (cur / d as u128) as u32;
+                rem = cur % d as u128;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Divides by a 64-bit integer, truncating.
+    pub fn div_u64(&self, d: u64) -> Self {
+        let mut out = self.clone();
+        out.div_u64_in_place(d);
+        out
+    }
+
+    /// Divides `self` by `rhs` with full fixed-point precision (binary long
+    /// division, truncating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Self) -> Self {
+        self.assert_same_precision(rhs);
+        assert!(!rhs.is_zero(), "division by zero");
+        // Quotient q = floor(self · 2^frac_bits / rhs) interpreted with
+        // frac_bits fraction bits. Work on raw limb integers.
+        let mut num = self.limbs.clone();
+        // Shift numerator left by frac_bits = frac_limbs whole limbs.
+        for _ in 0..self.frac_limbs {
+            num.insert(0, 0);
+        }
+        let den = &rhs.limbs;
+        let q = Self::raw_div(&num, den);
+        let mut out = Self {
+            limbs: q,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Binary long division of raw little-endian limb integers.
+    fn raw_div(num: &[u32], den: &[u32]) -> Vec<u32> {
+        let nbits = num.len() * 32;
+        let mut quot = vec![0u32; num.len()];
+        let mut rem: Vec<u32> = vec![0; den.len() + 1];
+        for i in (0..nbits).rev() {
+            // rem = rem << 1 | bit_i(num)
+            let mut carry = (num[i / 32] >> (i % 32)) & 1;
+            for l in rem.iter_mut() {
+                let new_carry = *l >> 31;
+                *l = (*l << 1) | carry;
+                carry = new_carry;
+            }
+            if Self::raw_cmp(&rem, den) != Ordering::Less {
+                Self::raw_sub_in_place(&mut rem, den);
+                quot[i / 32] |= 1 << (i % 32);
+            }
+        }
+        quot
+    }
+
+    fn raw_cmp(a: &[u32], b: &[u32]) -> Ordering {
+        let n = a.len().max(b.len());
+        for i in (0..n).rev() {
+            let x = *a.get(i).unwrap_or(&0);
+            let y = *b.get(i).unwrap_or(&0);
+            match x.cmp(&y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn raw_sub_in_place(a: &mut [u32], b: &[u32]) {
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let x = a[i] as i64;
+            let y = *b.get(i).unwrap_or(&0) as i64;
+            let mut d = x - y - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            a[i] = d as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+    }
+
+    /// Halves the value (exact shift right by one bit).
+    pub fn half(&self) -> Self {
+        let mut limbs = self.limbs.clone();
+        let mut carry = 0u32;
+        for l in limbs.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 31);
+            carry = new_carry;
+        }
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Doubles the value (exact shift left by one bit).
+    pub fn double(&self) -> Self {
+        let mut limbs = self.limbs.clone();
+        limbs.push(0);
+        let mut carry = 0u32;
+        for l in limbs.iter_mut() {
+            let new_carry = *l >> 31;
+            *l = (*l << 1) | carry;
+            carry = new_carry;
+        }
+        let mut out = Self {
+            limbs,
+            frac_limbs: self.frac_limbs,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Raises `self` to an integer power by binary exponentiation,
+    /// truncating after every multiplication.
+    pub fn pow(&self, mut exp: u64) -> Self {
+        let mut acc = Self::from_u64(1, self.frac_limbs);
+        let mut base = self.clone();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Approximate conversion to `f64` (for tests and reporting only —
+    /// precision beyond 53 bits is lost by design).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let exp = 32.0 * (i as f64 - self.frac_limbs as f64);
+            acc += l as f64 * exp.exp2();
+        }
+        acc
+    }
+
+    /// Hexadecimal rendering of the fraction (most significant nibble
+    /// first), used to cross-check constants like π against published
+    /// expansions.
+    pub fn frac_hex(&self) -> String {
+        let mut s = String::with_capacity(self.frac_limbs * 8);
+        for &l in self.limbs[..self.frac_limbs].iter().rev() {
+            s.push_str(&format!("{l:08X}"));
+        }
+        s
+    }
+
+    /// Raw little-endian limb view (fraction limbs first). Crate-internal:
+    /// used by the `exp` module's range guards.
+    pub(crate) fn as_limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    fn assert_same_precision(&self, rhs: &Self) {
+        assert_eq!(
+            self.frac_limbs, rhs.frac_limbs,
+            "UFix operands must share fraction precision"
+        );
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.len() > self.frac_limbs + 1 && *self.limbs.last().unwrap() == 0 {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl PartialOrd for UFix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UFix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.assert_same_precision(other);
+        Self::raw_cmp(&self.limbs, &other.limbs)
+    }
+}
+
+impl fmt::Debug for UFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UFix({} + 0x{}/2^{})",
+            self.limbs[self.frac_limbs..]
+                .iter()
+                .rev()
+                .fold(0u128, |acc, &l| (acc << 32) | l as u128),
+            self.frac_hex(),
+            self.frac_bits()
+        )
+    }
+}
+
+impl fmt::Display for UFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_round_trip() {
+        for v in [0u64, 1, 42, u32::MAX as u64, u64::MAX / 2] {
+            assert_eq!(UFix::from_u64(v, 3).floor_u64(), v);
+        }
+    }
+
+    #[test]
+    fn ratio_matches_f64() {
+        for &(n, d) in &[(1u64, 3u64), (2, 7), (355, 113), (1, 1000000)] {
+            let x = UFix::from_ratio(n, d, 6);
+            assert!((x.to_f64() - n as f64 / d as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = UFix::from_ratio(22, 7, 5);
+        let b = UFix::from_ratio(355, 113, 5);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn sub_underflow_is_detected() {
+        let a = UFix::from_u64(1, 4);
+        let b = UFix::from_u64(2, 4);
+        assert!(a.checked_sub(&b).is_none());
+        assert!(b.checked_sub(&a).is_some());
+    }
+
+    #[test]
+    fn mul_matches_f64_for_small_values() {
+        let a = UFix::from_ratio(3, 7, 6);
+        let b = UFix::from_ratio(11, 13, 6);
+        let p = a.mul(&b);
+        assert!((p.to_f64() - (3.0 / 7.0) * (11.0 / 13.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_truncation_error_is_bounded() {
+        // (1/3) * 3 = 0.99999... ≤ 1, off by < 2^-frac_bits * 3.
+        let third = UFix::from_ratio(1, 3, 6);
+        let p = third.mul_u64(3);
+        let one = UFix::from_u64(1, 6);
+        assert!(p <= one);
+        let gap = one.sub(&p);
+        assert!(gap.to_f64() < 1e-50);
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let a = UFix::from_ratio(123456, 999, 6);
+        let b = UFix::from_ratio(7, 5, 6);
+        let q = a.mul(&b).div(&b);
+        // Truncation may lose the last couple of bits only.
+        let err = if q >= a { q.sub(&a) } else { a.sub(&q) };
+        assert!(err.to_f64() < 1e-55, "err = {}", err.to_f64());
+    }
+
+    #[test]
+    fn div_by_large_u64() {
+        let a = UFix::from_u64(u64::MAX, 4);
+        let q = a.div_u64(u64::MAX);
+        assert_eq!(q.floor_u64(), 1);
+        assert!(q.fract().is_zero());
+    }
+
+    #[test]
+    fn frac_bits_of_known_binary_expansion() {
+        // 5/8 = 0.101₂
+        let x = UFix::from_ratio(5, 8, 2);
+        assert_eq!(x.frac_bit(1), 1);
+        assert_eq!(x.frac_bit(2), 0);
+        assert_eq!(x.frac_bit(3), 1);
+        for i in 4..=64 {
+            assert_eq!(x.frac_bit(i), 0);
+        }
+    }
+
+    #[test]
+    fn half_double_round_trip() {
+        let x = UFix::from_ratio(7, 3, 5);
+        assert_eq!(x.double().half(), x);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = UFix::from_ratio(9, 10, 6);
+        let mut acc = UFix::from_u64(1, 6);
+        for e in 0..20u64 {
+            let p = x.pow(e);
+            let err = if p >= acc {
+                p.sub(&acc)
+            } else {
+                acc.sub(&p)
+            };
+            // pow() and the running product truncate at different points;
+            // allow a few ulps at 192 fraction bits.
+            assert!(err.to_f64() < 1e-55, "e={e}");
+            acc = acc.mul(&x);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = UFix::from_ratio(1, 3, 4);
+        let b = UFix::from_ratio(1, 2, 4);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", UFix::zero(2)).is_empty());
+    }
+}

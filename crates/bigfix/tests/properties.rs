@@ -1,0 +1,85 @@
+//! Property-based tests for the fixed-point substrate.
+
+use proptest::prelude::*;
+use rlwe_bigfix::UFix;
+
+const FL: usize = 5; // 160 fraction bits
+
+fn small_ratio() -> impl Strategy<Value = (u64, u64)> {
+    (0u64..1_000_000, 1u64..1_000_000)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((an, ad) in small_ratio(), (bn, bd) in small_ratio()) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_then_sub_is_identity((an, ad) in small_ratio(), (bn, bd) in small_ratio()) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_matches_f64((an, ad) in small_ratio(), (bn, bd) in small_ratio()) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        let want = (an as f64 / ad as f64) * (bn as f64 / bd as f64);
+        prop_assert!((a.mul(&b).to_f64() - want).abs() <= want.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn mul_is_commutative((an, ad) in small_ratio(), (bn, bd) in small_ratio()) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn div_then_mul_is_close((an, ad) in small_ratio(), (bn, bd) in (1u64..1_000_000, 1u64..1_000_000)) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        prop_assume!(!b.is_zero());
+        let back = a.div(&b).mul(&b);
+        let err = if back >= a { back.sub(&a) } else { a.sub(&back) };
+        // Error bounded by a couple of truncations times b.
+        prop_assert!(err.to_f64() < 1e-40);
+    }
+
+    #[test]
+    fn integer_floor_round_trips(v in 0u64..u64::MAX / 2) {
+        prop_assert_eq!(UFix::from_u64(v, FL).floor_u64(), v);
+    }
+
+    #[test]
+    fn exp_neg_within_unit_interval((n, d) in (0u64..2000, 1u64..100)) {
+        let x = UFix::from_ratio(n, d, FL);
+        let e = x.exp_neg();
+        prop_assert!(e <= UFix::from_u64(1, FL));
+    }
+
+    #[test]
+    fn exp_neg_tracks_f64((n, d) in (0u64..400, 1u64..50)) {
+        let xv = n as f64 / d as f64;
+        prop_assume!(xv < 80.0);
+        let x = UFix::from_ratio(n, d, FL);
+        let want = (-xv).exp();
+        let got = x.exp_neg().to_f64();
+        prop_assert!((got - want).abs() < 1e-13 * want.max(1e-30), "x={xv} got={got} want={want}");
+    }
+
+    #[test]
+    fn ordering_matches_f64((an, ad) in small_ratio(), (bn, bd) in small_ratio()) {
+        let a = UFix::from_ratio(an, ad, FL);
+        let b = UFix::from_ratio(bn, bd, FL);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+}

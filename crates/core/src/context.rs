@@ -1,0 +1,468 @@
+//! The [`RlweContext`]: key generation, encryption, decryption.
+
+use rand::RngCore;
+use rlwe_ntt::{parallel, pointwise, NttPlan};
+use rlwe_sampler::random::{BufferedBitSource, WordSource};
+use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
+
+use crate::encode::{decode_message, encode_message};
+use crate::keys::{Ciphertext, PublicKey, SecretKey};
+use crate::params::{ParamSet, Params};
+use crate::RlweError;
+
+/// Adapter turning any [`rand::RngCore`] into the sampler's word source.
+struct RngWords<'a, R: ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> WordSource for RngWords<'_, R> {
+    fn next_word(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+}
+
+/// Everything needed to run the scheme for one parameter set: the NTT plan
+/// (twiddle tables) and the Knuth-Yao sampler (probability matrix + DDG
+/// lookup tables).
+///
+/// Construction is comparatively expensive (it builds 192-bit-precision
+/// Gaussian tables); clone or share one context per parameter set.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_core::{ParamSet, RlweContext};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), rlwe_core::RlweError> {
+/// let ctx = RlweContext::new(ParamSet::P2)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+/// let (pk, sk) = ctx.generate_keypair(&mut rng)?;
+/// let msg = vec![0x42u8; ctx.params().message_bytes()];
+/// let ct = ctx.encrypt(&pk, &msg, &mut rng)?;
+/// assert_eq!(ctx.decrypt(&sk, &ct)?, msg);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlweContext {
+    params: Params,
+    plan: NttPlan,
+    ky: KnuthYao,
+}
+
+impl RlweContext {
+    /// Builds a context for a named parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NTT-plan or sampler construction failures (cannot happen
+    /// for [`ParamSet::P1`]/[`ParamSet::P2`], which are known-good).
+    pub fn new(set: ParamSet) -> Result<Self, RlweError> {
+        Self::with_params(set.params())
+    }
+
+    /// Builds a context for custom parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlweError::Ntt`] if `q` is not an NTT-friendly prime for `n`.
+    /// * [`RlweError::Sampler`] if the Gaussian tables cannot meet the
+    ///   2⁻⁹⁰ statistical-distance bound.
+    pub fn with_params(params: Params) -> Result<Self, RlweError> {
+        let plan = NttPlan::new(params.n(), params.q())?;
+        let spec = params.spec();
+        let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
+        let ky = KnuthYao::new(pmat)?;
+        Ok(Self { params, plan, ky })
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The NTT plan (exposed for benches and the M4F cost model).
+    pub fn plan(&self) -> &NttPlan {
+        &self.plan
+    }
+
+    /// The Knuth-Yao sampler (exposed for benches and the M4F cost model).
+    pub fn sampler(&self) -> &KnuthYao {
+        &self.ky
+    }
+
+    /// Samples a uniform NTT-domain polynomial (the global `ã`).
+    ///
+    /// Coefficients are drawn by rejection from `coeff_bits`-bit strings,
+    /// so the distribution is exactly uniform over `Z_q`.
+    pub fn sample_uniform_poly<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        use rlwe_sampler::random::BitSource;
+        let mut bits = BufferedBitSource::new(RngWords(rng));
+        let q = self.params.q();
+        let w = self.params.coeff_bits();
+        (0..self.params.n())
+            .map(|_| loop {
+                let c = bits.take_bits(w);
+                if c < q {
+                    break c;
+                }
+            })
+            .collect()
+    }
+
+    /// Key generation (§II-A.1) with a caller-supplied global `ã`
+    /// (the paper's `KeyGeneration(ã)`; several keypairs may share `ã`).
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if `a_hat` has the wrong length.
+    pub fn generate_keypair_with_a<R: RngCore + ?Sized>(
+        &self,
+        a_hat: Vec<u32>,
+        rng: &mut R,
+    ) -> Result<(PublicKey, SecretKey), RlweError> {
+        if a_hat.len() != self.params.n() {
+            return Err(RlweError::ParamMismatch);
+        }
+        let n = self.params.n();
+        let q = self.params.q();
+        let mut bits = BufferedBitSource::new(RngWords(rng));
+        // r₁, r₂ ← X_σ (time domain), then into the NTT domain.
+        let mut r1 = self.ky.sample_poly_zq(n, q, &mut bits);
+        let mut r2 = self.ky.sample_poly_zq(n, q, &mut bits);
+        self.plan.forward(&mut r1);
+        self.plan.forward(&mut r2);
+        // p̃ = r̃₁ − ã ∘ r̃₂.
+        let ar2 = pointwise::mul(&a_hat, &r2, self.plan.modulus());
+        let p_hat = pointwise::sub(&r1, &ar2, self.plan.modulus());
+        Ok((
+            PublicKey {
+                params: self.params,
+                a_hat,
+                p_hat,
+            },
+            SecretKey {
+                params: self.params,
+                r2_hat: r2,
+            },
+        ))
+    }
+
+    /// Key generation with a fresh uniform `ã`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RlweContext::generate_keypair_with_a`].
+    pub fn generate_keypair<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(PublicKey, SecretKey), RlweError> {
+        let a_hat = self.sample_uniform_poly(rng);
+        self.generate_keypair_with_a(a_hat, rng)
+    }
+
+    /// Encryption (§II-A.2): three Gaussian error polynomials, **three
+    /// forward NTTs fused in one loop** (the paper's parallel NTT), two
+    /// pointwise multiply-adds.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlweError::MessageLength`] unless `msg.len() == n/8`.
+    /// * [`RlweError::ParamMismatch`] if the key belongs to another set.
+    pub fn encrypt<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> Result<Ciphertext, RlweError> {
+        if pk.params != self.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        if msg.len() != self.params.message_bytes() {
+            return Err(RlweError::MessageLength {
+                got: msg.len(),
+                expected: self.params.message_bytes(),
+            });
+        }
+        let n = self.params.n();
+        let q = self.params.q();
+        let modulus = self.plan.modulus();
+        let mut bits = BufferedBitSource::new(RngWords(rng));
+        let mut e1 = self.ky.sample_poly_zq(n, q, &mut bits);
+        let mut e2 = self.ky.sample_poly_zq(n, q, &mut bits);
+        let e3 = self.ky.sample_poly_zq(n, q, &mut bits);
+        // e₃ + m̄ (time domain) becomes the third parallel-NTT operand.
+        let m_bar = encode_message(msg, n, q);
+        let mut e3m = pointwise::add(&e3, &m_bar, modulus);
+        parallel::forward3(&self.plan, [&mut e1, &mut e2, &mut e3m]);
+        // c̃₁ = ã∘ẽ₁ + ẽ₂ ; c̃₂ = p̃∘ẽ₁ + NTT(e₃ + m̄).
+        let c1_hat = pointwise::mul_add(&pk.a_hat, &e1, &e2, modulus);
+        let c2_hat = pointwise::mul_add(&pk.p_hat, &e1, &e3m, modulus);
+        Ok(Ciphertext {
+            params: pk.params,
+            c1_hat,
+            c2_hat,
+        })
+    }
+
+    /// Decryption (§II-A.3): one pointwise multiply, one addition, one
+    /// inverse NTT, then the threshold decoder.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if key and ciphertext come from
+    /// different parameter sets.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<Vec<u8>, RlweError> {
+        Ok(decode_message(
+            &self.decrypt_to_coefficients(sk, ct)?,
+            self.params.q(),
+        ))
+    }
+
+    /// The pre-decoder decryption output `m' = INTT(c̃₁∘r̃₂ + c̃₂)` —
+    /// exposed so noise margins can be measured (EXPERIMENTS.md).
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] on mixed parameter sets.
+    pub fn decrypt_to_coefficients(
+        &self,
+        sk: &SecretKey,
+        ct: &Ciphertext,
+    ) -> Result<Vec<u32>, RlweError> {
+        if sk.params != self.params || ct.params != sk.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        let modulus = self.plan.modulus();
+        let mut m = pointwise::mul_add(&ct.c1_hat, &sk.r2_hat, &ct.c2_hat, modulus);
+        self.plan.inverse(&mut m);
+        Ok(m)
+    }
+
+    /// Measures how much noise margin a ciphertext has left: decryption is
+    /// correct while every coefficient's noise stays below `q/4`.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] on mixed parameter sets.
+    pub fn diagnostics(
+        &self,
+        sk: &SecretKey,
+        ct: &Ciphertext,
+    ) -> Result<DecryptionDiagnostics, RlweError> {
+        let coeffs = self.decrypt_to_coefficients(sk, ct)?;
+        let q = self.params.q() as i64;
+        let half = q / 2;
+        let mut max_noise = 0i64;
+        let mut total = 0f64;
+        for &c in &coeffs {
+            // Distance to the nearest codeword (0 or q/2) in the centered
+            // metric.
+            let c = c as i64;
+            let d0 = (c.min(q - c)).abs();
+            let dh = (c - half).abs().min((c + half - q).abs());
+            let noise = d0.min(dh);
+            max_noise = max_noise.max(noise);
+            total += noise as f64;
+        }
+        Ok(DecryptionDiagnostics {
+            max_noise: max_noise as u32,
+            mean_noise: total / coeffs.len() as f64,
+            margin: (q / 4 - max_noise).max(0) as u32,
+            failed: max_noise >= q / 4,
+        })
+    }
+
+    /// Adds two ciphertexts coefficient-wise (the additive homomorphism of
+    /// LPR: the result decrypts to the **XOR** of the two plaintexts as
+    /// long as the combined noise stays under `q/4`). An extension beyond
+    /// the paper — see DESIGN.md §6.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] on mixed parameter sets.
+    pub fn add_ciphertexts(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<Ciphertext, RlweError> {
+        if a.params != self.params || b.params != a.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        let m = self.plan.modulus();
+        Ok(Ciphertext {
+            params: a.params,
+            c1_hat: pointwise::add(&a.c1_hat, &b.c1_hat, m),
+            c2_hat: pointwise::add(&a.c2_hat, &b.c2_hat, m),
+        })
+    }
+
+}
+
+/// Noise measurements from a decryption, for failure-rate experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecryptionDiagnostics {
+    /// Largest per-coefficient noise (distance to the nearest codeword).
+    pub max_noise: u32,
+    /// Mean per-coefficient noise.
+    pub mean_noise: f64,
+    /// Remaining margin before a bit would flip (`q/4 − max_noise`).
+    pub margin: u32,
+    /// Whether at least one bit decoded incorrectly.
+    pub failed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_p1() -> RlweContext {
+        RlweContext::new(ParamSet::P1).unwrap()
+    }
+
+    #[test]
+    fn round_trip_p1() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        for i in 0..20u8 {
+            let msg: Vec<u8> = (0..32).map(|j| j as u8 ^ i.wrapping_mul(29)).collect();
+            let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn round_trip_p2() {
+        let ctx = RlweContext::new(ParamSet::P2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0b1010_1010u8; 64];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_key_garbles_the_message() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (pk, _sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let (_pk2, sk2) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0xFFu8; 32];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        assert_ne!(ctx.decrypt(&sk2, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn message_length_is_validated() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let err = ctx.encrypt(&pk, &[0u8; 31], &mut rng).unwrap_err();
+        assert!(matches!(err, RlweError::MessageLength { got: 31, expected: 32 }));
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0u8; 32];
+        let ct1 = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        let ct2 = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        assert_ne!(ct1, ct2, "semantic security demands fresh randomness");
+    }
+
+    #[test]
+    fn shared_a_keypairs_work() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a_hat = ctx.sample_uniform_poly(&mut rng);
+        let (pk1, sk1) = ctx.generate_keypair_with_a(a_hat.clone(), &mut rng).unwrap();
+        let (pk2, sk2) = ctx.generate_keypair_with_a(a_hat.clone(), &mut rng).unwrap();
+        assert_eq!(pk1.a_hat(), pk2.a_hat());
+        assert_ne!(pk1.p_hat(), pk2.p_hat());
+        let msg = vec![0x77u8; 32];
+        let ct1 = ctx.encrypt(&pk1, &msg, &mut rng).unwrap();
+        let ct2 = ctx.encrypt(&pk2, &msg, &mut rng).unwrap();
+        assert_eq!(ctx.decrypt(&sk1, &ct1).unwrap(), msg);
+        assert_eq!(ctx.decrypt(&sk2, &ct2).unwrap(), msg);
+    }
+
+    #[test]
+    fn noise_stays_within_the_decoding_bound() {
+        // The noise term is e₁·r₁ + e₂·r₂ + e₃ with per-coefficient std
+        // ≈ σ²√(2n) ≈ 461 for P1 against a q/4 = 1920 threshold (≈ 4.2σ):
+        // individual encryptions fail with probability ≈ 1%, which is a
+        // *property of the paper's parameters*, not a bug. With this fixed
+        // seed all 50 encryptions decode; the margin is legitimately thin.
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x5Au8; 32];
+        let mut worst_margin = u32::MAX;
+        for _ in 0..50 {
+            let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+            let d = ctx.diagnostics(&sk, &ct).unwrap();
+            assert!(!d.failed);
+            worst_margin = worst_margin.min(d.margin);
+            assert!(d.mean_noise > 100.0 && d.mean_noise < 1000.0);
+        }
+        assert!(worst_margin > 0, "a decryption failed");
+    }
+
+    #[test]
+    fn homomorphic_addition_mostly_xors_plaintexts() {
+        // Adding ciphertexts doubles the noise variance, so at the paper's
+        // parameters a few of the 256 bit positions may flip — the test
+        // asserts the XOR structure dominates and quantifies the damage.
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(8);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let m1: Vec<u8> = (0..32).map(|i| i as u8).collect();
+        let m2: Vec<u8> = (0..32).map(|i| (i as u8).wrapping_mul(93) ^ 0x0F).collect();
+        let ct1 = ctx.encrypt(&pk, &m1, &mut rng).unwrap();
+        let ct2 = ctx.encrypt(&pk, &m2, &mut rng).unwrap();
+        let sum = ctx.add_ciphertexts(&ct1, &ct2).unwrap();
+        let got = ctx.decrypt(&sk, &sum).unwrap();
+        let want: Vec<u8> = m1.iter().zip(&m2).map(|(a, b)| a ^ b).collect();
+        let bit_errors: u32 = got
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!(
+            bit_errors <= 8,
+            "noise doubled past usability: {bit_errors}/256 bits flipped"
+        );
+    }
+
+    #[test]
+    fn single_encryption_failure_rate_is_about_one_percent() {
+        // Quantify the known failure probability of the P1 parameters.
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(10);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0xC3u8; 32];
+        let trials = 1000;
+        let failures = (0..trials)
+            .filter(|_| {
+                let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+                ctx.diagnostics(&sk, &ct).unwrap().failed
+            })
+            .count();
+        // ≈ 0.8% expected; allow 0..=3%.
+        assert!(failures <= 30, "failure rate {failures}/1000 is anomalous");
+    }
+
+    #[test]
+    fn uniform_poly_is_reduced_and_nonconstant() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = ctx.sample_uniform_poly(&mut rng);
+        assert_eq!(a.len(), 256);
+        assert!(a.iter().all(|&c| c < 7681));
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,115 @@
+//! Message encoding and threshold decoding (§II-A's `m̄` and the decoder).
+//!
+//! Each message bit rides on one ring coefficient: bit `1` becomes
+//! `⌊q/2⌋`, bit `0` becomes `0`. After decryption the coefficient equals
+//! the encoded value plus a small Gaussian-combination noise term; the
+//! decoder outputs `1` when the coefficient is closer to `⌊q/2⌋` than to
+//! `0` (i.e. lies in `(q/4, 3q/4]`). Decryption is correct as long as the
+//! noise magnitude stays below `q/4`.
+
+/// Encodes a message into ring coefficients: bit `i` of the message
+/// (little-endian within each byte) controls coefficient `i`.
+///
+/// # Panics
+///
+/// Panics if `msg.len() * 8 != n`.
+///
+/// # Example
+///
+/// ```
+/// let m = rlwe_core::encode_message(&[0b0000_0101], 8, 7681);
+/// assert_eq!(m, vec![3840, 0, 3840, 0, 0, 0, 0, 0]);
+/// ```
+pub fn encode_message(msg: &[u8], n: usize, q: u32) -> Vec<u32> {
+    assert_eq!(msg.len() * 8, n, "message must supply exactly n bits");
+    let half = q / 2;
+    (0..n)
+        .map(|i| {
+            if (msg[i / 8] >> (i % 8)) & 1 == 1 {
+                half
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Decodes one noisy coefficient to a bit: `1` iff the value lies in
+/// `(q/4, 3q/4]` (closer to `q/2` than to `0 ≡ q`).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_core::decode_coefficient;
+/// assert_eq!(decode_coefficient(3840, 7681), 1);   // q/2
+/// assert_eq!(decode_coefficient(10, 7681), 0);     // near 0
+/// assert_eq!(decode_coefficient(7671, 7681), 0);   // near q
+/// assert_eq!(decode_coefficient(2000, 7681), 1);   // q/4 < v
+/// ```
+#[inline]
+pub fn decode_coefficient(c: u32, q: u32) -> u8 {
+    let quarter = q / 4;
+    let three_quarters = 3 * (q as u64) / 4;
+    u8::from(c > quarter && c as u64 <= three_quarters)
+}
+
+/// Decodes a full coefficient vector back into message bytes.
+///
+/// # Panics
+///
+/// Panics if the coefficient count is not a multiple of 8.
+pub fn decode_message(coeffs: &[u32], q: u32) -> Vec<u8> {
+    assert!(coeffs.len() % 8 == 0, "coefficient count must be byte-aligned");
+    coeffs
+        .chunks_exact(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| decode_coefficient(c, q) << i)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_noiseless() {
+        for q in [7681u32, 12289] {
+            let msg: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(37) ^ 0x5A).collect();
+            let coeffs = encode_message(&msg, 256, q);
+            assert_eq!(decode_message(&coeffs, q), msg);
+        }
+    }
+
+    #[test]
+    fn decoding_tolerates_noise_below_q_over_4() {
+        let q = 7681u32;
+        let half = q / 2;
+        let margin = q / 4 - 1;
+        // 1-bit survives noise in (−q/4, q/4).
+        assert_eq!(decode_coefficient(half - margin, q), 1);
+        assert_eq!(decode_coefficient(half + margin, q), 1);
+        // 0-bit survives noise in the same band around 0 / q.
+        assert_eq!(decode_coefficient(margin, q), 0);
+        assert_eq!(decode_coefficient(q - margin, q), 0);
+    }
+
+    #[test]
+    fn all_zero_and_all_one_messages() {
+        let q = 12289;
+        let zeros = vec![0u8; 64];
+        assert_eq!(decode_message(&encode_message(&zeros, 512, q), q), zeros);
+        let ones = vec![0xFFu8; 64];
+        assert_eq!(decode_message(&encode_message(&ones, 512, q), q), ones);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly n bits")]
+    fn wrong_length_panics() {
+        encode_message(&[0u8; 3], 256, 7681);
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use rlwe_ntt::NttError;
+use rlwe_sampler::SamplerError;
+
+/// Errors produced by the ring-LWE scheme.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RlweError {
+    /// The NTT plan for the parameter set could not be built.
+    Ntt(NttError),
+    /// The Gaussian sampler for the parameter set could not be built.
+    Sampler(SamplerError),
+    /// The plaintext length does not match the parameter set
+    /// (`n/8` bytes: one ring coefficient per message bit).
+    MessageLength {
+        /// Bytes the caller supplied.
+        got: usize,
+        /// Bytes the parameter set requires.
+        expected: usize,
+    },
+    /// A serialized object failed to parse.
+    Malformed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Objects from different parameter sets were mixed.
+    ParamMismatch,
+}
+
+impl fmt::Display for RlweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlweError::Ntt(e) => write!(f, "ntt setup failed: {e}"),
+            RlweError::Sampler(e) => write!(f, "sampler setup failed: {e}"),
+            RlweError::MessageLength { got, expected } => {
+                write!(f, "message must be exactly {expected} bytes, got {got}")
+            }
+            RlweError::Malformed { reason } => write!(f, "malformed encoding: {reason}"),
+            RlweError::ParamMismatch => write!(f, "mixed objects from different parameter sets"),
+        }
+    }
+}
+
+impl Error for RlweError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RlweError::Ntt(e) => Some(e),
+            RlweError::Sampler(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NttError> for RlweError {
+    fn from(e: NttError) -> Self {
+        RlweError::Ntt(e)
+    }
+}
+
+impl From<SamplerError> for RlweError {
+    fn from(e: SamplerError) -> Self {
+        RlweError::Sampler(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RlweError::MessageLength {
+            got: 31,
+            expected: 32,
+        };
+        assert!(e.to_string().contains("31") && e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: RlweError = NttError::InvalidDimension { n: 3 }.into();
+        assert!(e.source().is_some());
+    }
+}

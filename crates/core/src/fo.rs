@@ -1,0 +1,277 @@
+//! Fujisaki-Okamoto transform: a CCA-secure KEM from the CPA scheme.
+//!
+//! The paper's scheme (like every 2015-era ring-LWE implementation) is
+//! CPA-secure only. The FO transform — the construction later adopted by
+//! NewHope-CCA and Kyber — upgrades it: encapsulation derives the
+//! encryption randomness *deterministically* from the message
+//! (`coins = SHA-256("coins" ‖ m)`), and decapsulation **re-encrypts** the
+//! decrypted message and compares ciphertexts, rejecting implicitly (with
+//! a secret-derived pseudorandom key) on mismatch. An attacker who mauls a
+//! ciphertext cannot learn whether decryption "succeeded".
+//!
+//! This module is an extension beyond the paper (its §V future work points
+//! toward protocol-level use); it reuses only primitives already in this
+//! workspace (the scheme + SHA-256).
+
+use rand::{CryptoRng, Error as RandError, RngCore};
+use rlwe_hash::Sha256;
+
+use crate::context::RlweContext;
+use crate::kem::SharedSecret;
+use crate::keys::{Ciphertext, PublicKey, SecretKey};
+use crate::RlweError;
+
+/// Domain-separation prefixes for the hash calls.
+const DS_COINS: &[u8] = b"rlwe-fo/coins";
+const DS_KEY: &[u8] = b"rlwe-fo/key";
+const DS_REJECT: &[u8] = b"rlwe-fo/reject";
+
+/// A deterministic RNG expanded from a 32-byte seed with SHA-256 in
+/// counter mode — the `Enc(pk, m; G(m))` coin source of the FO transform.
+struct HashDrbg {
+    seed: [u8; 32],
+    counter: u64,
+    buffer: [u8; 32],
+    used: usize,
+}
+
+impl HashDrbg {
+    fn new(seed: [u8; 32]) -> Self {
+        Self {
+            seed,
+            counter: 0,
+            buffer: [0; 32],
+            used: 32, // force a refill on first use
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut h = Sha256::new();
+        h.update(&self.seed);
+        h.update(&self.counter.to_le_bytes());
+        self.buffer = h.finalize();
+        self.counter += 1;
+        self.used = 0;
+    }
+}
+
+impl RngCore for HashDrbg {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for byte in dest.iter_mut() {
+            if self.used == 32 {
+                self.refill();
+            }
+            *byte = self.buffer[self.used];
+            self.used += 1;
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), RandError> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+// The DRBG is only used inside the FO construction with secret seeds.
+impl CryptoRng for HashDrbg {}
+
+fn hash2(prefix: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prefix);
+    h.update(data);
+    h.finalize()
+}
+
+fn hash3(prefix: &[u8], a: &[u8], b: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prefix);
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+impl RlweContext {
+    /// Deterministic encryption with coins derived from `seed` — the
+    /// building block of the FO transform. **Not semantically secure on
+    /// its own**: identical `(msg, seed)` pairs produce identical
+    /// ciphertexts by design.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RlweContext::encrypt`].
+    pub fn encrypt_deterministic(
+        &self,
+        pk: &PublicKey,
+        msg: &[u8],
+        seed: &[u8; 32],
+    ) -> Result<Ciphertext, RlweError> {
+        let mut drbg = HashDrbg::new(*seed);
+        self.encrypt(pk, msg, &mut drbg)
+    }
+
+    /// CCA-secure encapsulation (FO transform).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RlweContext::encapsulate`].
+    pub fn encapsulate_cca<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Result<(Ciphertext, SharedSecret), RlweError> {
+        let mut m = vec![0u8; self.params().message_bytes()];
+        rng.fill_bytes(&mut m);
+        let coins = hash2(DS_COINS, &m);
+        let ct = self.encrypt_deterministic(pk, &m, &coins)?;
+        let key = hash3(DS_KEY, &m, &ct.to_bytes()?);
+        Ok((ct, SharedSecret::from_bytes(key)))
+    }
+
+    /// CCA-secure decapsulation with implicit rejection: an invalid
+    /// ciphertext yields a pseudorandom key derived from the secret key,
+    /// never an error the attacker can observe.
+    ///
+    /// The public key is needed for the re-encryption check (the paper's
+    /// scheme has no way to recompute `pk` from `sk` alone).
+    ///
+    /// # Errors
+    ///
+    /// Only structural errors ([`RlweError::ParamMismatch`]); decryption
+    /// "failure" is absorbed into the implicit rejection by design.
+    pub fn decapsulate_cca(
+        &self,
+        sk: &SecretKey,
+        pk: &PublicKey,
+        ct: &Ciphertext,
+    ) -> Result<SharedSecret, RlweError> {
+        let m = self.decrypt(sk, ct)?;
+        let coins = hash2(DS_COINS, &m);
+        let ct_bytes = ct.to_bytes()?;
+        let reencrypted = self.encrypt_deterministic(pk, &m, &coins)?;
+        // Constant-shape comparison of the serialized forms.
+        let re_bytes = reencrypted.to_bytes()?;
+        let mut diff = 0u8;
+        for (a, b) in re_bytes.iter().zip(&ct_bytes) {
+            diff |= a ^ b;
+        }
+        let matches = diff == 0 && re_bytes.len() == ct_bytes.len();
+        let key = if matches {
+            hash3(DS_KEY, &m, &ct_bytes)
+        } else {
+            // Implicit rejection: secret-dependent, ciphertext-bound.
+            let sk_bytes: Vec<u8> = sk
+                .r2_hat()
+                .iter()
+                .flat_map(|&c| c.to_le_bytes())
+                .collect();
+            hash3(DS_REJECT, &sk_bytes, &ct_bytes)
+        };
+        Ok(SharedSecret::from_bytes(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> RlweContext {
+        RlweContext::new(ParamSet::P1).unwrap()
+    }
+
+    #[test]
+    fn deterministic_encryption_is_deterministic() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(31);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![7u8; 32];
+        let seed = [9u8; 32];
+        let a = ctx.encrypt_deterministic(&pk, &msg, &seed).unwrap();
+        let b = ctx.encrypt_deterministic(&pk, &msg, &seed).unwrap();
+        assert_eq!(a, b);
+        let c = ctx.encrypt_deterministic(&pk, &msg, &[10u8; 32]).unwrap();
+        assert_ne!(a, c, "different coins must give different ciphertexts");
+    }
+
+    #[test]
+    fn cca_kem_round_trips_with_high_probability() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(32);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let trials = 50;
+        let agreements = (0..trials)
+            .filter(|_| {
+                let (ct, k1) = ctx.encapsulate_cca(&pk, &mut rng).unwrap();
+                let k2 = ctx.decapsulate_cca(&sk, &pk, &ct).unwrap();
+                k1.as_bytes() == k2.as_bytes()
+            })
+            .count();
+        assert!(agreements >= trials - 2, "{agreements}/{trials}");
+    }
+
+    #[test]
+    fn tampering_triggers_implicit_rejection() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(33);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let (ct, k1) = ctx.encapsulate_cca(&pk, &mut rng).unwrap();
+        let mut wire = ct.to_bytes().unwrap();
+        wire[77] ^= 0x20;
+        let mauled = Ciphertext::from_bytes(&wire).unwrap();
+        // No error — the attacker sees a normal-looking key...
+        let k2 = ctx.decapsulate_cca(&sk, &pk, &mauled).unwrap();
+        // ...that is unrelated to the real one.
+        assert_ne!(k1.as_bytes(), k2.as_bytes());
+        // And rejection is deterministic (same mauled ct -> same key).
+        let k3 = ctx.decapsulate_cca(&sk, &pk, &mauled).unwrap();
+        assert_eq!(k2.as_bytes(), k3.as_bytes());
+    }
+
+    #[test]
+    fn rejection_keys_differ_per_ciphertext() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(34);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let (ct, _) = ctx.encapsulate_cca(&pk, &mut rng).unwrap();
+        let mut w1 = ct.to_bytes().unwrap();
+        let mut w2 = w1.clone();
+        w1[50] ^= 1;
+        w2[60] ^= 1;
+        let k1 = ctx
+            .decapsulate_cca(&sk, &pk, &Ciphertext::from_bytes(&w1).unwrap())
+            .unwrap();
+        let k2 = ctx
+            .decapsulate_cca(&sk, &pk, &Ciphertext::from_bytes(&w2).unwrap())
+            .unwrap();
+        assert_ne!(k1.as_bytes(), k2.as_bytes());
+    }
+
+    #[test]
+    fn drbg_is_deterministic_and_spreads() {
+        let mut a = HashDrbg::new([1; 32]);
+        let mut b = HashDrbg::new([1; 32]);
+        let mut c = HashDrbg::new([2; 32]);
+        let va: Vec<u32> = (0..100).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..100).map(|_| b.next_u32()).collect();
+        let vc: Vec<u32> = (0..100).map(|_| c.next_u32()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+        // Rough balance check on the stream.
+        let ones: u32 = va.iter().map(|w| w.count_ones()).sum();
+        assert!((1400..1800).contains(&ones), "ones = {ones}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Key and ciphertext types (all NTT-domain, as in the paper).
+
+use crate::params::{ParamSet, Params};
+use crate::serialize::{pack_coeffs, unpack_coeffs};
+use crate::RlweError;
+
+/// Magic byte prefixes for the serialized formats.
+const MAGIC_PK: u8 = 0xA1;
+const MAGIC_SK: u8 = 0xA2;
+const MAGIC_CT: u8 = 0xA3;
+
+/// Serializes `(magic, param_id, polys...)` with fixed-width coefficients.
+///
+/// Only named parameter sets (P1/P2) have stable wire identifiers.
+fn to_bytes_generic(magic: u8, params: Params, polys: &[&[u32]]) -> Result<Vec<u8>, RlweError> {
+    let set = params.set().ok_or_else(|| RlweError::Malformed {
+        reason: "custom parameter sets have no serialized form".into(),
+    })?;
+    let mut out = vec![magic, set.id()];
+    for p in polys {
+        out.extend_from_slice(&pack_coeffs(p, params.coeff_bits()));
+    }
+    Ok(out)
+}
+
+/// Parses the common header and returns the per-poly coefficient vectors.
+fn from_bytes_generic(
+    magic: u8,
+    bytes: &[u8],
+    n_polys: usize,
+) -> Result<(Params, Vec<Vec<u32>>), RlweError> {
+    if bytes.len() < 2 {
+        return Err(RlweError::Malformed {
+            reason: "truncated header".into(),
+        });
+    }
+    if bytes[0] != magic {
+        return Err(RlweError::Malformed {
+            reason: format!("wrong magic byte 0x{:02X}", bytes[0]),
+        });
+    }
+    let set = ParamSet::from_id(bytes[1]).ok_or_else(|| RlweError::Malformed {
+        reason: format!("unknown parameter-set id {}", bytes[1]),
+    })?;
+    let params = set.params();
+    let poly_bytes = (params.n() * params.coeff_bits() as usize).div_ceil(8);
+    let expect = 2 + n_polys * poly_bytes;
+    if bytes.len() != expect {
+        return Err(RlweError::Malformed {
+            reason: format!("expected {expect} bytes, got {}", bytes.len()),
+        });
+    }
+    let mut polys = Vec::with_capacity(n_polys);
+    for i in 0..n_polys {
+        let chunk = &bytes[2 + i * poly_bytes..2 + (i + 1) * poly_bytes];
+        polys.push(unpack_coeffs(chunk, params.coeff_bits(), params.n(), params.q())?);
+    }
+    Ok((params, polys))
+}
+
+/// Public key `(ã, p̃)` — both polynomials in the NTT domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    pub(crate) params: Params,
+    /// The uniform public polynomial ã (NTT domain).
+    pub(crate) a_hat: Vec<u32>,
+    /// `p̃ = r̃₁ − ã ∘ r̃₂` (NTT domain).
+    pub(crate) p_hat: Vec<u32>,
+}
+
+impl PublicKey {
+    /// The parameters this key belongs to.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The NTT-domain `ã` polynomial.
+    pub fn a_hat(&self) -> &[u32] {
+        &self.a_hat
+    }
+
+    /// The NTT-domain `p̃` polynomial.
+    pub fn p_hat(&self) -> &[u32] {
+        &self.p_hat
+    }
+
+    /// Serializes as `magic ‖ param-id ‖ pack₁₃(ã) ‖ pack₁₃(p̃)`
+    /// (13-bit packing for P1, 14-bit for P2).
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] for keys built from custom (unnamed)
+    /// parameters, which have no stable wire identifier.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
+        to_bytes_generic(MAGIC_PK, self.params, &[&self.a_hat, &self.p_hat])
+    }
+
+    /// Parses the [`PublicKey::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] on any structural problem (bad magic,
+    /// unknown parameter id, wrong length, out-of-range coefficient).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RlweError> {
+        let (params, mut polys) = from_bytes_generic(MAGIC_PK, bytes, 2)?;
+        let p_hat = polys.pop().expect("two polys parsed");
+        let a_hat = polys.pop().expect("two polys parsed");
+        Ok(Self {
+            params,
+            a_hat,
+            p_hat,
+        })
+    }
+}
+
+/// Secret key `r̃₂` (NTT domain).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    pub(crate) params: Params,
+    pub(crate) r2_hat: Vec<u32>,
+}
+
+impl SecretKey {
+    /// The parameters this key belongs to.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The NTT-domain secret polynomial `r̃₂`.
+    pub fn r2_hat(&self) -> &[u32] {
+        &self.r2_hat
+    }
+
+    /// Serializes as `magic ‖ param-id ‖ pack₁₃(r̃₂)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] for keys from custom parameter sets.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
+        to_bytes_generic(MAGIC_SK, self.params, &[&self.r2_hat])
+    }
+
+    /// Parses the [`SecretKey::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RlweError> {
+        let (params, mut polys) = from_bytes_generic(MAGIC_SK, bytes, 1)?;
+        Ok(Self {
+            params,
+            r2_hat: polys.pop().expect("one poly parsed"),
+        })
+    }
+}
+
+// Secret material: keep the Debug representation non-empty but redacted.
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey")
+            .field("params", &self.params)
+            .field("r2_hat", &"<redacted>")
+            .finish()
+    }
+}
+
+/// A key pair, as produced by key generation.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// The public half.
+    pub public: PublicKey,
+    /// The secret half.
+    pub secret: SecretKey,
+}
+
+/// Ciphertext `(c̃₁, c̃₂)` — both polynomials in the NTT domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    pub(crate) params: Params,
+    pub(crate) c1_hat: Vec<u32>,
+    pub(crate) c2_hat: Vec<u32>,
+}
+
+impl Ciphertext {
+    /// The parameters this ciphertext belongs to.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The NTT-domain `c̃₁` polynomial.
+    pub fn c1_hat(&self) -> &[u32] {
+        &self.c1_hat
+    }
+
+    /// The NTT-domain `c̃₂` polynomial.
+    pub fn c2_hat(&self) -> &[u32] {
+        &self.c2_hat
+    }
+
+    /// Serializes as `magic ‖ param-id ‖ pack₁₃(c̃₁) ‖ pack₁₃(c̃₂)` —
+    /// 834 bytes for P1, 1 794 for P2.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] for ciphertexts from custom parameter sets.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
+        to_bytes_generic(MAGIC_CT, self.params, &[&self.c1_hat, &self.c2_hat])
+    }
+
+    /// Parses the [`Ciphertext::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RlweError> {
+        let (params, mut polys) = from_bytes_generic(MAGIC_CT, bytes, 2)?;
+        let c2_hat = polys.pop().expect("two polys parsed");
+        let c1_hat = polys.pop().expect("two polys parsed");
+        Ok(Self {
+            params,
+            c1_hat,
+            c2_hat,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| (i.wrapping_mul(seed) + 7) % q).collect()
+    }
+
+    #[test]
+    fn public_key_round_trips() {
+        let pk = PublicKey {
+            params: ParamSet::P1.params(),
+            a_hat: demo_poly(256, 7681, 31),
+            p_hat: demo_poly(256, 7681, 77),
+        };
+        assert_eq!(PublicKey::from_bytes(&pk.to_bytes().unwrap()).unwrap(), pk);
+    }
+
+    #[test]
+    fn secret_key_round_trips_p2() {
+        let sk = SecretKey {
+            params: ParamSet::P2.params(),
+            r2_hat: demo_poly(512, 12289, 13),
+        };
+        assert_eq!(SecretKey::from_bytes(&sk.to_bytes().unwrap()).unwrap(), sk);
+    }
+
+    #[test]
+    fn ciphertext_round_trips_and_reports_size() {
+        let ct = Ciphertext {
+            params: ParamSet::P1.params(),
+            c1_hat: demo_poly(256, 7681, 3),
+            c2_hat: demo_poly(256, 7681, 5),
+        };
+        let bytes = ct.to_bytes().unwrap();
+        assert_eq!(Ciphertext::from_bytes(&bytes).unwrap(), ct);
+        // 2 polys * 256 coeffs * 13 bits = 832 bytes + 2 header bytes.
+        assert_eq!(bytes.len(), 834);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let pk = PublicKey {
+            params: ParamSet::P1.params(),
+            a_hat: demo_poly(256, 7681, 1),
+            p_hat: demo_poly(256, 7681, 2),
+        };
+        let bytes = pk.to_bytes().unwrap();
+        assert!(matches!(
+            SecretKey::from_bytes(&bytes),
+            Err(RlweError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let pk = PublicKey {
+            params: ParamSet::P1.params(),
+            a_hat: demo_poly(256, 7681, 1),
+            p_hat: demo_poly(256, 7681, 2),
+        };
+        let mut bytes = pk.to_bytes().unwrap();
+        bytes.pop();
+        assert!(PublicKey::from_bytes(&bytes).is_err());
+        assert!(PublicKey::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn custom_params_cannot_serialize() {
+        let params = Params::custom(128, 12289, rlwe_sampler::GaussianSpec::p1());
+        let sk = SecretKey {
+            params,
+            r2_hat: demo_poly(128, 12289, 9),
+        };
+        assert!(sk.to_bytes().is_err());
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let sk = SecretKey {
+            params: ParamSet::P1.params(),
+            r2_hat: demo_poly(256, 7681, 9),
+        };
+        let dbg = format!("{sk:?}");
+        assert!(dbg.contains("redacted"));
+    }
+}

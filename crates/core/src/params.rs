@@ -1,0 +1,152 @@
+//! Parameter sets.
+
+use rlwe_sampler::GaussianSpec;
+
+/// The named parameter sets of the paper (Göttert et al.'s P1/P2, adopted
+/// by every implementation the paper compares against in Tables III/IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamSet {
+    /// `(n, q, σ) = (256, 7681, 11.31/√2π)` — medium-term security.
+    P1,
+    /// `(n, q, σ) = (512, 12289, 12.18/√2π)` — long-term security.
+    P2,
+}
+
+impl ParamSet {
+    /// The concrete parameters.
+    pub fn params(self) -> Params {
+        match self {
+            ParamSet::P1 => Params {
+                set: Some(ParamSet::P1),
+                n: 256,
+                q: 7681,
+                spec: GaussianSpec::p1(),
+            },
+            ParamSet::P2 => Params {
+                set: Some(ParamSet::P2),
+                n: 512,
+                q: 12289,
+                spec: GaussianSpec::p2(),
+            },
+        }
+    }
+
+    /// Stable one-byte identifier used in serialized headers.
+    pub fn id(self) -> u8 {
+        match self {
+            ParamSet::P1 => 1,
+            ParamSet::P2 => 2,
+        }
+    }
+
+    /// Inverse of [`ParamSet::id`].
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            1 => Some(ParamSet::P1),
+            2 => Some(ParamSet::P2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamSet::P1 => write!(f, "P1 (n=256, q=7681, s=11.31)"),
+            ParamSet::P2 => write!(f, "P2 (n=512, q=12289, s=12.18)"),
+        }
+    }
+}
+
+/// Concrete ring-LWE parameters: ring dimension, modulus and error
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    set: Option<ParamSet>,
+    n: usize,
+    q: u32,
+    spec: GaussianSpec,
+}
+
+impl Params {
+    /// Builds a custom parameter set (for experiments beyond P1/P2).
+    ///
+    /// Validation (primality of `q`, `q ≡ 1 mod 2n`) happens when the
+    /// [`RlweContext`](crate::RlweContext) is constructed.
+    pub fn custom(n: usize, q: u32, spec: GaussianSpec) -> Self {
+        Self {
+            set: None,
+            n,
+            q,
+            spec,
+        }
+    }
+
+    /// The named set this came from, if any.
+    #[inline]
+    pub fn set(&self) -> Option<ParamSet> {
+        self.set
+    }
+
+    /// Ring dimension n (message capacity in bits).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus q.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// The error distribution.
+    #[inline]
+    pub fn spec(&self) -> GaussianSpec {
+        self.spec
+    }
+
+    /// Plaintext size in bytes (`n/8`: one coefficient per bit).
+    #[inline]
+    pub fn message_bytes(&self) -> usize {
+        self.n / 8
+    }
+
+    /// Bits per serialized coefficient (13 for q=7681, 14 for q=12289).
+    #[inline]
+    pub fn coeff_bits(&self) -> u32 {
+        32 - (self.q - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameter_sets() {
+        let p1 = ParamSet::P1.params();
+        assert_eq!((p1.n(), p1.q()), (256, 7681));
+        assert_eq!(p1.message_bytes(), 32);
+        assert_eq!(p1.coeff_bits(), 13);
+        let p2 = ParamSet::P2.params();
+        assert_eq!((p2.n(), p2.q()), (512, 12289));
+        assert_eq!(p2.message_bytes(), 64);
+        assert_eq!(p2.coeff_bits(), 14);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for s in [ParamSet::P1, ParamSet::P2] {
+            assert_eq!(ParamSet::from_id(s.id()), Some(s));
+        }
+        assert_eq!(ParamSet::from_id(0), None);
+        assert_eq!(ParamSet::from_id(99), None);
+    }
+
+    #[test]
+    fn display_names_the_parameters() {
+        assert!(ParamSet::P1.to_string().contains("7681"));
+        assert!(ParamSet::P2.to_string().contains("12289"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-width coefficient packing.
+//!
+//! The paper stores 13-bit (q = 7681) or 14-bit (q = 12289) coefficients;
+//! on the wire we pack them back-to-back LSB-first, which is also the
+//! densest encoding a bare-metal implementation would use (no
+//! serialization framework exists on a Cortex-M4F, so none is used here
+//! either).
+
+use crate::RlweError;
+
+/// Packs reduced coefficients into bytes, `bits` bits per coefficient,
+/// little-endian bit order.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or exceeds 32, or if a coefficient needs more
+/// than `bits` bits.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_core::{pack_coeffs, unpack_coeffs};
+///
+/// let coeffs = vec![7679, 0, 42, 7680];
+/// let bytes = pack_coeffs(&coeffs, 13);
+/// assert_eq!(bytes.len(), (4 * 13 + 7) / 8);
+/// let back = unpack_coeffs(&bytes, 13, 4, 7681).unwrap();
+/// assert_eq!(back, coeffs);
+/// ```
+pub fn pack_coeffs(coeffs: &[u32], bits: u32) -> Vec<u8> {
+    assert!(bits >= 1 && bits <= 32, "bits per coefficient out of range");
+    let total_bits = coeffs.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mut bitpos = 0usize;
+    for &c in coeffs {
+        assert!(
+            bits == 32 || c < (1u32 << bits),
+            "coefficient {c} does not fit in {bits} bits"
+        );
+        for b in 0..bits as usize {
+            if (c >> b) & 1 == 1 {
+                out[(bitpos + b) / 8] |= 1 << ((bitpos + b) % 8);
+            }
+        }
+        bitpos += bits as usize;
+    }
+    out
+}
+
+/// Unpacks `n` coefficients of `bits` bits each and validates every value
+/// against the modulus `q`.
+///
+/// # Errors
+///
+/// [`RlweError::Malformed`] if the byte slice has the wrong length or any
+/// decoded coefficient is `≥ q`.
+pub fn unpack_coeffs(bytes: &[u8], bits: u32, n: usize, q: u32) -> Result<Vec<u32>, RlweError> {
+    assert!(bits >= 1 && bits <= 32, "bits per coefficient out of range");
+    let need = (n * bits as usize).div_ceil(8);
+    if bytes.len() != need {
+        return Err(RlweError::Malformed {
+            reason: format!("expected {need} packed bytes, got {}", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut bitpos = 0usize;
+    for idx in 0..n {
+        let mut c = 0u32;
+        for b in 0..bits as usize {
+            let bit = (bytes[(bitpos + b) / 8] >> ((bitpos + b) % 8)) & 1;
+            c |= (bit as u32) << b;
+        }
+        if c >= q {
+            return Err(RlweError::Malformed {
+                reason: format!("coefficient {idx} = {c} is not reduced modulo {q}"),
+            });
+        }
+        out.push(c);
+        bitpos += bits as usize;
+    }
+    // Trailing pad bits must be zero (reject sloppy/ambiguous encodings).
+    if bitpos % 8 != 0 {
+        let last = bytes[bitpos / 8];
+        if last >> (bitpos % 8) != 0 {
+            return Err(RlweError::Malformed {
+                reason: "non-zero padding bits".into(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_13_bits() {
+        let coeffs: Vec<u32> = (0..256u32).map(|i| (i * 30 + 1) % 7681).collect();
+        let bytes = pack_coeffs(&coeffs, 13);
+        assert_eq!(bytes.len(), 256 * 13 / 8);
+        assert_eq!(unpack_coeffs(&bytes, 13, 256, 7681).unwrap(), coeffs);
+    }
+
+    #[test]
+    fn round_trip_14_bits() {
+        let coeffs: Vec<u32> = (0..512u32).map(|i| (i * 24 + 5) % 12289).collect();
+        let bytes = pack_coeffs(&coeffs, 14);
+        assert_eq!(unpack_coeffs(&bytes, 14, 512, 12289).unwrap(), coeffs);
+    }
+
+    #[test]
+    fn round_trip_awkward_widths() {
+        for bits in [1u32, 3, 7, 9, 17, 31] {
+            let q = if bits == 32 { u32::MAX } else { (1u32 << bits).wrapping_sub(1).max(2) };
+            let coeffs: Vec<u32> = (0..21u32).map(|i| (i * 1237) % q).collect();
+            let bytes = pack_coeffs(&coeffs, bits);
+            assert_eq!(
+                unpack_coeffs(&bytes, bits, 21, q).unwrap(),
+                coeffs,
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_coefficient_rejected() {
+        // 7681 fits in 13 bits but is not < q.
+        let bytes = pack_coeffs(&[7681], 13);
+        assert!(unpack_coeffs(&bytes, 13, 1, 7681).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let bytes = pack_coeffs(&[1, 2, 3], 13);
+        assert!(unpack_coeffs(&bytes, 13, 4, 7681).is_err());
+        assert!(unpack_coeffs(&bytes[..bytes.len() - 1], 13, 3, 7681).is_err());
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let mut bytes = pack_coeffs(&[1], 13); // 13 bits -> 2 bytes, 3 pad bits
+        bytes[1] |= 0x80;
+        assert!(unpack_coeffs(&bytes, 13, 1, 7681).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_coefficient_panics_on_pack() {
+        pack_coeffs(&[1 << 13], 13);
+    }
+}

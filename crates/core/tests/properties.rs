@@ -1,0 +1,86 @@
+//! Property-based tests for the scheme layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlwe_core::{
+    decode_message, encode_message, pack_coeffs, unpack_coeffs, Ciphertext, ParamSet,
+    PublicKey, RlweContext, SecretKey,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_decode_is_identity(msg in prop::collection::vec(any::<u8>(), 32)) {
+        let coeffs = encode_message(&msg, 256, 7681);
+        prop_assert_eq!(decode_message(&coeffs, 7681), msg);
+    }
+
+    #[test]
+    fn decode_survives_bounded_noise(
+        msg in prop::collection::vec(any::<u8>(), 32),
+        noise_seed in any::<u64>(),
+    ) {
+        // Any per-coefficient perturbation below q/4 must decode cleanly.
+        let q = 7681u32;
+        let mut coeffs = encode_message(&msg, 256, q);
+        let mut s = noise_seed | 1;
+        for c in coeffs.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s % (q as u64 / 4)) as i64 * if s & 1 == 0 { 1 } else { -1 };
+            let v = (*c as i64 + noise).rem_euclid(q as i64);
+            *c = v as u32;
+        }
+        prop_assert_eq!(decode_message(&coeffs, q), msg);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips(coeffs in prop::collection::vec(0u32..7681, 1..300)) {
+        let n = coeffs.len();
+        let bytes = pack_coeffs(&coeffs, 13);
+        prop_assert_eq!(unpack_coeffs(&bytes, 13, n, 7681).unwrap(), coeffs);
+    }
+
+    #[test]
+    fn scheme_round_trips_for_random_messages(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 32)) {
+        // Note: individual encryptions can fail with probability ~1%
+        // (documented parameter property); retry once to push the
+        // per-case flake rate below 10^-4 while still catching any
+        // systematic corruption.
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        let got = ctx.decrypt(&sk, &ct).unwrap();
+        if got != msg {
+            let ct2 = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+            prop_assert_eq!(ctx.decrypt(&sk, &ct2).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn serialization_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        // Parsers must reject or accept, never panic.
+        let _ = PublicKey::from_bytes(&bytes);
+        let _ = SecretKey::from_bytes(&bytes);
+        let _ = Ciphertext::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn ciphertext_addition_is_commutative(seed in any::<u64>()) {
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let m1 = vec![0x0Fu8; 32];
+        let m2 = vec![0xF0u8; 32];
+        let c1 = ctx.encrypt(&pk, &m1, &mut rng).unwrap();
+        let c2 = ctx.encrypt(&pk, &m2, &mut rng).unwrap();
+        prop_assert_eq!(
+            ctx.add_ciphertexts(&c1, &c2).unwrap(),
+            ctx.add_ciphertexts(&c2, &c1).unwrap()
+        );
+    }
+}

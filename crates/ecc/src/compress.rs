@@ -1,0 +1,158 @@
+//! Point compression for K-233 — transmit 30 bytes + 1 bit instead of a
+//! full affine pair (the bandwidth the paper's ECIES baseline would use
+//! on a real radio link).
+//!
+//! On a binary curve `y² + xy = x³ + b`, dividing by `x²` turns the
+//! equation into `z² + z = x + b/x²` with `z = y/x`. The two solutions
+//! differ by 1, so one stored bit (the least significant bit of `z`)
+//! selects the right `y`. Solving `z² + z = u` uses the **half-trace**
+//! `H(u) = Σ u^(2^(2i))`, which is a solution whenever `Tr(u) = 0` (and
+//! `Tr(u) = 0` holds exactly for the `u` arising from curve points).
+
+use crate::curve::{Point, CURVE_B};
+use crate::error::EccError;
+use crate::gf2m::{Gf2m, DEGREE};
+
+/// A compressed K-233 point: the x-coordinate plus one bit of `y/x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressedPoint {
+    /// The x-coordinate.
+    pub x: Gf2m,
+    /// Least significant bit of `z = y/x`.
+    pub z_bit: u8,
+}
+
+/// Half-trace `H(a) = Σ_{i=0}^{(m−1)/2} a^(2^(2i))` — solves
+/// `z² + z = a` for trace-zero `a` in odd-degree binary fields.
+pub fn half_trace(a: &Gf2m) -> Gf2m {
+    let mut acc = *a;
+    let mut term = *a;
+    for _ in 0..(DEGREE - 1) / 2 {
+        term = term.square().square();
+        acc = acc.add(&term);
+    }
+    acc
+}
+
+/// Compresses a finite point.
+///
+/// # Errors
+///
+/// [`EccError::InvalidPoint`] for the point at infinity (it has no affine
+/// coordinates) or for `x = 0` (the 2-torsion point, never valid key
+/// material).
+pub fn compress(p: &Point) -> Result<CompressedPoint, EccError> {
+    let (x, y) = p.to_affine().ok_or(EccError::InvalidPoint)?;
+    if x.is_zero() {
+        return Err(EccError::InvalidPoint);
+    }
+    let z = y.mul(&x.invert());
+    Ok(CompressedPoint {
+        x,
+        z_bit: (z.limbs()[0] & 1) as u8,
+    })
+}
+
+/// Decompresses back to the affine point, validating the curve equation.
+///
+/// # Errors
+///
+/// [`EccError::InvalidPoint`] if no point with this x-coordinate exists
+/// on K-233 (i.e. `Tr(x + b/x²) = 1`) or `x = 0`.
+pub fn decompress(c: &CompressedPoint) -> Result<Point, EccError> {
+    if c.x.is_zero() {
+        return Err(EccError::InvalidPoint);
+    }
+    // u = x + b / x².
+    let x_inv_sq = c.x.invert().square();
+    let u = c.x.add(&CURVE_B.mul(&x_inv_sq));
+    if u.trace() != 0 {
+        return Err(EccError::InvalidPoint);
+    }
+    let mut z = half_trace(&u);
+    debug_assert_eq!(z.square().add(&z), u, "half-trace must solve the quadratic");
+    if (z.limbs()[0] & 1) as u8 != c.z_bit {
+        z = z.add(&Gf2m::ONE);
+    }
+    let y = z.mul(&c.x);
+    Point::from_affine(c.x, y).ok_or(EccError::InvalidPoint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder;
+    use crate::Scalar;
+
+    #[test]
+    fn half_trace_solves_the_artin_schreier_equation() {
+        // For any a, u = a² + a has trace 0 and H(u) ∈ {a, a+1}.
+        for seed in 1..20u64 {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let a = Gf2m::from_limbs([next(), next(), next(), next() & ((1 << 41) - 1)]);
+            let u = a.square().add(&a);
+            assert_eq!(u.trace(), 0);
+            let h = half_trace(&u);
+            assert_eq!(h.square().add(&h), u, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generator_round_trips() {
+        let g = Point::generator();
+        let c = compress(&g).unwrap();
+        assert_eq!(decompress(&c).unwrap(), g);
+    }
+
+    #[test]
+    fn many_points_round_trip() {
+        let g = Point::generator();
+        for k in [2u64, 3, 7, 1000, 123_456_789, u64::MAX] {
+            let p = ladder::scalar_mul(&Scalar::from_u64(k), &g);
+            let c = compress(&p).unwrap();
+            assert_eq!(decompress(&c).unwrap(), p, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn the_flipped_bit_gives_the_negated_point() {
+        // -(x, y) = (x, x + y) means z -> z + 1: the other bit value.
+        let g = Point::generator();
+        let mut c = compress(&g).unwrap();
+        c.z_bit ^= 1;
+        assert_eq!(decompress(&c).unwrap(), g.negate());
+    }
+
+    #[test]
+    fn invalid_x_is_rejected() {
+        // Scan a few x values with Tr(x + 1/x²) = 1: no curve point.
+        let mut rejected = 0;
+        for i in 2u64..40 {
+            let c = CompressedPoint {
+                x: Gf2m::from_limbs([i, 0, 0, 0]),
+                z_bit: 0,
+            };
+            if decompress(&c).is_err() {
+                rejected += 1;
+            }
+        }
+        // About half of all field elements are non-x-coordinates.
+        assert!(rejected > 5, "only {rejected} rejections in 38 tries");
+    }
+
+    #[test]
+    fn infinity_and_two_torsion_cannot_compress() {
+        assert_eq!(compress(&Point::Infinity), Err(EccError::InvalidPoint));
+        // (0, sqrt(b)) is the 2-torsion point on K-233.
+        let y = CURVE_B.sqrt();
+        if let Some(p) = Point::from_affine(Gf2m::ZERO, y) {
+            assert_eq!(compress(&p), Err(EccError::InvalidPoint));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The K-233 Koblitz curve `y² + xy = x³ + 1` over GF(2²³³), affine
+//! arithmetic — the correctness oracle for the Montgomery ladder.
+
+use crate::gf2m::Gf2m;
+use crate::scalar::Scalar;
+
+/// Curve coefficient `a` (K-233 is the `a = 0` Koblitz curve).
+pub const CURVE_A: Gf2m = Gf2m::ZERO;
+
+/// Curve coefficient `b = 1`.
+pub const CURVE_B: Gf2m = Gf2m::ONE;
+
+/// A point on K-233 in affine coordinates, or the point at infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// The group identity.
+    Infinity,
+    /// An affine point `(x, y)`.
+    Affine {
+        /// x-coordinate.
+        x: Gf2m,
+        /// y-coordinate.
+        y: Gf2m,
+    },
+}
+
+impl Point {
+    /// The standard K-233 generator (NIST SP 800-186 / SEC 2).
+    pub fn generator() -> Self {
+        let x = Gf2m::from_hex("17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126")
+            .expect("valid Gx constant");
+        let y = Gf2m::from_hex("1DB537DECE819B7F70F555A67C427A8CD9BF18AEB9B56E0C11056FAE6A3")
+            .expect("valid Gy constant");
+        Point::Affine { x, y }
+    }
+
+    /// Builds a point after verifying the curve equation.
+    ///
+    /// Returns `None` when `(x, y)` is not on K-233.
+    pub fn from_affine(x: Gf2m, y: Gf2m) -> Option<Self> {
+        let p = Point::Affine { x, y };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// The x-coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the point at infinity.
+    pub fn x(&self) -> Gf2m {
+        match self {
+            Point::Affine { x, .. } => *x,
+            Point::Infinity => panic!("point at infinity has no x-coordinate"),
+        }
+    }
+
+    /// Returns `(x, y)` or `None` for infinity.
+    pub fn to_affine(&self) -> Option<(Gf2m, Gf2m)> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, y } => Some((*x, *y)),
+        }
+    }
+
+    /// Checks `y² + xy = x³ + 1`.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = y.square().add(&x.mul(y));
+                let rhs = x.square().mul(x).add(&CURVE_B);
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Group negation: `−(x, y) = (x, x + y)` on binary curves.
+    pub fn negate(&self) -> Self {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine {
+                x: *x,
+                y: x.add(y),
+            },
+        }
+    }
+
+    /// Affine point doubling.
+    pub fn double(&self) -> Self {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => {
+                if x.is_zero() {
+                    // 2(0, y) = ∞ on y² + xy = x³ + b (the 2-torsion point).
+                    return Point::Infinity;
+                }
+                // λ = x + y/x ; x₃ = λ² + λ + a ; y₃ = x² + (λ+1)·x₃.
+                let lambda = x.add(&y.mul(&x.invert()));
+                let x3 = lambda.square().add(&lambda).add(&CURVE_A);
+                let y3 = x.square().add(&lambda.add(&Gf2m::ONE).mul(&x3));
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+
+    /// Affine point addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (Point::Infinity, p) => *p,
+            (p, Point::Infinity) => *p,
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    return if y1 == y2 {
+                        self.double()
+                    } else {
+                        // P + (−P) = ∞.
+                        Point::Infinity
+                    };
+                }
+                // λ = (y1+y2)/(x1+x2); x₃ = λ²+λ+x1+x2+a; y₃ = λ(x1+x₃)+x₃+y1.
+                let lambda = y1.add(y2).mul(&x1.add(x2).invert());
+                let x3 = lambda
+                    .square()
+                    .add(&lambda)
+                    .add(&x1.add(x2))
+                    .add(&CURVE_A);
+                let y3 = lambda.mul(&x1.add(&x3)).add(&x3).add(y1);
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+
+    /// Double-and-add scalar multiplication — the slow, obviously-correct
+    /// oracle the Montgomery ladder is tested against.
+    pub fn scalar_mul(&self, k: &Scalar) -> Self {
+        let mut acc = Point::Infinity;
+        let Some(top) = k.highest_bit() else {
+            return acc;
+        };
+        for i in (0..=top).rev() {
+            acc = acc.double();
+            if k.bit(i) == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ORDER;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(Point::generator().is_on_curve());
+    }
+
+    #[test]
+    fn doubling_and_addition_stay_on_curve() {
+        let g = Point::generator();
+        let g2 = g.double();
+        assert!(g2.is_on_curve());
+        let g3 = g2.add(&g);
+        assert!(g3.is_on_curve());
+        assert_ne!(g2, g);
+        assert_ne!(g3, g2);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let g = Point::generator();
+        let a = g.double();
+        let b = a.double();
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&g), a.add(&b.add(&g)));
+    }
+
+    #[test]
+    fn negation_gives_identity() {
+        let g = Point::generator();
+        assert_eq!(g.add(&g.negate()), Point::Infinity);
+        assert!(g.negate().is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_small_cases() {
+        let g = Point::generator();
+        assert_eq!(g.scalar_mul(&Scalar::ZERO), Point::Infinity);
+        assert_eq!(g.scalar_mul(&Scalar::from_u64(1)), g);
+        assert_eq!(g.scalar_mul(&Scalar::from_u64(2)), g.double());
+        assert_eq!(g.scalar_mul(&Scalar::from_u64(3)), g.double().add(&g));
+        let g5a = g.scalar_mul(&Scalar::from_u64(5));
+        let g5b = g.double().double().add(&g);
+        assert_eq!(g5a, g5b);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (k1 + k2)·G = k1·G + k2·G.
+        let g = Point::generator();
+        let a = g.scalar_mul(&Scalar::from_u64(12345));
+        let b = g.scalar_mul(&Scalar::from_u64(54321));
+        let sum = g.scalar_mul(&Scalar::from_u64(12345 + 54321));
+        assert_eq!(a.add(&b), sum);
+    }
+
+    #[test]
+    fn generator_has_the_advertised_order() {
+        // r·G = ∞ — validates both the ORDER constant and the group law.
+        let g = Point::generator();
+        assert_eq!(g.scalar_mul(&ORDER), Point::Infinity);
+    }
+
+    #[test]
+    fn off_curve_points_are_rejected() {
+        let g = Point::generator();
+        let (x, y) = g.to_affine().unwrap();
+        assert!(Point::from_affine(x, y).is_some());
+        assert!(Point::from_affine(x, y.add(&Gf2m::ONE)).is_none());
+    }
+}

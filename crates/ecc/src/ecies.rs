@@ -1,0 +1,202 @@
+//! ECIES over K-233 — the ECC encryption scheme of the paper's Table IV
+//! comparison.
+//!
+//! Follows the ECIES KEM/DEM structure (Hankerson-Menezes-Vanstone §4.5,
+//! the paper's \[18\]): an ephemeral ECDH exchange derives, via KDF2, an
+//! encryption key and a MAC key; the DEM is a KDF2 keystream XOR with an
+//! HMAC-SHA256 tag. The expensive part — and the entirety of the paper's
+//! cycle estimate — is the **two point multiplications** per encryption
+//! (ephemeral key and shared secret) and one per decryption.
+
+use rand::RngCore;
+
+use crate::curve::Point;
+use crate::error::EccError;
+use crate::gf2m::Gf2m;
+use crate::ladder;
+use crate::scalar::Scalar;
+use rlwe_hash::{kdf2, HmacSha256};
+
+/// A recipient key pair: secret scalar and public point `d·G`.
+#[derive(Clone)]
+pub struct EciesKeyPair {
+    d: Scalar,
+    q: Point,
+}
+
+impl EciesKeyPair {
+    /// Generates a key pair (one ladder point multiplication).
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let d = Scalar::random_below_order(rng);
+        let q = ladder::scalar_mul(&d, &Point::generator());
+        Self { d, q }
+    }
+
+    /// The public point.
+    pub fn public(&self) -> Point {
+        self.q
+    }
+
+    /// The secret scalar (exposed for tests and benches only — treat with
+    /// the care the name implies).
+    pub fn secret(&self) -> Scalar {
+        self.d
+    }
+}
+
+impl std::fmt::Debug for EciesKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EciesKeyPair")
+            .field("d", &"<redacted>")
+            .field("q", &self.q)
+            .finish()
+    }
+}
+
+/// An ECIES ciphertext: ephemeral point, XOR-encrypted payload, MAC tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EciesCiphertext {
+    /// The ephemeral public point `k·G`.
+    pub ephemeral: (Gf2m, Gf2m),
+    /// Keystream-XORed payload.
+    pub payload: Vec<u8>,
+    /// HMAC-SHA256 tag over the payload.
+    pub tag: [u8; 32],
+}
+
+/// Serializes the shared-secret x-coordinate (30 bytes, big-endian).
+fn x_bytes(x: &Gf2m) -> Vec<u8> {
+    let limbs = x.limbs();
+    let mut out = Vec::with_capacity(32);
+    for l in limbs.iter().rev() {
+        out.extend_from_slice(&l.to_be_bytes());
+    }
+    out
+}
+
+/// Derives (keystream, mac key) from the shared x-coordinate.
+fn derive_keys(shared_x: &Gf2m, len: usize) -> (Vec<u8>, Vec<u8>) {
+    let sx = x_bytes(shared_x);
+    let stream = kdf2(&sx, b"ecies-enc", len);
+    let mac_key = kdf2(&sx, b"ecies-mac", 32);
+    (stream, mac_key)
+}
+
+/// Encrypts `msg` to the recipient's public point.
+///
+/// Cost profile (the paper's estimate): **two** ladder point
+/// multiplications — `k·G` and `k·Q`.
+///
+/// # Errors
+///
+/// [`EccError::InvalidPoint`] if the recipient key is infinity or off the
+/// curve.
+pub fn encrypt<R: RngCore + ?Sized>(
+    recipient: &Point,
+    msg: &[u8],
+    rng: &mut R,
+) -> Result<EciesCiphertext, EccError> {
+    if !recipient.is_on_curve() || recipient.to_affine().is_none() {
+        return Err(EccError::InvalidPoint);
+    }
+    let k = Scalar::random_below_order(rng);
+    let ephemeral = ladder::scalar_mul(&k, &Point::generator());
+    let (ex, ey) = ephemeral.to_affine().expect("k below the prime order");
+    let (shared_x, _counts) = ladder::scalar_mul_x(&k, &recipient.x());
+    let (stream, mac_key) = derive_keys(&shared_x, msg.len());
+    let payload: Vec<u8> = msg.iter().zip(&stream).map(|(m, s)| m ^ s).collect();
+    let tag = HmacSha256::mac(&mac_key, &payload);
+    Ok(EciesCiphertext {
+        ephemeral: (ex, ey),
+        payload,
+        tag,
+    })
+}
+
+/// Decrypts an ECIES ciphertext with the recipient key pair.
+///
+/// Cost profile: **one** ladder point multiplication (`d·R`).
+///
+/// # Errors
+///
+/// * [`EccError::InvalidPoint`] if the ephemeral point is off-curve.
+/// * [`EccError::AuthenticationFailed`] if the MAC tag does not verify.
+pub fn decrypt(kp: &EciesKeyPair, ct: &EciesCiphertext) -> Result<Vec<u8>, EccError> {
+    let (ex, ey) = ct.ephemeral;
+    let r = Point::from_affine(ex, ey).ok_or(EccError::InvalidPoint)?;
+    let (shared_x, _counts) = ladder::scalar_mul_x(&kp.d, &r.x());
+    let (stream, mac_key) = derive_keys(&shared_x, ct.payload.len());
+    if !HmacSha256::verify(&mac_key, &ct.payload, &ct.tag) {
+        return Err(EccError::AuthenticationFailed);
+    }
+    Ok(ct.payload.iter().zip(&stream).map(|(c, s)| c ^ s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = EciesKeyPair::generate(&mut rng);
+        let msg = b"post-quantum vs classical: the Table IV face-off".to_vec();
+        let ct = encrypt(&kp.public(), &msg, &mut rng).unwrap();
+        assert_eq!(decrypt(&kp, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_and_large_messages() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = EciesKeyPair::generate(&mut rng);
+        for len in [0usize, 1, 31, 32, 33, 1000] {
+            let msg = vec![0xABu8; len];
+            let ct = encrypt(&kp.public(), &msg, &mut rng).unwrap();
+            assert_eq!(decrypt(&kp, &ct).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = EciesKeyPair::generate(&mut rng);
+        let ct = encrypt(&kp.public(), b"attack at dawn", &mut rng).unwrap();
+        let mut bad = ct.clone();
+        bad.payload[0] ^= 1;
+        assert_eq!(decrypt(&kp, &bad), Err(EccError::AuthenticationFailed));
+        let mut bad_tag = ct.clone();
+        bad_tag.tag[5] ^= 1;
+        assert_eq!(decrypt(&kp, &bad_tag), Err(EccError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp1 = EciesKeyPair::generate(&mut rng);
+        let kp2 = EciesKeyPair::generate(&mut rng);
+        let ct = encrypt(&kp1.public(), b"secret", &mut rng).unwrap();
+        assert_eq!(decrypt(&kp2, &ct), Err(EccError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn off_curve_ephemeral_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = EciesKeyPair::generate(&mut rng);
+        let mut ct = encrypt(&kp.public(), b"x", &mut rng).unwrap();
+        ct.ephemeral.1 = ct.ephemeral.1.add(&Gf2m::ONE);
+        assert_eq!(decrypt(&kp, &ct), Err(EccError::InvalidPoint));
+    }
+
+    #[test]
+    fn ecdh_agreement() {
+        // Both sides of a plain ECDH derive the same x-coordinate.
+        let mut rng = StdRng::seed_from_u64(6);
+        let alice = EciesKeyPair::generate(&mut rng);
+        let bob = EciesKeyPair::generate(&mut rng);
+        let (ax, _) = ladder::scalar_mul_x(&alice.secret(), &bob.public().x());
+        let (bx, _) = ladder::scalar_mul_x(&bob.secret(), &alice.public().x());
+        assert_eq!(ax, bx);
+    }
+}

@@ -1,0 +1,42 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ECC baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EccError {
+    /// A received point is not on K-233 (invalid-curve attack guard).
+    InvalidPoint,
+    /// The ECIES MAC tag did not verify.
+    AuthenticationFailed,
+    /// A serialized object failed structural validation.
+    Malformed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::InvalidPoint => write!(f, "point is not on the K-233 curve"),
+            EccError::AuthenticationFailed => write!(f, "ciphertext failed authentication"),
+            EccError::Malformed { reason } => write!(f, "malformed encoding: {reason}"),
+        }
+    }
+}
+
+impl Error for EccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(EccError::InvalidPoint.to_string().contains("K-233"));
+        assert!(EccError::AuthenticationFailed
+            .to_string()
+            .contains("authentication"));
+    }
+}

@@ -1,0 +1,363 @@
+//! GF(2²³³) — binary-field arithmetic with the NIST trinomial
+//! `f(x) = x²³³ + x⁷⁴ + 1`.
+
+/// Number of 64-bit limbs per reduced element (233 bits → 4 limbs,
+/// top 23 bits of the last limb always zero).
+pub const LIMBS: usize = 4;
+
+/// Field extension degree.
+pub const DEGREE: u32 = 233;
+
+/// An element of GF(2²³³) in polynomial basis, little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf2m {
+    limbs: [u64; LIMBS],
+}
+
+impl Gf2m {
+    /// The additive identity.
+    pub const ZERO: Self = Self { limbs: [0; LIMBS] };
+
+    /// The multiplicative identity.
+    pub const ONE: Self = Self {
+        limbs: [1, 0, 0, 0],
+    };
+
+    /// Builds an element from little-endian limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not reduced (bit 233 or above set).
+    pub fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        assert!(limbs[3] >> 41 == 0, "element not reduced modulo f(x)");
+        Self { limbs }
+    }
+
+    /// The raw little-endian limbs.
+    pub fn limbs(&self) -> [u64; LIMBS] {
+        self.limbs
+    }
+
+    /// Parses a big-endian hex string (as NIST curve parameters are
+    /// printed). Returns `None` for invalid digits or overlong values.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim_start_matches("0x");
+        if s.is_empty() || s.len() > 59 {
+            return None; // 233 bits = 58.25 hex digits
+        }
+        let mut limbs = [0u64; LIMBS];
+        for (i, c) in s.bytes().rev().enumerate() {
+            let d = (c as char).to_digit(16)? as u64;
+            limbs[i / 16] |= d << (4 * (i % 16));
+        }
+        if limbs[3] >> 41 != 0 {
+            return None;
+        }
+        Some(Self { limbs })
+    }
+
+    /// Hex rendering (big-endian, no leading zeros beyond one digit).
+    pub fn to_hex(&self) -> String {
+        let mut s = format!(
+            "{:x}{:016x}{:016x}{:016x}",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        );
+        while s.len() > 1 && s.starts_with('0') {
+            s.remove(0);
+        }
+        s
+    }
+
+    /// Whether this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; LIMBS]
+    }
+
+    /// Field addition (= subtraction): XOR.
+    #[inline]
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..LIMBS {
+            out.limbs[i] ^= rhs.limbs[i];
+        }
+        out
+    }
+
+    /// Field multiplication: windowed carry-less multiply, then reduction.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        // Precompute nibble multiples of rhs: tbl[v] = v(x)·rhs(x),
+        // 236 bits -> 4 limbs plus a spill bit window handled below.
+        let mut tbl = [[0u64; LIMBS + 1]; 16];
+        for v in 1..16u64 {
+            for bit in 0..4 {
+                if (v >> bit) & 1 == 1 {
+                    for i in 0..LIMBS {
+                        tbl[v as usize][i] ^= rhs.limbs[i] << bit;
+                        if bit > 0 {
+                            tbl[v as usize][i + 1] ^= rhs.limbs[i] >> (64 - bit);
+                        }
+                    }
+                }
+            }
+        }
+        // Accumulate: process nibbles of self from most to least
+        // significant, shifting the accumulator left 4 bits per step.
+        let mut acc = [0u64; 2 * LIMBS];
+        for nib in (0..16).rev() {
+            // acc <<= 4
+            for i in (0..2 * LIMBS).rev() {
+                acc[i] = (acc[i] << 4) | if i > 0 { acc[i - 1] >> 60 } else { 0 };
+            }
+            for limb in 0..LIMBS {
+                let v = ((self.limbs[limb] >> (4 * nib)) & 0xF) as usize;
+                if v != 0 {
+                    for k in 0..LIMBS + 1 {
+                        acc[limb + k] ^= tbl[v][k];
+                    }
+                }
+            }
+        }
+        Self::reduce(acc)
+    }
+
+    /// Field squaring: spread each bit (carry-less square), then reduce.
+    pub fn square(&self) -> Self {
+        let mut acc = [0u64; 2 * LIMBS];
+        for i in 0..LIMBS {
+            acc[2 * i] = spread_u32((self.limbs[i] & 0xFFFF_FFFF) as u32);
+            acc[2 * i + 1] = spread_u32((self.limbs[i] >> 32) as u32);
+        }
+        Self::reduce(acc)
+    }
+
+    /// Reduces a 466-bit carry-less product modulo `x²³³ + x⁷⁴ + 1`.
+    ///
+    /// For every set bit at position `i ≥ 233`, `x^i = x^(i−233) + x^(i−159)`
+    /// is folded in. One descending pass over the high limbs suffices
+    /// because each fold lands strictly below its source.
+    fn reduce(mut acc: [u64; 2 * LIMBS]) -> Self {
+        // Limbs 7..=4 cover bits 448..256; fold them completely.
+        for j in (4..2 * LIMBS).rev() {
+            let t = acc[j];
+            if t == 0 {
+                continue;
+            }
+            acc[j] = 0;
+            let base = 64 * j;
+            xor_shifted(&mut acc, t, base - 233);
+            xor_shifted(&mut acc, t, base - 159);
+        }
+        // Bits 233..=255 of limb 3.
+        let t = acc[3] >> 41;
+        if t != 0 {
+            acc[3] &= (1u64 << 41) - 1;
+            xor_shifted(&mut acc, t, 0);
+            xor_shifted(&mut acc, t, 74);
+        }
+        debug_assert!(acc[3] >> 41 == 0 && acc[4..].iter().all(|&l| l == 0));
+        Self {
+            limbs: [acc[0], acc[1], acc[2], acc[3]],
+        }
+    }
+
+    /// Multiplicative inverse via Fermat: `a^(2²³³ − 2)`.
+    ///
+    /// Uses an Itoh-Tsujii addition chain on the exponent structure
+    /// (`2²³³ − 2 = 2·(2²³² − 1)`), needing 232 squarings and 10
+    /// multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero input (zero has no inverse).
+    pub fn invert(&self) -> Self {
+        assert!(!self.is_zero(), "zero is not invertible");
+        // beta_k = a^(2^k - 1). Chain: 1,2,4,8,16,29,58,116,232.
+        let beta1 = *self;
+        let beta2 = beta1.sqr_n(1).mul(&beta1);
+        let beta4 = beta2.sqr_n(2).mul(&beta2);
+        let beta8 = beta4.sqr_n(4).mul(&beta4);
+        let beta16 = beta8.sqr_n(8).mul(&beta8);
+        let beta29 = beta16.sqr_n(13).mul(&beta8.sqr_n(5).mul(&beta4.sqr_n(1).mul(&beta1)));
+        let beta58 = beta29.sqr_n(29).mul(&beta29);
+        let beta116 = beta58.sqr_n(58).mul(&beta58);
+        let beta232 = beta116.sqr_n(116).mul(&beta116);
+        // a^(2^233 - 2) = (a^(2^232 - 1))^2.
+        beta232.square()
+    }
+
+    /// `self^(2^n)` — n successive squarings.
+    fn sqr_n(&self, n: u32) -> Self {
+        let mut out = *self;
+        for _ in 0..n {
+            out = out.square();
+        }
+        out
+    }
+
+    /// Square root: `a^(2²³²)` (squaring is a bijection in GF(2^m)).
+    pub fn sqrt(&self) -> Self {
+        self.sqr_n(DEGREE - 1)
+    }
+
+    /// Trace function `Tr(a) = Σ a^(2^i)` — needed for point
+    /// decompression / quadratic-equation solvability checks.
+    pub fn trace(&self) -> u32 {
+        let mut acc = *self;
+        let mut sum = *self;
+        for _ in 1..DEGREE {
+            acc = acc.square();
+            sum = sum.add(&acc);
+        }
+        debug_assert!(sum == Self::ZERO || sum == Self::ONE);
+        (sum == Self::ONE) as u32
+    }
+}
+
+/// Spreads the 32 bits of `v` into the even bit positions of a u64
+/// (carry-less squaring of one half-limb).
+fn spread_u32(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// XORs the 64-bit value `t` into the accumulator starting at bit `pos`.
+fn xor_shifted(acc: &mut [u64; 2 * LIMBS], t: u64, pos: usize) {
+    let limb = pos / 64;
+    let off = pos % 64;
+    acc[limb] ^= t << off;
+    if off != 0 {
+        acc[limb + 1] ^= t >> (64 - off);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(seed: u64) -> Gf2m {
+        // Deterministic pseudorandom reduced element.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        Gf2m::from_limbs([next(), next(), next(), next() & ((1 << 41) - 1)])
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let x = Gf2m::from_hex("17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126")
+            .unwrap();
+        assert_eq!(
+            x.to_hex().to_uppercase(),
+            "17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126"
+        );
+        assert_eq!(Gf2m::from_hex("0"), Some(Gf2m::ZERO));
+        assert_eq!(Gf2m::from_hex("1"), Some(Gf2m::ONE));
+        assert!(Gf2m::from_hex("zz").is_none());
+        // 2^233 is out of range.
+        assert!(Gf2m::from_hex("200000000000000000000000000000000000000000000000000000000000")
+            .is_none());
+    }
+
+    #[test]
+    fn addition_is_involutive_xor() {
+        let a = demo(1);
+        let b = demo(2);
+        assert_eq!(a.add(&b).add(&b), a);
+        assert_eq!(a.add(&a), Gf2m::ZERO);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for seed in 1..20 {
+            let a = demo(seed);
+            assert_eq!(a.mul(&Gf2m::ONE), a);
+            assert_eq!(Gf2m::ONE.mul(&a), a);
+            assert_eq!(a.mul(&Gf2m::ZERO), Gf2m::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let (a, b, c) = (demo(3), demo(4), demo(5));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn multiplication_distributes() {
+        let (a, b, c) = (demo(6), demo(7), demo(8));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn square_equals_self_mul() {
+        for seed in 1..30 {
+            let a = demo(seed);
+            assert_eq!(a.square(), a.mul(&a), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn known_reduction_identity() {
+        // x^233 ≡ x^74 + 1: multiply x^232 by x.
+        let mut x232 = [0u64; LIMBS];
+        x232[3] = 1 << (232 - 192);
+        let x232 = Gf2m::from_limbs(x232);
+        let x = Gf2m::from_limbs([2, 0, 0, 0]);
+        let got = x232.mul(&x);
+        let mut want = [1u64, 0, 0, 0];
+        want[1] = 1 << (74 - 64);
+        assert_eq!(got, Gf2m::from_limbs(want));
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        for seed in 1..15 {
+            let a = demo(seed);
+            assert_eq!(a.mul(&a.invert()), Gf2m::ONE, "seed {seed}");
+        }
+        assert_eq!(Gf2m::ONE.invert(), Gf2m::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not invertible")]
+    fn zero_inversion_panics() {
+        Gf2m::ZERO.invert();
+    }
+
+    #[test]
+    fn sqrt_inverts_square() {
+        for seed in 1..15 {
+            let a = demo(seed);
+            assert_eq!(a.square().sqrt(), a);
+            assert_eq!(a.sqrt().square(), a);
+        }
+    }
+
+    #[test]
+    fn trace_is_additive() {
+        let (a, b) = (demo(21), demo(22));
+        assert_eq!(
+            a.add(&b).trace(),
+            a.trace() ^ b.trace(),
+            "Tr(a+b) = Tr(a)+Tr(b) in GF(2)"
+        );
+        // Tr(1) = 1 for odd extension degree.
+        assert_eq!(Gf2m::ONE.trace(), 1);
+    }
+
+    #[test]
+    fn frobenius_fixes_trace() {
+        let a = demo(23);
+        assert_eq!(a.square().trace(), a.trace());
+    }
+}

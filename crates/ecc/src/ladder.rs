@@ -1,0 +1,242 @@
+//! López-Dahab x-only Montgomery ladder — the production scalar
+//! multiplication, instrumented with field-operation counts.
+//!
+//! This is the algorithm the paper's ECC reference (\[19\], DAC 2014)
+//! implements on the Cortex-M0+: for each scalar bit one *Madd* and one
+//! *Mdouble* in projective (X, Z) coordinates, never materialising y until
+//! the end. The per-bit cost is 6 multiplications + 5 squarings, which the
+//! [`crate::estimate`] module maps onto the published cycle count.
+
+use crate::curve::{Point, CURVE_B};
+use crate::gf2m::Gf2m;
+use crate::scalar::Scalar;
+
+/// Field-operation counts accumulated by one ladder run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// General multiplications.
+    pub mul: u64,
+    /// Squarings (cheaper than mul in GF(2^m)).
+    pub sqr: u64,
+    /// Additions (XORs; nearly free but counted for completeness).
+    pub add: u64,
+    /// Inversions (one, for the final conversion back to affine).
+    pub inv: u64,
+}
+
+/// One ladder state: the projective x-coordinates of `kP` and `(k+1)P`.
+#[derive(Debug, Clone, Copy)]
+struct LadderState {
+    x1: Gf2m,
+    z1: Gf2m,
+    x2: Gf2m,
+    z2: Gf2m,
+}
+
+/// Computes the affine x-coordinate of `k·P` from the affine x-coordinate
+/// of `P`, returning the operation counts alongside.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `x` is zero (the 2-torsion point) — callers in
+/// ECDH/ECIES guarantee non-degenerate inputs.
+pub fn scalar_mul_x(k: &Scalar, x: &Gf2m) -> (Gf2m, OpCounts) {
+    assert!(!k.is_zero(), "zero scalar has no x-only result");
+    assert!(!x.is_zero(), "2-torsion base point");
+    let mut c = OpCounts::default();
+    let top = k.highest_bit().expect("non-zero scalar");
+    // Initialise with (P, 2P): X1 = x, Z1 = 1; X2 = x⁴ + b, Z2 = x².
+    let x_sq = x.square();
+    let mut s = LadderState {
+        x1: *x,
+        z1: Gf2m::ONE,
+        x2: x_sq.square().add(&CURVE_B),
+        z2: x_sq,
+    };
+    c.sqr += 2;
+    c.add += 1;
+    // Process remaining bits from the second-highest down.
+    for i in (0..top).rev() {
+        let bit = k.bit(i);
+        if bit == 1 {
+            // (P₁, P₂) ← (P₁+P₂, 2P₂)
+            let (nx1, nz1) = madd(&s, x, &mut c);
+            let (nx2, nz2) = mdouble(&s.x2, &s.z2, &mut c);
+            s = LadderState {
+                x1: nx1,
+                z1: nz1,
+                x2: nx2,
+                z2: nz2,
+            };
+        } else {
+            // (P₁, P₂) ← (2P₁, P₁+P₂)
+            let (nx2, nz2) = madd(&s, x, &mut c);
+            let (nx1, nz1) = mdouble(&s.x1, &s.z1, &mut c);
+            s = LadderState {
+                x1: nx1,
+                z1: nz1,
+                x2: nx2,
+                z2: nz2,
+            };
+        }
+    }
+    // Back to affine: x(kP) = X1/Z1. (kP = ∞ would give Z1 = 0; excluded
+    // by the caller contract since k < order and P has prime order.)
+    assert!(!s.z1.is_zero(), "scalar was a multiple of the point order");
+    let out = s.x1.mul(&s.z1.invert());
+    c.mul += 1;
+    c.inv += 1;
+    (out, c)
+}
+
+/// Full scalar multiplication with y-recovery: `k·P` for an affine `P`,
+/// computed by the ladder and cross-checkable against
+/// [`Point::scalar_mul`].
+///
+/// # Panics
+///
+/// Panics on the degenerate inputs described at [`scalar_mul_x`].
+pub fn scalar_mul(k: &Scalar, p: &Point) -> Point {
+    let (px, py) = p.to_affine().expect("finite base point");
+    assert!(!k.is_zero(), "zero scalar: result is the identity");
+    let top = k.highest_bit().expect("non-zero scalar");
+    let x_sq = px.square();
+    let mut s = LadderState {
+        x1: px,
+        z1: Gf2m::ONE,
+        x2: x_sq.square().add(&CURVE_B),
+        z2: x_sq,
+    };
+    let mut c = OpCounts::default();
+    for i in (0..top).rev() {
+        if k.bit(i) == 1 {
+            let (nx1, nz1) = madd(&s, &px, &mut c);
+            let (nx2, nz2) = mdouble(&s.x2, &s.z2, &mut c);
+            s = LadderState {
+                x1: nx1,
+                z1: nz1,
+                x2: nx2,
+                z2: nz2,
+            };
+        } else {
+            let (nx2, nz2) = madd(&s, &px, &mut c);
+            let (nx1, nz1) = mdouble(&s.x1, &s.z1, &mut c);
+            s = LadderState {
+                x1: nx1,
+                z1: nz1,
+                x2: nx2,
+                z2: nz2,
+            };
+        }
+    }
+    if s.z1.is_zero() {
+        return Point::Infinity;
+    }
+    // López-Dahab y-recovery from x(kP) and x((k+1)P).
+    let xk = s.x1.mul(&s.z1.invert());
+    if s.z2.is_zero() {
+        // (k+1)P = ∞ ⇒ kP = −P.
+        return Point::Affine { x: px, y: px.add(&py) };
+    }
+    let xk1 = s.x2.mul(&s.z2.invert());
+    // y(kP) = [ (xk + x)·( (xk + x)(xk1 + x) + x² + y ) ] / x + y
+    let t = xk.add(&px).mul(&xk1.add(&px)).add(&x_sq).add(&py);
+    let yk = xk.add(&px).mul(&t).mul(&px.invert()).add(&py);
+    Point::Affine { x: xk, y: yk }
+}
+
+/// Mixed differential addition: given x-coordinates of P₁, P₂ with known
+/// difference x(P₂−P₁) = x, produce x(P₁+P₂).
+/// Cost: 4 mul + 1 sqr + 2 add.
+fn madd(s: &LadderState, x: &Gf2m, c: &mut OpCounts) -> (Gf2m, Gf2m) {
+    let a = s.x1.mul(&s.z2);
+    let b = s.x2.mul(&s.z1);
+    let z = a.add(&b).square();
+    let xo = x.mul(&z).add(&a.mul(&b));
+    c.mul += 4;
+    c.sqr += 1;
+    c.add += 2;
+    (xo, z)
+}
+
+/// Projective doubling: x(2P) from x(P).
+/// Cost for b = 1 (K-233): 1 mul + 4 sqr + 1 add.
+fn mdouble(x: &Gf2m, z: &Gf2m, c: &mut OpCounts) -> (Gf2m, Gf2m) {
+    let x2 = x.square();
+    let z2 = z.square();
+    // X' = X⁴ + b·Z⁴ (b = 1), Z' = X²Z².
+    let xo = x2.square().add(&z2.square());
+    let zo = x2.mul(&z2);
+    c.mul += 1;
+    c.sqr += 4;
+    c.add += 1;
+    (xo, zo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ORDER;
+
+    #[test]
+    fn ladder_x_matches_double_and_add() {
+        let g = Point::generator();
+        for k in [1u64, 2, 3, 7, 255, 256, 65537, 0xDEAD_BEEF, u64::MAX] {
+            let k = Scalar::from_u64(k);
+            let oracle = g.scalar_mul(&k).to_affine().unwrap().0;
+            let (x, _) = scalar_mul_x(&k, &g.x());
+            assert_eq!(x, oracle, "k = {k:?}");
+        }
+    }
+
+    #[test]
+    fn ladder_full_point_matches_oracle_including_y() {
+        let g = Point::generator();
+        for k in [1u64, 2, 5, 100, 12345, 999_999_937] {
+            let k = Scalar::from_u64(k);
+            let oracle = g.scalar_mul(&k);
+            let got = scalar_mul(&k, &g);
+            assert_eq!(got, oracle, "k = {k:?}");
+            assert!(got.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn ladder_handles_large_scalars() {
+        let g = Point::generator();
+        let k = Scalar::from_hex("7FFFFFFFFFFFFFFFFFFFFFFFFFFF069D5BB915BCD46EFB1AD5F173ABC1")
+            .unwrap();
+        let oracle = g.scalar_mul(&k);
+        assert_eq!(scalar_mul(&k, &g), oracle);
+    }
+
+    #[test]
+    fn order_minus_one_gives_negation() {
+        // (r−1)·G = −G.
+        let g = Point::generator();
+        let mut limbs = ORDER.limbs();
+        limbs[0] -= 1;
+        let k = Scalar::from_limbs(limbs);
+        assert_eq!(scalar_mul(&k, &g), g.negate());
+    }
+
+    #[test]
+    fn op_counts_match_the_formula() {
+        // 231 ladder steps for a 232-bit scalar: each step 5 mul + 5 sqr
+        // (madd 4M+1S, mdouble 1M+4S), plus the final 1M + 1I.
+        let g = Point::generator();
+        let mut limbs = [0u64; 4];
+        limbs[3] = 1 << 39; // 2^231: highest_bit = 231 -> 231 steps
+        let k = Scalar::from_limbs(limbs);
+        let (_, c) = scalar_mul_x(&k, &g.x());
+        assert_eq!(c.mul, 231 * 5 + 1);
+        assert_eq!(c.sqr, 231 * 5 + 2);
+        assert_eq!(c.inv, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero scalar")]
+    fn zero_scalar_panics() {
+        scalar_mul_x(&Scalar::ZERO, &Point::generator().x());
+    }
+}

@@ -1,0 +1,50 @@
+//! ECC baseline: GF(2²³³), the K-233 Koblitz curve, and ECIES.
+//!
+//! The paper's Table IV argues that its ring-LWE encryption beats ECC-based
+//! public-key encryption "by at least one order of magnitude", estimating
+//! ECIES at two 233-bit point multiplications using the 2 761 640-cycle
+//! Cortex-M0+ figure from De Clercq et al. (DAC 2014, the paper's \[19\]).
+//!
+//! This crate rebuilds that baseline from scratch so the comparison runs
+//! against *real code* rather than a citation:
+//!
+//! * [`gf2m`] — GF(2²³³) with the NIST reduction trinomial
+//!   `x²³³ + x⁷⁴ + 1`: windowed carry-less multiplication, table-driven
+//!   squaring, Fermat inversion.
+//! * [`curve`] — affine group law on `y² + xy = x³ + 1` (K-233) plus the
+//!   standard generator, used as the correctness oracle.
+//! * [`ladder`] — López-Dahab x-only Montgomery ladder with y-recovery,
+//!   the workhorse scalar multiplication, instrumented with field-operation
+//!   counts.
+//! * [`ecies`] — ECIES (KEM + XOR-DEM + HMAC over [`rlwe_hash`]).
+//! * [`estimate`] — maps the ladder's measured operation counts onto the
+//!   DAC-2014 Cortex-M0+ calibration to regenerate the paper's ECIES cycle
+//!   estimate.
+//!
+//! # Example
+//!
+//! ```
+//! use rlwe_ecc::{curve::Point, ladder, Scalar};
+//!
+//! // x-only ladder agrees with the affine double-and-add oracle.
+//! let k = Scalar::from_u64(123_456_789);
+//! let affine = Point::generator().scalar_mul(&k);
+//! let (x, _counts) = ladder::scalar_mul_x(&k, &Point::generator().x());
+//! assert_eq!(affine.to_affine().unwrap().0, x);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod scalar;
+
+pub mod compress;
+pub mod curve;
+pub mod ecies;
+pub mod estimate;
+pub mod gf2m;
+pub mod ladder;
+
+pub use error::EccError;
+pub use scalar::{Scalar, ORDER};

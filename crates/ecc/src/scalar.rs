@@ -1,0 +1,157 @@
+//! 233-bit scalars for K-233 point multiplication.
+
+use rand::RngCore;
+
+/// A scalar multiplier (up to 233 bits), little-endian limbs.
+///
+/// Scalars are *not* reduced modulo the group order automatically; ECDH /
+/// ECIES key generation draws them below the order by rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Scalar {
+    limbs: [u64; 4],
+}
+
+/// The order of the K-233 main subgroup (prime, cofactor 4):
+/// `0x8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF`.
+pub const ORDER: Scalar = Scalar {
+    limbs: [
+        0x6EFB_1AD5_F173_ABDF,
+        0x0006_9D5B_B915_BCD4,
+        0x0000_0000_0000_0000,
+        0x0000_0080_0000_0000,
+    ],
+};
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Self = Self { limbs: [0; 4] };
+
+    /// Builds a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Self {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Builds a scalar from little-endian limbs.
+    pub fn from_limbs(limbs: [u64; 4]) -> Self {
+        Self { limbs }
+    }
+
+    /// The little-endian limbs.
+    pub fn limbs(&self) -> [u64; 4] {
+        self.limbs
+    }
+
+    /// Parses a big-endian hex string (≤ 64 digits).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim_start_matches("0x");
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut limbs = [0u64; 4];
+        for (i, c) in s.bytes().rev().enumerate() {
+            let d = (c as char).to_digit(16)? as u64;
+            limbs[i / 16] |= d << (4 * (i % 16));
+        }
+        Some(Self { limbs })
+    }
+
+    /// Whether the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<u32> {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return Some(64 * i as u32 + 63 - self.limbs[i].leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// Bit `i` (little-endian numbering).
+    #[inline]
+    pub fn bit(&self, i: u32) -> u64 {
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1
+    }
+
+    /// `self < rhs` as unsigned 256-bit integers.
+    pub fn lt(&self, rhs: &Self) -> bool {
+        for i in (0..4).rev() {
+            if self.limbs[i] != rhs.limbs[i] {
+                return self.limbs[i] < rhs.limbs[i];
+            }
+        }
+        false
+    }
+
+    /// Draws a uniform non-zero scalar below the group [`ORDER`] by
+    /// rejection sampling.
+    pub fn random_below_order<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let mut limbs = [0u64; 4];
+            for l in limbs.iter_mut() {
+                *l = rng.next_u64();
+            }
+            limbs[3] &= (1 << 40) - 1; // order has 232 bits (top bit 231 = limb-3 bit 39)
+            let s = Self { limbs };
+            if !s.is_zero() && s.lt(&ORDER) {
+                return s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn order_constant_matches_hex() {
+        let want =
+            Scalar::from_hex("8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF")
+                .unwrap();
+        assert_eq!(ORDER, want, "ORDER limbs are wrong");
+    }
+
+    #[test]
+    fn hex_parse_round_trip_bits() {
+        let s = Scalar::from_hex("1F").unwrap();
+        assert_eq!(s.limbs()[0], 0x1F);
+        assert_eq!(s.highest_bit(), Some(4));
+        assert_eq!(s.bit(0), 1);
+        assert_eq!(s.bit(5), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Scalar::from_u64(5);
+        let b = Scalar::from_u64(6);
+        assert!(a.lt(&b));
+        assert!(!b.lt(&a));
+        assert!(!a.lt(&a));
+        assert!(a.lt(&ORDER));
+    }
+
+    #[test]
+    fn random_scalars_are_in_range_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = Scalar::random_below_order(&mut rng);
+            assert!(!s.is_zero());
+            assert!(s.lt(&ORDER));
+            assert!(seen.insert(s.limbs()), "duplicate scalar");
+        }
+    }
+
+    #[test]
+    fn highest_bit_of_order_is_231() {
+        assert_eq!(ORDER.highest_bit(), Some(231));
+    }
+}

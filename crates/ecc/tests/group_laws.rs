@@ -1,0 +1,69 @@
+//! Property-based tests of the GF(2²³³) field and the K-233 group law.
+
+use proptest::prelude::*;
+use rlwe_ecc::curve::Point;
+use rlwe_ecc::gf2m::Gf2m;
+use rlwe_ecc::{ladder, Scalar};
+
+fn arb_field_element() -> impl Strategy<Value = Gf2m> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(a, b, c, d)| Gf2m::from_limbs([a, b, c, d & ((1 << 41) - 1)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_mul_commutes(a in arb_field_element(), b in arb_field_element()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn field_mul_associates(a in arb_field_element(), b in arb_field_element(), c in arb_field_element()) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn field_distributive(a in arb_field_element(), b in arb_field_element(), c in arb_field_element()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn square_is_mul_self(a in arb_field_element()) {
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn inverse_round_trips(a in arb_field_element()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), Gf2m::ONE);
+    }
+
+    #[test]
+    fn frobenius_is_additive(a in arb_field_element(), b in arb_field_element()) {
+        // (a+b)² = a² + b² in characteristic 2.
+        prop_assert_eq!(a.add(&b).square(), a.square().add(&b.square()));
+    }
+
+    #[test]
+    fn scalar_mul_is_a_homomorphism(k1 in 1u64..1_000_000, k2 in 1u64..1_000_000) {
+        let g = Point::generator();
+        let lhs = g.scalar_mul(&Scalar::from_u64(k1)).add(&g.scalar_mul(&Scalar::from_u64(k2)));
+        let rhs = g.scalar_mul(&Scalar::from_u64(k1 + k2));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ladder_agrees_with_oracle(k in 1u64..u64::MAX) {
+        let g = Point::generator();
+        let k = Scalar::from_u64(k);
+        let oracle = g.scalar_mul(&k);
+        prop_assert_eq!(ladder::scalar_mul(&k, &g), oracle);
+    }
+
+    #[test]
+    fn points_from_scalar_mul_stay_on_curve(k in 1u64..u64::MAX) {
+        let g = Point::generator();
+        prop_assert!(g.scalar_mul(&Scalar::from_u64(k)).is_on_curve());
+    }
+}

@@ -1,0 +1,71 @@
+//! KDF2 (ISO/IEC 18033-2), the key-derivation function ECIES specifies.
+
+use crate::sha256::Sha256;
+
+/// Derives `len` bytes from a shared secret: the concatenation of
+/// `SHA-256(secret ‖ counter ‖ info)` for counter = 1, 2, … (big-endian
+/// 32-bit counter).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_hash::kdf2;
+///
+/// let k1 = kdf2(b"shared-secret", b"ctx", 48);
+/// let k2 = kdf2(b"shared-secret", b"ctx", 48);
+/// assert_eq!(k1, k2);
+/// assert_eq!(k1.len(), 48);
+/// assert_ne!(kdf2(b"other-secret", b"ctx", 48), k1);
+/// ```
+pub fn kdf2(secret: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 1u32;
+    while out.len() < len {
+        let mut h = Sha256::new();
+        h.update(secret);
+        h.update(&counter.to_be_bytes());
+        h.update(info);
+        let block = h.finalize();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_handling() {
+        assert_eq!(kdf2(b"s", b"", 0).len(), 0);
+        assert_eq!(kdf2(b"s", b"", 1).len(), 1);
+        assert_eq!(kdf2(b"s", b"", 32).len(), 32);
+        assert_eq!(kdf2(b"s", b"", 33).len(), 33);
+        assert_eq!(kdf2(b"s", b"", 100).len(), 100);
+    }
+
+    #[test]
+    fn prefix_consistency() {
+        // Asking for more bytes must extend, not change, the prefix.
+        let short = kdf2(b"secret", b"info", 16);
+        let long = kdf2(b"secret", b"info", 64);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn first_block_is_hash_of_secret_counter_info() {
+        let mut h = Sha256::new();
+        h.update(b"secret");
+        h.update(&1u32.to_be_bytes());
+        h.update(b"info");
+        let want = h.finalize();
+        assert_eq!(kdf2(b"secret", b"info", 32), want.to_vec());
+    }
+
+    #[test]
+    fn info_separates_domains() {
+        assert_ne!(kdf2(b"s", b"enc", 32), kdf2(b"s", b"mac", 32));
+    }
+}

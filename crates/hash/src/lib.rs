@@ -1,0 +1,32 @@
+//! SHA-256, HMAC-SHA256 and KDF2 — implemented from scratch.
+//!
+//! The paper compares its ring-LWE encryption against ECIES (Table IV).
+//! ECIES needs a key-derivation function and a MAC on top of the curve
+//! arithmetic; since this reproduction builds every substrate itself, the
+//! hash stack lives here. The implementations follow FIPS 180-4 (SHA-256),
+//! RFC 2104 (HMAC) and ISO 18033-2 (KDF2) and are validated against the
+//! published test vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use rlwe_hash::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmac;
+mod kdf;
+mod sha256;
+
+pub use hmac::HmacSha256;
+pub use kdf::kdf2;
+pub use sha256::Sha256;

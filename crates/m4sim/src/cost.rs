@@ -1,0 +1,109 @@
+//! Instruction-category cycle costs.
+
+/// Per-instruction-category cycle costs for the modelled core.
+///
+/// Defaults follow the ARM Cortex-M4 Technical Reference Manual and the
+/// paper's own statements (§III-A: "single-cycle 32-bit multiplications…
+/// a division instruction that requires between 2–12 cycles"; §III-C:
+/// "a memory access requires 2 cycles").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Data-processing instruction (add/sub/xor/shift/mov/cmp).
+    pub alu: u64,
+    /// 32-bit multiply (`mul`, `mla`, `umull` class — single-cycle on M4).
+    pub mul: u64,
+    /// Memory access, load or store, any width (§III-C: 2 cycles).
+    pub mem: u64,
+    /// Count-leading-zeros.
+    pub clz: u64,
+    /// Hardware unsigned divide; 2–12 depending on operands. Modular
+    /// reduction divides a 26-bit product by a 13/14-bit constant, which
+    /// sits at the slow end of the range.
+    pub udiv: u64,
+    /// Taken branch (pipeline refill).
+    pub branch: u64,
+    /// Call + return overhead of a small leaf function (bl, push, pop, bx).
+    pub call: u64,
+    /// TRNG word period in CPU cycles (40 ticks @48 MHz seen from 168 MHz).
+    pub trng_period: u64,
+    /// CPU-side cost of one TRNG read (status poll + data register load).
+    pub trng_read: u64,
+}
+
+impl CostModel {
+    /// The calibrated Cortex-M4F model used throughout the reproduction.
+    pub fn cortex_m4f() -> Self {
+        Self {
+            alu: 1,
+            mul: 1,
+            mem: 2,
+            clz: 1,
+            udiv: 12,
+            branch: 2,
+            call: 8,
+            trng_period: 140,
+            trng_read: 6,
+        }
+    }
+
+    /// An idealised TRNG variant (no rate limit): isolates algorithmic
+    /// cost from entropy-starvation stalls, the way a benchmark loop that
+    /// never drains the TRNG would measure it.
+    pub fn cortex_m4f_ideal_trng() -> Self {
+        Self {
+            trng_period: 0,
+            ..Self::cortex_m4f()
+        }
+    }
+
+    /// Cycles for one modular multiplication (`mul` + `udiv` + `mls`),
+    /// the reduction strategy the M4F's hardware divider makes attractive.
+    pub fn mulmod(&self) -> u64 {
+        self.mul + self.udiv + self.mul
+    }
+
+    /// Cycles for a modular addition (add + compare + conditional
+    /// subtract via IT block).
+    pub fn modadd(&self) -> u64 {
+        3 * self.alu
+    }
+
+    /// Cycles for a modular subtraction.
+    pub fn modsub(&self) -> u64 {
+        3 * self.alu
+    }
+
+    /// Per-iteration loop bookkeeping: index update, bound compare,
+    /// backward branch.
+    pub fn loop_overhead(&self) -> u64 {
+        2 * self.alu + self.branch
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::cortex_m4f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_statements() {
+        let c = CostModel::cortex_m4f();
+        assert_eq!(c.mem, 2, "paper: memory access requires 2 cycles");
+        assert_eq!(c.mul, 1, "paper: single-cycle 32-bit multiplication");
+        assert!((2..=12).contains(&c.udiv), "paper: division takes 2-12 cycles");
+        assert_eq!(c.trng_period, 140, "40 ticks @48MHz = 140 cycles @168MHz");
+    }
+
+    #[test]
+    fn composite_costs() {
+        let c = CostModel::cortex_m4f();
+        assert_eq!(c.mulmod(), 14);
+        assert_eq!(c.modadd(), 3);
+        assert_eq!(c.loop_overhead(), 4);
+    }
+}

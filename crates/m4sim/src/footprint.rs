@@ -1,0 +1,124 @@
+//! Flash and RAM accounting — the storage columns of the paper's Table II.
+//!
+//! RAM is computed exactly from the kernels' live buffers: every
+//! polynomial is stored packed (two 13/14-bit coefficients per 32-bit
+//! word ⇒ `2n` bytes), plus a small stack allowance. This model reproduces
+//! the paper's RAM column *exactly* for all six rows, which is strong
+//! evidence it is the accounting the authors used:
+//!
+//! | op | buffers | bytes (P1) | paper |
+//! |---|---|---|---|
+//! | key generation | ã, r₁→p̃, r₂ | 3·512 + 60 = 1 596 | 1 596 |
+//! | encryption | e₁ e₂ e₃+m̄, c₁ c₂, ã p̃ (in place) | 6·512 + 56 = 3 128 | 3 128 |
+//! | decryption | c₁, c₂, r̃₂, m′ | 4·512 + 52 = 2 100 | 2 100 |
+//!
+//! Flash is split into **tables** (computed exactly from our structures:
+//! twiddle LUTs, trimmed probability matrix, DDG lookup tables) and
+//! **code** (estimated from kernel instruction counts at ~2.4 bytes per
+//! Thumb-2 instruction; the paper's column is linker-reported code size,
+//! which we cannot measure without their binary).
+
+use rlwe_core::{Params, RlweContext};
+
+/// Which Table II row is being accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeOp {
+    /// Key generation.
+    KeyGen,
+    /// Encryption.
+    Encrypt,
+    /// Decryption.
+    Decrypt,
+}
+
+/// Bytes of one packed polynomial buffer (`n/2` words of 4 bytes).
+pub fn poly_buffer_bytes(params: &Params) -> usize {
+    2 * params.n()
+}
+
+/// Exact RAM requirement of a scheme operation: live packed polynomial
+/// buffers plus the stack allowance of the paper's measurements.
+pub fn ram_bytes(op: SchemeOp, params: &Params) -> usize {
+    let poly = poly_buffer_bytes(params);
+    match op {
+        SchemeOp::KeyGen => 3 * poly + 60,
+        SchemeOp::Encrypt => 6 * poly + 56,
+        SchemeOp::Decrypt => 4 * poly + 52,
+    }
+}
+
+/// Exact flash bytes of the precomputed constant tables.
+///
+/// * forward + inverse twiddle factors: `2n` halfwords;
+/// * trimmed probability-matrix words (§III-B3);
+/// * the two DDG lookup tables (§III-B5).
+pub fn table_flash_bytes(ctx: &RlweContext) -> usize {
+    let n = ctx.params().n();
+    let twiddles = 2 * n * 2;
+    let pmat_words = ctx.sampler().pmat().stored_words() * 4;
+    let luts = ctx.sampler().lut1_len() + ctx.sampler().lut2_len();
+    twiddles + pmat_words + luts
+}
+
+/// Estimated code size of a scheme operation in bytes.
+///
+/// Derived from hand-counted instruction estimates of each kernel's loop
+/// bodies and prologue (≈ 2.4 B per Thumb-2 instruction). These are
+/// *estimates* — the paper's numbers come from its toolchain's linker map
+/// — but the ordering and rough magnitudes line up (decryption is by far
+/// the smallest routine in both).
+pub fn code_bytes_estimate(op: SchemeOp) -> usize {
+    // Per-routine instruction estimates.
+    const NTT: usize = 180; // packed forward NTT
+    const NTT3: usize = 230; // fused triple NTT
+    const INTT: usize = 200; // inverse + scaling pass
+    const SAMPLER: usize = 150; // two-LUT Knuth-Yao + bit buffer
+    const UNIFORM: usize = 35;
+    const POINTWISE: usize = 45; // each fused pointwise loop
+    const CODEC: usize = 40; // message encode / decode
+    const GLUE: usize = 45; // per-operation driver
+    let insns = match op {
+        SchemeOp::KeyGen => UNIFORM + SAMPLER + NTT + 2 * POINTWISE + GLUE,
+        SchemeOp::Encrypt => SAMPLER + CODEC + NTT3 + 2 * POINTWISE + GLUE,
+        SchemeOp::Decrypt => POINTWISE + INTT + CODEC + GLUE,
+    };
+    (insns as f64 * 2.4) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlwe_core::ParamSet;
+
+    #[test]
+    fn ram_matches_paper_exactly_for_all_six_rows() {
+        let p1 = ParamSet::P1.params();
+        let p2 = ParamSet::P2.params();
+        assert_eq!(ram_bytes(SchemeOp::KeyGen, &p1), 1596);
+        assert_eq!(ram_bytes(SchemeOp::Encrypt, &p1), 3128);
+        assert_eq!(ram_bytes(SchemeOp::Decrypt, &p1), 2100);
+        assert_eq!(ram_bytes(SchemeOp::KeyGen, &p2), 3132);
+        assert_eq!(ram_bytes(SchemeOp::Encrypt, &p2), 6200);
+        assert_eq!(ram_bytes(SchemeOp::Decrypt, &p2), 4148);
+    }
+
+    #[test]
+    fn table_flash_is_about_two_kilobytes_for_p1() {
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let bytes = table_flash_bytes(&ctx);
+        // 1024 (twiddles) + ~720 (pmat) + 480 (LUTs) ≈ 2.2 KB.
+        assert!((1800..2800).contains(&bytes), "table flash = {bytes}");
+    }
+
+    #[test]
+    fn code_estimates_follow_the_paper_ordering() {
+        let kg = code_bytes_estimate(SchemeOp::KeyGen);
+        let enc = code_bytes_estimate(SchemeOp::Encrypt);
+        let dec = code_bytes_estimate(SchemeOp::Decrypt);
+        // Paper: 1552 / 1506 / 516 — decryption is by far the smallest.
+        assert!(dec < kg && dec < enc);
+        assert!(dec < 1000);
+        assert!((800..2000).contains(&kg));
+        assert!((800..2000).contains(&enc));
+    }
+}

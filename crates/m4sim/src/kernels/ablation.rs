@@ -1,0 +1,305 @@
+//! Ablation kernels: the *unoptimised* baselines the paper improves on,
+//! so each §III technique can be costed in isolation.
+//!
+//! * [`ntt_forward_halfword`] — the Algorithm 3 baseline: one halfword
+//!   memory access per coefficient, no unrolling (§III-C explains why this
+//!   is wasteful: a halfword access costs the same 2 cycles as a word).
+//! * [`ky_sample_poly_basic`] — Algorithm 1 with per-bit scanning ("each
+//!   iteration of the inner loop requires at least 8 cycles", §III-B1).
+//! * [`ky_sample_poly_hw`] — the prior-art Hamming-weight column skip.
+//! * [`ky_sample_poly_clz`] — §III-B4: trimmed words + `clz` zero-run
+//!   skipping, no lookup tables.
+//!
+//! Together with `kernels::ntt_forward_packed` and
+//! `kernels::ky_sample_poly` (the production two-LUT sampler) these
+//! reproduce the optimisation ladders quantitatively — run
+//! `cargo run -p rlwe-bench --bin ablation`.
+
+use rlwe_ntt::NttPlan;
+use rlwe_sampler::random::BitSource;
+use rlwe_sampler::{KnuthYao, SignedSample};
+use rlwe_zq::{add_mod, mul_mod, sub_mod};
+
+use crate::machine::Machine;
+
+/// Forward NTT with the naive §III-C memory layout: every coefficient is
+/// loaded and stored as an individual halfword, and the inner loop is not
+/// unrolled. Values are identical to the packed kernel; only the charges
+/// differ (twice the memory operations, twice the loop overhead).
+pub fn ntt_forward_halfword(m: &mut Machine, plan: &NttPlan, a: &mut [u32]) {
+    let n = plan.n();
+    assert_eq!(a.len(), n, "polynomial length must equal n");
+    let q = plan.q();
+    let tw = plan.forward_twiddles();
+    m.call();
+    let mut t = n;
+    let mut mm = 1usize;
+    while mm < n {
+        t >>= 1;
+        m.alu(2);
+        for i in 0..mm {
+            m.mem(1); // twiddle load
+            m.alu(2); // block base pointer
+            m.branch();
+            let s = tw[mm + i];
+            let j1 = 2 * i * t;
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = mul_mod(a[j + t], s.value, q);
+                a[j] = add_mod(u, v, q);
+                a[j + t] = sub_mod(u, v, q);
+                // One butterfly per iteration: two halfword loads, the
+                // arithmetic, two halfword stores, two pointer
+                // calculations (the paper's §III-C complaint), and full
+                // per-butterfly loop overhead.
+                m.mem(2);
+                m.mulmod();
+                m.modadd();
+                m.modsub();
+                m.alu(2);
+                m.mem(2);
+                m.loop_tick();
+            }
+        }
+        mm <<= 1;
+    }
+}
+
+/// Charged bit source shared by the sampler ablation kernels.
+struct ChargedBits<'m> {
+    m: &'m mut Machine,
+    register: u32,
+    drawn: u64,
+}
+
+impl<'m> ChargedBits<'m> {
+    fn new(m: &'m mut Machine) -> Self {
+        Self {
+            m,
+            register: 1,
+            drawn: 0,
+        }
+    }
+}
+
+impl BitSource for ChargedBits<'_> {
+    fn take_bit(&mut self) -> u32 {
+        if self.register == 1 {
+            self.register = self.m.trng_word() | 0x8000_0000;
+            self.m.alu(1);
+        }
+        let bit = self.register & 1;
+        self.register >>= 1;
+        self.m.alu(2); // shift + mask per drawn bit
+        self.drawn += 1;
+        bit
+    }
+
+    fn bits_drawn(&self) -> u64 {
+        self.drawn
+    }
+}
+
+/// Shared driver: runs `n` samples through a library sampler variant while
+/// charging per-level costs derived from the bits the walk consumed.
+fn sample_poly_with<F>(
+    m: &mut Machine,
+    n: usize,
+    q: u32,
+    per_level_cost: F,
+    sampler: impl Fn(&mut ChargedBits<'_>) -> SignedSample,
+) -> Vec<u32>
+where
+    F: Fn(&mut Machine, u64),
+{
+    let mut out = Vec::with_capacity(n);
+    let mut bits = ChargedBits::new(m);
+    for _ in 0..n {
+        let before = bits.bits_drawn();
+        let s = sampler(&mut bits);
+        let levels = (bits.bits_drawn() - before).saturating_sub(1);
+        let m = &mut *bits.m;
+        m.call();
+        per_level_cost(m, levels);
+        m.alu(2); // sign application
+        m.mem(1); // store
+        m.loop_tick();
+        out.push(s.to_zq(q));
+    }
+    out
+}
+
+/// Algorithm 1 exactly as the paper costs it: every visited level scans
+/// every matrix row at ≥ 8 cycles per bit (§III-B1).
+pub fn ky_sample_poly_basic(m: &mut Machine, ky: &KnuthYao, n: usize, q: u32) -> Vec<u32> {
+    let rows = ky.pmat().rows() as u64;
+    sample_poly_with(
+        m,
+        n,
+        q,
+        |m, levels| {
+            // d update per level + the full per-bit row scan. The paper:
+            // "each iteration of the inner loop requires at least 8
+            // cycles". On average the terminal lands mid-column, so the
+            // final level scans half the rows.
+            for _ in 0..levels {
+                m.alu(2);
+            }
+            let scanned_bits = levels.saturating_sub(1) * rows + rows / 2;
+            m.alu(8 * scanned_bits);
+        },
+        |bits| ky.sample_basic(bits),
+    )
+}
+
+/// The prior-art Hamming-weight skip: every level costs a weight load and
+/// compare; only the terminal column is bit-scanned.
+pub fn ky_sample_poly_hw(m: &mut Machine, ky: &KnuthYao, n: usize, q: u32) -> Vec<u32> {
+    let rows = ky.pmat().rows() as u64;
+    sample_poly_with(
+        m,
+        n,
+        q,
+        |m, levels| {
+            for _ in 0..levels {
+                m.mem(1); // Hamming weight load
+                m.alu(3); // d update, compare, subtract
+                m.branch();
+            }
+            // Terminal column: per-bit scan, on average half the rows.
+            m.alu(8 * (rows / 2));
+        },
+        |bits| ky.sample_hw(bits),
+    )
+}
+
+/// §III-B4: trimmed column words + `clz` zero-run skipping, no LUTs.
+pub fn ky_sample_poly_clz(m: &mut Machine, ky: &KnuthYao, n: usize, q: u32) -> Vec<u32> {
+    let pmat = ky.pmat();
+    // Precompute per-column charge parameters: stored words and weight.
+    let words: Vec<u64> = (0..pmat.cols())
+        .map(|c| (pmat.words_per_col() - pmat.column_skipped_words(c)) as u64)
+        .collect();
+    let hw = pmat.hamming_weights().to_vec();
+    sample_poly_with(
+        m,
+        n,
+        q,
+        |m, levels| {
+            for l in 0..levels as usize {
+                let col = l.min(words.len() - 1);
+                m.alu(2); // d update
+                m.mem(words[col]); // word loads
+                // Each set bit costs a clz + shift + decrement + test;
+                // on average half the column's ones are visited on the
+                // terminal level, all of them otherwise.
+                let ones = if l + 1 == levels as usize {
+                    hw[col] as u64 / 2
+                } else {
+                    hw[col] as u64
+                };
+                for _ in 0..ones {
+                    m.clz();
+                    m.alu(3);
+                }
+                m.branch();
+            }
+        },
+        |bits| ky.sample_clz(bits),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::kernels::{ky_sample_poly, ntt_forward_packed};
+    use rlwe_sampler::ProbabilityMatrix;
+
+    fn plan() -> NttPlan {
+        NttPlan::new(256, 7681).unwrap()
+    }
+
+    fn sampler() -> KnuthYao {
+        KnuthYao::new(ProbabilityMatrix::paper_p1().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn halfword_ntt_computes_the_same_transform() {
+        let plan = plan();
+        let orig: Vec<u32> = (0..256u32).map(|i| (i * 7 + 5) % 7681).collect();
+        let mut a = orig.clone();
+        let mut m = Machine::cortex_m4f(1);
+        ntt_forward_halfword(&mut m, &plan, &mut a);
+        assert_eq!(a, plan.forward_copy(&orig));
+    }
+
+    #[test]
+    fn packing_halves_memory_accesses_and_speeds_up_the_ntt() {
+        // §III-C/D: "reduce the number of memory accesses, pointer
+        // operations, and loop overhead by 50%".
+        let plan = plan();
+        let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+        let mut b = a.clone();
+        let mut mh = Machine::cortex_m4f(1);
+        ntt_forward_halfword(&mut mh, &plan, &mut a);
+        let mut mp = Machine::cortex_m4f(1);
+        ntt_forward_packed(&mut mp, &plan, &mut b);
+        let ratio = mp.cycles() as f64 / mh.cycles() as f64;
+        assert!(
+            (0.6..0.9).contains(&ratio),
+            "packed/halfword = {ratio} ({} vs {})",
+            mp.cycles(),
+            mh.cycles()
+        );
+    }
+
+    #[test]
+    fn sampler_ladder_is_strictly_ordered() {
+        // basic > hw > clz > two-LUT, with large gaps — the paper's whole
+        // §III-B story.
+        let ky = sampler();
+        let n = 4096;
+        let model = CostModel::cortex_m4f_ideal_trng();
+        let run = |f: &dyn Fn(&mut Machine, &KnuthYao, usize, u32) -> Vec<u32>| {
+            let mut m = Machine::with_model(model, 5);
+            f(&mut m, &ky, n, 7681);
+            m.cycles() as f64 / n as f64
+        };
+        let basic = run(&ky_sample_poly_basic);
+        let hw = run(&ky_sample_poly_hw);
+        let clz = run(&ky_sample_poly_clz);
+        let lut = {
+            let mut m = Machine::with_model(model, 5);
+            ky_sample_poly(&mut m, &ky, n, 7681);
+            m.cycles() as f64 / n as f64
+        };
+        assert!(
+            basic > 2.0 * hw && hw > 1.2 * clz && clz > 1.5 * lut,
+            "ladder: basic {basic:.1} / hw {hw:.1} / clz {clz:.1} / lut {lut:.1}"
+        );
+        assert!(
+            basic > 500.0,
+            "the naive scan should cost hundreds of cycles, got {basic:.1}"
+        );
+        assert!(lut < 40.0, "the LUT path must be tens of cycles, got {lut:.1}");
+    }
+
+    #[test]
+    fn ablation_kernels_produce_valid_error_polys() {
+        let ky = sampler();
+        for f in [
+            ky_sample_poly_basic as fn(&mut Machine, &KnuthYao, usize, u32) -> Vec<u32>,
+            ky_sample_poly_hw,
+            ky_sample_poly_clz,
+        ] {
+            let mut m = Machine::cortex_m4f(9);
+            let poly = f(&mut m, &ky, 512, 7681);
+            assert_eq!(poly.len(), 512);
+            for &c in &poly {
+                let centered = if c > 7681 / 2 { c as i64 - 7681 } else { c as i64 };
+                assert!(centered.abs() < 55);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Instrumented kernels: real computations, charged instruction by
+//! instruction.
+//!
+//! Every kernel here produces the same values as the corresponding
+//! `rlwe-ntt` / `rlwe-sampler` / `rlwe-core` routine (the tests assert it)
+//! while charging a [`crate::Machine`] for the Cortex-M4F instruction
+//! sequence the paper's implementation executes.
+
+mod ablation;
+mod ntt;
+mod sampler;
+mod scheme;
+
+pub use ablation::{
+    ky_sample_poly_basic, ky_sample_poly_clz, ky_sample_poly_hw, ntt_forward_halfword,
+};
+pub use ntt::{
+    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, ntt_multiply,
+    pointwise_add, pointwise_mul, pointwise_mul_add, pointwise_sub,
+};
+pub use sampler::{ky_sample_poly, uniform_poly, SampleStats};
+pub use scheme::{decrypt, encrypt, keygen, SimKeys};

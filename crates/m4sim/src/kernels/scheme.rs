@@ -1,0 +1,180 @@
+//! Full-scheme kernels: key generation, encryption, decryption — the rows
+//! of the paper's Table II.
+
+use rlwe_core::{decode_message, encode_message, RlweContext};
+
+use crate::kernels::ntt::{
+    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, pointwise_add,
+    pointwise_mul, pointwise_mul_add, pointwise_sub,
+};
+use crate::kernels::sampler::{ky_sample_poly, uniform_poly};
+use crate::machine::Machine;
+
+/// NTT-domain key material produced by the [`keygen`] kernel.
+#[derive(Debug, Clone)]
+pub struct SimKeys {
+    /// The uniform public polynomial ã.
+    pub a_hat: Vec<u32>,
+    /// `p̃ = r̃₁ − ã∘r̃₂`.
+    pub p_hat: Vec<u32>,
+    /// The secret `r̃₂`.
+    pub r2_hat: Vec<u32>,
+}
+
+/// Key generation (§II-A.1): uniform `ã` (TRNG-bound), two Gaussian
+/// polynomials, two forward NTTs, one pointwise multiply, one subtraction.
+pub fn keygen(m: &mut Machine, ctx: &RlweContext) -> SimKeys {
+    let n = ctx.params().n();
+    let q = ctx.params().q();
+    let a_hat = uniform_poly(m, n, q);
+    let (mut r1, _) = ky_sample_poly(m, ctx.sampler(), n, q);
+    let (mut r2, _) = ky_sample_poly(m, ctx.sampler(), n, q);
+    ntt_forward_packed(m, ctx.plan(), &mut r1);
+    ntt_forward_packed(m, ctx.plan(), &mut r2);
+    let ar2 = pointwise_mul(m, ctx.plan(), &a_hat, &r2);
+    let p_hat = pointwise_sub(m, ctx.plan(), &r1, &ar2);
+    SimKeys {
+        a_hat,
+        p_hat,
+        r2_hat: r2,
+    }
+}
+
+/// Encryption (§II-A.2): three Gaussian polynomials, message encoding,
+/// one addition, the fused **parallel NTT**, two pointwise multiply-adds.
+pub fn encrypt(m: &mut Machine, ctx: &RlweContext, keys: &SimKeys, msg: &[u8]) -> (Vec<u32>, Vec<u32>) {
+    let n = ctx.params().n();
+    let q = ctx.params().q();
+    let (mut e1, _) = ky_sample_poly(m, ctx.sampler(), n, q);
+    let (mut e2, _) = ky_sample_poly(m, ctx.sampler(), n, q);
+    let (e3, _) = ky_sample_poly(m, ctx.sampler(), n, q);
+    // Encode the message: threshold per bit; charged as a bit-extract,
+    // a conditional select and a packed store per two coefficients.
+    let m_bar = encode_message(msg, n, q);
+    {
+        let mut i = 0;
+        while i < n {
+            m.alu(4);
+            m.mem(1);
+            m.loop_tick();
+            i += 2;
+        }
+    }
+    let mut e3m = pointwise_add(m, ctx.plan(), &e3, &m_bar);
+    ntt_forward3_packed(m, ctx.plan(), [&mut e1, &mut e2, &mut e3m]);
+    let c1 = pointwise_mul_add(m, ctx.plan(), &keys.a_hat, &e1, &e2);
+    let c2 = pointwise_mul_add(m, ctx.plan(), &keys.p_hat, &e1, &e3m);
+    (c1, c2)
+}
+
+/// Decryption (§II-A.3): one fused pointwise multiply-add, one inverse
+/// NTT, threshold decoding.
+pub fn decrypt(
+    m: &mut Machine,
+    ctx: &RlweContext,
+    keys: &SimKeys,
+    ct: &(Vec<u32>, Vec<u32>),
+) -> Vec<u8> {
+    let n = ctx.params().n();
+    let q = ctx.params().q();
+    let mut pre = pointwise_mul_add(m, ctx.plan(), &ct.0, &keys.r2_hat, &ct.1, );
+    ntt_inverse_packed(m, ctx.plan(), &mut pre);
+    // Threshold decode: two compares + bit insert per coefficient.
+    {
+        let mut i = 0;
+        while i < n {
+            m.mem(1);
+            m.alu(6);
+            m.loop_tick();
+            i += 2;
+        }
+        m.mem((n / 8 / 4) as u64); // write out the packed message words
+    }
+    decode_message(&pre, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlwe_core::ParamSet;
+
+    fn ctx(set: ParamSet) -> RlweContext {
+        RlweContext::new(set).unwrap()
+    }
+
+    #[test]
+    fn kernel_scheme_round_trips() {
+        let ctx = ctx(ParamSet::P1);
+        let mut m = Machine::cortex_m4f(11);
+        let keys = keygen(&mut m, &ctx);
+        let msg: Vec<u8> = (0..32).map(|i| (i * 7 + 1) as u8).collect();
+        let ct = encrypt(&mut m, &ctx, &keys, &msg);
+        let got = decrypt(&mut m, &ctx, &keys, &ct);
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn table2_p1_cycle_shape() {
+        // Paper Table II (P1): keygen 116 772, encrypt 121 166,
+        // decrypt 43 324. The model must land within ±20% of each and
+        // preserve the ordering decrypt < keygen ~ encrypt.
+        let ctx = ctx(ParamSet::P1);
+        let msg = vec![0x5Au8; 32];
+
+        let mut mk = Machine::cortex_m4f(1);
+        let keys = keygen(&mut mk, &ctx);
+        let kg = mk.cycles() as f64;
+
+        let mut me = Machine::cortex_m4f(2);
+        let ct = encrypt(&mut me, &ctx, &keys, &msg);
+        let enc = me.cycles() as f64;
+
+        let mut md = Machine::cortex_m4f(3);
+        decrypt(&mut md, &ctx, &keys, &ct);
+        let dec = md.cycles() as f64;
+
+        assert!((kg / 116_772.0 - 1.0).abs() < 0.20, "keygen {kg}");
+        assert!((enc / 121_166.0 - 1.0).abs() < 0.20, "encrypt {enc}");
+        assert!((dec / 43_324.0 - 1.0).abs() < 0.20, "decrypt {dec}");
+        assert!(dec < enc && dec < kg, "decryption must be the cheapest");
+    }
+
+    #[test]
+    fn table2_p2_scales_like_the_paper() {
+        // Paper: P2/P1 ratios ≈ 2.26 (keygen), 2.16 (encrypt), 2.23 (dec).
+        let c1 = ctx(ParamSet::P1);
+        let c2 = ctx(ParamSet::P2);
+        let mut m1 = Machine::cortex_m4f(1);
+        let k1 = keygen(&mut m1, &c1);
+        let msg1 = vec![0u8; 32];
+        let mut e1m = Machine::cortex_m4f(2);
+        encrypt(&mut e1m, &c1, &k1, &msg1);
+
+        let mut m2 = Machine::cortex_m4f(1);
+        let k2 = keygen(&mut m2, &c2);
+        let msg2 = vec![0u8; 64];
+        let mut e2m = Machine::cortex_m4f(2);
+        encrypt(&mut e2m, &c2, &k2, &msg2);
+
+        let kg_ratio = m2.cycles() as f64 / m1.cycles() as f64;
+        let enc_ratio = e2m.cycles() as f64 / e1m.cycles() as f64;
+        assert!((1.9..2.6).contains(&kg_ratio), "keygen P2/P1 = {kg_ratio}");
+        assert!((1.9..2.6).contains(&enc_ratio), "encrypt P2/P1 = {enc_ratio}");
+    }
+
+    #[test]
+    fn decrypt_is_roughly_a_third_of_encrypt() {
+        // Paper: decryption needs 35% fewer cycles than encryption — in
+        // fact 43 324 / 121 166 = 0.358.
+        let ctx = ctx(ParamSet::P1);
+        let mut mk = Machine::cortex_m4f(4);
+        let keys = keygen(&mut mk, &ctx);
+        let msg = vec![0xFFu8; 32];
+        let mut me = Machine::cortex_m4f(5);
+        let ct = encrypt(&mut me, &ctx, &keys, &msg);
+        let mut md = Machine::cortex_m4f(6);
+        decrypt(&mut md, &ctx, &keys, &ct);
+        let frac = md.cycles() as f64 / me.cycles() as f64;
+        assert!((0.25..0.50).contains(&frac), "dec/enc = {frac} (paper 0.358)");
+    }
+}

@@ -1,0 +1,219 @@
+//! The cycle-charging [`Machine`] and its background-producing TRNG.
+
+use crate::cost::CostModel;
+use rlwe_sampler::random::WordSource;
+
+/// A Cortex-M4F cycle-accounting machine.
+///
+/// Kernels execute real Rust computations and call the charge methods for
+/// every conceptual instruction; [`Machine::cycles`] then plays the role
+/// of the paper's `DWT_CYCCNT` register. The built-in TRNG produces one
+/// 32-bit word per [`CostModel::trng_period`] cycles *in the background*:
+/// a read stalls only if it arrives before the next word is ready, exactly
+/// like polling the STM32F407's RNG status flag.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    model: CostModel,
+    cycles: u64,
+    trng_state: u64,
+    trng_next_ready: u64,
+    trng_words: u64,
+    trng_stall_cycles: u64,
+}
+
+impl Machine {
+    /// Creates a machine with the calibrated M4F cost model and a seeded
+    /// deterministic TRNG.
+    pub fn cortex_m4f(seed: u64) -> Self {
+        Self::with_model(CostModel::cortex_m4f(), seed)
+    }
+
+    /// Creates a machine with a custom cost model.
+    pub fn with_model(model: CostModel, seed: u64) -> Self {
+        Self {
+            model,
+            cycles: 0,
+            trng_state: seed,
+            trng_next_ready: 0,
+            trng_words: 0,
+            trng_stall_cycles: 0,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Elapsed cycles (the simulated `DWT_CYCCNT`).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// TRNG words consumed so far.
+    pub fn trng_words(&self) -> u64 {
+        self.trng_words
+    }
+
+    /// Cycles lost waiting for the TRNG.
+    pub fn trng_stall_cycles(&self) -> u64 {
+        self.trng_stall_cycles
+    }
+
+    /// Resets the cycle and stall counters; the next TRNG word is treated
+    /// as immediately available (a fresh measurement window).
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+        self.trng_next_ready = 0;
+        self.trng_stall_cycles = 0;
+    }
+
+    // ----- charge methods ---------------------------------------------
+
+    /// Charges `n` data-processing instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.cycles += n * self.model.alu;
+    }
+
+    /// Charges one multiply.
+    #[inline]
+    pub fn mul(&mut self) {
+        self.cycles += self.model.mul;
+    }
+
+    /// Charges `n` memory accesses (loads or stores).
+    #[inline]
+    pub fn mem(&mut self, n: u64) {
+        self.cycles += n * self.model.mem;
+    }
+
+    /// Charges one `clz`.
+    #[inline]
+    pub fn clz(&mut self) {
+        self.cycles += self.model.clz;
+    }
+
+    /// Charges one taken branch.
+    #[inline]
+    pub fn branch(&mut self) {
+        self.cycles += self.model.branch;
+    }
+
+    /// Charges one leaf-function call + return.
+    #[inline]
+    pub fn call(&mut self) {
+        self.cycles += self.model.call;
+    }
+
+    /// Charges a full modular multiplication (mul + udiv + mls).
+    #[inline]
+    pub fn mulmod(&mut self) {
+        self.cycles += self.model.mulmod();
+    }
+
+    /// Charges a modular addition.
+    #[inline]
+    pub fn modadd(&mut self) {
+        self.cycles += self.model.modadd();
+    }
+
+    /// Charges a modular subtraction.
+    #[inline]
+    pub fn modsub(&mut self) {
+        self.cycles += self.model.modsub();
+    }
+
+    /// Charges one loop-iteration bookkeeping (index, compare, branch).
+    #[inline]
+    pub fn loop_tick(&mut self) {
+        self.cycles += self.model.loop_overhead();
+    }
+
+    // ----- TRNG --------------------------------------------------------
+
+    /// Reads one 32-bit TRNG word, stalling if the generator has not
+    /// finished the next word yet (background production).
+    pub fn trng_word(&mut self) -> u32 {
+        if self.model.trng_period > 0 && self.cycles < self.trng_next_ready {
+            self.trng_stall_cycles += self.trng_next_ready - self.cycles;
+            self.cycles = self.trng_next_ready;
+        }
+        self.cycles += self.model.trng_read;
+        if self.model.trng_period > 0 {
+            self.trng_next_ready = self.cycles + self.model.trng_period;
+        }
+        self.trng_words += 1;
+        // SplitMix64, truncated to 32 bits.
+        self.trng_state = self.trng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.trng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as u32
+    }
+}
+
+/// Lets the machine's TRNG feed the sampler crate's buffered bit source.
+impl WordSource for &mut Machine {
+    fn next_word(&mut self) -> u32 {
+        self.trng_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = Machine::cortex_m4f(1);
+        m.alu(3);
+        m.mem(2);
+        m.mulmod();
+        assert_eq!(m.cycles(), 3 + 4 + 14);
+    }
+
+    #[test]
+    fn trng_stalls_under_burst_demand() {
+        let mut m = Machine::cortex_m4f(1);
+        for _ in 0..10 {
+            m.trng_word();
+        }
+        // Back-to-back reads run at the production period.
+        assert!(m.trng_stall_cycles() > 0);
+        assert!(m.cycles() >= 9 * m.model().trng_period);
+        assert_eq!(m.trng_words(), 10);
+    }
+
+    #[test]
+    fn trng_is_free_running_between_compute() {
+        let mut m = Machine::cortex_m4f(1);
+        m.trng_word();
+        // Do 1000 cycles of compute — the next word is ready by then.
+        m.alu(1000);
+        let before = m.trng_stall_cycles();
+        m.trng_word();
+        assert_eq!(m.trng_stall_cycles(), before, "no stall expected");
+    }
+
+    #[test]
+    fn ideal_trng_never_stalls() {
+        let mut m = Machine::with_model(CostModel::cortex_m4f_ideal_trng(), 7);
+        for _ in 0..100 {
+            m.trng_word();
+        }
+        assert_eq!(m.trng_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn trng_values_are_deterministic_per_seed() {
+        let mut a = Machine::cortex_m4f(42);
+        let mut b = Machine::cortex_m4f(42);
+        let mut c = Machine::cortex_m4f(43);
+        let wa: Vec<u32> = (0..5).map(|_| a.trng_word()).collect();
+        let wb: Vec<u32> = (0..5).map(|_| b.trng_word()).collect();
+        let wc: Vec<u32> = (0..5).map(|_| c.trng_word()).collect();
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+}

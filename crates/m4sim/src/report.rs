@@ -1,0 +1,220 @@
+//! Table generation: runs the kernels and pairs model output with the
+//! paper's measured numbers (consumed by the `rlwe-bench` binaries and by
+//! EXPERIMENTS.md).
+
+use rlwe_core::{ParamSet, RlweContext};
+
+use crate::cost::CostModel;
+use crate::footprint::{self, SchemeOp};
+use crate::kernels;
+use crate::machine::Machine;
+
+/// One row of a reproduction table: operation, paper-measured cycles,
+/// model cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Operation label as printed in the paper.
+    pub operation: String,
+    /// Parameter set label.
+    pub params: &'static str,
+    /// The paper's measured cycle count.
+    pub paper_cycles: f64,
+    /// Our cost-model cycle count.
+    pub model_cycles: f64,
+}
+
+impl Row {
+    /// Model / paper ratio (1.0 = exact).
+    pub fn ratio(&self) -> f64 {
+        self.model_cycles / self.paper_cycles
+    }
+}
+
+fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+}
+
+/// Regenerates the paper's **Table I** (major-operation cycle counts) for
+/// one parameter set.
+///
+/// Paper values: P1 = (31 583, 84 031, 39 126, 7 294, 108 147),
+/// P2 = (73 406, 188 150, 90 583, 14 604, 248 310).
+pub fn table1(set: ParamSet) -> Vec<Row> {
+    let ctx = RlweContext::new(set).expect("paper parameter sets are valid");
+    let (label, paper) = match set {
+        ParamSet::P1 => ("P1", [31_583.0, 84_031.0, 39_126.0, 7_294.0, 108_147.0]),
+        ParamSet::P2 => ("P2", [73_406.0, 188_150.0, 90_583.0, 14_604.0, 248_310.0]),
+    };
+    let n = ctx.params().n();
+    let q = ctx.params().q();
+    let plan = ctx.plan();
+    let mut rows = Vec::new();
+
+    let mut m = Machine::cortex_m4f(1);
+    let mut a = demo_poly(n, q, 31);
+    kernels::ntt_forward_packed(&mut m, plan, &mut a);
+    rows.push(Row {
+        operation: "NTT transform".into(),
+        params: label,
+        paper_cycles: paper[0],
+        model_cycles: m.cycles() as f64,
+    });
+
+    let mut m = Machine::cortex_m4f(1);
+    let mut x = demo_poly(n, q, 3);
+    let mut y = demo_poly(n, q, 5);
+    let mut z = demo_poly(n, q, 7);
+    kernels::ntt_forward3_packed(&mut m, plan, [&mut x, &mut y, &mut z]);
+    rows.push(Row {
+        operation: "Parallel NTT transform".into(),
+        params: label,
+        paper_cycles: paper[1],
+        model_cycles: m.cycles() as f64,
+    });
+
+    let mut m = Machine::cortex_m4f(1);
+    let mut a = demo_poly(n, q, 11);
+    kernels::ntt_inverse_packed(&mut m, plan, &mut a);
+    rows.push(Row {
+        operation: "Inverse NTT transform".into(),
+        params: label,
+        paper_cycles: paper[2],
+        model_cycles: m.cycles() as f64,
+    });
+
+    // Knuth-Yao row: n samples, ideal TRNG (see EXPERIMENTS.md).
+    let mut m = Machine::with_model(CostModel::cortex_m4f_ideal_trng(), 1);
+    kernels::ky_sample_poly(&mut m, ctx.sampler(), n, q);
+    rows.push(Row {
+        operation: "Knuth-Yao sampling".into(),
+        params: label,
+        paper_cycles: paper[3],
+        model_cycles: m.cycles() as f64,
+    });
+
+    let mut m = Machine::cortex_m4f(1);
+    let a = demo_poly(n, q, 13);
+    let b = demo_poly(n, q, 17);
+    kernels::ntt_multiply(&mut m, plan, &a, &b);
+    rows.push(Row {
+        operation: "NTT multiplication".into(),
+        params: label,
+        paper_cycles: paper[4],
+        model_cycles: m.cycles() as f64,
+    });
+
+    rows
+}
+
+/// One row of Table II: cycles plus flash/RAM accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Cycle comparison.
+    pub cycles: Row,
+    /// Paper's flash (code) bytes.
+    pub paper_flash: usize,
+    /// Our code-size estimate (tables reported separately).
+    pub model_code_estimate: usize,
+    /// Exact bytes of precomputed tables in flash.
+    pub model_table_flash: usize,
+    /// Paper's RAM bytes.
+    pub paper_ram: usize,
+    /// Our exact RAM accounting.
+    pub model_ram: usize,
+}
+
+/// Regenerates the paper's **Table II** (full scheme: cycles, flash, RAM).
+pub fn table2(set: ParamSet) -> Vec<Table2Row> {
+    let ctx = RlweContext::new(set).expect("paper parameter sets are valid");
+    let (label, paper_cycles, paper_flash, paper_ram) = match set {
+        ParamSet::P1 => (
+            "P1",
+            [116_772.0, 121_166.0, 43_324.0],
+            [1552usize, 1506, 516],
+            [1596usize, 3128, 2100],
+        ),
+        ParamSet::P2 => (
+            "P2",
+            [263_622.0, 261_939.0, 96_520.0],
+            [1552, 1506, 516],
+            [3132, 6200, 4148],
+        ),
+    };
+    let msg = vec![0x5Au8; ctx.params().message_bytes()];
+
+    let mut mk = Machine::cortex_m4f(1);
+    let keys = kernels::keygen(&mut mk, &ctx);
+    let kg_cycles = mk.cycles() as f64;
+
+    let mut me = Machine::cortex_m4f(2);
+    let ct = kernels::encrypt(&mut me, &ctx, &keys, &msg);
+    let enc_cycles = me.cycles() as f64;
+
+    let mut md = Machine::cortex_m4f(3);
+    let out = kernels::decrypt(&mut md, &ctx, &keys, &ct);
+    assert_eq!(out, msg, "Table II kernels must round-trip");
+    let dec_cycles = md.cycles() as f64;
+
+    let table_flash = footprint::table_flash_bytes(&ctx);
+    let ops = [
+        ("Key Generation", SchemeOp::KeyGen, kg_cycles),
+        ("Encryption", SchemeOp::Encrypt, enc_cycles),
+        ("Decryption", SchemeOp::Decrypt, dec_cycles),
+    ];
+    ops.iter()
+        .enumerate()
+        .map(|(i, (name, op, cycles))| Table2Row {
+            cycles: Row {
+                operation: (*name).into(),
+                params: label,
+                paper_cycles: paper_cycles[i],
+                model_cycles: *cycles,
+            },
+            paper_flash: paper_flash[i],
+            model_code_estimate: footprint::code_bytes_estimate(*op),
+            model_table_flash: table_flash,
+            paper_ram: paper_ram[i],
+            model_ram: footprint::ram_bytes(*op, ctx.params()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_within_twenty_percent() {
+        for set in [ParamSet::P1, ParamSet::P2] {
+            for row in table1(set) {
+                let r = row.ratio();
+                assert!(
+                    (0.8..1.2).contains(&r),
+                    "{} {}: model {} vs paper {} (ratio {r:.3})",
+                    row.params,
+                    row.operation,
+                    row.model_cycles,
+                    row.paper_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_rows_are_within_twenty_percent_and_ram_exact() {
+        for set in [ParamSet::P1, ParamSet::P2] {
+            for row in table2(set) {
+                let r = row.cycles.ratio();
+                assert!(
+                    (0.8..1.2).contains(&r),
+                    "{} {}: model {} vs paper {} (ratio {r:.3})",
+                    row.cycles.params,
+                    row.cycles.operation,
+                    row.cycles.model_cycles,
+                    row.cycles.paper_cycles
+                );
+                assert_eq!(row.model_ram, row.paper_ram, "{}", row.cycles.operation);
+            }
+        }
+    }
+}

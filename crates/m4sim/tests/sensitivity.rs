@@ -1,0 +1,119 @@
+//! Cost-model sensitivity: the reproduction must not hinge on one magic
+//! constant. The only calibrated parameter is the `udiv` latency (the
+//! paper documents 2–12 cycles); sweeping it across its physical range
+//! must keep the *relative* structure of Table I intact, and the
+//! calibrated value must sit inside the documented range.
+
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_m4sim::{kernels, CostModel, Machine};
+
+fn ntt_cycles(model: CostModel) -> u64 {
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+    let mut m = Machine::with_model(model, 1);
+    kernels::ntt_forward_packed(&mut m, ctx.plan(), &mut a);
+    m.cycles()
+}
+
+#[test]
+fn udiv_latency_is_within_the_documented_range() {
+    let c = CostModel::cortex_m4f();
+    assert!((2..=12).contains(&c.udiv), "udiv = {} out of the paper's 2-12", c.udiv);
+}
+
+#[test]
+fn relative_structure_survives_the_udiv_sweep() {
+    // Across the whole physical udiv range, the invariants the paper's
+    // story rests on must hold: inverse > forward, parallel-3 beats 3x
+    // sequential, decrypt ≪ encrypt.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    for udiv in [2u64, 6, 12] {
+        let model = CostModel {
+            udiv,
+            ..CostModel::cortex_m4f()
+        };
+        let fwd = {
+            let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+            let mut m = Machine::with_model(model, 1);
+            kernels::ntt_forward_packed(&mut m, ctx.plan(), &mut a);
+            m.cycles()
+        };
+        let inv = {
+            let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+            let mut m = Machine::with_model(model, 1);
+            kernels::ntt_inverse_packed(&mut m, ctx.plan(), &mut a);
+            m.cycles()
+        };
+        let par3 = {
+            let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+            let mut b = a.clone();
+            let mut c = a.clone();
+            let mut m = Machine::with_model(model, 1);
+            kernels::ntt_forward3_packed(&mut m, ctx.plan(), [&mut a, &mut b, &mut c]);
+            m.cycles()
+        };
+        assert!(inv > fwd, "udiv={udiv}: inverse {inv} <= forward {fwd}");
+        assert!(
+            par3 < 3 * fwd,
+            "udiv={udiv}: parallel {par3} >= 3x sequential {}",
+            3 * fwd
+        );
+        let msg = vec![0u8; 32];
+        let mut mk = Machine::with_model(model, 2);
+        let keys = kernels::keygen(&mut mk, &ctx);
+        let mut me = Machine::with_model(model, 3);
+        let ct = kernels::encrypt(&mut me, &ctx, &keys, &msg);
+        let mut md = Machine::with_model(model, 4);
+        kernels::decrypt(&mut md, &ctx, &keys, &ct);
+        assert!(
+            (md.cycles() as f64) < 0.5 * me.cycles() as f64,
+            "udiv={udiv}: decrypt not much cheaper than encrypt"
+        );
+    }
+}
+
+#[test]
+fn absolute_match_needs_the_slow_division() {
+    // With the fastest possible division the model would undershoot the
+    // paper badly; with the documented worst case it lands within 10%.
+    // This is what "calibrated within the documented range" means.
+    let fast = ntt_cycles(CostModel {
+        udiv: 2,
+        ..CostModel::cortex_m4f()
+    });
+    let slow = ntt_cycles(CostModel::cortex_m4f());
+    let paper = 31_583.0;
+    assert!((fast as f64) < 0.85 * paper, "fast model {fast} too close to paper");
+    assert!(
+        (slow as f64 / paper - 1.0).abs() < 0.10,
+        "calibrated model {slow} vs paper {paper}"
+    );
+}
+
+#[test]
+fn memory_cost_drives_the_packing_advantage() {
+    // The §III-C claim is *about* memory costs: if memory were free, the
+    // packed layout would barely matter; at the real 2-cycle cost it
+    // saves ~20%.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let gain = |mem: u64| {
+        let model = CostModel {
+            mem,
+            ..CostModel::cortex_m4f()
+        };
+        let mut a: Vec<u32> = (0..256u32).map(|i| (i * 3 + 1) % 7681).collect();
+        let mut b = a.clone();
+        let mut mh = Machine::with_model(model, 1);
+        kernels::ntt_forward_halfword(&mut mh, ctx.plan(), &mut a);
+        let mut mp = Machine::with_model(model, 1);
+        kernels::ntt_forward_packed(&mut mp, ctx.plan(), &mut b);
+        1.0 - mp.cycles() as f64 / mh.cycles() as f64
+    };
+    let at_free_memory = gain(0);
+    let at_real_memory = gain(2);
+    assert!(
+        at_real_memory > at_free_memory + 0.05,
+        "packing gain {at_real_memory} vs free-memory gain {at_free_memory}"
+    );
+    assert!((0.15..0.30).contains(&at_real_memory));
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use rlwe_zq::ZqError;
+
+/// Errors produced while building an [`NttPlan`](crate::NttPlan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NttError {
+    /// The ring dimension is not a power of two of at least 4.
+    InvalidDimension {
+        /// The rejected dimension.
+        n: usize,
+    },
+    /// The modulus does not satisfy `q ≡ 1 (mod 2n)`, so no 2n-th root of
+    /// unity (and therefore no n-point negacyclic NTT) exists.
+    NotNttFriendly {
+        /// The ring dimension requested.
+        n: usize,
+        /// The offending modulus.
+        q: u32,
+    },
+    /// The underlying modulus failed validation (not prime / out of range).
+    Modulus(ZqError),
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::InvalidDimension { n } => {
+                write!(f, "ring dimension {n} is not a power of two >= 4")
+            }
+            NttError::NotNttFriendly { n, q } => {
+                write!(f, "modulus {q} is not congruent to 1 mod {}", 2 * n)
+            }
+            NttError::Modulus(e) => write!(f, "invalid modulus: {e}"),
+        }
+    }
+}
+
+impl Error for NttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NttError::Modulus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ZqError> for NttError {
+    fn from(e: ZqError) -> Self {
+        NttError::Modulus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let e = NttError::NotNttFriendly { n: 256, q: 7687 };
+        assert!(e.to_string().contains("7687"));
+        assert!(e.to_string().contains("512"));
+    }
+
+    #[test]
+    fn zq_errors_convert() {
+        let e: NttError = ZqError::NotPrime { q: 10 }.into();
+        assert!(matches!(e, NttError::Modulus(_)));
+        assert!(e.source().is_some());
+    }
+}

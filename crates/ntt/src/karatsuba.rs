@@ -1,0 +1,167 @@
+//! Karatsuba negacyclic multiplication — the classical sub-quadratic
+//! baseline between schoolbook (O(n²)) and the NTT (O(n log n)).
+//!
+//! The paper's §II-C motivates the NTT by the asymptotics of "large
+//! polynomial multiplications"; this module lets the benches locate the
+//! actual crossover points on a real machine
+//! (`cargo run -p rlwe-bench --bin crossover`).
+
+use rlwe_zq::{add_mod, sub_mod};
+
+/// Threshold below which recursion falls back to schoolbook.
+const BASE_CASE: usize = 32;
+
+/// Negacyclic multiplication via Karatsuba on the linear product followed
+/// by the `xⁿ ≡ −1` wrap.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length or the length is zero.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_ntt::{karatsuba, schoolbook};
+///
+/// let a: Vec<u32> = (0..64).map(|i| (i * 31 + 5) % 7681).collect();
+/// let b: Vec<u32> = (0..64).map(|i| (i * 17 + 9) % 7681).collect();
+/// assert_eq!(
+///     karatsuba::negacyclic_mul(&a, &b, 7681),
+///     schoolbook::negacyclic_mul(&a, &b, 7681)
+/// );
+/// ```
+pub fn negacyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "operands must match in length");
+    assert!(!a.is_empty(), "empty polynomials have no product");
+    let n = a.len();
+    let full = karatsuba_linear(a, b, q);
+    // Wrap: c[k] - c[k+n] for k in 0..n (degree 2n-2 product).
+    let mut out = vec![0u32; n];
+    for k in 0..n {
+        let hi = if k + n < full.len() { full[k + n] } else { 0 };
+        out[k] = sub_mod(full[k], hi, q);
+    }
+    out
+}
+
+/// Linear (non-wrapped) product of length `2n − 1`.
+fn karatsuba_linear(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
+    let n = a.len();
+    if n <= BASE_CASE {
+        return schoolbook_linear(a, b, q);
+    }
+    let half = n / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+    // p0 = a0*b0, p2 = a1*b1, p1 = (a0+a1)(b0+b1) − p0 − p2.
+    let p0 = karatsuba_linear(a0, b0, q);
+    let p2 = karatsuba_linear(a1, b1, q);
+    let a01: Vec<u32> = sum_padded(a0, a1, q);
+    let b01: Vec<u32> = sum_padded(b0, b1, q);
+    let mut p1 = karatsuba_linear(&a01, &b01, q);
+    for (i, &v) in p0.iter().enumerate() {
+        p1[i] = sub_mod(p1[i], v, q);
+    }
+    for (i, &v) in p2.iter().enumerate() {
+        p1[i] = sub_mod(p1[i], v, q);
+    }
+    // Combine: p0 + p1·x^half + p2·x^(2·half).
+    let mut out = vec![0u32; 2 * n - 1];
+    for (i, &v) in p0.iter().enumerate() {
+        out[i] = add_mod(out[i], v, q);
+    }
+    for (i, &v) in p1.iter().enumerate() {
+        out[half + i] = add_mod(out[half + i], v, q);
+    }
+    for (i, &v) in p2.iter().enumerate() {
+        out[2 * half + i] = add_mod(out[2 * half + i], v, q);
+    }
+    out
+}
+
+/// Element-wise sum of two possibly different-length halves.
+fn sum_padded(x: &[u32], y: &[u32], q: u32) -> Vec<u32> {
+    let len = x.len().max(y.len());
+    (0..len)
+        .map(|i| {
+            let a = x.get(i).copied().unwrap_or(0);
+            let b = y.get(i).copied().unwrap_or(0);
+            add_mod(a, b, q)
+        })
+        .collect()
+}
+
+/// Schoolbook linear product (base case).
+fn schoolbook_linear(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
+    let mut out = vec![0u32; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] = add_mod(out[i + j], rlwe_zq::mul_mod(x, y, q), q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schoolbook;
+
+    fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| (i.wrapping_mul(seed) + 3) % q).collect()
+    }
+
+    #[test]
+    fn matches_schoolbook_for_powers_of_two() {
+        for n in [1usize, 2, 4, 16, 32, 64, 128, 256] {
+            let a = demo(n, 7681, 31);
+            let b = demo(n, 7681, 77);
+            assert_eq!(
+                negacyclic_mul(&a, &b, 7681),
+                schoolbook::negacyclic_mul(&a, &b, 7681),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_schoolbook_for_odd_sizes() {
+        // Karatsuba's half-splitting must handle non-powers of two.
+        for n in [3usize, 33, 63, 100, 255] {
+            let a = demo(n, 12289, 5);
+            let b = demo(n, 12289, 11);
+            assert_eq!(
+                negacyclic_mul(&a, &b, 12289),
+                schoolbook::negacyclic_mul(&a, &b, 12289),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_ntt_at_p1() {
+        let plan = crate::NttPlan::new(256, 7681).unwrap();
+        let a = demo(256, 7681, 13);
+        let b = demo(256, 7681, 17);
+        assert_eq!(negacyclic_mul(&a, &b, 7681), plan.negacyclic_mul(&a, &b));
+    }
+
+    #[test]
+    fn identity_and_negation() {
+        let n = 64;
+        let q = 7681;
+        let a = demo(n, q, 9);
+        let mut one = vec![0u32; n];
+        one[0] = 1;
+        assert_eq!(negacyclic_mul(&a, &one, q), a);
+        // x^(n/2) squared = -1.
+        let mut h = vec![0u32; n];
+        h[n / 2] = 1;
+        let c = negacyclic_mul(&h, &h, q);
+        assert_eq!(c[0], q - 1);
+        assert!(c[1..].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Packed-word NTT: two coefficients per 32-bit word, inner loop unrolled
+//! by two — the paper's §III-D / Algorithm 4.
+//!
+//! On the Cortex-M4F every memory access costs 2 cycles regardless of
+//! width, so storing 13/14-bit coefficients as halfword *pairs* halves the
+//! number of loads and stores in the butterfly loop, and unrolling the loop
+//! two-fold halves pointer arithmetic and index bookkeeping. This module
+//! reproduces that data layout faithfully so the M4F cost model can charge
+//! it correctly; on a host CPU the win is smaller but still measurable
+//! (see the `ntt` Criterion bench).
+//!
+//! Layout invariant: word `i` holds coefficients `a[2i]` (low halfword) and
+//! `a[2i+1]` (high halfword) of the *current* ordering — natural before a
+//! forward transform, bit-reversed after it.
+//!
+//! In this layout every butterfly stage with span `t ≥ 2` touches two
+//! *whole* words per iteration (two butterflies sharing one twiddle), and
+//! the final forward stage (span 1) becomes an *intra-word* butterfly —
+//! exactly the structure of the epilogue of the paper's Algorithm 4
+//! (the loop over pairs `(A[2k], A[2k+1])`).
+
+use rlwe_zq::packed::{pack, unpack};
+use rlwe_zq::{add_mod, sub_mod};
+
+use crate::plan::NttPlan;
+
+/// Packs a natural-order coefficient slice into the two-per-word layout.
+///
+/// # Panics
+///
+/// Panics if `a.len()` is odd or if a coefficient does not fit in 16 bits.
+pub fn pack_coeffs(a: &[u32]) -> Vec<u32> {
+    rlwe_zq::packed::pack_slice(a)
+}
+
+/// Expands a packed word slice back to flat coefficients.
+pub fn unpack_coeffs(words: &[u32]) -> Vec<u32> {
+    rlwe_zq::packed::unpack_slice(words)
+}
+
+/// In-place forward negacyclic NTT on packed words.
+///
+/// Functionally identical to [`NttPlan::forward`]; the only difference is
+/// the memory layout (n/2 words instead of n coefficient slots).
+///
+/// # Panics
+///
+/// Panics if `words.len() != n/2`.
+pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
+    let n = plan.n();
+    assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
+    let q = plan.q();
+    let tw = plan.forward_twiddles();
+    let mut t = n;
+    let mut m = 1usize;
+    // Word-level stages: span t >= 2 means both coefficients of a word sit
+    // on the same side of every butterfly, so each iteration processes two
+    // butterflies from two whole-word loads (the 2x unroll of Alg. 4).
+    while m < n / 2 {
+        t >>= 1;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = tw[m + i];
+            let mut j = j1;
+            while j < j1 + t {
+                let w1 = words[j / 2];
+                let w2 = words[(j + t) / 2];
+                let (u0, u1) = unpack(w1);
+                let (v0, v1) = unpack(w2);
+                let x0 = s.mul(v0, q);
+                let x1 = s.mul(v1, q);
+                words[j / 2] = pack(add_mod(u0, x0, q), add_mod(u1, x1, q));
+                words[(j + t) / 2] = pack(sub_mod(u0, x0, q), sub_mod(u1, x1, q));
+                j += 2;
+            }
+        }
+        m <<= 1;
+    }
+    // Final stage (t = 1): intra-word butterflies, one twiddle per word —
+    // the epilogue of the paper's Algorithm 4.
+    debug_assert_eq!(m, n / 2);
+    for (i, w) in words.iter_mut().enumerate() {
+        let (u, v) = unpack(*w);
+        let s = tw[m + i];
+        let x = s.mul(v, q);
+        *w = pack(add_mod(u, x, q), sub_mod(u, x, q));
+    }
+}
+
+/// In-place inverse negacyclic NTT on packed words, including the `n⁻¹`
+/// post-scaling.
+///
+/// # Panics
+///
+/// Panics if `words.len() != n/2`.
+pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
+    let n = plan.n();
+    assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
+    let q = plan.q();
+    let tw = plan.inverse_twiddles();
+    // First stage (t = 1): intra-word butterflies.
+    let h = n / 2;
+    for (i, w) in words.iter_mut().enumerate() {
+        let (u, v) = unpack(*w);
+        let s = tw[h + i];
+        *w = pack(add_mod(u, v, q), s.mul(sub_mod(u, v, q), q));
+    }
+    // Word-level stages.
+    let mut t = 2usize;
+    let mut m = n / 2;
+    while m > 1 {
+        let h = m >> 1;
+        let mut j1 = 0usize;
+        for i in 0..h {
+            let s = tw[h + i];
+            let mut j = j1;
+            while j < j1 + t {
+                let w1 = words[j / 2];
+                let w2 = words[(j + t) / 2];
+                let (u0, u1) = unpack(w1);
+                let (v0, v1) = unpack(w2);
+                words[j / 2] = pack(add_mod(u0, v0, q), add_mod(u1, v1, q));
+                words[(j + t) / 2] = pack(
+                    s.mul(sub_mod(u0, v0, q), q),
+                    s.mul(sub_mod(u1, v1, q), q),
+                );
+                j += 2;
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+        m = h;
+    }
+    // Scale both lanes by n^{-1}.
+    let n_inv = rlwe_zq::shoup::ShoupPair::new(plan.n_inv(), q);
+    for w in words.iter_mut() {
+        let (a, b) = unpack(*w);
+        *w = pack(n_inv.mul(a, q), n_inv.mul(b, q));
+    }
+}
+
+/// Full negacyclic multiplication in the packed layout.
+///
+/// # Panics
+///
+/// Panics if either input's length differs from `n/2` words.
+pub fn negacyclic_mul_packed(plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let q = plan.modulus();
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    forward_packed(plan, &mut fa);
+    forward_packed(plan, &mut fb);
+    let mut c: Vec<u32> = fa
+        .iter()
+        .zip(&fb)
+        .map(|(&wa, &wb)| {
+            let (a0, a1) = unpack(wa);
+            let (b0, b1) = unpack(wb);
+            pack(q.mul(a0, b0), q.mul(a1, b1))
+        })
+        .collect();
+    inverse_packed(plan, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| (i * seed + 13) % q).collect()
+    }
+
+    #[test]
+    fn packed_forward_matches_scalar() {
+        for &(n, q) in &[(256usize, 7681u32), (512, 12289), (16, 12289)] {
+            let plan = NttPlan::new(n, q).unwrap();
+            let a = demo_poly(n, q, 37);
+            let scalar = plan.forward_copy(&a);
+            let mut words = pack_coeffs(&a);
+            forward_packed(&plan, &mut words);
+            assert_eq!(unpack_coeffs(&words), scalar, "n={n} q={q}");
+        }
+    }
+
+    #[test]
+    fn packed_inverse_matches_scalar() {
+        for &(n, q) in &[(256usize, 7681u32), (512, 12289)] {
+            let plan = NttPlan::new(n, q).unwrap();
+            let a = demo_poly(n, q, 91);
+            let scalar = plan.inverse_copy(&a);
+            let mut words = pack_coeffs(&a);
+            inverse_packed(&plan, &mut words);
+            assert_eq!(unpack_coeffs(&words), scalar, "n={n} q={q}");
+        }
+    }
+
+    #[test]
+    fn packed_round_trip() {
+        let plan = NttPlan::new(128, 7681).unwrap();
+        let a = demo_poly(128, 7681, 55);
+        let mut words = pack_coeffs(&a);
+        forward_packed(&plan, &mut words);
+        inverse_packed(&plan, &mut words);
+        assert_eq!(unpack_coeffs(&words), a);
+    }
+
+    #[test]
+    fn packed_mul_matches_schoolbook() {
+        let n = 64;
+        let q = 7681;
+        let plan = NttPlan::new(n, q).unwrap();
+        let a = demo_poly(n, q, 3);
+        let b = demo_poly(n, q, 19);
+        let got = unpack_coeffs(&negacyclic_mul_packed(
+            &plan,
+            &pack_coeffs(&a),
+            &pack_coeffs(&b),
+        ));
+        assert_eq!(got, crate::schoolbook::negacyclic_mul(&a, &b, q));
+    }
+
+    #[test]
+    #[should_panic(expected = "n/2 words")]
+    fn wrong_length_panics() {
+        let plan = NttPlan::new(16, 12289).unwrap();
+        let mut words = vec![0u32; 16]; // should be 8
+        forward_packed(&plan, &mut words);
+    }
+}

@@ -1,0 +1,356 @@
+//! The [`NttPlan`]: precomputed twiddle tables plus the reference scalar
+//! transforms.
+
+use rlwe_zq::shoup::ShoupPair;
+use rlwe_zq::Modulus;
+
+use crate::bitrev::bitrev;
+use crate::error::NttError;
+
+/// Precomputed context for n-point negacyclic NTTs modulo `q`.
+///
+/// Holds the merged-ψ twiddle tables (with Shoup companions, mirroring the
+/// paper's precomputed twiddle LUT of §III-C) for both directions, plus the
+/// scaling constant `n⁻¹` for the inverse.
+///
+/// The forward transform maps natural coefficient order to bit-reversed
+/// "NTT domain" order; the inverse maps back. All NTT-domain values in this
+/// suite (keys, ciphertexts) live in that bit-reversed order, so pointwise
+/// products are consistent without any explicit permutation.
+#[derive(Debug, Clone)]
+pub struct NttPlan {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    psi: u32,
+    /// `psi_bitrev[i] = ψ^bitrev(i)` with Shoup companion — forward twiddles.
+    psi_bitrev: Vec<ShoupPair>,
+    /// `ipsi_bitrev[i] = ψ^(−bitrev(i))` with Shoup companion — inverse twiddles.
+    ipsi_bitrev: Vec<ShoupPair>,
+    /// `n⁻¹ mod q` as a Shoup pair for the inverse post-scale.
+    n_inv: ShoupPair,
+}
+
+impl NttPlan {
+    /// Builds a plan for dimension `n` (power of two, ≥ 4) and prime `q`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NttError::InvalidDimension`] for a bad `n`.
+    /// * [`NttError::NotNttFriendly`] when `2n ∤ q − 1`.
+    /// * [`NttError::Modulus`] when `q` is not a usable prime.
+    pub fn new(n: usize, q: u32) -> Result<Self, NttError> {
+        if !n.is_power_of_two() || n < 4 || n > 1 << 20 {
+            return Err(NttError::InvalidDimension { n });
+        }
+        let modulus = Modulus::new(q)?;
+        if (q as u64 - 1) % (2 * n as u64) != 0 {
+            return Err(NttError::NotNttFriendly { n, q });
+        }
+        let psi = modulus
+            .root_of_unity(2 * n as u64)
+            .map_err(NttError::Modulus)?;
+        let psi_inv = modulus.inv(psi).expect("root of unity is a unit");
+        let log_n = n.trailing_zeros();
+
+        // psi^i and psi^-i for i in 0..n, then bit-reverse the indexing.
+        let mut pw = vec![0u32; n];
+        let mut ipw = vec![0u32; n];
+        pw[0] = 1;
+        ipw[0] = 1;
+        for i in 1..n {
+            pw[i] = modulus.mul(pw[i - 1], psi);
+            ipw[i] = modulus.mul(ipw[i - 1], psi_inv);
+        }
+        let psi_bitrev = (0..n)
+            .map(|i| ShoupPair::new(pw[bitrev(i, log_n)], q))
+            .collect();
+        let ipsi_bitrev = (0..n)
+            .map(|i| ShoupPair::new(ipw[bitrev(i, log_n)], q))
+            .collect();
+        let n_inv_val = modulus.inv(n as u32).expect("n < q is a unit");
+        Ok(Self {
+            modulus,
+            n,
+            log_n,
+            psi,
+            psi_bitrev,
+            ipsi_bitrev,
+            n_inv: ShoupPair::new(n_inv_val, q),
+        })
+    }
+
+    /// The ring dimension n.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// log₂(n).
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus context.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The raw modulus value q.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        self.modulus.value()
+    }
+
+    /// The 2n-th primitive root ψ used by this plan.
+    #[inline]
+    pub fn psi(&self) -> u32 {
+        self.psi
+    }
+
+    /// `n⁻¹ mod q`.
+    #[inline]
+    pub fn n_inv(&self) -> u32 {
+        self.n_inv.value
+    }
+
+    /// Forward twiddle table (`ψ^bitrev(i)` pairs) — exposed for the packed
+    /// and parallel variants and for the M4F cost-model kernels.
+    #[inline]
+    pub fn forward_twiddles(&self) -> &[ShoupPair] {
+        &self.psi_bitrev
+    }
+
+    /// Inverse twiddle table (`ψ^−bitrev(i)` pairs).
+    #[inline]
+    pub fn inverse_twiddles(&self) -> &[ShoupPair] {
+        &self.ipsi_bitrev
+    }
+
+    /// In-place forward negacyclic NTT (Cooley-Tukey, decimation in time).
+    ///
+    /// Input: natural order, coefficients reduced mod q.
+    /// Output: NTT domain in bit-reversed order.
+    ///
+    /// The ψ powers are merged into the butterflies, so no separate
+    /// pre-scaling pass is needed — this is the paper's `w = √w_m` trick
+    /// (§II-C / Algorithm 3) in its standard in-place form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u32]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        let q = self.modulus.value();
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_bitrev[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = rlwe_zq::add_mod(u, v, q);
+                    a[j + t] = rlwe_zq::sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman-Sande, decimation in
+    /// frequency), including the `n⁻¹` post-scaling.
+    ///
+    /// Input: NTT domain in bit-reversed order.
+    /// Output: natural order coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u32]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        let q = self.modulus.value();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.ipsi_bitrev[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = rlwe_zq::add_mod(u, v, q);
+                    a[j + t] = s.mul(rlwe_zq::sub_mod(u, v, q), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Convenience: forward-transforms a copy of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_copy(&self, a: &[u32]) -> Vec<u32> {
+        let mut out = a.to_vec();
+        self.forward(&mut out);
+        out
+    }
+
+    /// Convenience: inverse-transforms a copy of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_copy(&self, a: &[u32]) -> Vec<u32> {
+        let mut out = a.to_vec();
+        self.inverse(&mut out);
+        out
+    }
+
+    /// Full negacyclic polynomial multiplication via the NTT
+    /// (2 forward transforms + pointwise product + 1 inverse — the
+    /// "NTT multiplication" row of the paper's Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input's length differs from n.
+    pub fn negacyclic_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        let mut c = crate::pointwise::mul(&fa, &fb, &self.modulus);
+        self.inverse(&mut c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(matches!(
+            NttPlan::new(0, 7681),
+            Err(NttError::InvalidDimension { .. })
+        ));
+        assert!(matches!(
+            NttPlan::new(3, 7681),
+            Err(NttError::InvalidDimension { .. })
+        ));
+        assert!(matches!(
+            NttPlan::new(96, 7681),
+            Err(NttError::InvalidDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unfriendly_modulus() {
+        // 7681 ≡ 1 mod 512 but not mod 4096 (7680 = 2^9 * 15).
+        assert!(NttPlan::new(256, 7681).is_ok());
+        assert!(matches!(
+            NttPlan::new(2048, 7681),
+            Err(NttError::NotNttFriendly { .. })
+        ));
+        assert!(matches!(
+            NttPlan::new(256, 7687), // prime, but 7686 = 2 * 3 * 3 * 7 * 61
+            Err(NttError::NotNttFriendly { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_inverse_round_trip_p1() {
+        let plan = NttPlan::new(256, 7681).unwrap();
+        let orig: Vec<u32> = (0..256u32).map(|i| (i * 31 + 5) % 7681).collect();
+        let mut a = orig.clone();
+        plan.forward(&mut a);
+        assert_ne!(a, orig, "transform must not be the identity");
+        plan.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn forward_inverse_round_trip_p2() {
+        let plan = NttPlan::new(512, 12289).unwrap();
+        let orig: Vec<u32> = (0..512u32).map(|i| (i * 97 + 3) % 12289).collect();
+        let mut a = orig.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let plan = NttPlan::new(64, 7681).unwrap();
+        let q = 7681;
+        let a: Vec<u32> = (0..64u32).map(|i| (i * 11 + 2) % q).collect();
+        let b: Vec<u32> = (0..64u32).map(|i| (i * 29 + 7) % q).collect();
+        let sum: Vec<u32> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| rlwe_zq::add_mod(x, y, q))
+            .collect();
+        let fa = plan.forward_copy(&a);
+        let fb = plan.forward_copy(&b);
+        let fsum = plan.forward_copy(&sum);
+        let expect: Vec<u32> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| rlwe_zq::add_mod(x, y, q))
+            .collect();
+        assert_eq!(fsum, expect);
+    }
+
+    #[test]
+    fn constant_polynomial_transforms_to_constant_vector() {
+        // NTT of c·x⁰: every evaluation point sees the constant c.
+        let plan = NttPlan::new(16, 12289).unwrap();
+        let mut a = vec![0u32; 16];
+        a[0] = 42;
+        plan.forward(&mut a);
+        assert!(a.iter().all(|&v| v == 42));
+    }
+
+    #[test]
+    fn multiplying_by_x_matches_negacyclic_shift() {
+        // x^(n-1) * x = x^n = -1 in R_q.
+        let n = 32;
+        let q = 12289;
+        let plan = NttPlan::new(n, q).unwrap();
+        let mut a = vec![0u32; n];
+        a[n - 1] = 1; // x^(n-1)
+        let mut x = vec![0u32; n];
+        x[1] = 1; // x
+        let c = plan.negacyclic_mul(&a, &x);
+        let mut want = vec![0u32; n];
+        want[0] = q - 1; // -1
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn works_for_many_dimensions() {
+        // 12289 = 1 + 3 * 2^12: supports every n up to 2048.
+        for n in [4usize, 8, 16, 64, 256, 1024, 2048] {
+            let plan = NttPlan::new(n, 12289).unwrap();
+            let orig: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 1) % 12289).collect();
+            let mut a = orig.clone();
+            plan.forward(&mut a);
+            plan.inverse(&mut a);
+            assert_eq!(a, orig, "round trip failed at n={n}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Coefficient-wise (NTT-domain) arithmetic.
+//!
+//! In the NTT domain ring multiplication collapses to these O(n) loops —
+//! the "coefficient-wise polynomial multiplications" of the paper's
+//! encryption/decryption flow (§II-C).
+
+use rlwe_zq::Modulus;
+
+/// Pointwise product `c[i] = a[i] · b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::Modulus;
+///
+/// let q = Modulus::new(7681).unwrap();
+/// let c = rlwe_ntt::pointwise::mul(&[2, 3], &[4, 5], &q);
+/// assert_eq!(c, vec![8, 15]);
+/// ```
+pub fn mul(a: &[u32], b: &[u32], q: &Modulus) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    a.iter().zip(b).map(|(&x, &y)| q.mul(x, y)).collect()
+}
+
+/// In-place pointwise product `a[i] ← a[i] · b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn mul_assign(a: &mut [u32], b: &[u32], q: &Modulus) {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = q.mul(*x, y);
+    }
+}
+
+/// Pointwise sum `c[i] = a[i] + b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn add(a: &[u32], b: &[u32], q: &Modulus) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    a.iter().zip(b).map(|(&x, &y)| q.add(x, y)).collect()
+}
+
+/// In-place pointwise sum `a[i] ← a[i] + b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn add_assign(a: &mut [u32], b: &[u32], q: &Modulus) {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = q.add(*x, y);
+    }
+}
+
+/// Pointwise difference `c[i] = a[i] − b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn sub(a: &[u32], b: &[u32], q: &Modulus) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    a.iter().zip(b).map(|(&x, &y)| q.sub(x, y)).collect()
+}
+
+/// Fused multiply-add `c[i] = a[i] · b[i] + d[i] mod q` — the shape of the
+/// ciphertext computations `ã∗ẽ₁ + ẽ₂` and `p̃∗ẽ₁ + NTT(e₃ + m̄)`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn mul_add(a: &[u32], b: &[u32], d: &[u32], q: &Modulus) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "pointwise operands must match in length");
+    assert_eq!(a.len(), d.len(), "pointwise operands must match in length");
+    a.iter()
+        .zip(b)
+        .zip(d)
+        .map(|((&x, &y), &z)| q.add(q.mul(x, y), z))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Modulus {
+        Modulus::new(7681).unwrap()
+    }
+
+    #[test]
+    fn mul_add_composes_mul_and_add() {
+        let m = q();
+        let a = vec![5u32, 7000, 0, 7680];
+        let b = vec![3u32, 7000, 100, 7680];
+        let d = vec![1u32, 2, 3, 4];
+        let fused = mul_add(&a, &b, &d, &m);
+        let manual = add(&mul(&a, &b, &m), &d, &m);
+        assert_eq!(fused, manual);
+    }
+
+    #[test]
+    fn assign_variants_match_pure() {
+        let m = q();
+        let a = vec![5u32, 7000, 1, 7680];
+        let b = vec![3u32, 42, 100, 7680];
+        let mut ma = a.clone();
+        mul_assign(&mut ma, &b, &m);
+        assert_eq!(ma, mul(&a, &b, &m));
+        let mut sa = a.clone();
+        add_assign(&mut sa, &b, &m);
+        assert_eq!(sa, add(&a, &b, &m));
+    }
+
+    #[test]
+    fn sub_inverts_add() {
+        let m = q();
+        let a = vec![5u32, 7000, 1, 7680];
+        let b = vec![3u32, 42, 100, 7680];
+        assert_eq!(sub(&add(&a, &b, &m), &b, &m), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn length_mismatch_panics() {
+        mul(&[1, 2], &[1], &q());
+    }
+}

@@ -1,0 +1,119 @@
+//! NTT-friendly prime discovery.
+//!
+//! The paper fixes `q = 7681` (P1) and `q = 12289` (P2); this utility
+//! answers the natural follow-up question — *where do such moduli come
+//! from?* — by searching for primes `q ≡ 1 (mod 2n)`, which is exactly
+//! the condition for a 2n-th root of unity (and hence an n-point
+//! negacyclic NTT) to exist.
+
+use rlwe_zq::is_prime_u64;
+
+/// Returns the smallest prime `q ≥ min` with `q ≡ 1 (mod 2n)`,
+/// or `None` if none exists below 2³¹.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 4.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_ntt::primes::find_ntt_prime;
+///
+/// // The paper's moduli are the smallest NTT-friendly primes above
+/// // their respective lower bounds:
+/// assert_eq!(find_ntt_prime(256, 7000), Some(7681));
+/// assert_eq!(find_ntt_prime(512, 12289), Some(12289));
+/// ```
+pub fn find_ntt_prime(n: usize, min: u32) -> Option<u32> {
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "ring dimension must be a power of two >= 4"
+    );
+    let step = 2 * n as u64;
+    // First candidate ≥ min that is ≡ 1 mod 2n: k·2n + 1 with
+    // k = ceil((min − 1) / 2n), and at least one step (k ≥ 1).
+    let k = (min as u64).saturating_sub(1).div_ceil(step).max(1);
+    let mut q = k * step + 1;
+    while q < 1 << 31 {
+        if is_prime_u64(q) {
+            return Some(q as u32);
+        }
+        q += step;
+    }
+    None
+}
+
+/// Enumerates the first `count` NTT-friendly primes for dimension `n`
+/// starting at `min`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 4.
+pub fn ntt_primes(n: usize, min: u32, count: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    let mut lo = min;
+    while out.len() < count {
+        match find_ntt_prime(n, lo) {
+            Some(q) => {
+                out.push(q);
+                lo = q + 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NttPlan;
+
+    #[test]
+    fn finds_the_paper_moduli() {
+        // 7681 is the smallest 512-friendly prime above 2^12;
+        // 12289 the smallest 1024-friendly prime at all (above 2).
+        assert_eq!(find_ntt_prime(256, 4096), Some(7681));
+        assert_eq!(find_ntt_prime(512, 2), Some(12289));
+    }
+
+    #[test]
+    fn all_results_produce_working_plans() {
+        for n in [64usize, 256, 1024] {
+            for q in ntt_primes(n, 2, 5) {
+                let plan = NttPlan::new(n, q).expect("found prime must be usable");
+                let a: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 1) % q).collect();
+                let mut x = a.clone();
+                plan.forward(&mut x);
+                plan.inverse(&mut x);
+                assert_eq!(x, a, "n={n}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_the_lower_bound_and_congruence() {
+        for q in ntt_primes(128, 50_000, 10) {
+            assert!(q >= 50_000);
+            assert_eq!((q - 1) % 256, 0);
+            assert!(rlwe_zq::is_prime_u64(q as u64));
+        }
+    }
+
+    #[test]
+    fn none_when_exhausted() {
+        // Dimension 2^20 with min near the 2^31 cap: few or no candidates.
+        let r = find_ntt_prime(1 << 20, (1 << 31) - (1 << 21));
+        // Either a valid prime or None — both acceptable; just don't panic.
+        if let Some(q) = r {
+            assert_eq!((q as u64 - 1) % (1 << 21), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        find_ntt_prime(100, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Schoolbook (O(n²)) ring multiplication — the correctness oracle.
+//!
+//! Every NTT variant in this crate must agree exactly with these functions.
+//! They implement multiplication in `Z_q[x]/(xⁿ + 1)` (negacyclic) and in
+//! `Z_q[x]/(xⁿ − 1)` (cyclic, used by tests to confirm the *negacyclic*
+//! wrap really is the one being computed).
+
+use rlwe_zq::{add_mod, mul_mod, sub_mod};
+
+/// Negacyclic convolution: multiplication in `Z_q[x]/(xⁿ + 1)`.
+///
+/// `c_k = Σ_{i+j=k} a_i·b_j − Σ_{i+j=k+n} a_i·b_j (mod q)`
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length.
+///
+/// # Example
+///
+/// ```
+/// // (x + 1)(x - 1) = x² - 1 ≡ -2 (mod x² + 1)
+/// let c = rlwe_ntt::schoolbook::negacyclic_mul(&[1, 1], &[7680, 1], 7681);
+/// assert_eq!(c, vec![7679, 0]);
+/// ```
+pub fn negacyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "operands must match in length");
+    let n = a.len();
+    let mut c = vec![0u32; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], q);
+            let k = i + j;
+            if k < n {
+                c[k] = add_mod(c[k], prod, q);
+            } else {
+                c[k - n] = sub_mod(c[k - n], prod, q);
+            }
+        }
+    }
+    c
+}
+
+/// Cyclic convolution: multiplication in `Z_q[x]/(xⁿ − 1)`.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length.
+pub fn cyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "operands must match in length");
+    let n = a.len();
+    let mut c = vec![0u32; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], q);
+            let k = (i + j) % n;
+            c[k] = add_mod(c[k], prod, q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_element() {
+        let mut one = vec![0u32; 8];
+        one[0] = 1;
+        let a: Vec<u32> = (0..8).map(|i| (i * 997 + 13) % 7681).collect();
+        assert_eq!(negacyclic_mul(&a, &one, 7681), a);
+        assert_eq!(cyclic_mul(&a, &one, 7681), a);
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one_negacyclic() {
+        // x^(n/2) * x^(n/2) = x^n ≡ -1.
+        let n = 16;
+        let q = 7681;
+        let mut h = vec![0u32; n];
+        h[n / 2] = 1;
+        let c = negacyclic_mul(&h, &h, q);
+        let mut want = vec![0u32; n];
+        want[0] = q - 1;
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn x_to_the_n_is_plus_one_cyclic() {
+        let n = 16;
+        let q = 7681;
+        let mut h = vec![0u32; n];
+        h[n / 2] = 1;
+        let c = cyclic_mul(&h, &h, q);
+        let mut want = vec![0u32; n];
+        want[0] = 1;
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn commutative() {
+        let q = 12289;
+        let a: Vec<u32> = (0..32).map(|i| (i * 31 + 9) % q).collect();
+        let b: Vec<u32> = (0..32).map(|i| (i * 57 + 2) % q).collect();
+        assert_eq!(negacyclic_mul(&a, &b, q), negacyclic_mul(&b, &a, q));
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        let q = 12289u32;
+        let n = 16;
+        let a: Vec<u32> = (0..n as u32).map(|i| (i * 31 + 9) % q).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| (i * 57 + 2) % q).collect();
+        let c: Vec<u32> = (0..n as u32).map(|i| (i * 5 + 11) % q).collect();
+        let bc: Vec<u32> = b.iter().zip(&c).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let lhs = negacyclic_mul(&a, &bc, q);
+        let rhs: Vec<u32> = negacyclic_mul(&a, &b, q)
+            .iter()
+            .zip(&negacyclic_mul(&a, &c, q))
+            .map(|(&x, &y)| add_mod(x, y, q))
+            .collect();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,218 @@
+//! SWAR NTT — the paper's §V future work ("an efficient implementation
+//! for a SIMD processor, e.g. ARM NEON"), explored with SIMD-within-a-
+//! register arithmetic that any 64-bit core provides.
+//!
+//! Two 13/14-bit coefficients already share a 32-bit word in the paper's
+//! packed layout; on a 64-bit register **four** coefficients fit in
+//! 16-bit lanes. Lane sums never exceed `2q < 2¹⁵`, so a single 64-bit
+//! addition performs four modular-addition first halves at once with no
+//! carry ever crossing a lane boundary; a branch-free per-lane
+//! conditional subtract finishes the reduction. The twiddle multiply
+//! still needs widening, so butterflies unpack for the product and
+//! re-pack — exactly the trade a real NEON port makes (`vmull.u16`
+//! widens to 32 bits).
+//!
+//! The point is architectural exploration, not peak speed: the variant is
+//! bit-for-bit equivalent to [`crate::NttPlan::forward`] (tests enforce
+//! it) and the Criterion benches let the reader judge whether 4-lane SWAR
+//! pays off on their machine.
+
+use crate::plan::NttPlan;
+
+/// Lane mask: four 16-bit lanes in a u64.
+const LANE_MASK: u64 = 0xFFFF_FFFF_FFFF_FFFF;
+
+/// Packs four coefficients (each < 2¹⁶) into one u64, lane 0 in the low
+/// 16 bits.
+///
+/// # Panics
+///
+/// Debug builds assert every coefficient fits its lane.
+#[inline]
+pub fn pack4(c: [u32; 4]) -> u64 {
+    debug_assert!(c.iter().all(|&v| v < 1 << 16));
+    (c[0] as u64) | ((c[1] as u64) << 16) | ((c[2] as u64) << 32) | ((c[3] as u64) << 48)
+}
+
+/// Unpacks a 4-lane word.
+#[inline]
+pub fn unpack4(w: u64) -> [u32; 4] {
+    [
+        (w & 0xFFFF) as u32,
+        ((w >> 16) & 0xFFFF) as u32,
+        ((w >> 32) & 0xFFFF) as u32,
+        ((w >> 48) & 0xFFFF) as u32,
+    ]
+}
+
+/// Lane-parallel modular addition: `(a + b) mod q` in all four lanes.
+///
+/// Works because `a, b < q ≤ 12289` keeps every lane sum below 2¹⁵ — no
+/// carry can cross a lane boundary.
+#[inline]
+pub fn add4_mod(a: u64, b: u64, q: u32) -> u64 {
+    debug_assert!(q < 1 << 15);
+    // Lane sums stay below 2^15, so a plain 64-bit add never carries
+    // across a lane boundary.
+    let sum = a.wrapping_add(b) & LANE_MASK;
+    // Per-lane conditional subtract, branch-free (compiles to selects).
+    let mut lanes = unpack4(sum);
+    for l in lanes.iter_mut() {
+        let ge = (*l >= q) as u32;
+        *l -= ge * q;
+    }
+    pack4(lanes)
+}
+
+/// Lane-parallel modular subtraction.
+#[inline]
+pub fn sub4_mod(a: u64, b: u64, q: u32) -> u64 {
+    let mut la = unpack4(a);
+    let lb = unpack4(b);
+    for (x, y) in la.iter_mut().zip(lb) {
+        let lt = (*x < y) as u32;
+        *x = x.wrapping_add(lt * q) - y;
+    }
+    pack4(la)
+}
+
+/// In-place forward negacyclic NTT on 4-lane packed words.
+///
+/// Layout: word `i` holds coefficients `4i .. 4i+3`. Stages with span
+/// ≥ 4 run four butterflies per iteration on whole words; the last two
+/// stages (spans 2 and 1) work intra-word.
+///
+/// # Panics
+///
+/// Panics if `words.len() != n/4` or `n < 8`.
+pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
+    let n = plan.n();
+    assert!(n >= 8, "SWAR layout needs n >= 8");
+    assert_eq!(words.len(), n / 4, "need n/4 four-lane words");
+    let q = plan.q();
+    let tw = plan.forward_twiddles();
+    let mut t = n;
+    let mut m = 1usize;
+    // Word-level stages: span t >= 4.
+    while m < n / 4 {
+        t >>= 1;
+        for i in 0..m {
+            let s = tw[m + i];
+            let j1 = 2 * i * t;
+            let mut j = j1;
+            while j < j1 + t {
+                let u = words[j / 4];
+                let v = words[(j + t) / 4];
+                // Widening twiddle multiply per lane (the vmull step).
+                let lv = unpack4(v);
+                let prod = pack4([
+                    s.mul(lv[0], q),
+                    s.mul(lv[1], q),
+                    s.mul(lv[2], q),
+                    s.mul(lv[3], q),
+                ]);
+                words[j / 4] = add4_mod(u, prod, q);
+                words[(j + t) / 4] = sub4_mod(u, prod, q);
+                j += 4;
+            }
+        }
+        m <<= 1;
+    }
+    // Stage with span 2: word i is exactly one block (coefficients
+    // 4i..4i+3), two butterflies (4i, 4i+2) and (4i+1, 4i+3) sharing the
+    // block twiddle tw[m + i].
+    for i in 0..n / 4 {
+        let lanes = unpack4(words[i]);
+        let sp = tw[m + i];
+        let v0 = sp.mul(lanes[2], q);
+        let v1 = sp.mul(lanes[3], q);
+        words[i] = pack4([
+            rlwe_zq::add_mod(lanes[0], v0, q),
+            rlwe_zq::add_mod(lanes[1], v1, q),
+            rlwe_zq::sub_mod(lanes[0], v0, q),
+            rlwe_zq::sub_mod(lanes[1], v1, q),
+        ]);
+    }
+    m <<= 1;
+    // Final stage, span 1: butterflies (4i, 4i+1) and (4i+2, 4i+3) with
+    // distinct twiddles.
+    for i in 0..n / 4 {
+        let lanes = unpack4(words[i]);
+        let s0 = tw[m + 2 * i];
+        let s1 = tw[m + 2 * i + 1];
+        let v0 = s0.mul(lanes[1], q);
+        let v1 = s1.mul(lanes[3], q);
+        words[i] = pack4([
+            rlwe_zq::add_mod(lanes[0], v0, q),
+            rlwe_zq::sub_mod(lanes[0], v0, q),
+            rlwe_zq::add_mod(lanes[2], v1, q),
+            rlwe_zq::sub_mod(lanes[2], v1, q),
+        ]);
+    }
+}
+
+/// Packs a natural-order coefficient slice into the 4-lane layout.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of 4.
+pub fn pack_coeffs4(a: &[u32]) -> Vec<u64> {
+    assert!(a.len() % 4 == 0, "length must be a multiple of 4");
+    a.chunks_exact(4)
+        .map(|c| pack4([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Expands the 4-lane layout back to flat coefficients.
+pub fn unpack_coeffs4(words: &[u64]) -> Vec<u32> {
+    words.iter().flat_map(|&w| unpack4(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        let c = [1u32, 7680, 12288, 0];
+        assert_eq!(unpack4(pack4(c)), c);
+        let v: Vec<u32> = (0..64u32).map(|i| i * 100 % 7681).collect();
+        assert_eq!(unpack_coeffs4(&pack_coeffs4(&v)), v);
+    }
+
+    #[test]
+    fn lane_arithmetic_matches_scalar() {
+        for q in [7681u32, 12289] {
+            let a = [q - 1, 0, q / 2, 1234 % q];
+            let b = [q - 1, q - 1, q / 2 + 1, 999 % q];
+            let pa = pack4(a);
+            let pb = pack4(b);
+            let sum = unpack4(add4_mod(pa, pb, q));
+            let dif = unpack4(sub4_mod(pa, pb, q));
+            for i in 0..4 {
+                assert_eq!(sum[i], rlwe_zq::add_mod(a[i], b[i], q), "add lane {i}");
+                assert_eq!(dif[i], rlwe_zq::sub_mod(a[i], b[i], q), "sub lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_forward_matches_reference() {
+        for (n, q) in [(8usize, 12289u32), (64, 7681), (256, 7681), (512, 12289)] {
+            let plan = NttPlan::new(n, q).unwrap();
+            let a: Vec<u32> = (0..n as u32).map(|i| (i * 31 + 5) % q).collect();
+            let want = plan.forward_copy(&a);
+            let mut words = pack_coeffs4(&a);
+            forward_swar(&plan, &mut words);
+            assert_eq!(unpack_coeffs4(&words), want, "n={n} q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n/4")]
+    fn wrong_length_panics() {
+        let plan = NttPlan::new(16, 12289).unwrap();
+        let mut w = vec![0u64; 8];
+        forward_swar(&plan, &mut w);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-variant integration tests: every NTT path must implement the same
+//! negacyclic ring multiplication, with schoolbook as the oracle.
+
+use rlwe_ntt::packed::{negacyclic_mul_packed, pack_coeffs, unpack_coeffs};
+use rlwe_ntt::{schoolbook, NttPlan};
+
+fn pseudo_poly(n: usize, q: u32, seed: u64) -> Vec<u32> {
+    // xorshift64 — deterministic, independent of the rand crate.
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % q as u64) as u32
+        })
+        .collect()
+}
+
+#[test]
+fn ntt_mul_matches_schoolbook_p1() {
+    let (n, q) = (256, 7681);
+    let plan = NttPlan::new(n, q).unwrap();
+    for seed in 1..=5u64 {
+        let a = pseudo_poly(n, q, seed);
+        let b = pseudo_poly(n, q, seed + 100);
+        assert_eq!(
+            plan.negacyclic_mul(&a, &b),
+            schoolbook::negacyclic_mul(&a, &b, q),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn ntt_mul_matches_schoolbook_p2() {
+    let (n, q) = (512, 12289);
+    let plan = NttPlan::new(n, q).unwrap();
+    let a = pseudo_poly(n, q, 42);
+    let b = pseudo_poly(n, q, 43);
+    assert_eq!(
+        plan.negacyclic_mul(&a, &b),
+        schoolbook::negacyclic_mul(&a, &b, q)
+    );
+}
+
+#[test]
+fn packed_mul_matches_scalar_mul() {
+    let (n, q) = (256, 7681);
+    let plan = NttPlan::new(n, q).unwrap();
+    let a = pseudo_poly(n, q, 7);
+    let b = pseudo_poly(n, q, 8);
+    let scalar = plan.negacyclic_mul(&a, &b);
+    let packed = unpack_coeffs(&negacyclic_mul_packed(
+        &plan,
+        &pack_coeffs(&a),
+        &pack_coeffs(&b),
+    ));
+    assert_eq!(packed, scalar);
+}
+
+#[test]
+fn convolution_is_not_cyclic() {
+    // Guard against accidentally implementing the cyclic wrap: for inputs
+    // that exercise the wrap-around, negacyclic and cyclic differ.
+    let (n, q) = (64, 7681);
+    let plan = NttPlan::new(n, q).unwrap();
+    let a = pseudo_poly(n, q, 1);
+    let b = pseudo_poly(n, q, 2);
+    let neg = plan.negacyclic_mul(&a, &b);
+    let cyc = schoolbook::cyclic_mul(&a, &b, q);
+    assert_ne!(neg, cyc);
+}
+
+#[test]
+fn ntt_domain_mul_is_commutative_and_associative() {
+    let (n, q) = (128, 12289);
+    let plan = NttPlan::new(n, q).unwrap();
+    let a = pseudo_poly(n, q, 3);
+    let b = pseudo_poly(n, q, 4);
+    let c = pseudo_poly(n, q, 5);
+    let ab_c = plan.negacyclic_mul(&plan.negacyclic_mul(&a, &b), &c);
+    let a_bc = plan.negacyclic_mul(&a, &plan.negacyclic_mul(&b, &c));
+    assert_eq!(ab_c, a_bc);
+    assert_eq!(plan.negacyclic_mul(&a, &b), plan.negacyclic_mul(&b, &a));
+}

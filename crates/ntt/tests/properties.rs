@@ -1,0 +1,70 @@
+//! Property-based tests on the NTT engine.
+
+use proptest::prelude::*;
+use rlwe_ntt::packed::{forward_packed, inverse_packed, pack_coeffs, unpack_coeffs};
+use rlwe_ntt::{schoolbook, NttPlan};
+
+fn poly_strategy(n: usize, q: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..q, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_n64(a in poly_strategy(64, 7681)) {
+        let plan = NttPlan::new(64, 7681).unwrap();
+        let mut x = a.clone();
+        plan.forward(&mut x);
+        plan.inverse(&mut x);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn round_trip_packed_n64(a in poly_strategy(64, 12289)) {
+        let plan = NttPlan::new(64, 12289).unwrap();
+        let mut w = pack_coeffs(&a);
+        forward_packed(&plan, &mut w);
+        inverse_packed(&plan, &mut w);
+        prop_assert_eq!(unpack_coeffs(&w), a);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_n32(
+        a in poly_strategy(32, 7681),
+        b in poly_strategy(32, 7681),
+    ) {
+        let plan = NttPlan::new(32, 7681).unwrap();
+        prop_assert_eq!(
+            plan.negacyclic_mul(&a, &b),
+            schoolbook::negacyclic_mul(&a, &b, 7681)
+        );
+    }
+
+    #[test]
+    fn forward_is_injective_on_distinct_inputs(
+        a in poly_strategy(32, 7681),
+        b in poly_strategy(32, 7681),
+    ) {
+        prop_assume!(a != b);
+        let plan = NttPlan::new(32, 7681).unwrap();
+        prop_assert_ne!(plan.forward_copy(&a), plan.forward_copy(&b));
+    }
+
+    #[test]
+    fn scaling_commutes_with_transform(a in poly_strategy(32, 7681), k in 1u32..7681) {
+        let plan = NttPlan::new(32, 7681).unwrap();
+        let q = plan.modulus();
+        let scaled: Vec<u32> = a.iter().map(|&x| q.mul(x, k)).collect();
+        let fa_scaled: Vec<u32> = plan.forward_copy(&a).iter().map(|&x| q.mul(x, k)).collect();
+        prop_assert_eq!(plan.forward_copy(&scaled), fa_scaled);
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(a in poly_strategy(64, 12289)) {
+        let plan = NttPlan::new(64, 12289).unwrap();
+        let mut one = vec![0u32; 64];
+        one[0] = 1;
+        prop_assert_eq!(plan.negacyclic_mul(&a, &one), a);
+    }
+}

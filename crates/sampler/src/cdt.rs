@@ -1,0 +1,166 @@
+//! Cumulative distribution table (inversion) sampler — baseline.
+//!
+//! The classic alternative to Knuth-Yao (the paper's §II-B mentions
+//! inversion sampling among the known techniques): precompute the
+//! cumulative distribution of the half-Gaussian to 128 bits, draw a
+//! 128-bit uniform value and binary-search the table. Fast and simple, but
+//! it consumes a full 128 random bits per sample where Knuth-Yao consumes
+//! ~6 — exactly the trade-off that makes Knuth-Yao attractive on a
+//! microcontroller fed by a rate-limited TRNG.
+
+use crate::pmat::ProbabilityMatrix;
+use crate::random::BitSource;
+use crate::SignedSample;
+
+/// Inversion sampler over a 128-bit cumulative table.
+///
+/// Uses the same signed-half convention as the Knuth-Yao sampler
+/// (`P(0)` halved via sign rejection is unnecessary here because the table
+/// itself stores `P(0)` unhalved and the sign bit is ignored for zero).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::cdt::CdtSampler;
+/// use rlwe_sampler::ProbabilityMatrix;
+/// use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+///
+/// # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+/// let cdt = CdtSampler::new(&ProbabilityMatrix::paper_p1()?);
+/// let mut bits = BufferedBitSource::new(SplitMix64::new(1));
+/// let s = cdt.sample(&mut bits);
+/// assert!(s.magnitude() < 55);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdtSampler {
+    /// `cum[k]` = first 128 fraction bits of `Σ_{j≤k} P(j)` (half
+    /// distribution, zero unhalved).
+    cum: Vec<u128>,
+}
+
+impl CdtSampler {
+    /// Precision of the cumulative table in bits.
+    pub const PRECISION_BITS: usize = 128;
+
+    /// Builds the table from the same full-precision probabilities that
+    /// back the given probability matrix.
+    pub fn new(pmat: &ProbabilityMatrix) -> Self {
+        let mut cum = Vec::with_capacity(pmat.rows());
+        let mut acc = rlwe_bigfix::UFix::zero(crate::spec::FRAC_LIMBS);
+        for row in 0..pmat.rows() {
+            acc = acc.add(pmat.row_probability(row));
+            let mut v: u128 = 0;
+            for i in 1..=Self::PRECISION_BITS {
+                v = (v << 1) | acc.frac_bit(i) as u128;
+            }
+            cum.push(v);
+        }
+        Self { cum }
+    }
+
+    /// Size of the table in bytes (for the storage comparisons of
+    /// Table III's discussion).
+    pub fn table_bytes(&self) -> usize {
+        self.cum.len() * Self::PRECISION_BITS / 8
+    }
+
+    /// Draws one sample (consumes exactly 129 bits: 128 for the uniform
+    /// value plus a sign bit).
+    pub fn sample<B: BitSource>(&self, bits: &mut B) -> SignedSample {
+        let mut u: u128 = 0;
+        for _ in 0..4 {
+            u = (u << 32) | bits.take_bits(32) as u128;
+        }
+        // Smallest k with u < cum[k]; the tail (u beyond the last entry,
+        // probability < 2^-100) collapses to the largest magnitude.
+        let k = match self.cum.binary_search(&u) {
+            Ok(i) => i + 1, // u == cum[i] means u falls in the next bucket
+            Err(i) => i,
+        }
+        .min(self.cum.len() - 1);
+        let negative = bits.take_bit() == 1 && k != 0;
+        SignedSample::new(k as u16, negative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{BufferedBitSource, SplitMix64};
+
+    fn sampler() -> CdtSampler {
+        CdtSampler::new(&ProbabilityMatrix::paper_p1().unwrap())
+    }
+
+    #[test]
+    fn table_is_strictly_increasing() {
+        let c = sampler();
+        for w in c.cum.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn table_last_entry_is_close_to_one() {
+        let c = sampler();
+        // 1 - tail: all high bits set.
+        let last = *c.cum.last().unwrap();
+        assert!(last > u128::MAX - (1u128 << 40));
+    }
+
+    #[test]
+    fn bits_per_sample_is_fixed() {
+        let c = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(2));
+        let before = bits.bits_drawn();
+        c.sample(&mut bits);
+        assert_eq!(bits.bits_drawn() - before, 129);
+    }
+
+    #[test]
+    fn moments_match_the_spec() {
+        let c = sampler();
+        let spec = crate::GaussianSpec::p1();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(77));
+        let n = 100_000;
+        let (mut sum, mut sq) = (0f64, 0f64);
+        for _ in 0..n {
+            let v = c.sample(&mut bits).signed_value() as f64;
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.06, "mean {mean}");
+        assert!((var / (spec.sigma() * spec.sigma()) - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn zero_ignores_sign_bit() {
+        // Directly probe: a uniform value below cum[0] must yield +0
+        // regardless of the sign bit. Simulate with a crafted bit source.
+        struct Fixed(Vec<u32>, usize, u64);
+        impl crate::random::BitSource for Fixed {
+            fn take_bit(&mut self) -> u32 {
+                let b = self.0[self.1];
+                self.1 += 1;
+                self.2 += 1;
+                b
+            }
+            fn bits_drawn(&self) -> u64 {
+                self.2
+            }
+        }
+        let c = sampler();
+        // 129 zero bits -> u = 0 < cum[0], sign bit 0 ... then all-ones sign.
+        let mut src = Fixed(vec![0; 129], 0, 0);
+        assert_eq!(c.sample(&mut src).signed_value(), 0);
+        let mut bits = vec![0u32; 128];
+        bits.push(1); // sign = negative
+        let mut src = Fixed(bits, 0, 0);
+        let s = c.sample(&mut src);
+        assert_eq!(s.signed_value(), 0, "zero must swallow the sign");
+    }
+}

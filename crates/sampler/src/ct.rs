@@ -1,0 +1,203 @@
+//! Constant-time sampling — the paper's §V future work ("we further
+//! intend to extend our scheme to allow for constant-time execution").
+//!
+//! The Knuth-Yao walk's running time depends on the sampled value (the DDG
+//! path length), which leaks information through timing side channels.
+//! This module provides [`CtCdtSampler`], a constant-*operation-count*
+//! CDT sampler: it always draws exactly 129 bits, always scans the whole
+//! cumulative table, and replaces every branch with arithmetic masking.
+//! The cost is a full-table scan per sample (55 comparisons for P1) — the
+//! classic speed/leakage trade-off the paper deferred.
+
+use crate::pmat::ProbabilityMatrix;
+use crate::random::BitSource;
+use crate::SignedSample;
+
+/// A constant-operation-count inversion sampler.
+///
+/// Every call performs exactly the same sequence of operations regardless
+/// of the sampled value: 129 bit draws, one pass over the full cumulative
+/// table with branchless accumulation, and a masked sign application.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::ct::CtCdtSampler;
+/// use rlwe_sampler::ProbabilityMatrix;
+/// use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+///
+/// # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+/// let ct = CtCdtSampler::new(&ProbabilityMatrix::paper_p1()?);
+/// let mut bits = BufferedBitSource::new(SplitMix64::new(1));
+/// let s = ct.sample(&mut bits);
+/// assert!(s.magnitude() < 55);
+/// assert_eq!(ct.comparisons_per_sample(), 55);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtCdtSampler {
+    /// Cumulative probabilities, 128 fraction bits each.
+    cum: Vec<u128>,
+}
+
+impl CtCdtSampler {
+    /// Uniform bits drawn per sample (128 for the value + 1 sign).
+    pub const BITS_PER_SAMPLE: u64 = 129;
+
+    /// Builds the table from the matrix's full-precision probabilities.
+    pub fn new(pmat: &ProbabilityMatrix) -> Self {
+        let mut cum = Vec::with_capacity(pmat.rows());
+        let mut acc = rlwe_bigfix::UFix::zero(crate::spec::FRAC_LIMBS);
+        for row in 0..pmat.rows() {
+            acc = acc.add(pmat.row_probability(row));
+            let mut v: u128 = 0;
+            for i in 1..=128 {
+                v = (v << 1) | acc.frac_bit(i) as u128;
+            }
+            cum.push(v);
+        }
+        Self { cum }
+    }
+
+    /// Number of table comparisons every sample performs (the full table).
+    pub fn comparisons_per_sample(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Draws one sample with a fixed operation count.
+    ///
+    /// The magnitude is `Σ_k [u ≥ cum[k]]` computed branchlessly: each
+    /// comparison contributes its result bit via masked arithmetic, never
+    /// via control flow.
+    pub fn sample<B: BitSource>(&self, bits: &mut B) -> SignedSample {
+        let mut u: u128 = 0;
+        for _ in 0..4 {
+            u = (u << 32) | bits.take_bits(32) as u128;
+        }
+        // Branchless rank computation: k = number of cum entries <= u.
+        let mut k: u32 = 0;
+        for &c in &self.cum {
+            // (c <= u) as a 0/1 without a data-dependent branch. The
+            // comparison itself compiles to flag arithmetic; no early
+            // exit, no table-index-dependent memory access pattern.
+            k += u128_ge_branchless(u, c);
+        }
+        let k = k.min(self.cum.len() as u32 - 1);
+        // Sign: masked so that magnitude 0 ignores it (q - 0 = q ≡ 0
+        // anyway, but SignedSample normalises through the mask).
+        let sign_bit = bits.take_bit();
+        let nonzero_mask = (k != 0) as u32;
+        SignedSample::new(k as u16, (sign_bit & nonzero_mask) == 1)
+    }
+}
+
+/// `(a >= b) as u32` without a data-dependent branch.
+#[inline]
+fn u128_ge_branchless(a: u128, b: u128) -> u32 {
+    // borrow = 1 iff a < b; computed through wrapping arithmetic on the
+    // high bit of the difference chain.
+    let (_, borrow) = a.overflowing_sub(b);
+    1 - borrow as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{BitSource, BufferedBitSource, SplitMix64};
+    use crate::{stats, GaussianSpec};
+
+    fn sampler() -> (CtCdtSampler, ProbabilityMatrix) {
+        let pmat = ProbabilityMatrix::paper_p1().unwrap();
+        (CtCdtSampler::new(&pmat), pmat)
+    }
+
+    #[test]
+    fn bit_consumption_is_exactly_constant() {
+        let (ct, _) = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(1));
+        for i in 0..10_000 {
+            let before = bits.bits_drawn();
+            ct.sample(&mut bits);
+            assert_eq!(
+                bits.bits_drawn() - before,
+                CtCdtSampler::BITS_PER_SAMPLE,
+                "sample {i} consumed a different number of bits"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_matches_the_matrix() {
+        let (ct, pmat) = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(0xC7));
+        let n = 300_000;
+        let samples: Vec<i32> = (0..n).map(|_| ct.sample(&mut bits).signed_value()).collect();
+        let observed = stats::observed_signed_histogram(&samples, 16);
+        let (_, expected) = stats::expected_signed_histogram(&pmat, n as u64, 16);
+        let chi2 = stats::chi_square(&observed, &expected);
+        assert!(chi2 < 75.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn moments_match() {
+        let (ct, _) = sampler();
+        let spec = GaussianSpec::p1();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(3));
+        let n = 100_000;
+        let (mut s, mut s2) = (0f64, 0f64);
+        for _ in 0..n {
+            let v = ct.sample(&mut bits).signed_value() as f64;
+            s += v;
+            s2 += v * v;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.06);
+        assert!((var / (spec.sigma() * spec.sigma()) - 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn branchless_compare_is_correct() {
+        let cases = [
+            (0u128, 0u128),
+            (1, 0),
+            (0, 1),
+            (u128::MAX, u128::MAX),
+            (u128::MAX, 0),
+            (0, u128::MAX),
+            (1 << 127, (1 << 127) - 1),
+        ];
+        for (a, b) in cases {
+            assert_eq!(u128_ge_branchless(a, b), (a >= b) as u32, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_never_negative() {
+        let (ct, _) = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(5));
+        for _ in 0..20_000 {
+            let s = ct.sample(&mut bits);
+            if s.magnitude() == 0 {
+                assert!(!s.is_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_variable_time_cdt() {
+        // Same bit stream -> same output as the variable-time CDT sampler
+        // (both invert the same cumulative table).
+        let pmat = ProbabilityMatrix::paper_p1().unwrap();
+        let ct = CtCdtSampler::new(&pmat);
+        let vt = crate::cdt::CdtSampler::new(&pmat);
+        let mut b1 = BufferedBitSource::new(SplitMix64::new(9));
+        let mut b2 = b1.clone();
+        for i in 0..20_000 {
+            let a = ct.sample(&mut b1);
+            let b = vt.sample(&mut b2);
+            assert_eq!(a.magnitude(), b.magnitude(), "diverged at {i}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! DDG-tree analysis: the data behind the paper's Fig. 2.
+//!
+//! Each column `c` of the probability matrix is one level (`c + 1`) of the
+//! discrete distribution generating (DDG) tree; a column with Hamming
+//! weight `h` contributes `h` terminal nodes of probability `2^−(c+1)`
+//! each. Accumulating these weights gives the probability that a sample
+//! resolves within the first `x` levels — the curve of Fig. 2, and the
+//! justification for the 8-level and 13-level lookup tables.
+
+use crate::pmat::ProbabilityMatrix;
+
+/// Probability that the Knuth-Yao walk terminates within `level` levels,
+/// for every level `1..=cols` — the paper's Fig. 2 series.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::{ddg, ProbabilityMatrix};
+///
+/// # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+/// let pmat = ProbabilityMatrix::paper_p1()?;
+/// let cdf = ddg::level_cdf(&pmat);
+/// // The paper: 97.27% within 8 levels, 99.87% within 13 (σ = 11.31/√2π).
+/// assert!((cdf[7] - 0.9727).abs() < 1e-3);
+/// assert!((cdf[12] - 0.9987).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn level_cdf(pmat: &ProbabilityMatrix) -> Vec<f64> {
+    let mut acc = 0f64;
+    pmat.hamming_weights()
+        .iter()
+        .enumerate()
+        .map(|(c, &h)| {
+            acc += h as f64 * (-((c + 1) as f64)).exp2();
+            acc
+        })
+        .collect()
+}
+
+/// Expected number of levels a walk visits (= expected random bits consumed
+/// before the sign bit). Knuth-Yao's near-optimality claim is that this is
+/// within 2 bits of the distribution's entropy.
+pub fn expected_levels(pmat: &ProbabilityMatrix) -> f64 {
+    pmat.hamming_weights()
+        .iter()
+        .enumerate()
+        .map(|(c, &h)| (c + 1) as f64 * h as f64 * (-((c + 1) as f64)).exp2())
+        .sum()
+}
+
+/// Shannon entropy (bits) of the quantized half-distribution, for
+/// comparison with [`expected_levels`].
+pub fn entropy_bits(pmat: &ProbabilityMatrix) -> f64 {
+    (0..pmat.rows())
+        .map(|r| pmat.quantized_row_probability(r))
+        .filter(|&p| p > 0.0)
+        .map(|p| -p * p.log2())
+        .sum()
+}
+
+/// Number of internal (non-terminal) DDG nodes at each level — the width
+/// of the walk frontier, and the reason the distance counter `d` stays
+/// small (it is bounded by this value).
+pub fn internal_nodes(pmat: &ProbabilityMatrix) -> Vec<u64> {
+    let mut internal = 1u64; // the root
+    pmat.hamming_weights()
+        .iter()
+        .map(|&h| {
+            internal = 2 * internal - h as u64;
+            internal
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmat() -> ProbabilityMatrix {
+        ProbabilityMatrix::paper_p1().unwrap()
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_approaches_one() {
+        let cdf = level_cdf(&pmat());
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Quantized probabilities sum to 1 − δ with δ ≈ 2^-103; in f64 the
+        // accumulated CDF lands within a few ulps of 1.
+        let last = *cdf.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-12, "last = {last}");
+    }
+
+    #[test]
+    fn paper_fig2_anchor_points() {
+        let cdf = level_cdf(&pmat());
+        assert!((cdf[7] - 0.9727).abs() < 1e-3, "level 8: {}", cdf[7]);
+        assert!((cdf[12] - 0.9987).abs() < 1e-3, "level 13: {}", cdf[12]);
+    }
+
+    #[test]
+    fn expected_levels_close_to_entropy() {
+        let m = pmat();
+        let levels = expected_levels(&m);
+        let h = entropy_bits(&m);
+        // Knuth-Yao: H <= E[levels] < H + 2.
+        assert!(levels >= h - 1e-9, "levels {levels} < entropy {h}");
+        assert!(levels < h + 2.0, "levels {levels} >= entropy + 2 ({h})");
+    }
+
+    #[test]
+    fn internal_nodes_never_negative_and_stay_bounded() {
+        let nodes = internal_nodes(&pmat());
+        for (level, &n) in nodes.iter().enumerate() {
+            assert!(n <= 64, "frontier exploded at level {}: {n}", level + 1);
+        }
+        // The walk must be able to continue until the last level.
+        assert!(nodes[..nodes.len() - 1].iter().all(|&n| n > 0));
+    }
+}

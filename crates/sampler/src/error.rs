@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building samplers or probability matrices.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SamplerError {
+    /// The requested matrix has no rows or no columns.
+    EmptyMatrix,
+    /// The requested precision exceeds what the fixed-point backend was
+    /// configured for.
+    PrecisionTooHigh {
+        /// Requested number of probability bits (matrix columns).
+        requested: usize,
+        /// Available fraction bits in the fixed-point backend.
+        available: usize,
+    },
+    /// The matrix dimensions fail the paper's statistical-distance target:
+    /// the distance bound came out above 2^(−90).
+    DistanceBoundTooLoose {
+        /// log₂ of the achieved statistical-distance bound (negative).
+        achieved_log2: f64,
+    },
+    /// The Gaussian parameter is too wide for the 8-bit DDG lookup tables
+    /// (a distance counter overflowed the bits reserved for it).
+    LutOverflow {
+        /// Which table overflowed ("LUT1" or "LUT2").
+        table: &'static str,
+        /// The distance value that did not fit.
+        distance: u32,
+    },
+}
+
+impl fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerError::EmptyMatrix => write!(f, "probability matrix must be non-empty"),
+            SamplerError::PrecisionTooHigh {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} probability bits but backend has {available}"
+            ),
+            SamplerError::DistanceBoundTooLoose { achieved_log2 } => write!(
+                f,
+                "statistical distance bound 2^{achieved_log2:.1} misses the 2^-90 target"
+            ),
+            SamplerError::LutOverflow { table, distance } => {
+                write!(f, "{table} distance counter {distance} does not fit its field")
+            }
+        }
+    }
+}
+
+impl Error for SamplerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(SamplerError::EmptyMatrix.to_string().contains("non-empty"));
+        let e = SamplerError::LutOverflow {
+            table: "LUT2",
+            distance: 99,
+        };
+        assert!(e.to_string().contains("LUT2") && e.to_string().contains("99"));
+    }
+}

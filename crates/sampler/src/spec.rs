@@ -1,0 +1,220 @@
+//! The [`GaussianSpec`]: exact description of the paper's error
+//! distribution.
+
+use rlwe_bigfix::{pi, UFix};
+
+/// Number of 32-bit fraction limbs used for all probability computations
+/// (192 bits — comfortably beyond the 109 matrix columns and the 2⁻⁹⁰
+/// statistical-distance target).
+pub(crate) const FRAC_LIMBS: usize = 6;
+
+/// Exact specification of a discrete Gaussian `D_{Z,σ}` with
+/// `σ = s/√(2π)` and `s` given as the *rational* `s_num/s_den`.
+///
+/// The paper writes its parameter sets as `σ = 11.31/√(2π)` and
+/// `σ = 12.18/√(2π)`; keeping `s` rational lets the Gaussian weight be
+/// computed without any irrational intermediate except π itself:
+///
+/// ```text
+/// ρ(k) = exp(−k²/(2σ²)) = exp(−k²·π/s²) = exp(−k²·π·s_den²/s_num²)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use rlwe_sampler::GaussianSpec;
+///
+/// let p1 = GaussianSpec::p1();
+/// assert!((p1.sigma() - 4.5117).abs() < 1e-3);
+/// let p2 = GaussianSpec::p2();
+/// assert!(p2.sigma() > p1.sigma());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaussianSpec {
+    s_num: u32,
+    s_den: u32,
+}
+
+impl GaussianSpec {
+    /// Builds a spec from the rational `s = s_num / s_den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is zero.
+    pub fn new(s_num: u32, s_den: u32) -> Self {
+        assert!(s_num > 0 && s_den > 0, "s must be a positive rational");
+        Self { s_num, s_den }
+    }
+
+    /// The paper's P1 distribution: `s = 11.31`, σ ≈ 4.5116.
+    pub fn p1() -> Self {
+        Self::new(1131, 100)
+    }
+
+    /// The paper's P2 distribution: `s = 12.18`, σ ≈ 4.8586.
+    pub fn p2() -> Self {
+        Self::new(1218, 100)
+    }
+
+    /// The Gaussian parameter `s = σ·√(2π)` as a float.
+    pub fn s(&self) -> f64 {
+        self.s_num as f64 / self.s_den as f64
+    }
+
+    /// The standard deviation σ as a float (for reporting; exact
+    /// computations never go through this).
+    pub fn sigma(&self) -> f64 {
+        self.s() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+
+    /// The Gaussian weight `ρ(k) = exp(−k²·π/s²)` at full precision.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rlwe_sampler::GaussianSpec;
+    ///
+    /// let rho1 = GaussianSpec::p1().rho(1);
+    /// let sigma = GaussianSpec::p1().sigma();
+    /// let want = (-1.0 / (2.0 * sigma * sigma)).exp();
+    /// assert!((rho1.to_f64() - want).abs() < 1e-12);
+    /// ```
+    pub fn rho(&self, k: u32) -> UFix {
+        // x = k² · π · s_den² / s_num²
+        let k2 = k as u64 * k as u64;
+        let num = k2 * self.s_den as u64 * self.s_den as u64;
+        let den = self.s_num as u64 * self.s_num as u64;
+        let x = pi(FRAC_LIMBS).mul_u64(num).div_u64(den);
+        x.exp_neg()
+    }
+
+    /// The full normalisation constant `ρ(Z) = 1 + 2·Σ_{k≥1} ρ(k)`,
+    /// summed until the terms underflow the 192-bit precision.
+    pub fn rho_z(&self) -> UFix {
+        let mut acc = UFix::from_u64(1, FRAC_LIMBS);
+        let mut k = 1u32;
+        loop {
+            let r = self.rho(k);
+            if r.is_zero() {
+                break;
+            }
+            acc = acc.add(&r.double());
+            k += 1;
+            assert!(k < 10_000, "rho series failed to converge");
+        }
+        acc
+    }
+
+    /// True probability `P(X = k)` for `k ≥ 0` under the *signed-half*
+    /// convention used by the sampler: the matrix stores
+    /// `P(0) = ρ(0)/ρ(Z)` and `P(k) = 2ρ(k)/ρ(Z)` for `k ≥ 1`, and a sign
+    /// bit then splits `P(k)` evenly between `+k` and `−k`.
+    pub fn half_probability(&self, k: u32) -> UFix {
+        let rho_z = self.rho_z();
+        let r = self.rho(k);
+        let num = if k == 0 { r } else { r.double() };
+        num.div(&rho_z)
+    }
+
+    /// The tail mass `2·Σ_{k≥max_k+1} ρ(k) / ρ(Z)` lost by truncating the
+    /// support at `max_k` — one of the two contributions to the
+    /// statistical distance bound.
+    pub fn tail_mass(&self, max_k: u32) -> UFix {
+        let mut acc = UFix::zero(FRAC_LIMBS);
+        let mut k = max_k + 1;
+        loop {
+            let r = self.rho(k);
+            if r.is_zero() {
+                break;
+            }
+            acc = acc.add(&r.double());
+            k += 1;
+            assert!(k < 10_000, "tail series failed to converge");
+        }
+        acc.div(&self.rho_z())
+    }
+
+    /// Support cut used by the paper-calibrated matrices: the largest
+    /// stored magnitude is `floor(12σ)`, giving 55 rows for P1 (the number
+    /// the paper reports in §III-B2).
+    pub fn paper_rows(&self) -> usize {
+        (12.0 * self.sigma()).floor() as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_values_match_paper() {
+        // σ = 11.31/√(2π) ≈ 4.51, σ = 12.18/√(2π) ≈ 4.86.
+        assert!((GaussianSpec::p1().sigma() - 4.5117).abs() < 5e-4);
+        assert!((GaussianSpec::p2().sigma() - 4.8587).abs() < 5e-4);
+    }
+
+    #[test]
+    fn rho_zero_is_one() {
+        assert_eq!(GaussianSpec::p1().rho(0), UFix::from_u64(1, FRAC_LIMBS));
+    }
+
+    #[test]
+    fn rho_matches_f64_for_small_k() {
+        let spec = GaussianSpec::p1();
+        let sigma = spec.sigma();
+        for k in 0..20u32 {
+            let want = (-(k as f64 * k as f64) / (2.0 * sigma * sigma)).exp();
+            let got = spec.rho(k).to_f64();
+            assert!((got - want).abs() < 1e-10, "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rho_z_approximates_s() {
+        // ρ(Z) ≈ σ√(2π) = s for σ this large (Poisson summation error is
+        // astronomically small).
+        let spec = GaussianSpec::p1();
+        assert!((spec.rho_z().to_f64() - spec.s()).abs() < 1e-9);
+        let spec2 = GaussianSpec::p2();
+        assert!((spec2.rho_z().to_f64() - spec2.s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_probabilities_sum_to_one_minus_tail() {
+        let spec = GaussianSpec::p1();
+        let mut acc = UFix::zero(FRAC_LIMBS);
+        for k in 0..=54u32 {
+            acc = acc.add(&spec.half_probability(k));
+        }
+        let gap = UFix::from_u64(1, FRAC_LIMBS).sub(&acc);
+        // The gap is exactly the tail beyond 54 (up to truncation noise).
+        let tail = spec.tail_mass(54);
+        let err = if gap >= tail {
+            gap.sub(&tail)
+        } else {
+            tail.sub(&gap)
+        };
+        assert!(err.to_f64() < 1e-45);
+    }
+
+    #[test]
+    fn paper_row_counts() {
+        assert_eq!(GaussianSpec::p1().paper_rows(), 55); // the paper's count
+        assert_eq!(GaussianSpec::p2().paper_rows(), 59);
+    }
+
+    #[test]
+    fn tail_at_12_sigma_is_below_2_pow_90() {
+        for spec in [GaussianSpec::p1(), GaussianSpec::p2()] {
+            let max_k = spec.paper_rows() as u32 - 1;
+            let tail = spec.tail_mass(max_k);
+            let bound = UFix::from_ratio(1, 1, FRAC_LIMBS); // placeholder 1
+            assert!(tail < bound);
+            // log2 check via f64 exponent arithmetic on the hex expansion:
+            // tail < 2^-90 ⟺ the first 90 fraction bits are all zero.
+            for i in 1..=90 {
+                assert_eq!(tail.frac_bit(i), 0, "tail bit {i} set for s={}", spec.s());
+            }
+        }
+    }
+}

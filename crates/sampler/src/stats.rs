@@ -1,0 +1,127 @@
+//! Statistical test helpers for validating sampler output.
+
+use crate::pmat::ProbabilityMatrix;
+
+/// Pearson's chi-square statistic for observed counts against expected
+/// counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an expected count is not
+/// positive.
+pub fn chi_square(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "bucket count mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Sample mean and (population) variance of a stream of signed values.
+pub fn moments(samples: &[i32]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var)
+}
+
+/// Builds the expected *signed-value* histogram for `n` draws from the
+/// distribution a probability matrix encodes: buckets
+/// `−(max_mag) ..= +max_mag`, with everything beyond `max_mag` pooled into
+/// the edge buckets.
+///
+/// Returns `(bucket_values, expected_counts)`.
+pub fn expected_signed_histogram(
+    pmat: &ProbabilityMatrix,
+    n: u64,
+    max_mag: u32,
+) -> (Vec<i32>, Vec<f64>) {
+    let mut values = Vec::new();
+    let mut expected = Vec::new();
+    for v in -(max_mag as i32)..=(max_mag as i32) {
+        let mag = v.unsigned_abs() as usize;
+        let p_mag = pmat.quantized_row_probability(mag);
+        let mut p = if v == 0 { p_mag } else { p_mag / 2.0 };
+        // Pool the (tiny) probability beyond max_mag into the edges.
+        if v.unsigned_abs() == max_mag {
+            let pooled: f64 = (mag + 1..pmat.rows())
+                .map(|r| pmat.quantized_row_probability(r) / 2.0)
+                .sum();
+            p += pooled;
+        }
+        values.push(v);
+        expected.push(p * n as f64);
+    }
+    (values, expected)
+}
+
+/// Histogram of signed samples into the bucket layout of
+/// [`expected_signed_histogram`].
+pub fn observed_signed_histogram(samples: &[i32], max_mag: u32) -> Vec<u64> {
+    let m = max_mag as i32;
+    let mut counts = vec![0u64; (2 * max_mag + 1) as usize];
+    for &s in samples {
+        let clamped = s.clamp(-m, m);
+        counts[(clamped + m) as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_of_exact_match_is_zero() {
+        let obs = [10u64, 20, 30];
+        let exp = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square(&obs, &exp), 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_discrepancy() {
+        let exp = [100.0, 100.0];
+        let near = chi_square(&[105, 95], &exp);
+        let far = chi_square(&[150, 50], &exp);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn moments_of_symmetric_data() {
+        let samples = [-2, -1, 0, 1, 2];
+        let (mean, var) = moments(&samples);
+        assert_eq!(mean, 0.0);
+        assert_eq!(var, 2.0);
+    }
+
+    #[test]
+    fn expected_histogram_sums_to_n() {
+        let pmat = ProbabilityMatrix::paper_p1().unwrap();
+        let n = 1_000_000;
+        let (_, exp) = expected_signed_histogram(&pmat, n, 20);
+        let total: f64 = exp.iter().sum();
+        assert!((total - n as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn observed_histogram_pools_tails() {
+        let samples = [-30, -2, 0, 2, 30];
+        let counts = observed_signed_histogram(&samples, 3);
+        assert_eq!(counts.len(), 7);
+        assert_eq!(counts[0], 1); // -30 pooled into -3
+        assert_eq!(counts[6], 1); // +30 pooled into +3
+        assert_eq!(counts[3], 1); // 0
+    }
+}

@@ -1,0 +1,115 @@
+//! Distribution-level integration tests: every sampler (Knuth-Yao ladder,
+//! CDT, rejection) must produce the same discrete Gaussian, verified with
+//! chi-square goodness-of-fit against the exact matrix probabilities.
+
+use rlwe_sampler::cdt::CdtSampler;
+use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
+use rlwe_sampler::rejection::RejectionSampler;
+use rlwe_sampler::{stats, KnuthYao, ProbabilityMatrix, SignedSample};
+
+const N_SAMPLES: usize = 400_000;
+const MAX_MAG: u32 = 16;
+/// Chi-square critical value for 32 degrees of freedom at α ≈ 0.0005,
+/// with margin. Seeds are fixed, so failures are deterministic signals,
+/// not flakes.
+const CHI2_LIMIT: f64 = 75.0;
+
+fn chi2_of<F: FnMut(&mut BufferedBitSource<SplitMix64>) -> SignedSample>(
+    pmat: &ProbabilityMatrix,
+    seed: u64,
+    mut f: F,
+) -> f64 {
+    let mut bits = BufferedBitSource::new(SplitMix64::new(seed));
+    let samples: Vec<i32> = (0..N_SAMPLES)
+        .map(|_| f(&mut bits).signed_value())
+        .collect();
+    let observed = stats::observed_signed_histogram(&samples, MAX_MAG);
+    let (_, expected) = stats::expected_signed_histogram(pmat, N_SAMPLES as u64, MAX_MAG);
+    stats::chi_square(&observed, &expected)
+}
+
+#[test]
+fn knuth_yao_lut_fits_the_exact_distribution() {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ky = KnuthYao::new(pmat.clone()).unwrap();
+    let chi2 = chi2_of(&pmat, 0xA11CE, |b| ky.sample_lut(b));
+    assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
+}
+
+#[test]
+fn knuth_yao_basic_fits_the_exact_distribution() {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ky = KnuthYao::new(pmat.clone()).unwrap();
+    let chi2 = chi2_of(&pmat, 0xB0B, |b| b.clone_sample(&ky));
+    assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
+}
+
+/// Helper trait so the basic variant reads naturally above.
+trait SampleExt {
+    fn clone_sample(&mut self, ky: &KnuthYao) -> SignedSample;
+}
+impl SampleExt for BufferedBitSource<SplitMix64> {
+    fn clone_sample(&mut self, ky: &KnuthYao) -> SignedSample {
+        ky.sample_basic(self)
+    }
+}
+
+#[test]
+fn cdt_fits_the_exact_distribution() {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let cdt = CdtSampler::new(&pmat);
+    let chi2 = chi2_of(&pmat, 0xCD7, |b| cdt.sample(b));
+    assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
+}
+
+#[test]
+fn rejection_fits_the_exact_distribution() {
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let rej = RejectionSampler::new(&pmat);
+    let chi2 = chi2_of(&pmat, 0x4E1, |b| rej.sample(b));
+    assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
+}
+
+#[test]
+fn p2_sampler_fits_its_own_distribution() {
+    let pmat = ProbabilityMatrix::paper_p2().unwrap();
+    let ky = KnuthYao::new(pmat.clone()).unwrap();
+    let chi2 = chi2_of(&pmat, 0x9D2, |b| ky.sample_lut(b));
+    assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
+}
+
+#[test]
+fn bit_budget_ordering_ky_vs_cdt_vs_rejection() {
+    // The paper's motivation: KY needs ~6.3 bits/sample, CDT a fixed 129,
+    // rejection tens. Verify the ordering holds.
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ky = KnuthYao::new(pmat.clone()).unwrap();
+    let cdt = CdtSampler::new(&pmat);
+    let rej = RejectionSampler::new(&pmat);
+    let n = 20_000u64;
+
+    let mut b1 = BufferedBitSource::new(SplitMix64::new(1));
+    for _ in 0..n {
+        ky.sample_lut(&mut b1);
+    }
+    let ky_bits = b1.bits_drawn() as f64 / n as f64;
+
+    let mut b2 = BufferedBitSource::new(SplitMix64::new(2));
+    for _ in 0..n {
+        cdt.sample(&mut b2);
+    }
+    let cdt_bits = b2.bits_drawn() as f64 / n as f64;
+
+    let mut b3 = BufferedBitSource::new(SplitMix64::new(3));
+    for _ in 0..n {
+        rej.sample(&mut b3);
+    }
+    let rej_bits = b3.bits_drawn() as f64 / n as f64;
+
+    assert!(ky_bits < 12.0, "KY used {ky_bits} bits/sample");
+    assert!(
+        ky_bits < rej_bits && rej_bits < cdt_bits,
+        "expected KY < rejection < CDT, got {ky_bits} / {rej_bits} / {cdt_bits}"
+    );
+    assert_eq!(cdt_bits, 129.0);
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the sampler crate.
+
+use proptest::prelude::*;
+use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
+use rlwe_sampler::{GaussianSpec, KnuthYao, ProbabilityMatrix, SignedSample};
+
+fn p1_sampler() -> KnuthYao {
+    KnuthYao::new(ProbabilityMatrix::paper_p1().expect("P1 builds")).expect("LUTs build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_variant_stays_in_support(seed in any::<u64>()) {
+        let ky = p1_sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(seed));
+        for _ in 0..20 {
+            for s in [
+                ky.sample_basic(&mut bits),
+                ky.sample_hw(&mut bits),
+                ky.sample_clz(&mut bits),
+                ky.sample_lut1(&mut bits),
+                ky.sample_lut(&mut bits),
+            ] {
+                prop_assert!(s.magnitude() < 55);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_variants_agree_on_any_stream(seed in any::<u64>()) {
+        let ky = p1_sampler();
+        let mut a = BufferedBitSource::new(SplitMix64::new(seed));
+        let mut b = a.clone();
+        let mut c = a.clone();
+        for _ in 0..50 {
+            let x = ky.sample_basic(&mut a);
+            prop_assert_eq!(x, ky.sample_hw(&mut b));
+            prop_assert_eq!(x, ky.sample_clz(&mut c));
+        }
+        prop_assert_eq!(a.bits_drawn(), b.bits_drawn());
+        prop_assert_eq!(a.bits_drawn(), c.bits_drawn());
+    }
+
+    #[test]
+    fn lut_magnitudes_agree_with_basic(seed in any::<u64>()) {
+        let ky = p1_sampler();
+        let mut a = BufferedBitSource::new(SplitMix64::new(seed));
+        let mut b = a.clone();
+        prop_assert_eq!(
+            ky.sample_basic(&mut a).magnitude(),
+            ky.sample_lut(&mut b).magnitude()
+        );
+    }
+
+    #[test]
+    fn zq_mapping_is_always_reduced(mag in 0u16..55, neg: bool, q in prop::sample::select(vec![7681u32, 12289])) {
+        let s = SignedSample::new(mag, neg);
+        let v = s.to_zq(q);
+        prop_assert!(v < q);
+        // Centered value round-trips.
+        let centered = if v > q / 2 { v as i64 - q as i64 } else { v as i64 };
+        prop_assert_eq!(centered, s.signed_value() as i64);
+    }
+
+    #[test]
+    fn matrix_bits_encode_the_probabilities(row in 0usize..55) {
+        let pmat = ProbabilityMatrix::paper_p1().expect("P1 builds");
+        let p = pmat.row_probability(row);
+        // The stored bits are exactly the first 109 fraction bits.
+        for col in 0..pmat.cols() {
+            prop_assert_eq!(pmat.bit(row, col), p.frac_bit(col + 1));
+        }
+    }
+
+    #[test]
+    fn custom_spec_matrices_build_and_sample(s_num in 900u32..1400) {
+        // Any plausible Gaussian parameter in the paper's neighbourhood
+        // must produce a valid matrix and sampler.
+        let spec = GaussianSpec::new(s_num, 100);
+        let rows = spec.paper_rows();
+        if let Ok(pmat) = ProbabilityMatrix::build(spec, rows, 109) {
+            let ky = KnuthYao::new(pmat).expect("LUT fields fit");
+            let mut bits = BufferedBitSource::new(SplitMix64::new(s_num as u64));
+            let s = ky.sample_lut(&mut bits);
+            prop_assert!((s.magnitude() as usize) < rows);
+        }
+    }
+
+    #[test]
+    fn buffered_source_words_match_bit_demand(seed in any::<u64>(), draws in 1u32..400) {
+        let mut b = BufferedBitSource::new(SplitMix64::new(seed));
+        for _ in 0..draws {
+            b.take_bit();
+        }
+        // 31 payload bits per fetched word.
+        prop_assert_eq!(b.words_fetched(), (draws as u64).div_ceil(31));
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using a [`Modulus`](crate::Modulus).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ZqError {
+    /// The requested modulus is not a prime number.
+    NotPrime {
+        /// The rejected modulus value.
+        q: u32,
+    },
+    /// The requested modulus does not fit the supported range (2 ≤ q < 2³¹).
+    OutOfRange {
+        /// The rejected modulus value.
+        q: u32,
+    },
+    /// A root of unity of the requested order does not exist because the
+    /// order does not divide `q - 1`.
+    NoRootOfUnity {
+        /// The modulus in use.
+        q: u32,
+        /// The requested multiplicative order.
+        order: u64,
+    },
+    /// The element has no multiplicative inverse modulo `q`.
+    NoInverse {
+        /// The non-invertible element.
+        value: u32,
+        /// The modulus in use.
+        q: u32,
+    },
+}
+
+impl fmt::Display for ZqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZqError::NotPrime { q } => write!(f, "modulus {q} is not prime"),
+            ZqError::OutOfRange { q } => {
+                write!(f, "modulus {q} is outside the supported range 2..2^31")
+            }
+            ZqError::NoRootOfUnity { q, order } => {
+                write!(f, "no root of unity of order {order} exists modulo {q}")
+            }
+            ZqError::NoInverse { value, q } => {
+                write!(f, "{value} has no inverse modulo {q}")
+            }
+        }
+    }
+}
+
+impl Error for ZqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = ZqError::NotPrime { q: 100 }.to_string();
+        assert!(msg.contains("100"));
+        let msg = ZqError::NoRootOfUnity { q: 7681, order: 7 }.to_string();
+        assert!(msg.contains("7681") && msg.contains('7'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ZqError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! The [`Modulus`] context: a validated prime with precomputed reduction
+//! constants.
+
+use crate::error::ZqError;
+use crate::primality::is_prime_u64;
+use crate::primitive;
+
+/// A validated prime modulus with precomputed Barrett constants.
+///
+/// All ring-LWE arithmetic in this suite is parameterised by a `Modulus`.
+/// Construction validates primality and range once, so the arithmetic
+/// methods can stay branch-light.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::Modulus;
+///
+/// # fn main() -> Result<(), rlwe_zq::ZqError> {
+/// let q = Modulus::new(12289)?;
+/// assert_eq!(q.mul(12288, 12288), 1); // (-1)^2 = 1
+/// assert_eq!(q.inv(2)?, 6145);        // 2 * 6145 = 12290 = 1 (mod q)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    q: u32,
+    /// Barrett reciprocal: floor(2^64 / q).
+    barrett_mu: u64,
+}
+
+impl Modulus {
+    /// Creates a modulus context for the prime `q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ZqError::OutOfRange`] if `q < 2` or `q ≥ 2³¹`.
+    /// * [`ZqError::NotPrime`] if `q` is composite.
+    pub fn new(q: u32) -> Result<Self, ZqError> {
+        if q < 2 || q >= 1 << 31 {
+            return Err(ZqError::OutOfRange { q });
+        }
+        if !is_prime_u64(q as u64) {
+            return Err(ZqError::NotPrime { q });
+        }
+        Ok(Self {
+            q,
+            // floor((2^64 - 1) / q) never overestimates floor(2^64 / q), so the
+            // Barrett quotient below underestimates by at most 2.
+            barrett_mu: u64::MAX / q as u64,
+        })
+    }
+
+    /// Returns the raw modulus value.
+    #[inline]
+    pub fn value(&self) -> u32 {
+        self.q
+    }
+
+    /// Returns the number of bits needed to store one reduced coefficient
+    /// (13 for q = 7681, 14 for q = 12289 — the paper's §III-C observation).
+    #[inline]
+    pub fn coeff_bits(&self) -> u32 {
+        32 - (self.q - 1).leading_zeros()
+    }
+
+    /// Reduces an arbitrary 64-bit value modulo `q` via Barrett reduction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use rlwe_zq::Modulus;
+    /// let q = Modulus::new(7681).unwrap();
+    /// assert_eq!(q.reduce(7681 * 7681 + 5), 5);
+    /// ```
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u32 {
+        // Barrett: estimate quotient with the precomputed reciprocal, then
+        // correct with at most three subtractions (the estimate never
+        // overshoots, so r stays non-negative).
+        let quot = ((x as u128 * self.barrett_mu as u128) >> 64) as u64;
+        let mut r = x - quot * self.q as u64;
+        while r >= self.q as u64 {
+            r -= self.q as u64;
+        }
+        debug_assert_eq!(r, x % self.q as u64);
+        r as u32
+    }
+
+    /// Adds two reduced residues.
+    #[inline]
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        crate::add_mod(a, b, self.q)
+    }
+
+    /// Subtracts two reduced residues.
+    #[inline]
+    pub fn sub(&self, a: u32, b: u32) -> u32 {
+        crate::sub_mod(a, b, self.q)
+    }
+
+    /// Negates a reduced residue.
+    #[inline]
+    pub fn neg(&self, a: u32) -> u32 {
+        crate::neg_mod(a, self.q)
+    }
+
+    /// Multiplies two reduced residues with Barrett reduction.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce(a as u64 * b as u64)
+    }
+
+    /// Raises `base` to `exp`.
+    pub fn pow(&self, base: u32, exp: u64) -> u32 {
+        let mut acc = 1u32;
+        let mut b = base % self.q;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, b);
+            }
+            b = self.mul(b, b);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Computes the multiplicative inverse of `a`.
+    ///
+    /// # Errors
+    ///
+    /// [`ZqError::NoInverse`] when `a ≡ 0 (mod q)`.
+    pub fn inv(&self, a: u32) -> Result<u32, ZqError> {
+        crate::inv_mod(a % self.q, self.q).ok_or(ZqError::NoInverse {
+            value: a,
+            q: self.q,
+        })
+    }
+
+    /// Finds the smallest generator of the multiplicative group `Z_q^*`.
+    ///
+    /// Delegates to [`primitive::find_generator`].
+    pub fn generator(&self) -> u32 {
+        primitive::find_generator(self.q)
+    }
+
+    /// Returns an element of exact multiplicative order `order`.
+    ///
+    /// This is how NTT twiddle bases are obtained: `root_of_unity(n)` gives
+    /// ω (an n-th primitive root) and `root_of_unity(2n)` gives ψ, the
+    /// negacyclic root with ψ² = ω and ψⁿ = −1.
+    ///
+    /// # Errors
+    ///
+    /// [`ZqError::NoRootOfUnity`] if `order` does not divide `q − 1`.
+    pub fn root_of_unity(&self, order: u64) -> Result<u32, ZqError> {
+        primitive::root_of_unity(self.q, order).ok_or(ZqError::NoRootOfUnity {
+            q: self.q,
+            order,
+        })
+    }
+
+    /// Centered (signed) representative of a residue, in `(-q/2, q/2]`.
+    ///
+    /// Used by the decryption decoder and by tests that compare Gaussian
+    /// samples with their signed values.
+    #[inline]
+    pub fn to_signed(&self, a: u32) -> i32 {
+        debug_assert!(a < self.q);
+        if a > self.q / 2 {
+            a as i32 - self.q as i32
+        } else {
+            a as i32
+        }
+    }
+
+    /// Maps a signed integer into its reduced residue.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use rlwe_zq::Modulus;
+    /// let q = Modulus::new(7681).unwrap();
+    /// assert_eq!(q.from_signed(-1), 7680);
+    /// assert_eq!(q.from_signed(7682), 1);
+    /// ```
+    #[inline]
+    pub fn from_signed(&self, a: i64) -> u32 {
+        let q = self.q as i64;
+        (((a % q) + q) % q) as u32
+    }
+}
+
+impl std::fmt::Display for Modulus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Z_{}", self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_composites_and_out_of_range() {
+        assert_eq!(Modulus::new(0), Err(ZqError::OutOfRange { q: 0 }));
+        assert_eq!(Modulus::new(1), Err(ZqError::OutOfRange { q: 1 }));
+        assert_eq!(Modulus::new(7680), Err(ZqError::NotPrime { q: 7680 }));
+        assert!(Modulus::new(2147483647).is_ok());
+        assert_eq!(
+            Modulus::new(u32::MAX),
+            Err(ZqError::OutOfRange { q: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn coeff_bits_matches_paper() {
+        assert_eq!(Modulus::new(7681).unwrap().coeff_bits(), 13);
+        assert_eq!(Modulus::new(12289).unwrap().coeff_bits(), 14);
+    }
+
+    #[test]
+    fn barrett_reduce_agrees_with_naive() {
+        for &qv in &[7681u32, 12289, 8383489, 2147483647] {
+            let q = Modulus::new(qv).unwrap();
+            let samples = [
+                0u64,
+                1,
+                qv as u64 - 1,
+                qv as u64,
+                qv as u64 + 1,
+                (qv as u64) * (qv as u64) - 1,
+                u64::MAX / 2,
+                0xdead_beef_cafe_f00d % ((qv as u64) * (qv as u64)),
+            ];
+            for &x in &samples {
+                assert_eq!(q.reduce(x), (x % qv as u64) as u32, "q={qv}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_reference() {
+        let q = Modulus::new(7681).unwrap();
+        let mut x = 1u32;
+        for i in 0..5000u32 {
+            let a = x;
+            let b = i.wrapping_mul(2654435761) % 7681;
+            assert_eq!(q.mul(a, b), crate::mul_mod(a, b, 7681));
+            x = (x * 17 + 1) % 7681;
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        let q = Modulus::new(7681).unwrap();
+        for order in [2u64, 4, 256, 512] {
+            let w = q.root_of_unity(order).unwrap();
+            assert_eq!(q.pow(w, order), 1);
+            assert_ne!(q.pow(w, order / 2), 1, "order {order} not exact");
+        }
+        // 7680 = 2^9 * 3 * 5: order 7 does not divide q-1.
+        assert!(q.root_of_unity(7).is_err());
+    }
+
+    #[test]
+    fn psi_squared_is_omega() {
+        for &(n, qv) in &[(256u64, 7681u32), (512, 12289)] {
+            let q = Modulus::new(qv).unwrap();
+            let psi = q.root_of_unity(2 * n).unwrap();
+            let omega = q.mul(psi, psi);
+            assert_eq!(q.pow(omega, n), 1);
+            assert_eq!(q.pow(psi, n), qv - 1, "psi^n must be -1");
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let q = Modulus::new(7681).unwrap();
+        for a in 0..7681u32 {
+            let s = q.to_signed(a);
+            assert!(s > -(7681 / 2 + 1) && s <= 7681 / 2);
+            assert_eq!(q.from_signed(s as i64), a);
+        }
+    }
+}

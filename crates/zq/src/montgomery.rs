@@ -1,0 +1,149 @@
+//! Montgomery-form modular multiplication.
+//!
+//! Montgomery arithmetic replaces the division in modular reduction with
+//! shifts and multiplications by keeping operands in the scaled form
+//! `aR mod q` with `R = 2³²`. It pays off when a long chain of
+//! multiplications can stay in Montgomery form, e.g. an entire NTT pass —
+//! one of the modular-multiplication strategies our ablation benches compare
+//! (see `DESIGN.md` §6).
+
+use crate::error::ZqError;
+use crate::primality::is_prime_u64;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd prime `q < 2³¹`.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::montgomery::MontgomeryCtx;
+///
+/// # fn main() -> Result<(), rlwe_zq::ZqError> {
+/// let ctx = MontgomeryCtx::new(7681)?;
+/// let a = ctx.to_mont(1234);
+/// let b = ctx.to_mont(5678);
+/// let prod = ctx.from_mont(ctx.mont_mul(a, b));
+/// assert_eq!(prod, rlwe_zq::mul_mod(1234, 5678, 7681));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    q: u32,
+    /// −q⁻¹ mod 2³².
+    neg_q_inv: u32,
+    /// R² mod q, used to enter Montgomery form with one `mont_mul`.
+    r2: u32,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the odd prime `q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ZqError::OutOfRange`] if `q` is even (Montgomery requires
+    ///   `gcd(q, R) = 1`) or `q ≥ 2³¹`.
+    /// * [`ZqError::NotPrime`] if `q` is composite.
+    pub fn new(q: u32) -> Result<Self, ZqError> {
+        if q < 3 || q % 2 == 0 || q >= 1 << 31 {
+            return Err(ZqError::OutOfRange { q });
+        }
+        if !is_prime_u64(q as u64) {
+            return Err(ZqError::NotPrime { q });
+        }
+        // Newton–Hensel iteration: each step doubles the number of correct
+        // low bits of q^{-1} mod 2^32.
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        let r = (1u64 << 32) % q as u64;
+        let r2 = (r * r % q as u64) as u32;
+        Ok(Self {
+            q,
+            neg_q_inv: inv.wrapping_neg(),
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    #[inline]
+    pub fn modulus(&self) -> u32 {
+        self.q
+    }
+
+    /// Montgomery reduction: computes `t · R⁻¹ mod q` for `t < qR`.
+    #[inline]
+    pub fn redc(&self, t: u64) -> u32 {
+        let m = (t as u32).wrapping_mul(self.neg_q_inv);
+        let u = ((t + m as u64 * self.q as u64) >> 32) as u32;
+        if u >= self.q {
+            u - self.q
+        } else {
+            u
+        }
+    }
+
+    /// Multiplies two values already in Montgomery form.
+    #[inline]
+    pub fn mont_mul(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.q && b < self.q);
+        self.redc(a as u64 * b as u64)
+    }
+
+    /// Converts a reduced residue into Montgomery form (`a ↦ aR mod q`).
+    #[inline]
+    pub fn to_mont(&self, a: u32) -> u32 {
+        debug_assert!(a < self.q);
+        self.redc(a as u64 * self.r2 as u64)
+    }
+
+    /// Converts back out of Montgomery form (`aR ↦ a mod q`).
+    #[inline]
+    pub fn from_mont(&self, a: u32) -> u32 {
+        self.redc(a as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mul_mod;
+
+    #[test]
+    fn rejects_even_and_composite() {
+        assert!(MontgomeryCtx::new(2).is_err());
+        assert!(MontgomeryCtx::new(7680).is_err());
+        assert!(MontgomeryCtx::new(7683).is_err()); // 3 * 13 * 197
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for &qv in &[7681u32, 12289, 8383489] {
+            let ctx = MontgomeryCtx::new(qv).unwrap();
+            for a in (0..qv).step_by((qv / 97).max(1) as usize) {
+                assert_eq!(ctx.from_mont(ctx.to_mont(a)), a, "q={qv}, a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_reference() {
+        let ctx = MontgomeryCtx::new(12289).unwrap();
+        let mut x = 1u32;
+        for i in 0..5000u32 {
+            let a = x % 12289;
+            let b = (i * 48271) % 12289;
+            let am = ctx.to_mont(a);
+            let bm = ctx.to_mont(b);
+            assert_eq!(ctx.from_mont(ctx.mont_mul(am, bm)), mul_mod(a, b, 12289));
+            x = x.wrapping_mul(69069).wrapping_add(1) % 12289;
+        }
+    }
+
+    #[test]
+    fn one_in_mont_form_is_r_mod_q() {
+        let ctx = MontgomeryCtx::new(7681).unwrap();
+        assert_eq!(ctx.to_mont(1) as u64, (1u64 << 32) % 7681);
+    }
+}

@@ -1,0 +1,143 @@
+//! Two coefficients per 32-bit word — the paper's §III-C/§III-D layout.
+//!
+//! On the Cortex-M4F a memory access costs 2 cycles whether it moves a
+//! halfword or a full word, and ring-LWE coefficients need only 13 bits
+//! (q = 7681) or 14 bits (q = 12289). The paper therefore stores **two
+//! coefficients per 32-bit word** so each load/store moves two coefficients,
+//! halving memory traffic in the NTT inner loop.
+//!
+//! This module provides the word-level pack/unpack and the per-halfword
+//! modular operations the packed NTT (and the M4F cost-model kernels) are
+//! built from. Layout: the **even-index** coefficient lives in the low
+//! halfword, the **odd-index** coefficient in the high halfword.
+
+use crate::{add_mod, sub_mod};
+
+/// Packs an `(even, odd)` coefficient pair into one word.
+///
+/// # Panics
+///
+/// Debug builds assert both coefficients fit in 16 bits.
+#[inline]
+pub fn pack(even: u32, odd: u32) -> u32 {
+    debug_assert!(even <= 0xFFFF && odd <= 0xFFFF);
+    even | (odd << 16)
+}
+
+/// Splits a packed word back into its `(even, odd)` coefficient pair.
+#[inline]
+pub fn unpack(word: u32) -> (u32, u32) {
+    (word & 0xFFFF, word >> 16)
+}
+
+/// Adds two packed pairs lane-wise modulo `q`.
+///
+/// Both lanes must hold reduced coefficients; `q` must fit in 16 bits
+/// (true for 7681 and 12289).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::packed::{pack, unpack, add_pairs};
+///
+/// let a = pack(7680, 1);
+/// let b = pack(2, 3);
+/// assert_eq!(unpack(add_pairs(a, b, 7681)), (1, 4));
+/// ```
+#[inline]
+pub fn add_pairs(a: u32, b: u32, q: u32) -> u32 {
+    let (a0, a1) = unpack(a);
+    let (b0, b1) = unpack(b);
+    pack(add_mod(a0, b0, q), add_mod(a1, b1, q))
+}
+
+/// Subtracts two packed pairs lane-wise modulo `q`.
+#[inline]
+pub fn sub_pairs(a: u32, b: u32, q: u32) -> u32 {
+    let (a0, a1) = unpack(a);
+    let (b0, b1) = unpack(b);
+    pack(sub_mod(a0, b0, q), sub_mod(a1, b1, q))
+}
+
+/// Packs a slice of reduced coefficients into words, two per word.
+///
+/// # Panics
+///
+/// Panics if the coefficient count is odd (ring dimensions here are powers
+/// of two) or if a coefficient exceeds 16 bits.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::packed::{pack_slice, unpack_slice};
+///
+/// let coeffs = vec![1u32, 2, 3, 4];
+/// let words = pack_slice(&coeffs);
+/// assert_eq!(words.len(), 2);
+/// assert_eq!(unpack_slice(&words), coeffs);
+/// ```
+pub fn pack_slice(coeffs: &[u32]) -> Vec<u32> {
+    assert!(coeffs.len() % 2 == 0, "packed layout needs an even length");
+    coeffs
+        .chunks_exact(2)
+        .map(|pair| pack(pair[0], pair[1]))
+        .collect()
+}
+
+/// Expands packed words back into a flat coefficient vector.
+pub fn unpack_slice(words: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(words.len() * 2);
+    for &w in words {
+        let (e, o) = unpack(w);
+        out.push(e);
+        out.push(o);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for &(e, o) in &[(0u32, 0u32), (7680, 7680), (1, 0xFFFF), (0xFFFF, 1)] {
+            assert_eq!(unpack(pack(e, o)), (e, o));
+        }
+    }
+
+    #[test]
+    fn lane_arithmetic_matches_scalar() {
+        let q = 12289u32;
+        let cases = [(0u32, 0u32, 1u32, 2u32), (12288, 12288, 12288, 12288), (5, 7000, 12000, 3)];
+        for &(a0, a1, b0, b1) in &cases {
+            let s = add_pairs(pack(a0, a1), pack(b0, b1), q);
+            assert_eq!(unpack(s), (add_mod(a0, b0, q), add_mod(a1, b1, q)));
+            let d = sub_pairs(pack(a0, a1), pack(b0, b1), q);
+            assert_eq!(unpack(d), (sub_mod(a0, b0, q), sub_mod(a1, b1, q)));
+        }
+    }
+
+    #[test]
+    fn no_cross_lane_carry() {
+        // 7680 + 1 = 7681 ≡ 0: the low lane wraps without touching the
+        // high lane, which the packed layout depends on.
+        let q = 7681;
+        let s = add_pairs(pack(7680, 0), pack(1, 0), q);
+        assert_eq!(unpack(s), (0, 0));
+    }
+
+    #[test]
+    fn slice_round_trip_and_word_count() {
+        let coeffs: Vec<u32> = (0..256u32).map(|i| i * 29 % 7681).collect();
+        let words = pack_slice(&coeffs);
+        assert_eq!(words.len(), 128); // n/2 words: the paper's 50% memory claim
+        assert_eq!(unpack_slice(&words), coeffs);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_slice_panics() {
+        pack_slice(&[1, 2, 3]);
+    }
+}

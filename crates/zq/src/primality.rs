@@ -1,0 +1,127 @@
+//! Deterministic Miller-Rabin primality testing for 64-bit integers.
+
+/// Tests whether `n` is prime.
+///
+/// Uses the deterministic Miller-Rabin witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, which is proven correct
+/// for all `n < 3.3 × 10²⁴` — far beyond the 64-bit range.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::is_prime_u64;
+///
+/// assert!(is_prime_u64(7681));      // P1 modulus
+/// assert!(is_prime_u64(12289));     // P2 modulus
+/// assert!(is_prime_u64(8383489));   // P5 modulus from Table III
+/// assert!(!is_prime_u64(u32::MAX as u64)); // 2^32 - 1 = 3·5·17·257·65537
+/// ```
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        base = mul_mod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_numbers() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime_u64(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn paper_moduli_are_prime() {
+        assert!(is_prime_u64(7681));
+        assert!(is_prime_u64(12289));
+        assert!(is_prime_u64(8383489));
+    }
+
+    #[test]
+    fn known_composites_are_rejected() {
+        // Carmichael numbers and strong-pseudoprime candidates.
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 3215031751] {
+            assert!(!is_prime_u64(n), "{n} is composite");
+        }
+    }
+
+    #[test]
+    fn large_primes_are_accepted() {
+        // 2^31 - 1 (Mersenne) and a couple of large 32-bit primes.
+        assert!(is_prime_u64(2147483647));
+        assert!(is_prime_u64(4294967291));
+        assert!(!is_prime_u64(4294967295));
+    }
+
+    #[test]
+    fn agrees_with_trial_division_up_to_10k() {
+        fn trial(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n % d == 0 {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for n in 0..10_000u64 {
+            assert_eq!(is_prime_u64(n), trial(n), "disagreement at {n}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Primitive roots and roots of unity modulo a prime.
+//!
+//! The negacyclic NTT used throughout the paper needs a 2n-th primitive root
+//! of unity ψ modulo q (so q ≡ 1 mod 2n). These helpers locate generators and
+//! derive roots of any order dividing `q − 1`.
+
+use crate::pow_mod;
+
+/// Returns the prime factorization of `n` as `(prime, exponent)` pairs,
+/// in ascending prime order.
+///
+/// Trial division — entirely adequate for 32-bit inputs (`q − 1` here).
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::primitive::factorize;
+///
+/// assert_eq!(factorize(7680), vec![(2, 9), (3, 1), (5, 1)]);
+/// assert_eq!(factorize(12288), vec![(2, 12), (3, 1)]);
+/// ```
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            let mut e = 0;
+            while n % d == 0 {
+                n /= d;
+                e += 1;
+            }
+            out.push((d, e));
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Finds the smallest generator of the multiplicative group `Z_q^*`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime (the group would not be cyclic of order
+/// `q − 1`, and the search would be meaningless). [`crate::Modulus`]
+/// guarantees primality before calling this.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::primitive::find_generator;
+///
+/// assert_eq!(find_generator(7681), 17);
+/// assert_eq!(find_generator(12289), 11);
+/// ```
+pub fn find_generator(q: u32) -> u32 {
+    assert!(
+        crate::is_prime_u64(q as u64),
+        "find_generator requires a prime modulus"
+    );
+    let phi = (q - 1) as u64;
+    let factors = factorize(phi);
+    'candidate: for g in 2..q {
+        for &(p, _) in &factors {
+            if pow_mod(g, phi / p, q) == 1 {
+                continue 'candidate;
+            }
+        }
+        return g;
+    }
+    unreachable!("a prime modulus always has a generator")
+}
+
+/// Returns an element of exact multiplicative order `order` modulo prime `q`,
+/// or `None` if `order` does not divide `q − 1`.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_zq::primitive::root_of_unity;
+/// use rlwe_zq::pow_mod;
+///
+/// let psi = root_of_unity(7681, 512).unwrap();
+/// assert_eq!(pow_mod(psi, 256, 7681), 7680); // psi^n = -1
+/// assert!(root_of_unity(7681, 511).is_none());
+/// ```
+pub fn root_of_unity(q: u32, order: u64) -> Option<u32> {
+    if order == 0 || (q as u64 - 1) % order != 0 {
+        return None;
+    }
+    let g = find_generator(q);
+    let w = pow_mod(g, (q as u64 - 1) / order, q);
+    debug_assert!(has_exact_order(w, order, q));
+    Some(w)
+}
+
+/// Checks that `w` has exact multiplicative order `order` modulo `q`.
+///
+/// `w^order` must be 1 and `w^(order/p)` must differ from 1 for every prime
+/// `p` dividing `order`.
+pub fn has_exact_order(w: u32, order: u64, q: u32) -> bool {
+    if pow_mod(w, order, q) != 1 {
+        return false;
+    }
+    factorize(order)
+        .iter()
+        .all(|&(p, _)| pow_mod(w, order / p, q) != 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_edge_cases() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn factorize_reconstructs_input() {
+        for n in 1..2000u64 {
+            let prod: u64 = factorize(n).iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(prod, n);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        for &q in &[7681u32, 12289, 257, 65537] {
+            let g = find_generator(q);
+            assert!(has_exact_order(g, q as u64 - 1, q), "g={g} for q={q}");
+        }
+    }
+
+    #[test]
+    fn all_orders_dividing_phi_exist() {
+        let q = 7681u32; // q-1 = 2^9 * 3 * 5
+        for order in [1u64, 2, 4, 8, 512, 3, 5, 15, 7680] {
+            let w = root_of_unity(q, order).expect("order divides q-1");
+            assert!(has_exact_order(w, order, q));
+        }
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        assert!(root_of_unity(7681, 0).is_none());
+        assert!(root_of_unity(7681, 7).is_none());
+        assert!(root_of_unity(12289, 5).is_none());
+    }
+
+    #[test]
+    fn ntt_roots_for_both_parameter_sets() {
+        // P1: n = 256 needs a 512-th root mod 7681.
+        let psi1 = root_of_unity(7681, 512).unwrap();
+        assert_eq!(pow_mod(psi1, 256, 7681), 7680);
+        // P2: n = 512 needs a 1024-th root mod 12289.
+        let psi2 = root_of_unity(12289, 1024).unwrap();
+        assert_eq!(pow_mod(psi2, 512, 12289), 12288);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the Zq arithmetic substrate.
+
+use proptest::prelude::*;
+use rlwe_zq::montgomery::MontgomeryCtx;
+use rlwe_zq::packed;
+use rlwe_zq::shoup::{mul_shoup, shoup_precompute};
+use rlwe_zq::{add_mod, inv_mod, mul_mod, neg_mod, pow_mod, sub_mod, Modulus};
+
+/// The paper's two moduli plus one mid-size and one large prime.
+fn any_modulus() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![7681u32, 12289, 8383489, 2147483647])
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative_and_associative(q in any_modulus(), a: u32, b: u32, c: u32) {
+        let (a, b, c) = (a % q, b % q, c % q);
+        prop_assert_eq!(add_mod(a, b, q), add_mod(b, a, q));
+        prop_assert_eq!(
+            add_mod(add_mod(a, b, q), c, q),
+            add_mod(a, add_mod(b, c, q), q)
+        );
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(q in any_modulus(), a: u32, b: u32) {
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(sub_mod(a, b, q), add_mod(a, neg_mod(b, q), q));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(q in any_modulus(), a: u32, b: u32, c: u32) {
+        let (a, b, c) = (a % q, b % q, c % q);
+        prop_assert_eq!(
+            mul_mod(a, add_mod(b, c, q), q),
+            add_mod(mul_mod(a, b, q), mul_mod(a, c, q), q)
+        );
+    }
+
+    #[test]
+    fn barrett_equals_naive(q in any_modulus(), x: u64) {
+        let m = Modulus::new(q).unwrap();
+        let x = x % (q as u64 * q as u64);
+        prop_assert_eq!(m.reduce(x), (x % q as u64) as u32);
+    }
+
+    #[test]
+    fn barrett_mul_equals_naive(q in any_modulus(), a: u32, b: u32) {
+        let m = Modulus::new(q).unwrap();
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(m.mul(a, b), mul_mod(a, b, q));
+    }
+
+    #[test]
+    fn shoup_equals_naive(q in any_modulus(), a: u32, w: u32) {
+        let (a, w) = (a % q, w % q);
+        let ws = shoup_precompute(w, q);
+        prop_assert_eq!(mul_shoup(a, w, ws, q), mul_mod(a, w, q));
+    }
+
+    #[test]
+    fn montgomery_round_trip(q in prop::sample::select(vec![7681u32, 12289, 8383489]), a: u32) {
+        let ctx = MontgomeryCtx::new(q).unwrap();
+        let a = a % q;
+        prop_assert_eq!(ctx.from_mont(ctx.to_mont(a)), a);
+    }
+
+    #[test]
+    fn montgomery_mul_equals_naive(
+        q in prop::sample::select(vec![7681u32, 12289, 8383489]),
+        a: u32,
+        b: u32,
+    ) {
+        let ctx = MontgomeryCtx::new(q).unwrap();
+        let (a, b) = (a % q, b % q);
+        let got = ctx.from_mont(ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b)));
+        prop_assert_eq!(got, mul_mod(a, b, q));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(q in any_modulus(), a in 1u32..u32::MAX) {
+        let a = a % q;
+        prop_assume!(a != 0);
+        let inv = inv_mod(a, q).unwrap();
+        prop_assert_eq!(mul_mod(a, inv, q), 1);
+        prop_assert_eq!(mul_mod(inv, a, q), 1);
+    }
+
+    #[test]
+    fn fermat_little_theorem(q in any_modulus(), a in 1u32..u32::MAX) {
+        let a = a % q;
+        prop_assume!(a != 0);
+        prop_assert_eq!(pow_mod(a, q as u64 - 1, q), 1);
+    }
+
+    #[test]
+    fn packed_ops_match_scalar(a0 in 0u32..7681, a1 in 0u32..7681, b0 in 0u32..7681, b1 in 0u32..7681) {
+        let q = 7681;
+        let a = packed::pack(a0, a1);
+        let b = packed::pack(b0, b1);
+        prop_assert_eq!(
+            packed::unpack(packed::add_pairs(a, b, q)),
+            (add_mod(a0, b0, q), add_mod(a1, b1, q))
+        );
+        prop_assert_eq!(
+            packed::unpack(packed::sub_pairs(a, b, q)),
+            (sub_mod(a0, b0, q), sub_mod(a1, b1, q))
+        );
+    }
+
+    #[test]
+    fn pack_slice_round_trip(coeffs in prop::collection::vec(0u32..7681, 2..=64)) {
+        prop_assume!(coeffs.len() % 2 == 0);
+        prop_assert_eq!(packed::unpack_slice(&packed::pack_slice(&coeffs)), coeffs);
+    }
+
+    #[test]
+    fn signed_representative_round_trip(q in any_modulus(), a: u32) {
+        let m = Modulus::new(q).unwrap();
+        let a = a % q;
+        prop_assert_eq!(m.from_signed(m.to_signed(a) as i64), a);
+    }
+}

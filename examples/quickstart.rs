@@ -1,0 +1,48 @@
+//! Quickstart: generate keys, encrypt a message, decrypt it back.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use rlwe_suite::scheme::{ParamSet, RlweContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Medium-term security: n = 256, q = 7681, sigma = 11.31/sqrt(2*pi).
+    let ctx = RlweContext::new(ParamSet::P1)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2015);
+
+    // Key generation: the public key is (a~, p~), both in the NTT domain.
+    let (pk, sk) = ctx.generate_keypair(&mut rng)?;
+    println!(
+        "generated a {} keypair ({} B public key)",
+        ParamSet::P1,
+        pk.to_bytes()?.len()
+    );
+
+    // One ring element carries n bits = 32 bytes of plaintext.
+    let msg = b"ring-LWE on a Cortex-M4F (DATE15)".to_vec();
+    let msg = msg[..ctx.params().message_bytes()].to_vec();
+    let ct = ctx.encrypt(&pk, &msg, &mut rng)?;
+    println!(
+        "encrypted {} plaintext bytes into a {} B ciphertext",
+        msg.len(),
+        ct.to_bytes()?.len()
+    );
+
+    // Decrypt and check.
+    let back = ctx.decrypt(&sk, &ct)?;
+    assert_eq!(back, msg);
+    println!("decrypted: {:?}", String::from_utf8_lossy(&back));
+
+    // How close did the noise come to the q/4 decoding threshold?
+    let diag = ctx.diagnostics(&sk, &ct)?;
+    println!(
+        "noise: max {} / threshold {} (margin {}); mean {:.1}",
+        diag.max_noise,
+        ctx.params().q() / 4,
+        diag.margin,
+        diag.mean_noise
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # rlwe-suite
+//!
+//! Facade crate for the reproduction of *"Efficient Software Implementation
+//! of Ring-LWE Encryption"* (De Clercq, Roy, Vercauteren, Verbauwhede —
+//! DATE 2015).
+//!
+//! The workspace is organised bottom-up (see `DESIGN.md` for the full
+//! inventory):
+//!
+//! * [`zq`] — modular arithmetic over NTT-friendly primes.
+//! * [`bigfix`] — high-precision fixed point (Gaussian probabilities).
+//! * [`ntt`] — negacyclic NTT engine (reference / packed / parallel),
+//!   plus schoolbook and Karatsuba baselines.
+//! * [`sampler`] — Knuth-Yao discrete Gaussian sampling with the paper's
+//!   full optimisation ladder, CDT/rejection baselines, a constant-time
+//!   variant, and FIPS 140-2 randomness tests.
+//! * [`scheme`] — the ring-LWE public-key encryption scheme itself, plus
+//!   KEM ([`scheme::kem`]) and CCA ([`scheme::fo`]) extensions.
+//! * [`hash`] — SHA-256 / HMAC / KDF2 substrate for the ECC baseline.
+//! * [`ecc`] — GF(2²³³)/K-233 ECIES baseline the paper compares against.
+//! * [`m4sim`] — Cortex-M4F cost model that regenerates the paper's
+//!   cycle-count tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rlwe_suite::scheme::{ParamSet, RlweContext};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = RlweContext::new(ParamSet::P1)?;
+//! let mut rng = rand::thread_rng();
+//! let (pk, sk) = ctx.generate_keypair(&mut rng)?;
+//! let msg = vec![0xA5u8; ctx.params().message_bytes()];
+//! let ct = ctx.encrypt(&pk, &msg, &mut rng)?;
+//! assert_eq!(ctx.decrypt(&sk, &ct)?, msg);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rlwe_bigfix as bigfix;
+pub use rlwe_core as scheme;
+pub use rlwe_ecc as ecc;
+pub use rlwe_hash as hash;
+pub use rlwe_m4sim as m4sim;
+pub use rlwe_ntt as ntt;
+pub use rlwe_sampler as sampler;
+pub use rlwe_zq as zq;

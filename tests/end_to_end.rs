@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full stack from bit source to
+//! ciphertext, spanning every crate in the workspace.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlwe_suite::m4sim::{kernels, Machine};
+use rlwe_suite::ntt::{schoolbook, NttPlan};
+use rlwe_suite::sampler::random::{BufferedBitSource, SplitMix64};
+use rlwe_suite::scheme::{Ciphertext, ParamSet, PublicKey, RlweContext, SecretKey};
+
+#[test]
+fn full_protocol_over_the_wire_p1() {
+    // Alice generates keys, serializes the public key; Bob parses it,
+    // encrypts, serializes the ciphertext; Alice parses and decrypts.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+    let pk_wire = pk.to_bytes().unwrap();
+    let sk_wire = sk.to_bytes().unwrap();
+
+    let bob_pk = PublicKey::from_bytes(&pk_wire).unwrap();
+    let msg: Vec<u8> = (0..32u8).collect();
+    let ct_wire = ctx.encrypt(&bob_pk, &msg, &mut rng).unwrap().to_bytes().unwrap();
+
+    let alice_sk = SecretKey::from_bytes(&sk_wire).unwrap();
+    let ct = Ciphertext::from_bytes(&ct_wire).unwrap();
+    assert_eq!(ctx.decrypt(&alice_sk, &ct).unwrap(), msg);
+}
+
+#[test]
+fn full_protocol_over_the_wire_p2() {
+    let ctx = RlweContext::new(ParamSet::P2).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+    let msg = vec![0xE7u8; 64];
+    let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+    assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg);
+    // Wire sizes: 2 polys * 512 coeffs * 14 bits + 2 header bytes.
+    assert_eq!(ct.to_bytes().unwrap().len(), 2 + 2 * 512 * 14 / 8);
+}
+
+#[test]
+fn m4sim_kernels_agree_with_the_library_scheme() {
+    // The cost-model kernels must implement the same mathematics: a
+    // ciphertext produced by the kernel path decrypts with the kernel
+    // path, and the kernel NTT equals the library NTT bit for bit.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut m = Machine::cortex_m4f(77);
+    let keys = kernels::keygen(&mut m, &ctx);
+    let msg: Vec<u8> = (0..32).map(|i| (i * 31 + 1) as u8).collect();
+    let ct = kernels::encrypt(&mut m, &ctx, &keys, &msg);
+    assert_eq!(kernels::decrypt(&mut m, &ctx, &keys, &ct), msg);
+}
+
+#[test]
+fn sampler_feeds_the_scheme_with_short_noise() {
+    // Error polynomials drawn through the full sampler stack stay within
+    // the probability-matrix support after centering.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut bits = BufferedBitSource::new(SplitMix64::new(5));
+    let poly = ctx.sampler().sample_poly_zq(256, 7681, &mut bits);
+    let support = ctx.sampler().pmat().rows() as i64;
+    for &c in &poly {
+        let centered = if c > 7681 / 2 { c as i64 - 7681 } else { c as i64 };
+        assert!(centered.abs() < support);
+    }
+}
+
+#[test]
+fn ntt_stack_is_consistent_from_zq_to_scheme() {
+    // One multiplication checked through every layer: zq primitives →
+    // NTT plan → schoolbook oracle.
+    let plan = NttPlan::new(256, 7681).unwrap();
+    let a: Vec<u32> = (0..256u32).map(|i| rlwe_suite::zq::pow_mod(3, i as u64, 7681)).collect();
+    let b: Vec<u32> = (0..256u32).map(|i| rlwe_suite::zq::pow_mod(5, i as u64, 7681)).collect();
+    assert_eq!(
+        plan.negacyclic_mul(&a, &b),
+        schoolbook::negacyclic_mul(&a, &b, 7681)
+    );
+}
+
+#[test]
+fn hybrid_pq_classical_envelope() {
+    // A realistic migration pattern: encrypt the payload with ring-LWE
+    // and, in parallel, with ECIES (hybrid defence-in-depth). Both must
+    // round-trip independently.
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+    let kp = rlwe_suite::ecc::ecies::EciesKeyPair::generate(&mut rng);
+
+    let secret = vec![0x42u8; 32];
+    let pq_ct = ctx.encrypt(&pk, &secret, &mut rng).unwrap();
+    let ec_ct = rlwe_suite::ecc::ecies::encrypt(&kp.public(), &secret, &mut rng).unwrap();
+
+    assert_eq!(ctx.decrypt(&sk, &pq_ct).unwrap(), secret);
+    assert_eq!(rlwe_suite::ecc::ecies::decrypt(&kp, &ec_ct).unwrap(), secret);
+}
+
+#[test]
+fn tampered_ciphertexts_decrypt_to_garbage_not_panic() {
+    let ctx = RlweContext::new(ParamSet::P1).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+    let msg = vec![0x11u8; 32];
+    let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+    let mut wire = ct.to_bytes().unwrap();
+    // Flip a coefficient bit (not the header).
+    wire[100] ^= 0x10;
+    let tampered = Ciphertext::from_bytes(&wire).unwrap();
+    // CPA scheme: no integrity. Decryption succeeds but the plaintext
+    // (w.h.p.) differs.
+    let out = ctx.decrypt(&sk, &tampered).unwrap();
+    assert_ne!(out, msg);
+}
+
+#[test]
+fn keys_and_ciphertexts_refuse_cross_parameter_use() {
+    let c1 = RlweContext::new(ParamSet::P1).unwrap();
+    let c2 = RlweContext::new(ParamSet::P2).unwrap();
+    let mut rng = StdRng::seed_from_u64(14);
+    let (pk1, sk1) = c1.generate_keypair(&mut rng).unwrap();
+    let (pk2, _sk2) = c2.generate_keypair(&mut rng).unwrap();
+    let msg2 = vec![0u8; 64];
+    let ct2 = c2.encrypt(&pk2, &msg2, &mut rng).unwrap();
+    assert!(c1.encrypt(&pk2, &vec![0u8; 32], &mut rng).is_err());
+    assert!(c1.decrypt(&sk1, &ct2).is_err());
+    assert!(c2.encrypt(&pk1, &msg2, &mut rng).is_err());
+}
