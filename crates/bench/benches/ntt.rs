@@ -9,7 +9,9 @@ use rlwe_ntt::{schoolbook, NttPlan};
 use std::hint::black_box;
 
 fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+    (0..n as u32)
+        .map(|i| (i.wrapping_mul(seed) + 1) % q)
+        .collect()
 }
 
 fn bench_forward(c: &mut Criterion) {

@@ -14,7 +14,9 @@ fn bench_knuth_yao_ladder(c: &mut Criterion) {
     let ky = KnuthYao::new(pmat.clone()).unwrap();
     let mut g = c.benchmark_group("knuth_yao_p1");
     let mut bits = BufferedBitSource::new(SplitMix64::new(1));
-    g.bench_function("basic", |b| b.iter(|| black_box(ky.sample_basic(&mut bits))));
+    g.bench_function("basic", |b| {
+        b.iter(|| black_box(ky.sample_basic(&mut bits)))
+    });
     g.bench_function("hamming_weight", |b| {
         b.iter(|| black_box(ky.sample_hw(&mut bits)))
     });
@@ -32,7 +34,9 @@ fn bench_baselines(c: &mut Criterion) {
     let rej = RejectionSampler::new(&pmat);
     let mut g = c.benchmark_group("baseline_samplers_p1");
     let mut bits = BufferedBitSource::new(SplitMix64::new(2));
-    g.bench_function("cdt_inversion", |b| b.iter(|| black_box(cdt.sample(&mut bits))));
+    g.bench_function("cdt_inversion", |b| {
+        b.iter(|| black_box(cdt.sample(&mut bits)))
+    });
     g.bench_function("rejection", |b| b.iter(|| black_box(rej.sample(&mut bits))));
     g.finish();
 }
@@ -53,5 +57,10 @@ fn bench_poly_sampling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_knuth_yao_ladder, bench_baselines, bench_poly_sampling);
+criterion_group!(
+    benches,
+    bench_knuth_yao_ladder,
+    bench_baselines,
+    bench_poly_sampling
+);
 criterion_main!(benches);

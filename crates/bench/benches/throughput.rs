@@ -1,0 +1,102 @@
+//! Throughput benches for the engine: sequential single-call loops vs
+//! `encrypt_batch` / `encap_batch` at batch sizes 1 / 32 / 256, on both
+//! parameter sets. The interesting number is the crossover — how large a
+//! batch must be before the fan-out overhead pays for itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_engine::{default_workers, encap_batch, encrypt_batch};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+
+fn label(set: ParamSet) -> &'static str {
+    if set == ParamSet::P1 {
+        "P1"
+    } else {
+        "P2"
+    }
+}
+
+fn bench_encrypt_throughput(c: &mut Criterion) {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = HashDrbg::new([1u8; 32]);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let mb = ctx.params().message_bytes();
+        let workers = default_workers();
+        let master = [7u8; 32];
+
+        let mut g = c.benchmark_group(format!("encrypt_throughput_{}", label(set)));
+        for &n in &BATCH_SIZES {
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; mb]).collect();
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::new("single_call_loop", n), &msgs, |b, msgs| {
+                b.iter(|| {
+                    for (i, m) in msgs.iter().enumerate() {
+                        let mut rng = HashDrbg::for_stream(&master, i as u64);
+                        black_box(ctx.encrypt(&pk, m, &mut rng).unwrap());
+                    }
+                })
+            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("batch_{workers}w"), n),
+                &msgs,
+                |b, msgs| b.iter(|| black_box(encrypt_batch(&ctx, &pk, msgs, &master, workers))),
+            );
+        }
+        g.finish();
+    }
+}
+
+fn bench_encap_throughput(c: &mut Criterion) {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = HashDrbg::new([2u8; 32]);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let workers = default_workers();
+        let master = [9u8; 32];
+
+        let mut g = c.benchmark_group(format!("encap_throughput_{}", label(set)));
+        for &n in &BATCH_SIZES {
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::new("single_call_loop", n), &n, |b, &n| {
+                b.iter(|| {
+                    for i in 0..n {
+                        let mut rng = HashDrbg::for_stream(&master, i as u64);
+                        black_box(ctx.encapsulate(&pk, &mut rng).unwrap());
+                    }
+                })
+            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("batch_{workers}w"), n),
+                &n,
+                |b, &n| b.iter(|| black_box(encap_batch(&ctx, &pk, n, &master, workers))),
+            );
+        }
+        g.finish();
+    }
+}
+
+fn bench_context_pooling(c: &mut Criterion) {
+    // The cost the pool amortises: context construction vs a pool hit.
+    let mut g = c.benchmark_group("context_setup");
+    g.bench_function("cold_build_P1", |b| {
+        b.iter(|| black_box(RlweContext::new(ParamSet::P1).unwrap()))
+    });
+    let pool = rlwe_engine::ContextPool::new();
+    pool.get(ParamSet::P1).unwrap();
+    g.bench_function("pool_hit_P1", |b| {
+        b.iter(|| black_box(pool.get(ParamSet::P1).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encrypt_throughput,
+    bench_encap_throughput,
+    bench_context_pooling
+);
+criterion_main!(benches);

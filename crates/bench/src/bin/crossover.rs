@@ -22,7 +22,9 @@ fn time_us<F: FnMut()>(mut f: F, reps: u32) -> f64 {
 }
 
 fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+    (0..n as u32)
+        .map(|i| (i.wrapping_mul(seed) + 1) % q)
+        .collect()
 }
 
 fn main() {
@@ -39,15 +41,24 @@ fn main() {
         let b = demo(n, q, 77);
         let plan = NttPlan::new(n, q).expect("NTT-friendly");
         let reps = if n <= 128 { 200 } else { 20 };
-        let t_school = time_us(|| {
-            schoolbook::negacyclic_mul(&a, &b, q);
-        }, reps);
-        let t_kara = time_us(|| {
-            karatsuba::negacyclic_mul(&a, &b, q);
-        }, reps);
-        let t_ntt = time_us(|| {
-            plan.negacyclic_mul(&a, &b);
-        }, reps);
+        let t_school = time_us(
+            || {
+                schoolbook::negacyclic_mul(&a, &b, q);
+            },
+            reps,
+        );
+        let t_kara = time_us(
+            || {
+                karatsuba::negacyclic_mul(&a, &b, q);
+            },
+            reps,
+        );
+        let t_ntt = time_us(
+            || {
+                plan.negacyclic_mul(&a, &b);
+            },
+            reps,
+        );
         let winner = if t_ntt <= t_kara && t_ntt <= t_school {
             "NTT"
         } else if t_kara <= t_school {

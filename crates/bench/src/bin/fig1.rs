@@ -37,10 +37,7 @@ fn main() {
         pmat.untrimmed_words()
     );
     println!("  all-zero words dropped: {skipped_total}");
-    println!(
-        "  stored total: {} words (paper: 180)",
-        pmat.stored_words()
-    );
+    println!("  stored total: {} words (paper: 180)", pmat.stored_words());
     // Where the trimming happens: the bottom-left corner of the figure.
     let first_untrimmed = (0..pmat.cols())
         .find(|&c| pmat.column_skipped_words(c) == 0)

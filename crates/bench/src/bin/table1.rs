@@ -12,8 +12,8 @@ fn main() {
     println!("TABLE I: MEASURED RESULTS OF MAJOR OPERATIONS");
     println!("(cycles; 'paper' = DWT_CYCCNT on the STM32F407, 'model' = M4F cost model)\n");
     println!(
-        "{:<28}{:>14}{:>14}{:>10}   {}",
-        "Operation", "paper", "model", "ratio", "params"
+        "{:<28}{:>14}{:>14}{:>10}   params",
+        "Operation", "paper", "model", "ratio"
     );
     println!("{}", "-".repeat(78));
     for set in [ParamSet::P1, ParamSet::P2] {

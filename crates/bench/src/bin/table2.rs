@@ -13,7 +13,7 @@ fn main() {
     println!("(RAM model reproduces the paper exactly; flash code size is an estimate,");
     println!(" table bytes are computed from our actual structures)\n");
     println!(
-        "{:<16}{:>12}{:>12}{:>8}{:>14}{:>14}{:>12}{:>12}  {}",
+        "{:<16}{:>12}{:>12}{:>8}{:>14}{:>14}{:>12}{:>12}  params",
         "Operation",
         "paper cyc",
         "model cyc",
@@ -21,8 +21,7 @@ fn main() {
         "paper flash",
         "est. code",
         "paper RAM",
-        "model RAM",
-        "params"
+        "model RAM"
     );
     println!("{}", "-".repeat(116));
     for set in [ParamSet::P1, ParamSet::P2] {

@@ -15,8 +15,8 @@ fn main() {
     println!("TABLE IV: COMPARISON OF RING-LWE ENCRYPTION SCHEMES");
     println!("(cycles; * = this reproduction)\n");
     println!(
-        "{:<34}{:<18}{:>12}  {}",
-        "Operation", "Platform", "Cycles", "params"
+        "{:<34}{:<18}{:>12}  params",
+        "Operation", "Platform", "Cycles"
     );
     println!("{}", "-".repeat(76));
     for r in TABLE4 {

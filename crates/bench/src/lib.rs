@@ -33,7 +33,7 @@ pub fn group_digits(v: u64) -> String {
     let bytes: Vec<char> = s.chars().collect();
     let mut out = String::new();
     for (i, c) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(' ');
         }
         out.push(*c);

@@ -19,61 +19,313 @@ pub struct LitRow {
 
 /// Table III literature rows (building blocks).
 pub const TABLE3: &[LitRow] = &[
-    LitRow { operation: "NTT transform", platform: "Core i5-3210M", cycles: 4_480.0, params: "P5", source: "[17]" },
-    LitRow { operation: "NTT transform", platform: "Core i3-2310", cycles: 4_484.0, params: "P5", source: "[17]" },
-    LitRow { operation: "NTT multiplication", platform: "Core i5-3210M", cycles: 16_052.0, params: "P5", source: "[17]" },
-    LitRow { operation: "NTT multiplication", platform: "Core i3-2310", cycles: 16_096.0, params: "P5", source: "[17]" },
-    LitRow { operation: "NTT transform", platform: "ATxmega64A3", cycles: 2_720_000.0, params: "P3", source: "[11]" },
-    LitRow { operation: "NTT transform", platform: "Cortex-M4F", cycles: 122_619.0, params: "P3", source: "[10]" },
-    LitRow { operation: "NTT multiplication", platform: "Cortex-M4F", cycles: 508_624.0, params: "P3", source: "[10]" },
-    LitRow { operation: "NTT transform", platform: "ARM7TDMI", cycles: 260_521.0, params: "P3", source: "[12]" },
-    LitRow { operation: "NTT transform", platform: "ATMega64", cycles: 2_207_787.0, params: "P3", source: "[12]" },
-    LitRow { operation: "NTT transform", platform: "ARM7TDMI", cycles: 109_306.0, params: "P1", source: "[12]" },
-    LitRow { operation: "NTT transform", platform: "ATMega64", cycles: 754_668.0, params: "P1", source: "[12]" },
-    LitRow { operation: "NTT transform", platform: "ATxmega64A3", cycles: 1_216_000.0, params: "P1", source: "[11]" },
-    LitRow { operation: "NTT multiplication", platform: "Core i5 4570R", cycles: 342_800.0, params: "P4", source: "[9]" },
-    LitRow { operation: "Gaussian sampling", platform: "ARM7TDMI", cycles: 218.6, params: "P3", source: "[12]" },
-    LitRow { operation: "Gaussian sampling", platform: "ATmega64", cycles: 1_206.3, params: "P3", source: "[12]" },
-    LitRow { operation: "Gaussian sampling", platform: "Core i5 4570R", cycles: 652.3, params: "P4", source: "[9]" },
-    LitRow { operation: "Gaussian sampling", platform: "Cortex-M4F", cycles: 1_828.0, params: "P3", source: "[10]" },
+    LitRow {
+        operation: "NTT transform",
+        platform: "Core i5-3210M",
+        cycles: 4_480.0,
+        params: "P5",
+        source: "[17]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "Core i3-2310",
+        cycles: 4_484.0,
+        params: "P5",
+        source: "[17]",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Core i5-3210M",
+        cycles: 16_052.0,
+        params: "P5",
+        source: "[17]",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Core i3-2310",
+        cycles: 16_096.0,
+        params: "P5",
+        source: "[17]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ATxmega64A3",
+        cycles: 2_720_000.0,
+        params: "P3",
+        source: "[11]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "Cortex-M4F",
+        cycles: 122_619.0,
+        params: "P3",
+        source: "[10]",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Cortex-M4F",
+        cycles: 508_624.0,
+        params: "P3",
+        source: "[10]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ARM7TDMI",
+        cycles: 260_521.0,
+        params: "P3",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ATMega64",
+        cycles: 2_207_787.0,
+        params: "P3",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ARM7TDMI",
+        cycles: 109_306.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ATMega64",
+        cycles: 754_668.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "ATxmega64A3",
+        cycles: 1_216_000.0,
+        params: "P1",
+        source: "[11]",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Core i5 4570R",
+        cycles: 342_800.0,
+        params: "P4",
+        source: "[9]",
+    },
+    LitRow {
+        operation: "Gaussian sampling",
+        platform: "ARM7TDMI",
+        cycles: 218.6,
+        params: "P3",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Gaussian sampling",
+        platform: "ATmega64",
+        cycles: 1_206.3,
+        params: "P3",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Gaussian sampling",
+        platform: "Core i5 4570R",
+        cycles: 652.3,
+        params: "P4",
+        source: "[9]",
+    },
+    LitRow {
+        operation: "Gaussian sampling",
+        platform: "Cortex-M4F",
+        cycles: 1_828.0,
+        params: "P3",
+        source: "[10]",
+    },
 ];
 
 /// The paper's own Table III rows (for printing "paper measured" next to
 /// "our model").
 pub const TABLE3_PAPER_RESULTS: &[LitRow] = &[
-    LitRow { operation: "NTT transform", platform: "Cortex-M4F", cycles: 71_090.0, params: "P2", source: "this work" },
-    LitRow { operation: "NTT multiplication", platform: "Cortex-M4F", cycles: 237_803.0, params: "P2", source: "this work" },
-    LitRow { operation: "NTT transform", platform: "Cortex-M4F", cycles: 31_583.0, params: "P1", source: "this work" },
-    LitRow { operation: "NTT multiplication", platform: "Cortex-M4F", cycles: 108_147.0, params: "P1", source: "this work" },
-    LitRow { operation: "Gaussian sampling", platform: "Cortex-M4F", cycles: 28.5, params: "P1/P2", source: "this work" },
+    LitRow {
+        operation: "NTT transform",
+        platform: "Cortex-M4F",
+        cycles: 71_090.0,
+        params: "P2",
+        source: "this work",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Cortex-M4F",
+        cycles: 237_803.0,
+        params: "P2",
+        source: "this work",
+    },
+    LitRow {
+        operation: "NTT transform",
+        platform: "Cortex-M4F",
+        cycles: 31_583.0,
+        params: "P1",
+        source: "this work",
+    },
+    LitRow {
+        operation: "NTT multiplication",
+        platform: "Cortex-M4F",
+        cycles: 108_147.0,
+        params: "P1",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Gaussian sampling",
+        platform: "Cortex-M4F",
+        cycles: 28.5,
+        params: "P1/P2",
+        source: "this work",
+    },
 ];
 
 /// Table IV literature rows (full encryption schemes).
 pub const TABLE4: &[LitRow] = &[
-    LitRow { operation: "Key generation", platform: "ARM7TDMI", cycles: 575_047.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Encryption", platform: "ARM7TDMI", cycles: 878_454.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Decryption", platform: "ARM7TDMI", cycles: 226_235.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Key generation", platform: "ATMega64", cycles: 2_770_592.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Encryption", platform: "ATMega64", cycles: 3_042_675.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Decryption", platform: "ATMega64", cycles: 1_368_969.0, params: "P1", source: "[12]" },
-    LitRow { operation: "Encryption", platform: "ATxmega64A3", cycles: 5_024_000.0, params: "P1", source: "[11]" },
-    LitRow { operation: "Decryption", platform: "ATxmega64A3", cycles: 2_464_000.0, params: "P1", source: "[11]" },
-    LitRow { operation: "Key generation", platform: "Core 2 Duo", cycles: 9_300_000.0, params: "P1", source: "[3]" },
-    LitRow { operation: "Encryption", platform: "Core 2 Duo", cycles: 4_560_000.0, params: "P1", source: "[3]" },
-    LitRow { operation: "Decryption", platform: "Core 2 Duo", cycles: 1_710_000.0, params: "P1", source: "[3]" },
-    LitRow { operation: "Key generation", platform: "Core 2 Duo", cycles: 13_590_000.0, params: "P2", source: "[3]" },
-    LitRow { operation: "Encryption", platform: "Core 2 Duo", cycles: 9_180_000.0, params: "P2", source: "[3]" },
-    LitRow { operation: "Decryption", platform: "Core 2 Duo", cycles: 3_540_000.0, params: "P2", source: "[3]" },
+    LitRow {
+        operation: "Key generation",
+        platform: "ARM7TDMI",
+        cycles: 575_047.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "ARM7TDMI",
+        cycles: 878_454.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "ARM7TDMI",
+        cycles: 226_235.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Key generation",
+        platform: "ATMega64",
+        cycles: 2_770_592.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "ATMega64",
+        cycles: 3_042_675.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "ATMega64",
+        cycles: 1_368_969.0,
+        params: "P1",
+        source: "[12]",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "ATxmega64A3",
+        cycles: 5_024_000.0,
+        params: "P1",
+        source: "[11]",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "ATxmega64A3",
+        cycles: 2_464_000.0,
+        params: "P1",
+        source: "[11]",
+    },
+    LitRow {
+        operation: "Key generation",
+        platform: "Core 2 Duo",
+        cycles: 9_300_000.0,
+        params: "P1",
+        source: "[3]",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "Core 2 Duo",
+        cycles: 4_560_000.0,
+        params: "P1",
+        source: "[3]",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "Core 2 Duo",
+        cycles: 1_710_000.0,
+        params: "P1",
+        source: "[3]",
+    },
+    LitRow {
+        operation: "Key generation",
+        platform: "Core 2 Duo",
+        cycles: 13_590_000.0,
+        params: "P2",
+        source: "[3]",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "Core 2 Duo",
+        cycles: 9_180_000.0,
+        params: "P2",
+        source: "[3]",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "Core 2 Duo",
+        cycles: 3_540_000.0,
+        params: "P2",
+        source: "[3]",
+    },
 ];
 
 /// The paper's own Table IV rows.
 pub const TABLE4_PAPER_RESULTS: &[LitRow] = &[
-    LitRow { operation: "Key generation", platform: "Cortex-M4F", cycles: 117_009.0, params: "P1", source: "this work" },
-    LitRow { operation: "Encryption", platform: "Cortex-M4F", cycles: 121_166.0, params: "P1", source: "this work" },
-    LitRow { operation: "Decryption", platform: "Cortex-M4F", cycles: 43_324.0, params: "P1", source: "this work" },
-    LitRow { operation: "Key generation", platform: "Cortex-M4F", cycles: 252_002.0, params: "P2", source: "this work" },
-    LitRow { operation: "Encryption", platform: "Cortex-M4F", cycles: 261_939.0, params: "P2", source: "this work" },
-    LitRow { operation: "Decryption", platform: "Cortex-M4F", cycles: 96_520.0, params: "P2", source: "this work" },
+    LitRow {
+        operation: "Key generation",
+        platform: "Cortex-M4F",
+        cycles: 117_009.0,
+        params: "P1",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "Cortex-M4F",
+        cycles: 121_166.0,
+        params: "P1",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "Cortex-M4F",
+        cycles: 43_324.0,
+        params: "P1",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Key generation",
+        platform: "Cortex-M4F",
+        cycles: 252_002.0,
+        params: "P2",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Encryption",
+        platform: "Cortex-M4F",
+        cycles: 261_939.0,
+        params: "P2",
+        source: "this work",
+    },
+    LitRow {
+        operation: "Decryption",
+        platform: "Cortex-M4F",
+        cycles: 96_520.0,
+        params: "P2",
+        source: "this work",
+    },
 ];
 
 /// The 233-bit ECC reference the ECIES estimate builds on (the paper's

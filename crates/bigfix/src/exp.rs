@@ -126,7 +126,11 @@ mod tests {
         let b = UFix::from_ratio(29, 16, FL);
         let lhs = a.add(&b).exp_neg();
         let rhs = a.exp_neg().mul(&b.exp_neg());
-        let err = if lhs >= rhs { lhs.sub(&rhs) } else { rhs.sub(&lhs) };
+        let err = if lhs >= rhs {
+            lhs.sub(&rhs)
+        } else {
+            rhs.sub(&lhs)
+        };
         // Truncating arithmetic: allow ~2^-180 of drift at 192 bits.
         assert!(err.to_f64() < 1e-54, "err = {}", err.to_f64());
     }
@@ -163,9 +167,6 @@ mod tests {
         // e^-1 in hex = 0.5E2D58D8B3BCDF1A...
         let e1 = UFix::from_u64(1, FL).exp_neg();
         let hex = e1.frac_hex();
-        assert!(
-            hex.starts_with("5E2D58D8B3BCDF1A"),
-            "e^-1 frac hex = {hex}"
-        );
+        assert!(hex.starts_with("5E2D58D8B3BCDF1A"), "e^-1 frac hex = {hex}");
     }
 }

@@ -49,7 +49,7 @@ fn arctan_inv(n: u64, frac_limbs: usize) -> UFix {
         if term.is_zero() {
             break;
         }
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             pos = pos.add(&term);
         } else {
             neg = neg.add(&term);

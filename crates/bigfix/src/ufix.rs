@@ -135,6 +135,7 @@ impl UFix {
     }
 
     /// Adds two values of equal precision.
+    #[allow(clippy::needless_range_loop)] // carry-chain over two ragged sources
     pub fn add(&self, rhs: &Self) -> Self {
         self.assert_same_precision(rhs);
         let n = self.limbs.len().max(rhs.limbs.len()) + 1;
@@ -167,6 +168,7 @@ impl UFix {
     }
 
     /// Subtracts `rhs` from `self`, returning `None` on underflow.
+    #[allow(clippy::needless_range_loop)] // borrow-chain over two ragged sources
     pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
         self.assert_same_precision(rhs);
         if self.cmp(rhs) == Ordering::Less {
@@ -355,6 +357,7 @@ impl UFix {
         Ordering::Equal
     }
 
+    #[allow(clippy::needless_range_loop)] // borrow-chain over two ragged sources
     fn raw_sub_in_place(a: &mut [u32], b: &[u32]) {
         let mut borrow = 0i64;
         for i in 0..a.len() {
@@ -595,11 +598,7 @@ mod tests {
         let mut acc = UFix::from_u64(1, 6);
         for e in 0..20u64 {
             let p = x.pow(e);
-            let err = if p >= acc {
-                p.sub(&acc)
-            } else {
-                acc.sub(&p)
-            };
+            let err = if p >= acc { p.sub(&acc) } else { acc.sub(&p) };
             // pow() and the running product truncate at different points;
             // allow a few ulps at 192 fraction bits.
             assert!(err.to_f64() < 1e-55, "e={e}");

@@ -280,11 +280,7 @@ impl RlweContext {
     /// # Errors
     ///
     /// [`RlweError::ParamMismatch`] on mixed parameter sets.
-    pub fn add_ciphertexts(
-        &self,
-        a: &Ciphertext,
-        b: &Ciphertext,
-    ) -> Result<Ciphertext, RlweError> {
+    pub fn add_ciphertexts(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, RlweError> {
         if a.params != self.params || b.params != a.params {
             return Err(RlweError::ParamMismatch);
         }
@@ -295,7 +291,6 @@ impl RlweContext {
             c2_hat: pointwise::add(&a.c2_hat, &b.c2_hat, m),
         })
     }
-
 }
 
 /// Noise measurements from a decryption, for failure-rate experiments.
@@ -360,7 +355,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
         let err = ctx.encrypt(&pk, &[0u8; 31], &mut rng).unwrap_err();
-        assert!(matches!(err, RlweError::MessageLength { got: 31, expected: 32 }));
+        assert!(matches!(
+            err,
+            RlweError::MessageLength {
+                got: 31,
+                expected: 32
+            }
+        ));
     }
 
     #[test]
@@ -379,8 +380,12 @@ mod tests {
         let ctx = ctx_p1();
         let mut rng = StdRng::seed_from_u64(6);
         let a_hat = ctx.sample_uniform_poly(&mut rng);
-        let (pk1, sk1) = ctx.generate_keypair_with_a(a_hat.clone(), &mut rng).unwrap();
-        let (pk2, sk2) = ctx.generate_keypair_with_a(a_hat.clone(), &mut rng).unwrap();
+        let (pk1, sk1) = ctx
+            .generate_keypair_with_a(a_hat.clone(), &mut rng)
+            .unwrap();
+        let (pk2, sk2) = ctx
+            .generate_keypair_with_a(a_hat.clone(), &mut rng)
+            .unwrap();
         assert_eq!(pk1.a_hat(), pk2.a_hat());
         assert_ne!(pk1.p_hat(), pk2.p_hat());
         let msg = vec![0x77u8; 32];

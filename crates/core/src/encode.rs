@@ -59,7 +59,10 @@ pub fn decode_coefficient(c: u32, q: u32) -> u8 {
 ///
 /// Panics if the coefficient count is not a multiple of 8.
 pub fn decode_message(coeffs: &[u32], q: u32) -> Vec<u8> {
-    assert!(coeffs.len() % 8 == 0, "coefficient count must be byte-aligned");
+    assert!(
+        coeffs.len().is_multiple_of(8),
+        "coefficient count must be byte-aligned"
+    );
     coeffs
         .chunks_exact(8)
         .map(|chunk| {

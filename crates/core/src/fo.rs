@@ -13,10 +13,11 @@
 //! toward protocol-level use); it reuses only primitives already in this
 //! workspace (the scheme + SHA-256).
 
-use rand::{CryptoRng, Error as RandError, RngCore};
+use rand::RngCore;
 use rlwe_hash::Sha256;
 
 use crate::context::RlweContext;
+use crate::drbg::HashDrbg;
 use crate::kem::SharedSecret;
 use crate::keys::{Ciphertext, PublicKey, SecretKey};
 use crate::RlweError;
@@ -25,67 +26,6 @@ use crate::RlweError;
 const DS_COINS: &[u8] = b"rlwe-fo/coins";
 const DS_KEY: &[u8] = b"rlwe-fo/key";
 const DS_REJECT: &[u8] = b"rlwe-fo/reject";
-
-/// A deterministic RNG expanded from a 32-byte seed with SHA-256 in
-/// counter mode — the `Enc(pk, m; G(m))` coin source of the FO transform.
-struct HashDrbg {
-    seed: [u8; 32],
-    counter: u64,
-    buffer: [u8; 32],
-    used: usize,
-}
-
-impl HashDrbg {
-    fn new(seed: [u8; 32]) -> Self {
-        Self {
-            seed,
-            counter: 0,
-            buffer: [0; 32],
-            used: 32, // force a refill on first use
-        }
-    }
-
-    fn refill(&mut self) {
-        let mut h = Sha256::new();
-        h.update(&self.seed);
-        h.update(&self.counter.to_le_bytes());
-        self.buffer = h.finalize();
-        self.counter += 1;
-        self.used = 0;
-    }
-}
-
-impl RngCore for HashDrbg {
-    fn next_u32(&mut self) -> u32 {
-        let mut b = [0u8; 4];
-        self.fill_bytes(&mut b);
-        u32::from_le_bytes(b)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut b = [0u8; 8];
-        self.fill_bytes(&mut b);
-        u64::from_le_bytes(b)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for byte in dest.iter_mut() {
-            if self.used == 32 {
-                self.refill();
-            }
-            *byte = self.buffer[self.used];
-            self.used += 1;
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), RandError> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-// The DRBG is only used inside the FO construction with secret seeds.
-impl CryptoRng for HashDrbg {}
 
 fn hash2(prefix: &[u8], data: &[u8]) -> [u8; 32] {
     let mut h = Sha256::new();
@@ -171,11 +111,7 @@ impl RlweContext {
             hash3(DS_KEY, &m, &ct_bytes)
         } else {
             // Implicit rejection: secret-dependent, ciphertext-bound.
-            let sk_bytes: Vec<u8> = sk
-                .r2_hat()
-                .iter()
-                .flat_map(|&c| c.to_le_bytes())
-                .collect();
+            let sk_bytes: Vec<u8> = sk.r2_hat().iter().flat_map(|&c| c.to_le_bytes()).collect();
             hash3(DS_REJECT, &sk_bytes, &ct_bytes)
         };
         Ok(SharedSecret::from_bytes(key))

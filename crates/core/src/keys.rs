@@ -53,7 +53,12 @@ fn from_bytes_generic(
     let mut polys = Vec::with_capacity(n_polys);
     for i in 0..n_polys {
         let chunk = &bytes[2 + i * poly_bytes..2 + (i + 1) * poly_bytes];
-        polys.push(unpack_coeffs(chunk, params.coeff_bits(), params.n(), params.q())?);
+        polys.push(unpack_coeffs(
+            chunk,
+            params.coeff_bits(),
+            params.n(),
+            params.q(),
+        )?);
     }
     Ok((params, polys))
 }
@@ -229,7 +234,9 @@ mod tests {
     use super::*;
 
     fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| (i.wrapping_mul(seed) + 7) % q).collect()
+        (0..n as u32)
+            .map(|i| (i.wrapping_mul(seed) + 7) % q)
+            .collect()
     }
 
     #[test]

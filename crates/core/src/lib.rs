@@ -50,6 +50,7 @@ mod keys;
 mod params;
 mod serialize;
 
+pub mod drbg;
 pub mod fo;
 pub mod kem;
 

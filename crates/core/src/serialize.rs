@@ -28,7 +28,10 @@ use crate::RlweError;
 /// assert_eq!(back, coeffs);
 /// ```
 pub fn pack_coeffs(coeffs: &[u32], bits: u32) -> Vec<u8> {
-    assert!(bits >= 1 && bits <= 32, "bits per coefficient out of range");
+    assert!(
+        (1..=32).contains(&bits),
+        "bits per coefficient out of range"
+    );
     let total_bits = coeffs.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
     let mut bitpos = 0usize;
@@ -55,7 +58,10 @@ pub fn pack_coeffs(coeffs: &[u32], bits: u32) -> Vec<u8> {
 /// [`RlweError::Malformed`] if the byte slice has the wrong length or any
 /// decoded coefficient is `≥ q`.
 pub fn unpack_coeffs(bytes: &[u8], bits: u32, n: usize, q: u32) -> Result<Vec<u32>, RlweError> {
-    assert!(bits >= 1 && bits <= 32, "bits per coefficient out of range");
+    assert!(
+        (1..=32).contains(&bits),
+        "bits per coefficient out of range"
+    );
     let need = (n * bits as usize).div_ceil(8);
     if bytes.len() != need {
         return Err(RlweError::Malformed {
@@ -79,7 +85,7 @@ pub fn unpack_coeffs(bytes: &[u8], bits: u32, n: usize, q: u32) -> Result<Vec<u3
         bitpos += bits as usize;
     }
     // Trailing pad bits must be zero (reject sloppy/ambiguous encodings).
-    if bitpos % 8 != 0 {
+    if !bitpos.is_multiple_of(8) {
         let last = bytes[bitpos / 8];
         if last >> (bitpos % 8) != 0 {
             return Err(RlweError::Malformed {
@@ -112,7 +118,11 @@ mod tests {
     #[test]
     fn round_trip_awkward_widths() {
         for bits in [1u32, 3, 7, 9, 17, 31] {
-            let q = if bits == 32 { u32::MAX } else { (1u32 << bits).wrapping_sub(1).max(2) };
+            let q = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits).wrapping_sub(1).max(2)
+            };
             let coeffs: Vec<u32> = (0..21u32).map(|i| (i * 1237) % q).collect();
             let bytes = pack_coeffs(&coeffs, bits);
             assert_eq!(

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlwe_core::{
-    decode_message, encode_message, pack_coeffs, unpack_coeffs, Ciphertext, ParamSet,
-    PublicKey, RlweContext, SecretKey,
+    decode_message, encode_message, pack_coeffs, unpack_coeffs, Ciphertext, ParamSet, PublicKey,
+    RlweContext, SecretKey,
 };
 
 proptest! {
@@ -67,6 +67,77 @@ proptest! {
         let _ = PublicKey::from_bytes(&bytes);
         let _ = SecretKey::from_bytes(&bytes);
         let _ = Ciphertext::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn key_and_ciphertext_serialization_round_trips_both_sets(
+        seed in any::<u64>(),
+        p2 in any::<bool>(),
+    ) {
+        // Round-trip PublicKey / SecretKey / Ciphertext through their wire
+        // forms for both parameter sets, from genuinely random keys.
+        let set = if p2 { ParamSet::P2 } else { ParamSet::P1 };
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0xB7u8; ctx.params().message_bytes()];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+
+        prop_assert_eq!(&PublicKey::from_bytes(&pk.to_bytes().unwrap()).unwrap(), &pk);
+        prop_assert_eq!(&SecretKey::from_bytes(&sk.to_bytes().unwrap()).unwrap(), &sk);
+        prop_assert_eq!(&Ciphertext::from_bytes(&ct.to_bytes().unwrap()).unwrap(), &ct);
+    }
+
+    #[test]
+    fn truncated_and_oversized_encodings_are_rejected(
+        seed in any::<u64>(),
+        p2 in any::<bool>(),
+        cut in 1usize..64,
+        pad in 1usize..64,
+    ) {
+        // Every strict prefix must be rejected, as must any extension —
+        // the parsers accept exactly one length per parameter set.
+        let set = if p2 { ParamSet::P2 } else { ParamSet::P1 };
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x11u8; ctx.params().message_bytes()];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+
+        let pk_bytes = pk.to_bytes().unwrap();
+        let sk_bytes = sk.to_bytes().unwrap();
+        let ct_bytes = ct.to_bytes().unwrap();
+
+        let cut_pk = cut.min(pk_bytes.len());
+        let cut_sk = cut.min(sk_bytes.len());
+        let cut_ct = cut.min(ct_bytes.len());
+        prop_assert!(PublicKey::from_bytes(&pk_bytes[..pk_bytes.len() - cut_pk]).is_err());
+        prop_assert!(SecretKey::from_bytes(&sk_bytes[..sk_bytes.len() - cut_sk]).is_err());
+        prop_assert!(Ciphertext::from_bytes(&ct_bytes[..ct_bytes.len() - cut_ct]).is_err());
+
+        let mut oversized_pk = pk_bytes.clone();
+        oversized_pk.extend(std::iter::repeat_n(0u8, pad));
+        let mut oversized_sk = sk_bytes.clone();
+        oversized_sk.extend(std::iter::repeat_n(0u8, pad));
+        let mut oversized_ct = ct_bytes.clone();
+        oversized_ct.extend(std::iter::repeat_n(0u8, pad));
+        prop_assert!(PublicKey::from_bytes(&oversized_pk).is_err());
+        prop_assert!(SecretKey::from_bytes(&oversized_sk).is_err());
+        prop_assert!(Ciphertext::from_bytes(&oversized_ct).is_err());
+    }
+
+    #[test]
+    fn cross_type_parsing_is_rejected(seed in any::<u64>()) {
+        // A serialized public key must not parse as a secret key or
+        // ciphertext (and so on) — the magic bytes separate the types.
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let pk_bytes = pk.to_bytes().unwrap();
+        let sk_bytes = sk.to_bytes().unwrap();
+        prop_assert!(SecretKey::from_bytes(&pk_bytes).is_err());
+        prop_assert!(Ciphertext::from_bytes(&pk_bytes).is_err());
+        prop_assert!(PublicKey::from_bytes(&sk_bytes).is_err());
     }
 
     #[test]

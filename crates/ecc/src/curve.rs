@@ -78,10 +78,7 @@ impl Point {
     pub fn negate(&self) -> Self {
         match self {
             Point::Infinity => Point::Infinity,
-            Point::Affine { x, y } => Point::Affine {
-                x: *x,
-                y: x.add(y),
-            },
+            Point::Affine { x, y } => Point::Affine { x: *x, y: x.add(y) },
         }
     }
 
@@ -119,11 +116,7 @@ impl Point {
                 }
                 // λ = (y1+y2)/(x1+x2); x₃ = λ²+λ+x1+x2+a; y₃ = λ(x1+x₃)+x₃+y1.
                 let lambda = y1.add(y2).mul(&x1.add(x2).invert());
-                let x3 = lambda
-                    .square()
-                    .add(&lambda)
-                    .add(&x1.add(x2))
-                    .add(&CURVE_A);
+                let x3 = lambda.square().add(&lambda).add(&x1.add(x2)).add(&CURVE_A);
                 let y3 = lambda.mul(&x1.add(&x3)).add(&x3).add(y1);
                 Point::Affine { x: x3, y: y3 }
             }

@@ -177,7 +177,9 @@ impl Gf2m {
         let beta4 = beta2.sqr_n(2).mul(&beta2);
         let beta8 = beta4.sqr_n(4).mul(&beta4);
         let beta16 = beta8.sqr_n(8).mul(&beta8);
-        let beta29 = beta16.sqr_n(13).mul(&beta8.sqr_n(5).mul(&beta4.sqr_n(1).mul(&beta1)));
+        let beta29 = beta16
+            .sqr_n(13)
+            .mul(&beta8.sqr_n(5).mul(&beta4.sqr_n(1).mul(&beta1)));
         let beta58 = beta29.sqr_n(29).mul(&beta29);
         let beta116 = beta58.sqr_n(58).mul(&beta58);
         let beta232 = beta116.sqr_n(116).mul(&beta116);
@@ -253,8 +255,8 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let x = Gf2m::from_hex("17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126")
-            .unwrap();
+        let x =
+            Gf2m::from_hex("17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126").unwrap();
         assert_eq!(
             x.to_hex().to_uppercase(),
             "17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126"
@@ -263,8 +265,10 @@ mod tests {
         assert_eq!(Gf2m::from_hex("1"), Some(Gf2m::ONE));
         assert!(Gf2m::from_hex("zz").is_none());
         // 2^233 is out of range.
-        assert!(Gf2m::from_hex("200000000000000000000000000000000000000000000000000000000000")
-            .is_none());
+        assert!(
+            Gf2m::from_hex("200000000000000000000000000000000000000000000000000000000000")
+                .is_none()
+        );
     }
 
     #[test]

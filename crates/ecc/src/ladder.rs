@@ -136,7 +136,10 @@ pub fn scalar_mul(k: &Scalar, p: &Point) -> Point {
     let xk = s.x1.mul(&s.z1.invert());
     if s.z2.is_zero() {
         // (k+1)P = ∞ ⇒ kP = −P.
-        return Point::Affine { x: px, y: px.add(&py) };
+        return Point::Affine {
+            x: px,
+            y: px.add(&py),
+        };
     }
     let xk1 = s.x2.mul(&s.z2.invert());
     // y(kP) = [ (xk + x)·( (xk + x)(xk1 + x) + x² + y ) ] / x + y
@@ -204,8 +207,8 @@ mod tests {
     #[test]
     fn ladder_handles_large_scalars() {
         let g = Point::generator();
-        let k = Scalar::from_hex("7FFFFFFFFFFFFFFFFFFFFFFFFFFF069D5BB915BCD46EFB1AD5F173ABC1")
-            .unwrap();
+        let k =
+            Scalar::from_hex("7FFFFFFFFFFFFFFFFFFFFFFFFFFF069D5BB915BCD46EFB1AD5F173ABC1").unwrap();
         let oracle = g.scalar_mul(&k);
         assert_eq!(scalar_mul(&k, &g), oracle);
     }

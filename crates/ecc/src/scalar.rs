@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn order_constant_matches_hex() {
         let want =
-            Scalar::from_hex("8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF")
-                .unwrap();
+            Scalar::from_hex("8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF").unwrap();
         assert_eq!(ORDER, want, "ORDER limbs are wrong");
     }
 

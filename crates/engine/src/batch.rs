@@ -1,0 +1,231 @@
+//! Batched scheme operations fanned across a fixed worker pool.
+//!
+//! Threading model: every batch call splits its items into contiguous
+//! chunks, one per worker, and runs them under [`std::thread::scope`] —
+//! no channels, no work stealing, no allocations beyond the result
+//! vector. Output order always matches input order.
+//!
+//! Determinism: randomized operations take a 32-byte **master seed**;
+//! item `i` draws from `HashDrbg::for_stream(master, i)` regardless of
+//! which worker executes it, so a batch result is bit-identical to the
+//! sequential loop over the same seeds — scheduling cannot leak into
+//! ciphertexts, and tests can assert exact equality.
+
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::kem::SharedSecret;
+use rlwe_core::{Ciphertext, PublicKey, RlweContext, RlweError, SecretKey};
+
+/// Runs `f` over `items`, fanned across at most `workers` OS threads,
+/// preserving item order in the result.
+///
+/// `f` receives the *global* item index (for per-item seed derivation)
+/// and the item. With `workers <= 1` or a single item everything runs on
+/// the caller's thread.
+pub fn fan_out<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (w, (out, input)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+        {
+            let base = w * chunk;
+            let f = &f;
+            s.spawn(move || {
+                for (offset, (slot, item)) in out.iter_mut().zip(input).enumerate() {
+                    *slot = Some(f(base + offset, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled by its worker"))
+        .collect()
+}
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism, capped at 8 (past that, memory
+/// bandwidth dominates for these kernel sizes).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Encrypts `msgs` under `pk`, item `i` using coins from
+/// `HashDrbg::for_stream(master_seed, i)`.
+///
+/// Bit-identical to calling [`RlweContext::encrypt`] sequentially with
+/// the same per-item DRBGs, for any worker count.
+pub fn encrypt_batch(
+    ctx: &RlweContext,
+    pk: &PublicKey,
+    msgs: &[impl AsRef<[u8]> + Sync],
+    master_seed: &[u8; 32],
+    workers: usize,
+) -> Vec<Result<Ciphertext, RlweError>> {
+    fan_out(msgs, workers, |i, msg| {
+        let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+        ctx.encrypt(pk, msg.as_ref(), &mut rng)
+    })
+}
+
+/// Decrypts `cts` under `sk` (deterministic; no seed needed).
+pub fn decrypt_batch(
+    ctx: &RlweContext,
+    sk: &SecretKey,
+    cts: &[Ciphertext],
+    workers: usize,
+) -> Vec<Result<Vec<u8>, RlweError>> {
+    fan_out(cts, workers, |_, ct| ctx.decrypt(sk, ct))
+}
+
+/// Runs `count` encapsulations against `pk`, item `i` drawing its random
+/// message and coins from `HashDrbg::for_stream(master_seed, i)`.
+pub fn encap_batch(
+    ctx: &RlweContext,
+    pk: &PublicKey,
+    count: usize,
+    master_seed: &[u8; 32],
+    workers: usize,
+) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
+    let indices: Vec<usize> = (0..count).collect();
+    fan_out(&indices, workers, |i, _| {
+        let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+        ctx.encapsulate(pk, &mut rng)
+    })
+}
+
+/// Decapsulates `cts` under `sk` (deterministic; no seed needed).
+pub fn decap_batch(
+    ctx: &RlweContext,
+    sk: &SecretKey,
+    cts: &[Ciphertext],
+    workers: usize,
+) -> Vec<Result<SharedSecret, RlweError>> {
+    fan_out(cts, workers, |_, ct| ctx.decapsulate(sk, ct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlwe_core::ParamSet;
+
+    fn ctx() -> RlweContext {
+        RlweContext::new(ParamSet::P1).unwrap()
+    }
+
+    fn keypair(ctx: &RlweContext) -> (PublicKey, SecretKey) {
+        let mut rng = HashDrbg::new([1u8; 32]);
+        ctx.generate_keypair(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn fan_out_preserves_order_for_any_worker_count() {
+        let items: Vec<u32> = (0..97).collect();
+        for workers in [1, 2, 3, 8, 97, 200] {
+            let out = fan_out(&items, workers, |i, &x| (i as u32, x * 2));
+            assert_eq!(out.len(), 97, "workers={workers}");
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u32);
+                assert_eq!(*doubled, 2 * i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_input() {
+        let out: Vec<u32> = fan_out(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn encrypt_batch_is_worker_count_invariant() {
+        let ctx = ctx();
+        let (pk, _) = keypair(&ctx);
+        let msgs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 32]).collect();
+        let master = [7u8; 32];
+        let serial = encrypt_batch(&ctx, &pk, &msgs, &master, 1);
+        for workers in [2, 4, 9] {
+            let parallel = encrypt_batch(&ctx, &pk, &msgs, &master, workers);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_decrypts() {
+        let ctx = ctx();
+        let (pk, sk) = keypair(&ctx);
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i.wrapping_mul(17); 32]).collect();
+        let cts: Vec<Ciphertext> = encrypt_batch(&ctx, &pk, &msgs, &[3u8; 32], 4)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let back = decrypt_batch(&ctx, &sk, &cts, 4);
+        // P1 decryptions fail with ~1% probability per item (parameter
+        // property); require at least 14/16 exact round-trips.
+        let good = back
+            .iter()
+            .zip(&msgs)
+            .filter(|(got, want)| got.as_ref().unwrap() == *want)
+            .count();
+        assert!(good >= 14, "only {good}/16 round-tripped");
+    }
+
+    #[test]
+    fn per_item_errors_do_not_poison_the_batch() {
+        let ctx = ctx();
+        let (pk, _) = keypair(&ctx);
+        // One malformed (wrong-length) message among good ones.
+        let msgs: Vec<Vec<u8>> = vec![vec![1u8; 32], vec![2u8; 31], vec![3u8; 32]];
+        let out = encrypt_batch(&ctx, &pk, &msgs, &[9u8; 32], 2);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(RlweError::MessageLength { .. })));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn encap_batch_agrees_with_decap_batch() {
+        let ctx = ctx();
+        let (pk, sk) = keypair(&ctx);
+        let out = encap_batch(&ctx, &pk, 12, &[5u8; 32], 3);
+        let (cts, secrets): (Vec<_>, Vec<_>) = out.into_iter().map(|r| r.unwrap()).unzip();
+        let decapped = decap_batch(&ctx, &sk, &cts, 3);
+        let agree = decapped
+            .iter()
+            .zip(&secrets)
+            .filter(|(got, want)| got.as_ref().unwrap() == *want)
+            .count();
+        // KEM failure probability ~1% per item — require near-total agreement.
+        assert!(agree >= 10, "only {agree}/12 secrets agreed");
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_ciphertexts() {
+        let ctx = ctx();
+        let (pk, _) = keypair(&ctx);
+        let msgs = [vec![0u8; 32]];
+        let a = encrypt_batch(&ctx, &pk, &msgs, &[1u8; 32], 1);
+        let b = encrypt_batch(&ctx, &pk, &msgs, &[2u8; 32], 1);
+        assert_ne!(a[0].as_ref().unwrap(), b[0].as_ref().unwrap());
+    }
+}

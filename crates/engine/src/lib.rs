@@ -1,0 +1,341 @@
+//! # rlwe-engine
+//!
+//! A throughput-oriented serving layer over `rlwe-core`: where the DATE
+//! 2015 paper optimises one operation's latency, this crate amortises
+//! setup across millions of operations and saturates every core.
+//!
+//! Four pieces (see `DESIGN.md` §Engine for the full rationale):
+//!
+//! * [`ContextPool`] — caches [`rlwe_core::RlweContext`] (NTT plans +
+//!   Knuth-Yao tables) per parameter set behind [`std::sync::Arc`]; a
+//!   million requests pay table construction once.
+//! * [`batch`] — `encrypt_batch` / `decrypt_batch` / `encap_batch` /
+//!   `decap_batch` fan items across a fixed worker pool with
+//!   [`std::thread::scope`]. Item `i` draws randomness from
+//!   `HashDrbg::for_stream(master_seed, i)`, so batched output is
+//!   **bit-identical** to the sequential loop — worker count and
+//!   scheduling cannot change a single ciphertext bit.
+//! * [`session`] — one KEM handshake, then authenticated symmetric
+//!   framing (KDF2 keystream + HMAC-SHA256) for arbitrary-length
+//!   payloads: the "millions of users" workload where lattice math is
+//!   per-session, not per-message.
+//! * [`metrics`] — lock-free counters and fixed-bucket latency
+//!   histograms with an `m4sim`-style text report.
+//!
+//! # Example
+//!
+//! ```
+//! use rlwe_engine::Engine;
+//! use rlwe_core::ParamSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = Engine::builder(ParamSet::P1).workers(4).build()?;
+//! let (pk, sk) = engine.generate_keypair(&[1u8; 32])?;
+//! let msgs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 32]).collect();
+//! let cts = engine.encrypt_batch(&pk, &msgs, &[2u8; 32]);
+//! let ok = cts.iter().filter(|c| c.is_ok()).count();
+//! assert_eq!(ok, 64);
+//! println!("{}", engine.report());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod metrics;
+pub mod pool;
+pub mod session;
+
+pub use batch::{decap_batch, decrypt_batch, default_workers, encap_batch, encrypt_batch, fan_out};
+pub use metrics::{EngineMetrics, LatencyHistogram, MetricsReport};
+pub use pool::{global as global_pool, ContextPool};
+pub use session::{Role, Session, SessionError, StreamReceiver, StreamSender};
+
+use rand::RngCore;
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::kem::SharedSecret;
+use rlwe_core::{Ciphertext, ParamSet, PublicKey, RlweContext, RlweError, SecretKey};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configures an [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    set: ParamSet,
+    workers: Option<usize>,
+    private_pool: bool,
+}
+
+impl EngineBuilder {
+    /// Worker-thread count for batch calls (default:
+    /// [`default_workers`]).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Use a private context pool instead of the process-wide one
+    /// (useful for tests and eviction control).
+    pub fn private_pool(mut self) -> Self {
+        self.private_pool = true;
+        self
+    }
+
+    /// Builds the engine, constructing the context on first use of its
+    /// parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction failures (cannot happen for the
+    /// named parameter sets).
+    pub fn build(self) -> Result<Engine, RlweError> {
+        let ctx = if self.private_pool {
+            ContextPool::new().get(self.set)?
+        } else {
+            pool::global().get(self.set)?
+        };
+        Ok(Engine {
+            ctx,
+            workers: self.workers.unwrap_or_else(default_workers),
+            metrics: Arc::new(EngineMetrics::new()),
+        })
+    }
+}
+
+/// A batched, multi-threaded KEM/encryption engine bound to one
+/// parameter set.
+///
+/// Construction is cheap when the parameter set is already pooled; the
+/// engine itself is `Send + Sync` and can be shared behind an `Arc` by
+/// any number of request handlers.
+pub struct Engine {
+    ctx: Arc<RlweContext>,
+    workers: usize,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl Engine {
+    /// An engine with default worker count using the global pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineBuilder::build`].
+    pub fn new(set: ParamSet) -> Result<Self, RlweError> {
+        Self::builder(set).build()
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder(set: ParamSet) -> EngineBuilder {
+        EngineBuilder {
+            set,
+            workers: None,
+            private_pool: false,
+        }
+    }
+
+    /// The shared context (cheap `Arc` clone to hand elsewhere).
+    pub fn context(&self) -> &Arc<RlweContext> {
+        &self.ctx
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Live metrics handle.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// A point-in-time metrics report.
+    pub fn report(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// Deterministic key generation from a 32-byte seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RlweContext::generate_keypair`] failures.
+    pub fn generate_keypair(&self, seed: &[u8; 32]) -> Result<(PublicKey, SecretKey), RlweError> {
+        let mut rng = HashDrbg::new(*seed);
+        self.ctx.generate_keypair(&mut rng)
+    }
+
+    /// Batched encryption; see [`batch::encrypt_batch`].
+    pub fn encrypt_batch(
+        &self,
+        pk: &PublicKey,
+        msgs: &[impl AsRef<[u8]> + Sync],
+        master_seed: &[u8; 32],
+    ) -> Vec<Result<Ciphertext, RlweError>> {
+        let start = Instant::now();
+        let out = encrypt_batch(&self.ctx, pk, msgs, master_seed, self.workers);
+        self.record(&self.metrics.encrypt, &out, start);
+        out
+    }
+
+    /// Batched decryption; see [`batch::decrypt_batch`].
+    pub fn decrypt_batch(
+        &self,
+        sk: &SecretKey,
+        cts: &[Ciphertext],
+    ) -> Vec<Result<Vec<u8>, RlweError>> {
+        let start = Instant::now();
+        let out = decrypt_batch(&self.ctx, sk, cts, self.workers);
+        self.record(&self.metrics.decrypt, &out, start);
+        out
+    }
+
+    /// Batched encapsulation; see [`batch::encap_batch`].
+    pub fn encap_batch(
+        &self,
+        pk: &PublicKey,
+        count: usize,
+        master_seed: &[u8; 32],
+    ) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
+        let start = Instant::now();
+        let out = encap_batch(&self.ctx, pk, count, master_seed, self.workers);
+        self.record(&self.metrics.encap, &out, start);
+        out
+    }
+
+    /// Batched decapsulation; see [`batch::decap_batch`].
+    pub fn decap_batch(
+        &self,
+        sk: &SecretKey,
+        cts: &[Ciphertext],
+    ) -> Vec<Result<SharedSecret, RlweError>> {
+        let start = Instant::now();
+        let out = decap_batch(&self.ctx, sk, cts, self.workers);
+        self.record(&self.metrics.decap, &out, start);
+        out
+    }
+
+    /// Opens a session toward a responder's public key; returns the
+    /// session and the handshake message to deliver.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::initiate`].
+    pub fn initiate_session<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Result<(Session, Vec<u8>), SessionError> {
+        Session::initiate_with_metrics(&self.ctx, pk, rng, Some(Arc::clone(&self.metrics)))
+    }
+
+    /// Accepts an initiator's handshake message.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::accept`]; in particular
+    /// [`SessionError::HandshakeFailed`] is the retryable ~1% KEM
+    /// decryption-failure case.
+    pub fn accept_session(&self, sk: &SecretKey, hello: &[u8]) -> Result<Session, SessionError> {
+        Session::accept_with_metrics(&self.ctx, sk, hello, Some(Arc::clone(&self.metrics)))
+    }
+
+    fn record<T, E>(&self, op: &metrics::OpMetrics, results: &[Result<T, E>], start: Instant) {
+        let failed = results.iter().filter(|r| r.is_err()).count() as u64;
+        op.ok
+            .fetch_add(results.len() as u64 - failed, Ordering::Relaxed);
+        op.failed.fetch_add(failed, Ordering::Relaxed);
+        op.batch_latency.record(start.elapsed());
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("params", self.ctx.params())
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_records_metrics_for_batches() {
+        let engine = Engine::builder(ParamSet::P1).workers(2).build().unwrap();
+        let (pk, sk) = engine.generate_keypair(&[8u8; 32]).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 32]).collect();
+        let cts: Vec<_> = engine
+            .encrypt_batch(&pk, &msgs, &[9u8; 32])
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let _ = engine.decrypt_batch(&sk, &cts);
+        let report = engine.report();
+        let enc = &report.ops[0];
+        assert_eq!((enc.name, enc.ok, enc.failed), ("encrypt", 6, 0));
+        assert_eq!(enc.latency.samples, 1);
+        let dec = &report.ops[1];
+        assert_eq!((dec.name, dec.ok), ("decrypt", 6));
+    }
+
+    #[test]
+    fn failed_items_are_counted_as_failures() {
+        let engine = Engine::builder(ParamSet::P1).workers(2).build().unwrap();
+        let (pk, _) = engine.generate_keypair(&[8u8; 32]).unwrap();
+        let msgs: Vec<Vec<u8>> = vec![vec![0u8; 32], vec![0u8; 5]];
+        let out = engine.encrypt_batch(&pk, &msgs, &[9u8; 32]);
+        assert!(out[0].is_ok() && out[1].is_err());
+        let report = engine.report();
+        assert_eq!(report.ops[0].ok, 1);
+        assert_eq!(report.ops[0].failed, 1);
+    }
+
+    #[test]
+    fn sessions_through_the_engine_count_frames() {
+        let engine = Engine::new(ParamSet::P1).unwrap();
+        let (pk, sk) = engine.generate_keypair(&[3u8; 32]).unwrap();
+        // Retry the handshake over independent DRBG streams on the
+        // documented ~1% KEM failure.
+        let (alice, bob) = (0..8u64)
+            .find_map(|attempt| {
+                let mut rng = HashDrbg::for_stream(&[4u8; 32], attempt);
+                let (a, hello) = engine.initiate_session(&pk, &mut rng).unwrap();
+                match engine.accept_session(&sk, &hello) {
+                    Ok(b) => Some((a, b)),
+                    Err(SessionError::HandshakeFailed) => None,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            })
+            .expect("eight consecutive KEM failures");
+        let mut tx = alice.sender();
+        let mut rx = bob.receiver();
+        let frame = tx.seal(b"metered");
+        rx.open(&frame).unwrap();
+        let mut bad = tx.seal(b"tampered");
+        bad[HEADER_PROBE] ^= 1;
+        assert!(rx.open(&bad).is_err());
+        let report = engine.report();
+        assert_eq!(report.frames_sealed, 2);
+        assert_eq!(report.frames_opened, 1);
+        assert_eq!(report.frames_rejected, 1);
+    }
+
+    /// Index well inside the sealed body for tamper tests.
+    const HEADER_PROBE: usize = 14;
+
+    #[test]
+    fn engines_share_pooled_contexts() {
+        let a = Engine::new(ParamSet::P1).unwrap();
+        let b = Engine::new(ParamSet::P1).unwrap();
+        assert!(Arc::ptr_eq(a.context(), b.context()));
+        let c = Engine::builder(ParamSet::P1)
+            .private_pool()
+            .build()
+            .unwrap();
+        assert!(!Arc::ptr_eq(a.context(), c.context()));
+    }
+}

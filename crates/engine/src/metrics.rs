@@ -1,0 +1,290 @@
+//! Engine observability: operation counters and latency histograms.
+//!
+//! Mirrors `rlwe-m4sim`'s report idiom (plain structs + a `Display`
+//! rendering as an aligned text table) but measures the live engine
+//! instead of a cost model. Counters are lock-free atomics so worker
+//! threads record without contention; the histogram uses fixed
+//! power-of-two buckets, so percentile estimates cost a 32-entry scan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 includes sub-microsecond).
+const BUCKETS: usize = 32;
+
+/// Lock-free latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(us: u64) -> usize {
+        ((64 - us.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean recorded latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
+    /// `q` in `[0, 1]` — e.g. `0.5` for p50, `0.99` for p99. Returns 0 on
+    /// an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// A point-in-time copy for reporting.
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            samples: self.len(),
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.50),
+            p90_us: self.quantile_us(0.90),
+            p99_us: self.quantile_us(0.99),
+        }
+    }
+}
+
+/// Frozen percentile summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Recorded sample count.
+    pub samples: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median bucket upper bound (µs).
+    pub p50_us: u64,
+    /// 90th-percentile bucket upper bound (µs).
+    pub p90_us: u64,
+    /// 99th-percentile bucket upper bound (µs).
+    pub p99_us: u64,
+}
+
+/// Live counters for one operation kind.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// Items completed successfully.
+    pub ok: AtomicU64,
+    /// Items that returned an error.
+    pub failed: AtomicU64,
+    /// Per-batch wall-clock latency.
+    pub batch_latency: LatencyHistogram,
+}
+
+impl OpMetrics {
+    fn snapshot(&self, name: &'static str) -> OpReport {
+        OpReport {
+            name,
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            latency: self.batch_latency.snapshot(),
+        }
+    }
+}
+
+/// All engine metrics, shared by reference with worker threads.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Batch encryption.
+    pub encrypt: OpMetrics,
+    /// Batch decryption.
+    pub decrypt: OpMetrics,
+    /// Batch encapsulation.
+    pub encap: OpMetrics,
+    /// Batch decapsulation.
+    pub decap: OpMetrics,
+    /// Session frames sealed.
+    pub frames_sealed: AtomicU64,
+    /// Session frames opened (MAC verified).
+    pub frames_opened: AtomicU64,
+    /// Session frames rejected (bad MAC / sequence / framing).
+    pub frames_rejected: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time report, suitable for `println!`.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            ops: vec![
+                self.encrypt.snapshot("encrypt"),
+                self.decrypt.snapshot("decrypt"),
+                self.encap.snapshot("encap"),
+                self.decap.snapshot("decap"),
+            ],
+            frames_sealed: self.frames_sealed.load(Ordering::Relaxed),
+            frames_opened: self.frames_opened.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen counters for one operation kind.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operation label.
+    pub name: &'static str,
+    /// Successful items.
+    pub ok: u64,
+    /// Failed items.
+    pub failed: u64,
+    /// Batch latency summary.
+    pub latency: LatencySnapshot,
+}
+
+/// A frozen, displayable snapshot of all engine metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Per-operation rows.
+    pub ops: Vec<OpReport>,
+    /// Session frames sealed.
+    pub frames_sealed: u64,
+    /// Session frames opened.
+    pub frames_opened: u64,
+    /// Session frames rejected.
+    pub frames_rejected: u64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}",
+            "op", "ok", "failed", "batches", "p50(µs)", "p90(µs)", "p99(µs)"
+        )?;
+        for op in &self.ops {
+            if op.ok == 0 && op.failed == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}",
+                op.name,
+                op.ok,
+                op.failed,
+                op.latency.samples,
+                op.latency.p50_us,
+                op.latency.p90_us,
+                op.latency.p99_us,
+            )?;
+        }
+        writeln!(
+            f,
+            "frames: {} sealed, {} opened, {} rejected",
+            self.frames_sealed, self.frames_opened, self.frames_rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_durations() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(5000)); // bucket 12: [4096, 8192)
+        }
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert_eq!(h.quantile_us(0.99), 8192);
+        assert!((h.mean_us() - (90.0 * 100.0 + 10.0 * 5000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_active_ops_only() {
+        let m = EngineMetrics::new();
+        m.encrypt.ok.fetch_add(5, Ordering::Relaxed);
+        m.encrypt.batch_latency.record(Duration::from_micros(300));
+        let text = m.report().to_string();
+        assert!(text.contains("encrypt"));
+        assert!(!text.contains("decap"));
+        assert!(text.contains("frames: 0 sealed"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let m = EngineMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.encrypt.ok.fetch_add(1, Ordering::Relaxed);
+                        m.encrypt.batch_latency.record(Duration::from_micros(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.encrypt.ok.load(Ordering::Relaxed), 4000);
+        assert_eq!(m.encrypt.batch_latency.len(), 4000);
+    }
+}

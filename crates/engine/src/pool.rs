@@ -1,0 +1,144 @@
+//! Context pooling: pay `RlweContext` construction once per parameter set.
+//!
+//! Building a context is expensive (it derives 192-bit-precision Gaussian
+//! probability tables and NTT twiddle factors), while using one is cheap
+//! and `&self`-only. The pool caches one [`Arc<RlweContext>`] per
+//! [`ParamSet`] so a million requests share two table builds, and clones
+//! of the `Arc` can be handed to worker threads without copying tables.
+
+use rlwe_core::{ParamSet, RlweContext, RlweError};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cache of ready-to-use contexts, one per parameter set.
+///
+/// Cheap to clone conceptually — hand out [`Arc`]s via
+/// [`ContextPool::get`]. Thread-safe; the first caller per set builds
+/// while holding that set's slot lock, so concurrent callers for the
+/// *same* uncached set wait for that one build (~5 ms) instead of
+/// duplicating it; callers for the other set are unaffected, and every
+/// later call is a lock-protected pointer clone.
+///
+/// # Example
+///
+/// ```
+/// use rlwe_engine::ContextPool;
+/// use rlwe_core::ParamSet;
+///
+/// let pool = ContextPool::new();
+/// let a = pool.get(ParamSet::P1).unwrap();
+/// let b = pool.get(ParamSet::P1).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second get is a cache hit");
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextPool {
+    // Two named sets exist; a fixed two-slot table beats a HashMap.
+    slots: [Mutex<Option<Arc<RlweContext>>>; 2],
+}
+
+fn slot_index(set: ParamSet) -> usize {
+    match set {
+        ParamSet::P1 => 0,
+        ParamSet::P2 => 1,
+    }
+}
+
+impl ContextPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared context for `set`, building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction failures (cannot happen for the
+    /// named parameter sets, which are known-good).
+    pub fn get(&self, set: ParamSet) -> Result<Arc<RlweContext>, RlweError> {
+        let mut slot = self.slots[slot_index(set)]
+            .lock()
+            .expect("context pool lock poisoned");
+        if let Some(ctx) = slot.as_ref() {
+            return Ok(Arc::clone(ctx));
+        }
+        let ctx = Arc::new(RlweContext::new(set)?);
+        *slot = Some(Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// Whether a context for `set` has already been built.
+    pub fn is_cached(&self, set: ParamSet) -> bool {
+        self.slots[slot_index(set)]
+            .lock()
+            .expect("context pool lock poisoned")
+            .is_some()
+    }
+
+    /// Drops the cached context for `set` (subsequent [`ContextPool::get`]
+    /// rebuilds). Outstanding `Arc`s stay valid.
+    pub fn evict(&self, set: ParamSet) {
+        self.slots[slot_index(set)]
+            .lock()
+            .expect("context pool lock poisoned")
+            .take();
+    }
+}
+
+/// The process-wide pool used by [`crate::Engine`] unless a private one is
+/// supplied.
+pub fn global() -> &'static ContextPool {
+    static GLOBAL: OnceLock<ContextPool> = OnceLock::new();
+    GLOBAL.get_or_init(ContextPool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_caches_per_set() {
+        let pool = ContextPool::new();
+        assert!(!pool.is_cached(ParamSet::P1));
+        let a = pool.get(ParamSet::P1).unwrap();
+        assert!(pool.is_cached(ParamSet::P1));
+        let b = pool.get(ParamSet::P1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // P2 is a distinct slot.
+        assert!(!pool.is_cached(ParamSet::P2));
+        let c = pool.get(ParamSet::P2).unwrap();
+        assert_eq!(c.params().n(), 512);
+    }
+
+    #[test]
+    fn evict_forces_rebuild_without_invalidating_loans() {
+        let pool = ContextPool::new();
+        let a = pool.get(ParamSet::P1).unwrap();
+        pool.evict(ParamSet::P1);
+        assert!(!pool.is_cached(ParamSet::P1));
+        let b = pool.get(ParamSet::P1).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        // The evicted loan still works.
+        assert_eq!(a.params().n(), 256);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global().get(ParamSet::P1).unwrap();
+        let b = global().get(ParamSet::P1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = ContextPool::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| pool.get(ParamSet::P1).unwrap()))
+                .collect();
+            let ctxs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for pair in ctxs.windows(2) {
+                assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+            }
+        });
+    }
+}

@@ -1,0 +1,199 @@
+//! Engine acceptance tests: batch determinism against the sequential
+//! single-call path, session stream integrity, and pool amortisation.
+
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_engine::{
+    decap_batch, decrypt_batch, encap_batch, encrypt_batch, ContextPool, Engine, Session,
+    SessionError,
+};
+use std::sync::Arc;
+
+/// The acceptance criterion: batched output is bit-identical to the
+/// sequential single-call loop for the same master seed, at every worker
+/// count and for both parameter sets.
+#[test]
+fn batch_results_are_bit_identical_to_sequential_single_calls() {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut keyrng = HashDrbg::new([21u8; 32]);
+        let (pk, _) = ctx.generate_keypair(&mut keyrng).unwrap();
+        let mb = ctx.params().message_bytes();
+        let msgs: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i.wrapping_mul(31); mb]).collect();
+        let master = [77u8; 32];
+
+        // Reference: plain sequential single calls with per-item DRBGs.
+        let reference: Vec<_> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut rng = HashDrbg::for_stream(&master, i as u64);
+                ctx.encrypt(&pk, m, &mut rng).unwrap()
+            })
+            .collect();
+
+        for workers in [1, 2, 3, 7, 13] {
+            let batched = encrypt_batch(&ctx, &pk, &msgs, &master, workers);
+            for (i, (b, r)) in batched.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    b.as_ref().unwrap(),
+                    r,
+                    "{set:?} workers={workers} item {i} diverged from sequential"
+                );
+            }
+        }
+
+        // Same criterion for encapsulation: ciphertext AND shared secret.
+        let reference_encap: Vec<_> = (0..9u64)
+            .map(|i| {
+                let mut rng = HashDrbg::for_stream(&master, i);
+                ctx.encapsulate(&pk, &mut rng).unwrap()
+            })
+            .collect();
+        for workers in [1, 4, 9] {
+            let batched = encap_batch(&ctx, &pk, 9, &master, workers);
+            for (i, (b, (ct, ss))) in batched.iter().zip(&reference_encap).enumerate() {
+                let (bct, bss) = b.as_ref().unwrap();
+                assert_eq!(bct, ct, "{set:?} workers={workers} encap ct {i}");
+                assert_eq!(
+                    bss.as_bytes(),
+                    ss.as_bytes(),
+                    "{set:?} workers={workers} encap ss {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_batch_pipeline_round_trips_through_the_engine() {
+    let engine = Engine::builder(ParamSet::P1).workers(4).build().unwrap();
+    let (pk, sk) = engine.generate_keypair(&[1u8; 32]).unwrap();
+    let msgs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 32]).collect();
+    let cts: Vec<_> = engine
+        .encrypt_batch(&pk, &msgs, &[2u8; 32])
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let back = engine.decrypt_batch(&sk, &cts);
+    let good = back
+        .iter()
+        .zip(&msgs)
+        .filter(|(got, want)| got.as_ref().unwrap() == *want)
+        .count();
+    // ~1% per-item decryption failure is a parameter property.
+    assert!(good >= 60, "only {good}/64 round-tripped");
+
+    // KEM pipeline through the free functions on a pooled context.
+    let ctx = engine.context();
+    let out = encap_batch(ctx, &pk, 32, &[3u8; 32], 4);
+    let (kem_cts, secrets): (Vec<_>, Vec<_>) = out.into_iter().map(|r| r.unwrap()).unzip();
+    let decapped = decap_batch(ctx, &sk, &kem_cts, 4);
+    let agree = decapped
+        .iter()
+        .zip(&secrets)
+        .filter(|(got, want)| got.as_ref().unwrap() == *want)
+        .count();
+    assert!(agree >= 29, "only {agree}/32 secrets agreed");
+
+    let report = engine.report();
+    assert_eq!(report.ops[0].ok + report.ops[0].failed, 64);
+    assert_eq!(report.ops[1].ok + report.ops[1].failed, 64);
+}
+
+/// The second acceptance criterion: a multi-frame payload round-trips,
+/// and tampering with any frame fails MAC verification.
+#[test]
+fn session_round_trips_multiframe_payloads_and_rejects_tampering() {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = HashDrbg::new([5u8; 32]);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+
+        // Handshake with retry on the documented ~1% KEM failure.
+        let (client, server) = (0..8u64)
+            .find_map(|attempt| {
+                let mut hs = HashDrbg::for_stream(&[6u8; 32], attempt);
+                let (c, hello) = Session::initiate(&ctx, &pk, &mut hs).unwrap();
+                match Session::accept(&ctx, &sk, &hello) {
+                    Ok(s) => Some((c, s)),
+                    Err(SessionError::HandshakeFailed) => None,
+                    Err(e) => panic!("{set:?}: unexpected handshake error {e}"),
+                }
+            })
+            .expect("eight consecutive KEM failures");
+
+        // A payload much larger than one lattice message, split over
+        // frames of varying sizes.
+        let payload: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let mut tx = client.sender();
+        let chunks: Vec<&[u8]> = payload.chunks(977).collect();
+        let frames: Vec<Vec<u8>> = chunks.iter().map(|c| tx.seal(c)).collect();
+
+        // Round trip.
+        let mut rx = server.receiver();
+        let mut reassembled = Vec::new();
+        for frame in &frames {
+            let (part, used) = rx.open(frame).unwrap();
+            assert_eq!(used, frame.len());
+            reassembled.extend_from_slice(&part);
+        }
+        assert_eq!(
+            reassembled, payload,
+            "{set:?}: payload corrupted in transit"
+        );
+
+        // Tampering with any single frame is caught by the MAC (or by a
+        // structural check for magic/length bytes).
+        let mut rx2 = server.receiver();
+        for (i, frame) in frames.iter().enumerate() {
+            if i == 3 {
+                let mut bad = frame.clone();
+                let mid = bad.len() / 2;
+                bad[mid] ^= 0x40;
+                assert!(
+                    rx2.open(&bad).is_err(),
+                    "{set:?}: tampered frame {i} was accepted"
+                );
+                // Original still accepted — rejection did not advance state.
+            }
+            rx2.open(frame).unwrap();
+        }
+    }
+}
+
+#[test]
+fn pool_amortises_context_setup_across_engines_and_threads() {
+    let pool = Arc::new(ContextPool::new());
+    let first = pool.get(ParamSet::P1).unwrap();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.get(ParamSet::P1).unwrap())
+        })
+        .collect();
+    for h in handles {
+        assert!(Arc::ptr_eq(&first, &h.join().unwrap()));
+    }
+}
+
+#[test]
+fn decrypt_batch_flags_cross_parameter_items_without_poisoning() {
+    let p1 = RlweContext::new(ParamSet::P1).unwrap();
+    let p2 = RlweContext::new(ParamSet::P2).unwrap();
+    let mut rng = HashDrbg::new([9u8; 32]);
+    let (pk1, sk1) = p1.generate_keypair(&mut rng).unwrap();
+    let (pk2, _) = p2.generate_keypair(&mut rng).unwrap();
+
+    let good = p1.encrypt(&pk1, &[1u8; 32], &mut rng).unwrap();
+    let alien = p2.encrypt(&pk2, &[2u8; 64], &mut rng).unwrap();
+    let out = decrypt_batch(&p1, &sk1, &[good.clone(), alien, good], 2);
+    assert!(out[0].is_ok());
+    assert!(
+        out[1].is_err(),
+        "P2 ciphertext must be rejected by a P1 engine"
+    );
+    assert!(out[2].is_ok());
+}

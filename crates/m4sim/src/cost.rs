@@ -95,7 +95,10 @@ mod tests {
         let c = CostModel::cortex_m4f();
         assert_eq!(c.mem, 2, "paper: memory access requires 2 cycles");
         assert_eq!(c.mul, 1, "paper: single-cycle 32-bit multiplication");
-        assert!((2..=12).contains(&c.udiv), "paper: division takes 2-12 cycles");
+        assert!(
+            (2..=12).contains(&c.udiv),
+            "paper: division takes 2-12 cycles"
+        );
         assert_eq!(c.trng_period, 140, "40 ticks @48MHz = 140 cycles @168MHz");
     }
 

@@ -190,9 +190,9 @@ pub fn ky_sample_poly_clz(m: &mut Machine, ky: &KnuthYao, n: usize, q: u32) -> V
                 let col = l.min(words.len() - 1);
                 m.alu(2); // d update
                 m.mem(words[col]); // word loads
-                // Each set bit costs a clz + shift + decrement + test;
-                // on average half the column's ones are visited on the
-                // terminal level, all of them otherwise.
+                                   // Each set bit costs a clz + shift + decrement + test;
+                                   // on average half the column's ones are visited on the
+                                   // terminal level, all of them otherwise.
                 let ones = if l + 1 == levels as usize {
                     hw[col] as u64 / 2
                 } else {
@@ -282,7 +282,10 @@ mod tests {
             basic > 500.0,
             "the naive scan should cost hundreds of cycles, got {basic:.1}"
         );
-        assert!(lut < 40.0, "the LUT path must be tens of cycles, got {lut:.1}");
+        assert!(
+            lut < 40.0,
+            "the LUT path must be tens of cycles, got {lut:.1}"
+        );
     }
 
     #[test]
@@ -297,7 +300,11 @@ mod tests {
             let poly = f(&mut m, &ky, 512, 7681);
             assert_eq!(poly.len(), 512);
             for &c in &poly {
-                let centered = if c > 7681 / 2 { c as i64 - 7681 } else { c as i64 };
+                let centered = if c > 7681 / 2 {
+                    c as i64 - 7681
+                } else {
+                    c as i64
+                };
                 assert!(centered.abs() < 55);
             }
         }

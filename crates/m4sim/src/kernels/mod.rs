@@ -15,8 +15,8 @@ pub use ablation::{
     ky_sample_poly_basic, ky_sample_poly_clz, ky_sample_poly_hw, ntt_forward_halfword,
 };
 pub use ntt::{
-    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, ntt_multiply,
-    pointwise_add, pointwise_mul, pointwise_mul_add, pointwise_sub,
+    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, ntt_multiply, pointwise_add,
+    pointwise_mul, pointwise_mul_add, pointwise_sub,
 };
 pub use sampler::{ky_sample_poly, uniform_poly, SampleStats};
 pub use scheme::{decrypt, encrypt, keygen, SimKeys};

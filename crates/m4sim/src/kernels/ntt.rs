@@ -240,11 +240,7 @@ fn charge_pointwise_iteration(m: &mut Machine, loads: u64, mulmods: u64, modadds
 pub fn pointwise_mul(m: &mut Machine, plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
     let q = plan.q();
     m.call();
-    let out: Vec<u32> = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| mul_mod(x, y, q))
-        .collect();
+    let out: Vec<u32> = a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect();
     let mut i = 0;
     while i < a.len() {
         charge_pointwise_iteration(m, 2, 2, 0);
@@ -281,11 +277,7 @@ pub fn pointwise_mul_add(
 pub fn pointwise_add(m: &mut Machine, plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
     let q = plan.q();
     m.call();
-    let out: Vec<u32> = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| add_mod(x, y, q))
-        .collect();
+    let out: Vec<u32> = a.iter().zip(b).map(|(&x, &y)| add_mod(x, y, q)).collect();
     let mut i = 0;
     while i < a.len() {
         m.mem(2);
@@ -303,11 +295,7 @@ pub fn pointwise_add(m: &mut Machine, plan: &NttPlan, a: &[u32], b: &[u32]) -> V
 pub fn pointwise_sub(m: &mut Machine, plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
     let q = plan.q();
     m.call();
-    let out: Vec<u32> = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| sub_mod(x, y, q))
-        .collect();
+    let out: Vec<u32> = a.iter().zip(b).map(|(&x, &y)| sub_mod(x, y, q)).collect();
     let mut i = 0;
     while i < a.len() {
         m.mem(2);
@@ -344,7 +332,9 @@ mod tests {
     }
 
     fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| (i.wrapping_mul(seed) + 3) % q).collect()
+        (0..n as u32)
+            .map(|i| (i.wrapping_mul(seed) + 3) % q)
+            .collect()
     }
 
     #[test]
@@ -455,7 +445,10 @@ mod tests {
         ntt_forward_packed(&mut m1, &plan_p1(), &mut b);
         let p1 = m1.cycles() as f64;
         let ratio = p2 / p1;
-        assert!((2.0..2.5).contains(&ratio), "P2/P1 ratio {ratio} (paper: 2.32)");
+        assert!(
+            (2.0..2.5).contains(&ratio),
+            "P2/P1 ratio {ratio} (paper: 2.32)"
+        );
     }
 
     #[test]

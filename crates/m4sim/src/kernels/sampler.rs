@@ -74,12 +74,7 @@ pub struct SampleStats {
 /// Samples an `n`-coefficient error polynomial with the two-LUT Knuth-Yao
 /// sampler, charging the per-sample instruction sequence. Returns residues
 /// modulo `q`.
-pub fn ky_sample_poly(
-    m: &mut Machine,
-    ky: &KnuthYao,
-    n: usize,
-    q: u32,
-) -> (Vec<u32>, SampleStats) {
+pub fn ky_sample_poly(m: &mut Machine, ky: &KnuthYao, n: usize, q: u32) -> (Vec<u32>, SampleStats) {
     let mut stats = SampleStats {
         lut1_hits: 0,
         lut2_hits: 0,

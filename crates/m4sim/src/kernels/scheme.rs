@@ -4,8 +4,8 @@
 use rlwe_core::{decode_message, encode_message, RlweContext};
 
 use crate::kernels::ntt::{
-    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, pointwise_add,
-    pointwise_mul, pointwise_mul_add, pointwise_sub,
+    ntt_forward3_packed, ntt_forward_packed, ntt_inverse_packed, pointwise_add, pointwise_mul,
+    pointwise_mul_add, pointwise_sub,
 };
 use crate::kernels::sampler::{ky_sample_poly, uniform_poly};
 use crate::machine::Machine;
@@ -42,7 +42,12 @@ pub fn keygen(m: &mut Machine, ctx: &RlweContext) -> SimKeys {
 
 /// Encryption (§II-A.2): three Gaussian polynomials, message encoding,
 /// one addition, the fused **parallel NTT**, two pointwise multiply-adds.
-pub fn encrypt(m: &mut Machine, ctx: &RlweContext, keys: &SimKeys, msg: &[u8]) -> (Vec<u32>, Vec<u32>) {
+pub fn encrypt(
+    m: &mut Machine,
+    ctx: &RlweContext,
+    keys: &SimKeys,
+    msg: &[u8],
+) -> (Vec<u32>, Vec<u32>) {
     let n = ctx.params().n();
     let q = ctx.params().q();
     let (mut e1, _) = ky_sample_poly(m, ctx.sampler(), n, q);
@@ -77,7 +82,7 @@ pub fn decrypt(
 ) -> Vec<u8> {
     let n = ctx.params().n();
     let q = ctx.params().q();
-    let mut pre = pointwise_mul_add(m, ctx.plan(), &ct.0, &keys.r2_hat, &ct.1, );
+    let mut pre = pointwise_mul_add(m, ctx.plan(), &ct.0, &keys.r2_hat, &ct.1);
     ntt_inverse_packed(m, ctx.plan(), &mut pre);
     // Threshold decode: two compares + bit insert per coefficient.
     {
@@ -159,7 +164,10 @@ mod tests {
         let kg_ratio = m2.cycles() as f64 / m1.cycles() as f64;
         let enc_ratio = e2m.cycles() as f64 / e1m.cycles() as f64;
         assert!((1.9..2.6).contains(&kg_ratio), "keygen P2/P1 = {kg_ratio}");
-        assert!((1.9..2.6).contains(&enc_ratio), "encrypt P2/P1 = {enc_ratio}");
+        assert!(
+            (1.9..2.6).contains(&enc_ratio),
+            "encrypt P2/P1 = {enc_ratio}"
+        );
     }
 
     #[test]
@@ -175,6 +183,9 @@ mod tests {
         let mut md = Machine::cortex_m4f(6);
         decrypt(&mut md, &ctx, &keys, &ct);
         let frac = md.cycles() as f64 / me.cycles() as f64;
-        assert!((0.25..0.50).contains(&frac), "dec/enc = {frac} (paper 0.358)");
+        assert!(
+            (0.25..0.50).contains(&frac),
+            "dec/enc = {frac} (paper 0.358)"
+        );
     }
 }

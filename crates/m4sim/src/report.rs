@@ -31,7 +31,9 @@ impl Row {
 }
 
 fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| (i.wrapping_mul(seed) + 1) % q).collect()
+    (0..n as u32)
+        .map(|i| (i.wrapping_mul(seed) + 1) % q)
+        .collect()
 }
 
 /// Regenerates the paper's **Table I** (major-operation cycle counts) for

@@ -18,7 +18,11 @@ fn ntt_cycles(model: CostModel) -> u64 {
 #[test]
 fn udiv_latency_is_within_the_documented_range() {
     let c = CostModel::cortex_m4f();
-    assert!((2..=12).contains(&c.udiv), "udiv = {} out of the paper's 2-12", c.udiv);
+    assert!(
+        (2..=12).contains(&c.udiv),
+        "udiv = {} out of the paper's 2-12",
+        c.udiv
+    );
 }
 
 #[test]
@@ -83,7 +87,10 @@ fn absolute_match_needs_the_slow_division() {
     });
     let slow = ntt_cycles(CostModel::cortex_m4f());
     let paper = 31_583.0;
-    assert!((fast as f64) < 0.85 * paper, "fast model {fast} too close to paper");
+    assert!(
+        (fast as f64) < 0.85 * paper,
+        "fast model {fast} too close to paper"
+    );
     assert!(
         (slow as f64 / paper - 1.0).abs() < 0.10,
         "calibrated model {slow} vs paper {paper}"

@@ -111,7 +111,9 @@ mod tests {
     use crate::schoolbook;
 
     fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| (i.wrapping_mul(seed) + 3) % q).collect()
+        (0..n as u32)
+            .map(|i| (i.wrapping_mul(seed) + 3) % q)
+            .collect()
     }
 
     #[test]

@@ -120,10 +120,8 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
                 let (u0, u1) = unpack(w1);
                 let (v0, v1) = unpack(w2);
                 words[j / 2] = pack(add_mod(u0, v0, q), add_mod(u1, v1, q));
-                words[(j + t) / 2] = pack(
-                    s.mul(sub_mod(u0, v0, q), q),
-                    s.mul(sub_mod(u1, v1, q), q),
-                );
+                words[(j + t) / 2] =
+                    pack(s.mul(sub_mod(u0, v0, q), q), s.mul(sub_mod(u1, v1, q), q));
                 j += 2;
             }
             j1 += 2 * t;

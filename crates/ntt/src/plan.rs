@@ -41,11 +41,11 @@ impl NttPlan {
     /// * [`NttError::NotNttFriendly`] when `2n ∤ q − 1`.
     /// * [`NttError::Modulus`] when `q` is not a usable prime.
     pub fn new(n: usize, q: u32) -> Result<Self, NttError> {
-        if !n.is_power_of_two() || n < 4 || n > 1 << 20 {
+        if !n.is_power_of_two() || !(4..=1 << 20).contains(&n) {
             return Err(NttError::InvalidDimension { n });
         }
         let modulus = Modulus::new(q)?;
-        if (q as u64 - 1) % (2 * n as u64) != 0 {
+        if !(q as u64 - 1).is_multiple_of(2 * n as u64) {
             return Err(NttError::NotNttFriendly { n, q });
         }
         let psi = modulus

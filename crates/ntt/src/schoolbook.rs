@@ -22,6 +22,7 @@ use rlwe_zq::{add_mod, mul_mod, sub_mod};
 /// let c = rlwe_ntt::schoolbook::negacyclic_mul(&[1, 1], &[7680, 1], 7681);
 /// assert_eq!(c, vec![7679, 0]);
 /// ```
+#[allow(clippy::needless_range_loop)] // dual-index convolution reads clearest
 pub fn negacyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
     assert_eq!(a.len(), b.len(), "operands must match in length");
     let n = a.len();
@@ -48,6 +49,7 @@ pub fn negacyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics if the inputs differ in length.
+#[allow(clippy::needless_range_loop)] // dual-index convolution reads clearest
 pub fn cyclic_mul(a: &[u32], b: &[u32], q: u32) -> Vec<u32> {
     assert_eq!(a.len(), b.len(), "operands must match in length");
     let n = a.len();

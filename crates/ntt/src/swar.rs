@@ -157,7 +157,7 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
 ///
 /// Panics if the length is not a multiple of 4.
 pub fn pack_coeffs4(a: &[u32]) -> Vec<u64> {
-    assert!(a.len() % 4 == 0, "length must be a multiple of 4");
+    assert!(a.len().is_multiple_of(4), "length must be a multiple of 4");
     a.chunks_exact(4)
         .map(|c| pack4([c[0], c[1], c[2], c[3]]))
         .collect()

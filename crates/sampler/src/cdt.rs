@@ -134,7 +134,10 @@ mod tests {
         let mean = sum / n as f64;
         let var = sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.06, "mean {mean}");
-        assert!((var / (spec.sigma() * spec.sigma()) - 1.0).abs() < 0.06, "var {var}");
+        assert!(
+            (var / (spec.sigma() * spec.sigma()) - 1.0).abs() < 0.06,
+            "var {var}"
+        );
     }
 
     #[test]

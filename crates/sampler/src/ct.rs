@@ -132,7 +132,9 @@ mod tests {
         let (ct, pmat) = sampler();
         let mut bits = BufferedBitSource::new(SplitMix64::new(0xC7));
         let n = 300_000;
-        let samples: Vec<i32> = (0..n).map(|_| ct.sample(&mut bits).signed_value()).collect();
+        let samples: Vec<i32> = (0..n)
+            .map(|_| ct.sample(&mut bits).signed_value())
+            .collect();
         let observed = stats::observed_signed_histogram(&samples, 16);
         let (_, expected) = stats::expected_signed_histogram(&pmat, n as u64, 16);
         let chi2 = stats::chi_square(&observed, &expected);

@@ -47,7 +47,10 @@ impl fmt::Display for SamplerError {
                 "statistical distance bound 2^{achieved_log2:.1} misses the 2^-90 target"
             ),
             SamplerError::LutOverflow { table, distance } => {
-                write!(f, "{table} distance counter {distance} does not fit its field")
+                write!(
+                    f,
+                    "{table} distance counter {distance} does not fit its field"
+                )
             }
         }
     }

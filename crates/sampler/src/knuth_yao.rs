@@ -280,6 +280,7 @@ impl KnuthYao {
     /// Prior-art variant (Roy et al., cited in §III-B4): per-column
     /// Hamming weights let the scan skip every column in which no terminal
     /// node can occur (`d ≥ HW(col)` ⇒ subtract the weight and move on).
+    #[allow(clippy::needless_range_loop)] // column index mirrors the paper's scan
     pub fn sample_hw<B: BitSource>(&self, bits: &mut B) -> SignedSample {
         let hw = self.pmat.hamming_weights();
         let mut d: i64 = 0;
@@ -375,7 +376,7 @@ mod tests {
     fn p2_luts_build_too() {
         let ky = KnuthYao::new(ProbabilityMatrix::paper_p2().unwrap()).unwrap();
         assert_eq!(ky.lut1_len(), 256);
-        assert!(ky.lut2_len() % 32 == 0);
+        assert!(ky.lut2_len().is_multiple_of(32));
     }
 
     #[test]
@@ -429,7 +430,10 @@ mod tests {
         let negatives = (0..40_000)
             .filter(|_| ky.sample_lut(&mut bits).is_negative())
             .count();
-        assert!((18_500..=21_500).contains(&negatives), "negatives = {negatives}");
+        assert!(
+            (18_500..=21_500).contains(&negatives),
+            "negatives = {negatives}"
+        );
     }
 
     #[test]
@@ -511,7 +515,11 @@ mod tests {
         assert_eq!(poly.len(), 256);
         for &c in &poly {
             assert!(c < 7681);
-            let centered = if c > 7681 / 2 { c as i64 - 7681 } else { c as i64 };
+            let centered = if c > 7681 / 2 {
+                c as i64 - 7681
+            } else {
+                c as i64
+            };
             assert!(centered.abs() < 55);
         }
     }

@@ -78,6 +78,7 @@ impl ProbabilityMatrix {
     ///   backend precision.
     /// * [`SamplerError::DistanceBoundTooLoose`] if the dimensions cannot
     ///   meet the paper's 2⁻⁹⁰ statistical-distance bound.
+    #[allow(clippy::needless_range_loop)] // column-major packing of a row-major bit table
     pub fn build(spec: GaussianSpec, rows: usize, cols: usize) -> Result<Self, SamplerError> {
         if rows == 0 || cols == 0 {
             return Err(SamplerError::EmptyMatrix);

@@ -204,10 +204,7 @@ mod tests {
             }
         }
         for (j, &c) in ones.iter().enumerate() {
-            assert!(
-                (350..=650).contains(&c),
-                "bit {j} appeared {c}/1000 times"
-            );
+            assert!((350..=650).contains(&c), "bit {j} appeared {c}/1000 times");
         }
     }
 

@@ -1,0 +1,309 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! This workspace builds with no network access, so the `criterion`
+//! surface the in-repo benches use is reimplemented here: `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each closure is warmed up briefly, then timed over
+//! adaptive batches until ~200 ms of samples accumulate; median
+//! per-iteration time is reported on stdout. No HTML reports, no
+//! statistical regression — just honest wall-clock medians.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier `function/parameter` (subset of the real type).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Throughput annotation (accepted, used to derive a rate line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple display.
+    BytesDecimal(u64),
+}
+
+/// Times closures (subset of `criterion::Bencher`).
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-call estimate.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        loop {
+            std::hint::black_box(f());
+            calls += 1;
+            if warm_start.elapsed() > Duration::from_millis(20) || calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_nanos().max(1) / calls.max(1) as u128;
+        // Batch size aiming at ~10 ms per sample.
+        let batch = ((10_000_000 / per_call.max(1)) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::new();
+        let budget = Instant::now();
+        while samples.len() < 20 && budget.elapsed() < Duration::from_millis(200) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.measured = Some(samples[samples.len() / 2]);
+        self.iters = batch * samples.len() as u64;
+    }
+
+    /// `iter` variant whose closure consumes per-iteration setup output.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup cost is excluded by timing only the routine calls.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Instant::now();
+        while budget.elapsed() < Duration::from_millis(200) || iters < 10 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+            if iters >= 100_000 {
+                break;
+            }
+        }
+        self.measured = Some(total / iters.max(1) as u32);
+        self.iters = iters;
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        measured: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match b.measured {
+        Some(d) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    let mbps = n as f64 / d.as_secs_f64() / 1e6;
+                    format!("  ({mbps:.1} MB/s)")
+                }
+                Throughput::Elements(n) => {
+                    let eps = n as f64 / d.as_secs_f64();
+                    format!("  ({eps:.0} elem/s)")
+                }
+            });
+            println!("{label:<50} {:>12}{}", human(d), rate.unwrap_or_default());
+        }
+        None => println!("{label:<50} (no measurement)"),
+    }
+}
+
+/// Benchmark harness entry point (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parses CLI args in the real crate; a no-op pass-through here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks one closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().label, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one closure within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which in-repo benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function (subset: ignores `config = ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measured: None,
+            iters: 0,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.measured.unwrap() > Duration::ZERO);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("encrypt", "P1").label, "encrypt/P1");
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling strategies (subset of `proptest::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// Picks uniformly from `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_options() {
+        let mut rng = TestRng::deterministic("select", 0);
+        let s = select(vec![7681u32, 12289, 8383489]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                7681 => seen[0] = true,
+                12289 => seen[1] = true,
+                8383489 => seen[2] = true,
+                _ => panic!("value outside the option list"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

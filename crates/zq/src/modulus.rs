@@ -38,7 +38,7 @@ impl Modulus {
     /// * [`ZqError::OutOfRange`] if `q < 2` or `q ≥ 2³¹`.
     /// * [`ZqError::NotPrime`] if `q` is composite.
     pub fn new(q: u32) -> Result<Self, ZqError> {
-        if q < 2 || q >= 1 << 31 {
+        if !(2..1 << 31).contains(&q) {
             return Err(ZqError::OutOfRange { q });
         }
         if !is_prime_u64(q as u64) {
@@ -157,10 +157,7 @@ impl Modulus {
     ///
     /// [`ZqError::NoRootOfUnity`] if `order` does not divide `q − 1`.
     pub fn root_of_unity(&self, order: u64) -> Result<u32, ZqError> {
-        primitive::root_of_unity(self.q, order).ok_or(ZqError::NoRootOfUnity {
-            q: self.q,
-            order,
-        })
+        primitive::root_of_unity(self.q, order).ok_or(ZqError::NoRootOfUnity { q: self.q, order })
     }
 
     /// Centered (signed) representative of a residue, in `(-q/2, q/2]`.

@@ -44,7 +44,7 @@ impl MontgomeryCtx {
     ///   `gcd(q, R) = 1`) or `q ≥ 2³¹`.
     /// * [`ZqError::NotPrime`] if `q` is composite.
     pub fn new(q: u32) -> Result<Self, ZqError> {
-        if q < 3 || q % 2 == 0 || q >= 1 << 31 {
+        if q < 3 || q.is_multiple_of(2) || q >= 1 << 31 {
             return Err(ZqError::OutOfRange { q });
         }
         if !is_prime_u64(q as u64) {

@@ -77,7 +77,10 @@ pub fn sub_pairs(a: u32, b: u32, q: u32) -> u32 {
 /// assert_eq!(unpack_slice(&words), coeffs);
 /// ```
 pub fn pack_slice(coeffs: &[u32]) -> Vec<u32> {
-    assert!(coeffs.len() % 2 == 0, "packed layout needs an even length");
+    assert!(
+        coeffs.len().is_multiple_of(2),
+        "packed layout needs an even length"
+    );
     coeffs
         .chunks_exact(2)
         .map(|pair| pack(pair[0], pair[1]))
@@ -109,7 +112,11 @@ mod tests {
     #[test]
     fn lane_arithmetic_matches_scalar() {
         let q = 12289u32;
-        let cases = [(0u32, 0u32, 1u32, 2u32), (12288, 12288, 12288, 12288), (5, 7000, 12000, 3)];
+        let cases = [
+            (0u32, 0u32, 1u32, 2u32),
+            (12288, 12288, 12288, 12288),
+            (5, 7000, 12000, 3),
+        ];
         for &(a0, a1, b0, b1) in &cases {
             let s = add_pairs(pack(a0, a1), pack(b0, b1), q);
             assert_eq!(unpack(s), (add_mod(a0, b0, q), add_mod(a1, b1, q)));

@@ -24,7 +24,7 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -78,7 +78,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime_u64(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 
@@ -113,7 +116,7 @@ mod tests {
             }
             let mut d = 2;
             while d * d <= n {
-                if n % d == 0 {
+                if n.is_multiple_of(d) {
                     return false;
                 }
                 d += 1;

@@ -23,9 +23,9 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             let mut e = 0;
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
                 e += 1;
             }
@@ -87,7 +87,7 @@ pub fn find_generator(q: u32) -> u32 {
 /// assert!(root_of_unity(7681, 511).is_none());
 /// ```
 pub fn root_of_unity(q: u32, order: u64) -> Option<u32> {
-    if order == 0 || (q as u64 - 1) % order != 0 {
+    if order == 0 || !(q as u64 - 1).is_multiple_of(order) {
         return None;
     }
     let g = find_generator(q);

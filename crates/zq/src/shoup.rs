@@ -45,9 +45,7 @@ pub fn shoup_precompute(w: u32, q: u32) -> u32 {
 pub fn mul_shoup(a: u32, w: u32, w_shoup: u32, q: u32) -> u32 {
     debug_assert!(a < q && w < q);
     let t = ((a as u64 * w_shoup as u64) >> 32) as u32;
-    let r = a
-        .wrapping_mul(w)
-        .wrapping_sub(t.wrapping_mul(q));
+    let r = a.wrapping_mul(w).wrapping_sub(t.wrapping_mul(q));
     // r is guaranteed to be in [0, 2q): subtract q at most once.
     let r = if r >= q { r - q } else { r };
     debug_assert_eq!(r as u64, a as u64 * w as u64 % q as u64);
@@ -98,7 +96,11 @@ mod tests {
             for w in (0..q).step_by(53) {
                 let ws = shoup_precompute(w, q);
                 for a in (0..q).step_by(97) {
-                    assert_eq!(mul_shoup(a, w, ws, q), mul_mod(a, w, q), "a={a} w={w} q={q}");
+                    assert_eq!(
+                        mul_shoup(a, w, ws, q),
+                        mul_mod(a, w, q),
+                        "a={a} w={w} q={q}"
+                    );
                 }
             }
         }

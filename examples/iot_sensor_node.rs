@@ -52,8 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- What would this cost on the paper's MCU? ---------------------
-    println!("Cortex-M4F cost model (paper platform, 168 MHz, ~{} mW):",
-        (ACTIVE_POWER_W * 1e3) as u32);
+    println!(
+        "Cortex-M4F cost model (paper platform, 168 MHz, ~{} mW):",
+        (ACTIVE_POWER_W * 1e3) as u32
+    );
     let mut m = Machine::cortex_m4f(7);
     let keys = kernels::keygen(&mut m, &ctx);
     report("key generation", m.cycles());

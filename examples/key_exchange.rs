@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Client: encapsulate, send the ciphertext. ---------------------
     let (kem_ct, client_secret) = ctx.encapsulate(&server_pk, &mut rng)?;
-    println!(
-        "client sent a {} B encapsulation",
-        kem_ct.to_bytes()?.len()
-    );
+    println!("client sent a {} B encapsulation", kem_ct.to_bytes()?.len());
 
     // --- Server: decapsulate. ------------------------------------------
     let server_secret = ctx.decapsulate(&server_sk, &kem_ct)?;
@@ -49,9 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server_pk.to_bytes()?.len() + kem_ct.to_bytes()?.len(),
         kem_ct.to_bytes()?.len()
     );
-    println!(
-        "note: the paper's parameters carry a ~0.1-1% decryption-failure rate;"
-    );
+    println!("note: the paper's parameters carry a ~0.1-1% decryption-failure rate;");
     println!("a real protocol detects the mismatched key at the Finished message and retries.");
     Ok(())
 }

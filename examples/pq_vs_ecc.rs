@@ -79,7 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ecies_cycles as f64 / rlwe_cycles as f64
     );
 
-    println!("\nciphertext sizes: ring-LWE {} B vs ECIES {} B",
+    println!(
+        "\nciphertext sizes: ring-LWE {} B vs ECIES {} B",
         ct.to_bytes()?.len(),
         30 * 2 + ect.payload.len() + ect.tag.len(),
     );

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ky = KnuthYao::new(pmat.clone())?;
     let mut bits = BufferedBitSource::new(SplitMix64::new(0xFEED));
     let n = 1_000_000usize;
-    let samples: Vec<i32> = (0..n).map(|_| ky.sample_lut(&mut bits).signed_value()).collect();
+    let samples: Vec<i32> = (0..n)
+        .map(|_| ky.sample_lut(&mut bits).signed_value())
+        .collect();
     let max_mag = 16;
     let observed = stats::observed_signed_histogram(&samples, max_mag);
     let (_, expected) = stats::expected_signed_histogram(&pmat, n as u64, max_mag);
@@ -67,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..trials {
             f(&mut b);
         }
-        println!("  {label:<26} {:>7.2}", b.bits_drawn() as f64 / trials as f64);
+        println!(
+            "  {label:<26} {:>7.2}",
+            b.bits_drawn() as f64 / trials as f64
+        );
     };
     budget("Knuth-Yao (basic scan)", &mut |b| {
         ky.sample_basic(b);

@@ -15,11 +15,19 @@
 //!   full optimisation ladder, CDT/rejection baselines, a constant-time
 //!   variant, and FIPS 140-2 randomness tests.
 //! * [`scheme`] — the ring-LWE public-key encryption scheme itself, plus
-//!   KEM ([`scheme::kem`]) and CCA ([`scheme::fo`]) extensions.
-//! * [`hash`] — SHA-256 / HMAC / KDF2 substrate for the ECC baseline.
+//!   KEM ([`scheme::kem`]), CCA ([`scheme::fo`]) extensions and the
+//!   seed-deterministic DRBG ([`scheme::drbg`]).
+//! * [`hash`] — SHA-256 / HMAC / KDF2 substrate for the ECC baseline and
+//!   the engine's session framing.
 //! * [`ecc`] — GF(2²³³)/K-233 ECIES baseline the paper compares against.
 //! * [`m4sim`] — Cortex-M4F cost model that regenerates the paper's
 //!   cycle-count tables.
+//! * [`engine`] — the throughput layer: context pooling, batched
+//!   multi-threaded scheme operations with deterministic per-item
+//!   seeding, authenticated session streams (one KEM handshake, then
+//!   symmetric frames), and live metrics. This is the serving-scale
+//!   counterpart to the paper's single-operation focus; see `DESIGN.md`
+//!   §Engine for the threading model and wire format.
 //!
 //! # Quickstart
 //!
@@ -36,12 +44,32 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Serving at scale
+//!
+//! ```
+//! use rlwe_suite::engine::Engine;
+//! use rlwe_suite::scheme::ParamSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Contexts are pooled: constructing a second engine for the same
+//! // parameter set reuses the NTT plans and sampler tables.
+//! let engine = Engine::new(ParamSet::P1)?;
+//! let (pk, _sk) = engine.generate_keypair(&[7u8; 32])?;
+//! let msgs: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 32]).collect();
+//! // Deterministic under the master seed, parallel across workers.
+//! let cts = engine.encrypt_batch(&pk, &msgs, &[42u8; 32]);
+//! assert!(cts.iter().all(|c| c.is_ok()));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
 pub use rlwe_bigfix as bigfix;
 pub use rlwe_core as scheme;
 pub use rlwe_ecc as ecc;
+pub use rlwe_engine as engine;
 pub use rlwe_hash as hash;
 pub use rlwe_m4sim as m4sim;
 pub use rlwe_ntt as ntt;
