@@ -1,0 +1,82 @@
+//! Allocating vs `_into` scheme paths at n = 256 (P1) and n = 512 (P2).
+//!
+//! The `_into` entry points reuse caller-owned ciphertext/plaintext
+//! storage and a per-caller `PolyScratch` arena, so the per-op delta here
+//! is precisely the cost of the heap traffic the redesign removed (the
+//! counting-allocator test in `rlwe-engine` pins the *count*; this bench
+//! shows the wall-clock consequence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{ParamSet, RlweContext};
+use std::hint::black_box;
+
+fn label(set: ParamSet) -> &'static str {
+    if set == ParamSet::P1 {
+        "P1_n256"
+    } else {
+        "P2_n512"
+    }
+}
+
+fn bench_encrypt_alloc_vs_into(c: &mut Criterion) {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = HashDrbg::new([1u8; 32]);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0xA5u8; ctx.params().message_bytes()];
+        let master = [7u8; 32];
+
+        let mut g = c.benchmark_group(format!("encrypt_alloc_{}", label(set)));
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("allocating", 1), &msg, |b, msg| {
+            b.iter(|| {
+                let mut rng = HashDrbg::for_stream(&master, 0);
+                black_box(ctx.encrypt(&pk, msg, &mut rng).unwrap())
+            })
+        });
+        let mut scratch = ctx.new_scratch();
+        let mut ct = ctx.empty_ciphertext();
+        g.bench_with_input(BenchmarkId::new("into", 1), &msg, |b, msg| {
+            b.iter(|| {
+                let mut rng = HashDrbg::for_stream(&master, 0);
+                ctx.encrypt_into(&pk, msg, &mut rng, &mut ct, &mut scratch)
+                    .unwrap();
+                black_box(&ct);
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_decrypt_alloc_vs_into(c: &mut Criterion) {
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let ctx = RlweContext::new(set).unwrap();
+        let mut rng = HashDrbg::new([2u8; 32]);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x3Cu8; ctx.params().message_bytes()];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+
+        let mut g = c.benchmark_group(format!("decrypt_alloc_{}", label(set)));
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("allocating", 1), &ct, |b, ct| {
+            b.iter(|| black_box(ctx.decrypt(&sk, ct).unwrap()))
+        });
+        let mut scratch = ctx.new_scratch();
+        let mut out = Vec::with_capacity(ctx.params().message_bytes());
+        g.bench_with_input(BenchmarkId::new("into", 1), &ct, |b, ct| {
+            b.iter(|| {
+                ctx.decrypt_into(&sk, ct, &mut out, &mut scratch).unwrap();
+                black_box(&out);
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_encrypt_alloc_vs_into,
+    bench_decrypt_alloc_vs_into
+);
+criterion_main!(benches);

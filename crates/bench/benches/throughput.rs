@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rlwe_core::drbg::HashDrbg;
 use rlwe_core::{ParamSet, RlweContext};
-use rlwe_engine::{default_workers, encap_batch, encrypt_batch};
+use rlwe_engine::{default_workers, encap_batch, encrypt_batch, encrypt_batch_into};
 use std::hint::black_box;
 
 const BATCH_SIZES: [usize; 3] = [1, 32, 256];
@@ -44,6 +44,21 @@ fn bench_encrypt_throughput(c: &mut Criterion) {
                 BenchmarkId::new(format!("batch_{workers}w"), n),
                 &msgs,
                 |b, msgs| b.iter(|| black_box(encrypt_batch(&ctx, &pk, msgs, &master, workers))),
+            );
+            // The allocation-free path: ciphertexts land in reusable,
+            // pre-warmed storage (zero per-item polynomial allocations).
+            let mut out: Vec<_> = (0..n).map(|_| ctx.empty_ciphertext()).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("batch_into_{workers}w"), n),
+                &msgs,
+                |b, msgs| {
+                    b.iter(|| {
+                        black_box(
+                            encrypt_batch_into(&ctx, &pk, msgs, &master, workers, &mut out)
+                                .unwrap(),
+                        )
+                    })
+                },
             );
         }
         g.finish();

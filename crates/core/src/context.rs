@@ -1,13 +1,32 @@
 //! The [`RlweContext`]: key generation, encryption, decryption.
+//!
+//! Two API generations coexist here:
+//!
+//! * The **allocating** entry points ([`RlweContext::encrypt`],
+//!   [`RlweContext::decrypt`], [`RlweContext::generate_keypair`]) — the
+//!   original per-call surface, convenient for one-off use.
+//! * The **`_into` siblings** ([`RlweContext::encrypt_into`],
+//!   [`RlweContext::decrypt_into`], [`RlweContext::generate_keypair_into`])
+//!   — allocation-free after warm-up: every working polynomial comes from a
+//!   caller-provided [`PolyScratch`] arena and the outputs reuse the
+//!   storage already inside the destination objects. The engine's batch
+//!   workers (one scratch per thread) run exclusively on these.
+//!
+//! Construction goes through [`RlweContextBuilder`], which also selects the
+//! NTT backend ([`NttBackend`]) and the Knuth-Yao sampler variant
+//! ([`SamplerKind`]) — backend choice is API now, not module-picking, and
+//! every backend produces bit-identical transforms (the cross-backend
+//! equivalence tests in `rlwe-ntt` enforce it).
 
 use rand::RngCore;
-use rlwe_ntt::{parallel, pointwise, NttPlan};
-use rlwe_sampler::random::{BufferedBitSource, WordSource};
+use rlwe_ntt::{packed, parallel, pointwise, swar, NttPlan, PolyScratch};
+use rlwe_sampler::random::{BitSource, BufferedBitSource, WordSource};
 use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
 
-use crate::encode::{decode_message, encode_message};
+use crate::encode::{decode_message_into, encode_message_add_assign};
 use crate::keys::{Ciphertext, PublicKey, SecretKey};
 use crate::params::{ParamSet, Params};
+use crate::poly::{Ntt, Poly};
 use crate::RlweError;
 
 /// Adapter turning any [`rand::RngCore`] into the sampler's word source.
@@ -16,6 +35,132 @@ struct RngWords<'a, R: ?Sized>(&'a mut R);
 impl<R: RngCore + ?Sized> WordSource for RngWords<'_, R> {
     fn next_word(&mut self) -> u32 {
         self.0.next_u32()
+    }
+}
+
+/// Which NTT implementation the context routes transforms through.
+///
+/// All three are bit-for-bit equivalent (see `crates/ntt/tests/backends.rs`);
+/// they differ only in data layout and therefore speed per platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum NttBackend {
+    /// The scalar in-place reference transform ([`NttPlan::forward`]).
+    #[default]
+    Reference,
+    /// Two coefficients per 32-bit word, §III-D of the paper
+    /// ([`rlwe_ntt::packed`]).
+    Packed,
+    /// Four 16-bit lanes per 64-bit word, SIMD-within-a-register
+    /// ([`rlwe_ntt::swar`]). Forward only; the inverse falls back to the
+    /// reference transform. Rings with `n < 8` also fall back.
+    Swar,
+}
+
+/// Which rung of the paper's Knuth-Yao optimisation ladder draws the error
+/// polynomials. All rungs sample the *same* distribution exactly; they
+/// trade table memory for speed (and consume random bits differently, so
+/// ciphertexts differ across kinds for the same seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SamplerKind {
+    /// The bit-by-bit DDG random walk (`sample_basic`).
+    Basic,
+    /// One 8-bit lookup, walk on miss (`sample_lut1`).
+    Lut1,
+    /// Two-level lookup — the paper's fastest variant (`sample_lut`).
+    #[default]
+    Lut,
+}
+
+/// Configures and builds an [`RlweContext`].
+///
+/// # Example
+///
+/// ```
+/// use rlwe_core::{NttBackend, ParamSet, RlweContext, SamplerKind};
+///
+/// # fn main() -> Result<(), rlwe_core::RlweError> {
+/// let ctx = RlweContext::builder(ParamSet::P1)
+///     .ntt_backend(NttBackend::Packed)
+///     .sampler(SamplerKind::Lut)
+///     .build()?;
+/// assert_eq!(ctx.backend(), NttBackend::Packed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlweContextBuilder {
+    params: Params,
+    backend: NttBackend,
+    sampler: SamplerKind,
+}
+
+impl RlweContextBuilder {
+    /// Starts from a named parameter set.
+    pub fn new(set: ParamSet) -> Self {
+        Self::with_params(set.params())
+    }
+
+    /// Starts from custom parameters.
+    pub fn with_params(params: Params) -> Self {
+        Self {
+            params,
+            backend: NttBackend::default(),
+            sampler: SamplerKind::default(),
+        }
+    }
+
+    /// Selects the NTT backend (default: [`NttBackend::Reference`]).
+    pub fn ntt_backend(mut self, backend: NttBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the Knuth-Yao sampler variant (default: [`SamplerKind::Lut`]).
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlweError::Ntt`] if `q` is not an NTT-friendly prime for `n`.
+    /// * [`RlweError::Sampler`] if the Gaussian tables cannot meet the
+    ///   2⁻⁹⁰ statistical-distance bound.
+    /// * [`RlweError::Malformed`] if the modulus is too wide for the
+    ///   selected backend's lane layout ([`NttBackend::Packed`] needs
+    ///   16-bit coefficients, [`NttBackend::Swar`] needs `q < 2¹⁵`).
+    pub fn build(self) -> Result<RlweContext, RlweError> {
+        // The lane layouts assume narrow coefficients (the paper's §III-C
+        // observation); past these widths lanes would silently overlap.
+        let q = self.params.q();
+        let max_q = match self.backend {
+            NttBackend::Reference => u32::MAX,
+            NttBackend::Packed => 1 << 16,
+            NttBackend::Swar => 1 << 15,
+        };
+        if q > max_q {
+            return Err(RlweError::Malformed {
+                reason: format!(
+                    "modulus {q} is too wide for the {:?} NTT backend (max {max_q})",
+                    self.backend
+                ),
+            });
+        }
+        let plan = NttPlan::new(self.params.n(), self.params.q())?;
+        let spec = self.params.spec();
+        let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
+        let ky = KnuthYao::new(pmat)?;
+        Ok(RlweContext {
+            params: self.params,
+            plan,
+            ky,
+            backend: self.backend,
+            sampler: self.sampler,
+        })
     }
 }
 
@@ -47,32 +192,35 @@ pub struct RlweContext {
     params: Params,
     plan: NttPlan,
     ky: KnuthYao,
+    backend: NttBackend,
+    sampler: SamplerKind,
 }
 
 impl RlweContext {
-    /// Builds a context for a named parameter set.
+    /// Builds a context for a named parameter set with default backend and
+    /// sampler.
     ///
     /// # Errors
     ///
     /// Propagates NTT-plan or sampler construction failures (cannot happen
     /// for [`ParamSet::P1`]/[`ParamSet::P2`], which are known-good).
     pub fn new(set: ParamSet) -> Result<Self, RlweError> {
-        Self::with_params(set.params())
+        RlweContextBuilder::new(set).build()
     }
 
-    /// Builds a context for custom parameters.
+    /// Builds a context for custom parameters with default backend and
+    /// sampler.
     ///
     /// # Errors
     ///
-    /// * [`RlweError::Ntt`] if `q` is not an NTT-friendly prime for `n`.
-    /// * [`RlweError::Sampler`] if the Gaussian tables cannot meet the
-    ///   2⁻⁹⁰ statistical-distance bound.
+    /// See [`RlweContextBuilder::build`].
     pub fn with_params(params: Params) -> Result<Self, RlweError> {
-        let plan = NttPlan::new(params.n(), params.q())?;
-        let spec = params.spec();
-        let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
-        let ky = KnuthYao::new(pmat)?;
-        Ok(Self { params, plan, ky })
+        RlweContextBuilder::with_params(params).build()
+    }
+
+    /// Starts configuring a context (parameter set + NTT backend + sampler).
+    pub fn builder(set: ParamSet) -> RlweContextBuilder {
+        RlweContextBuilder::new(set)
     }
 
     /// The parameters in use.
@@ -90,31 +238,252 @@ impl RlweContext {
         &self.ky
     }
 
+    /// The NTT backend this context routes transforms through.
+    pub fn backend(&self) -> NttBackend {
+        self.backend
+    }
+
+    /// The sampler variant drawing the error polynomials.
+    pub fn sampler_kind(&self) -> SamplerKind {
+        self.sampler
+    }
+
+    /// A fresh scratch arena sized for this context's ring — hand one to
+    /// each worker thread that calls the `_into` entry points. Creating an
+    /// arena is free; its buffers are allocated lazily on first use.
+    pub fn new_scratch(&self) -> PolyScratch {
+        PolyScratch::new(self.params.n())
+    }
+
+    /// An all-zero ciphertext for this parameter set — the warm-up
+    /// destination for [`RlweContext::encrypt_into`].
+    pub fn empty_ciphertext(&self) -> Ciphertext {
+        let m = *self.plan.modulus();
+        let n = self.params.n();
+        Ciphertext {
+            params: self.params,
+            c1_hat: Poly::zeroed(n, m),
+            c2_hat: Poly::zeroed(n, m),
+        }
+    }
+
+    /// An all-zero keypair for this parameter set — the warm-up
+    /// destination for [`RlweContext::generate_keypair_into`].
+    pub fn empty_keypair(&self) -> (PublicKey, SecretKey) {
+        let m = *self.plan.modulus();
+        let n = self.params.n();
+        (
+            PublicKey {
+                params: self.params,
+                a_hat: Poly::zeroed(n, m),
+                p_hat: Poly::zeroed(n, m),
+            },
+            SecretKey {
+                params: self.params,
+                r2_hat: Poly::zeroed(n, m),
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backend dispatch
+    // ------------------------------------------------------------------
+
+    /// Fills `out` with error-polynomial residues through the configured
+    /// sampler rung (the default rung delegates to the sampler crate's
+    /// own fill loop).
+    fn sample_error_into<B: BitSource>(&self, bits: &mut B, out: &mut [u32]) {
+        let q = self.params.q();
+        match self.sampler {
+            SamplerKind::Lut => self.ky.sample_poly_zq_into(q, bits, out),
+            SamplerKind::Basic => {
+                for c in out.iter_mut() {
+                    *c = self.ky.sample_basic(bits).to_zq(q);
+                }
+            }
+            SamplerKind::Lut1 => {
+                for c in out.iter_mut() {
+                    *c = self.ky.sample_lut1(bits).to_zq(q);
+                }
+            }
+        }
+    }
+
+    /// In-place forward NTT through the configured backend.
+    fn ntt_forward(&self, a: &mut [u32], scratch: &mut PolyScratch) {
+        match self.backend {
+            NttBackend::Reference => self.plan.forward(a),
+            NttBackend::Packed => {
+                let mut w = scratch.take();
+                let half = a.len() / 2;
+                for (i, word) in w[..half].iter_mut().enumerate() {
+                    *word = rlwe_zq::packed::pack(a[2 * i], a[2 * i + 1]);
+                }
+                packed::forward_packed(&self.plan, &mut w[..half]);
+                for (i, &word) in w[..half].iter().enumerate() {
+                    let (lo, hi) = rlwe_zq::packed::unpack(word);
+                    a[2 * i] = lo;
+                    a[2 * i + 1] = hi;
+                }
+                scratch.put(w);
+            }
+            NttBackend::Swar => {
+                if a.len() < 8 {
+                    self.plan.forward(a);
+                    return;
+                }
+                let mut w = scratch.take64();
+                for (i, word) in w.iter_mut().enumerate() {
+                    *word = swar::pack4([a[4 * i], a[4 * i + 1], a[4 * i + 2], a[4 * i + 3]]);
+                }
+                swar::forward_swar(&self.plan, &mut w);
+                for (i, &word) in w.iter().enumerate() {
+                    let lanes = swar::unpack4(word);
+                    a[4 * i..4 * i + 4].copy_from_slice(&lanes);
+                }
+                scratch.put64(w);
+            }
+        }
+    }
+
+    /// Three forward NTTs — the paper's parallel NTT: one fused loop nest
+    /// on the reference backend, the fused *packed* loop nest (the
+    /// configuration Table I actually benchmarks) on the packed backend,
+    /// per-polynomial on SWAR.
+    fn ntt_forward3(&self, polys: [&mut [u32]; 3], scratch: &mut PolyScratch) {
+        match self.backend {
+            NttBackend::Reference => parallel::forward3(&self.plan, polys),
+            NttBackend::Packed => {
+                let half = self.params.n() / 2;
+                let mut words = [scratch.take(), scratch.take(), scratch.take()];
+                for (w, p) in words.iter_mut().zip(polys.iter()) {
+                    for (i, word) in w[..half].iter_mut().enumerate() {
+                        *word = rlwe_zq::packed::pack(p[2 * i], p[2 * i + 1]);
+                    }
+                }
+                {
+                    let [wa, wb, wc] = &mut words;
+                    parallel::forward3_packed(
+                        &self.plan,
+                        [&mut wa[..half], &mut wb[..half], &mut wc[..half]],
+                    );
+                }
+                for (w, p) in words.iter().zip(polys) {
+                    for (i, &word) in w[..half].iter().enumerate() {
+                        let (lo, hi) = rlwe_zq::packed::unpack(word);
+                        p[2 * i] = lo;
+                        p[2 * i + 1] = hi;
+                    }
+                }
+                for w in words {
+                    scratch.put(w);
+                }
+            }
+            NttBackend::Swar => {
+                for p in polys {
+                    self.ntt_forward(p, scratch);
+                }
+            }
+        }
+    }
+
+    /// In-place inverse NTT through the configured backend.
+    fn ntt_inverse(&self, a: &mut [u32], scratch: &mut PolyScratch) {
+        match self.backend {
+            // SWAR provides a forward transform only; its inverse is the
+            // reference Gentleman-Sande loop.
+            NttBackend::Reference | NttBackend::Swar => self.plan.inverse(a),
+            NttBackend::Packed => {
+                let mut w = scratch.take();
+                let half = a.len() / 2;
+                for (i, word) in w[..half].iter_mut().enumerate() {
+                    *word = rlwe_zq::packed::pack(a[2 * i], a[2 * i + 1]);
+                }
+                packed::inverse_packed(&self.plan, &mut w[..half]);
+                for (i, &word) in w[..half].iter().enumerate() {
+                    let (lo, hi) = rlwe_zq::packed::unpack(word);
+                    a[2 * i] = lo;
+                    a[2 * i + 1] = hi;
+                }
+                scratch.put(w);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling
+    // ------------------------------------------------------------------
+
     /// Samples a uniform NTT-domain polynomial (the global `ã`).
     ///
     /// Coefficients are drawn by rejection from `coeff_bits`-bit strings,
     /// so the distribution is exactly uniform over `Z_q`.
-    pub fn sample_uniform_poly<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
-        use rlwe_sampler::random::BitSource;
+    pub fn sample_uniform<R: RngCore + ?Sized>(&self, rng: &mut R) -> Poly<Ntt> {
+        let mut poly = Poly::zeroed(self.params.n(), *self.plan.modulus());
+        self.sample_uniform_into(rng, poly.as_mut_slice());
+        poly
+    }
+
+    /// Rejection-samples uniform residues into `out`.
+    fn sample_uniform_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
         let mut bits = BufferedBitSource::new(RngWords(rng));
         let q = self.params.q();
         let w = self.params.coeff_bits();
-        (0..self.params.n())
-            .map(|_| loop {
-                let c = bits.take_bits(w);
-                if c < q {
-                    break c;
+        for c in out.iter_mut() {
+            *c = loop {
+                let cand = bits.take_bits(w);
+                if cand < q {
+                    break cand;
                 }
-            })
-            .collect()
+            };
+        }
     }
+
+    /// Raw-slice shim over [`RlweContext::sample_uniform`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `sample_uniform()`, which returns a typed Poly<Ntt>"
+    )]
+    pub fn sample_uniform_poly<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        self.sample_uniform(rng).into_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Key generation
+    // ------------------------------------------------------------------
 
     /// Key generation (§II-A.1) with a caller-supplied global `ã`
     /// (the paper's `KeyGeneration(ã)`; several keypairs may share `ã`).
     ///
     /// # Errors
     ///
-    /// [`RlweError::ParamMismatch`] if `a_hat` has the wrong length.
+    /// [`RlweError::ParamMismatch`] if `a_hat` does not match this
+    /// context's ring.
+    pub fn generate_keypair_with_a_poly<R: RngCore + ?Sized>(
+        &self,
+        a_hat: Poly<Ntt>,
+        rng: &mut R,
+    ) -> Result<(PublicKey, SecretKey), RlweError> {
+        if a_hat.len() != self.params.n() || a_hat.q() != self.params.q() {
+            return Err(RlweError::ParamMismatch);
+        }
+        let (mut pk, mut sk) = self.empty_keypair();
+        pk.a_hat = a_hat;
+        let mut scratch = self.new_scratch();
+        self.keypair_body(rng, &mut pk, &mut sk, &mut scratch)?;
+        Ok((pk, sk))
+    }
+
+    /// Raw-slice shim over [`RlweContext::generate_keypair_with_a_poly`].
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if `a_hat` has the wrong length;
+    /// [`RlweError::Malformed`] if it contains unreduced coefficients.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `generate_keypair_with_a_poly()`, which takes a typed Poly<Ntt>"
+    )]
     pub fn generate_keypair_with_a<R: RngCore + ?Sized>(
         &self,
         a_hat: Vec<u32>,
@@ -123,46 +492,101 @@ impl RlweContext {
         if a_hat.len() != self.params.n() {
             return Err(RlweError::ParamMismatch);
         }
-        let n = self.params.n();
-        let q = self.params.q();
-        let mut bits = BufferedBitSource::new(RngWords(rng));
-        // r₁, r₂ ← X_σ (time domain), then into the NTT domain.
-        let mut r1 = self.ky.sample_poly_zq(n, q, &mut bits);
-        let mut r2 = self.ky.sample_poly_zq(n, q, &mut bits);
-        self.plan.forward(&mut r1);
-        self.plan.forward(&mut r2);
-        // p̃ = r̃₁ − ã ∘ r̃₂.
-        let ar2 = pointwise::mul(&a_hat, &r2, self.plan.modulus());
-        let p_hat = pointwise::sub(&r1, &ar2, self.plan.modulus());
-        Ok((
-            PublicKey {
-                params: self.params,
-                a_hat,
-                p_hat,
-            },
-            SecretKey {
-                params: self.params,
-                r2_hat: r2,
-            },
-        ))
+        let a_hat = Poly::from_vec(a_hat, *self.plan.modulus())?;
+        self.generate_keypair_with_a_poly(a_hat, rng)
     }
 
     /// Key generation with a fresh uniform `ã`.
     ///
     /// # Errors
     ///
-    /// See [`RlweContext::generate_keypair_with_a`].
+    /// See [`RlweContext::generate_keypair_with_a_poly`].
     pub fn generate_keypair<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
     ) -> Result<(PublicKey, SecretKey), RlweError> {
-        let a_hat = self.sample_uniform_poly(rng);
-        self.generate_keypair_with_a(a_hat, rng)
+        let a_hat = self.sample_uniform(rng);
+        self.generate_keypair_with_a_poly(a_hat, rng)
     }
+
+    /// Allocation-free key generation: samples a fresh `ã` and writes the
+    /// keypair into existing storage (start from
+    /// [`RlweContext::empty_keypair`]), borrowing working polynomials from
+    /// `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Ntt`] if the scratch arena was built for another ring
+    /// dimension.
+    pub fn generate_keypair_into<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        pk: &mut PublicKey,
+        sk: &mut SecretKey,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        self.check_scratch(scratch)?;
+        let n = self.params.n();
+        let m = *self.plan.modulus();
+        pk.params = self.params;
+        sk.params = self.params;
+        pk.a_hat.reset(n, m);
+        pk.p_hat.reset(n, m);
+        sk.r2_hat.reset(n, m);
+        self.sample_uniform_into(rng, pk.a_hat.as_mut_slice());
+        self.keypair_body(rng, pk, sk, scratch)
+    }
+
+    /// Shared tail of key generation: `pk.a_hat` is already populated;
+    /// draws `r₁, r₂`, transforms them, and fills `p̃` and the secret key.
+    fn keypair_body<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        pk: &mut PublicKey,
+        sk: &mut SecretKey,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        let mut bits = BufferedBitSource::new(RngWords(rng));
+        // r₁, r₂ ← X_σ (time domain), then into the NTT domain.
+        let mut r1 = scratch.take();
+        self.sample_error_into(&mut bits, &mut r1);
+        self.sample_error_into(&mut bits, sk.r2_hat.as_mut_slice());
+        self.ntt_forward(&mut r1, scratch);
+        self.ntt_forward(sk.r2_hat.as_mut_slice(), scratch);
+        // p̃ = r̃₁ − ã ∘ r̃₂.
+        let mut ar2 = scratch.take();
+        pointwise::mul_into(
+            &mut ar2,
+            pk.a_hat.as_slice(),
+            sk.r2_hat.as_slice(),
+            self.plan.modulus(),
+        )?;
+        pointwise::sub_into(pk.p_hat.as_mut_slice(), &r1, &ar2, self.plan.modulus())?;
+        scratch.put(r1);
+        scratch.put(ar2);
+        Ok(())
+    }
+
+    /// Validates that a scratch arena matches this context's ring.
+    fn check_scratch(&self, scratch: &PolyScratch) -> Result<(), RlweError> {
+        if scratch.n() != self.params.n() {
+            return Err(RlweError::Ntt(rlwe_ntt::NttError::LengthMismatch {
+                expected: self.params.n(),
+                got: scratch.n(),
+            }));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Encryption
+    // ------------------------------------------------------------------
 
     /// Encryption (§II-A.2): three Gaussian error polynomials, **three
     /// forward NTTs fused in one loop** (the paper's parallel NTT), two
     /// pointwise multiply-adds.
+    ///
+    /// Allocating convenience over [`RlweContext::encrypt_into`].
     ///
     /// # Errors
     ///
@@ -174,6 +598,51 @@ impl RlweContext {
         msg: &[u8],
         rng: &mut R,
     ) -> Result<Ciphertext, RlweError> {
+        let mut scratch = self.new_scratch();
+        self.encrypt_with_scratch(pk, msg, rng, &mut scratch)
+    }
+
+    /// Encryption reusing a caller's scratch arena; allocates only the two
+    /// output polynomials.
+    ///
+    /// # Errors
+    ///
+    /// See [`RlweContext::encrypt_into`].
+    pub fn encrypt_with_scratch<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        msg: &[u8],
+        rng: &mut R,
+        scratch: &mut PolyScratch,
+    ) -> Result<Ciphertext, RlweError> {
+        let mut ct = self.empty_ciphertext();
+        self.encrypt_into(pk, msg, rng, &mut ct, scratch)?;
+        Ok(ct)
+    }
+
+    /// Allocation-free encryption: writes the ciphertext into existing
+    /// storage (start from [`RlweContext::empty_ciphertext`]) and borrows
+    /// every working polynomial from `scratch`. After the first call on a
+    /// given scratch/ciphertext pair, the hot path performs **zero**
+    /// polynomial allocations (the engine's counting-allocator test pins
+    /// this down).
+    ///
+    /// Output is bit-identical to [`RlweContext::encrypt`] for the same
+    /// RNG state.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlweError::MessageLength`] unless `msg.len() == n/8`.
+    /// * [`RlweError::ParamMismatch`] if the key belongs to another set.
+    /// * [`RlweError::Ntt`] if the scratch arena has the wrong dimension.
+    pub fn encrypt_into<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        msg: &[u8],
+        rng: &mut R,
+        ct: &mut Ciphertext,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
         if pk.params != self.params {
             return Err(RlweError::ParamMismatch);
         }
@@ -183,39 +652,82 @@ impl RlweContext {
                 expected: self.params.message_bytes(),
             });
         }
+        self.check_scratch(scratch)?;
         let n = self.params.n();
         let q = self.params.q();
         let modulus = self.plan.modulus();
         let mut bits = BufferedBitSource::new(RngWords(rng));
-        let mut e1 = self.ky.sample_poly_zq(n, q, &mut bits);
-        let mut e2 = self.ky.sample_poly_zq(n, q, &mut bits);
-        let e3 = self.ky.sample_poly_zq(n, q, &mut bits);
+        let mut e1 = scratch.take();
+        let mut e2 = scratch.take();
+        let mut e3m = scratch.take();
+        self.sample_error_into(&mut bits, &mut e1);
+        self.sample_error_into(&mut bits, &mut e2);
+        self.sample_error_into(&mut bits, &mut e3m);
         // e₃ + m̄ (time domain) becomes the third parallel-NTT operand.
-        let m_bar = encode_message(msg, n, q);
-        let mut e3m = pointwise::add(&e3, &m_bar, modulus);
-        parallel::forward3(&self.plan, [&mut e1, &mut e2, &mut e3m]);
+        encode_message_add_assign(msg, &mut e3m, q);
+        self.ntt_forward3([&mut e1, &mut e2, &mut e3m], scratch);
         // c̃₁ = ã∘ẽ₁ + ẽ₂ ; c̃₂ = p̃∘ẽ₁ + NTT(e₃ + m̄).
-        let c1_hat = pointwise::mul_add(&pk.a_hat, &e1, &e2, modulus);
-        let c2_hat = pointwise::mul_add(&pk.p_hat, &e1, &e3m, modulus);
-        Ok(Ciphertext {
-            params: pk.params,
-            c1_hat,
-            c2_hat,
-        })
+        ct.params = pk.params;
+        ct.c1_hat.reset(n, *modulus);
+        ct.c2_hat.reset(n, *modulus);
+        ct.c1_hat.as_mut_slice().copy_from_slice(&e2);
+        pointwise::mul_add_assign(ct.c1_hat.as_mut_slice(), pk.a_hat.as_slice(), &e1, modulus)?;
+        ct.c2_hat.as_mut_slice().copy_from_slice(&e3m);
+        pointwise::mul_add_assign(ct.c2_hat.as_mut_slice(), pk.p_hat.as_slice(), &e1, modulus)?;
+        scratch.put(e1);
+        scratch.put(e2);
+        scratch.put(e3m);
+        Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Decryption
+    // ------------------------------------------------------------------
 
     /// Decryption (§II-A.3): one pointwise multiply, one addition, one
     /// inverse NTT, then the threshold decoder.
+    ///
+    /// Allocating convenience over [`RlweContext::decrypt_into`].
     ///
     /// # Errors
     ///
     /// [`RlweError::ParamMismatch`] if key and ciphertext come from
     /// different parameter sets.
     pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<Vec<u8>, RlweError> {
-        Ok(decode_message(
-            &self.decrypt_to_coefficients(sk, ct)?,
-            self.params.q(),
-        ))
+        let mut out = Vec::with_capacity(self.params.message_bytes());
+        let mut scratch = self.new_scratch();
+        self.decrypt_into(sk, ct, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free decryption: decodes into a caller-provided byte
+    /// buffer (cleared and refilled, capacity reused) and borrows the
+    /// working polynomial from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] on mixed parameter sets,
+    /// [`RlweError::Ntt`] on a wrong-dimension scratch arena.
+    pub fn decrypt_into(
+        &self,
+        sk: &SecretKey,
+        ct: &Ciphertext,
+        out: &mut Vec<u8>,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        if sk.params != self.params || ct.params != sk.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        self.check_scratch(scratch)?;
+        let modulus = self.plan.modulus();
+        let mut m = scratch.take();
+        // m ← c̃₂ + c̃₁∘r̃₂, then out of the NTT domain.
+        m.copy_from_slice(ct.c2_hat.as_slice());
+        pointwise::mul_add_assign(&mut m, ct.c1_hat.as_slice(), sk.r2_hat.as_slice(), modulus)?;
+        self.ntt_inverse(&mut m, scratch);
+        decode_message_into(&m, self.params.q(), out);
+        scratch.put(m);
+        Ok(())
     }
 
     /// The pre-decoder decryption output `m' = INTT(c̃₁∘r̃₂ + c̃₂)` —
@@ -233,8 +745,14 @@ impl RlweContext {
             return Err(RlweError::ParamMismatch);
         }
         let modulus = self.plan.modulus();
-        let mut m = pointwise::mul_add(&ct.c1_hat, &sk.r2_hat, &ct.c2_hat, modulus);
-        self.plan.inverse(&mut m);
+        let mut m = pointwise::mul_add(
+            ct.c1_hat.as_slice(),
+            sk.r2_hat.as_slice(),
+            ct.c2_hat.as_slice(),
+            modulus,
+        )?;
+        let mut scratch = self.new_scratch();
+        self.ntt_inverse(&mut m, &mut scratch);
         Ok(m)
     }
 
@@ -284,11 +802,14 @@ impl RlweContext {
         if a.params != self.params || b.params != a.params {
             return Err(RlweError::ParamMismatch);
         }
-        let m = self.plan.modulus();
+        let mut c1_hat = a.c1_hat.clone();
+        c1_hat.add_assign(&b.c1_hat)?;
+        let mut c2_hat = a.c2_hat.clone();
+        c2_hat.add_assign(&b.c2_hat)?;
         Ok(Ciphertext {
             params: a.params,
-            c1_hat: pointwise::add(&a.c1_hat, &b.c1_hat, m),
-            c2_hat: pointwise::add(&a.c2_hat, &b.c2_hat, m),
+            c1_hat,
+            c2_hat,
         })
     }
 }
@@ -339,6 +860,131 @@ mod tests {
     }
 
     #[test]
+    fn encrypt_into_is_bit_identical_to_encrypt() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(40);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x5Cu8; 32];
+        let mut rng_a = StdRng::seed_from_u64(41);
+        let mut rng_b = StdRng::seed_from_u64(41);
+        let allocating = ctx.encrypt(&pk, &msg, &mut rng_a).unwrap();
+        let mut ct = ctx.empty_ciphertext();
+        let mut scratch = ctx.new_scratch();
+        ctx.encrypt_into(&pk, &msg, &mut rng_b, &mut ct, &mut scratch)
+            .unwrap();
+        assert_eq!(ct, allocating);
+        assert_eq!(
+            ct.to_bytes().unwrap(),
+            allocating.to_bytes().unwrap(),
+            "wire bytes must be unchanged by the _into path"
+        );
+    }
+
+    #[test]
+    fn decrypt_into_matches_decrypt_and_reuses_buffers() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0xE1u8; 32];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        let want = ctx.decrypt(&sk, &ct).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = ctx.new_scratch();
+        ctx.decrypt_into(&sk, &ct, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, want);
+        // Second decryption reuses both the byte buffer and the arena.
+        ctx.decrypt_into(&sk, &ct, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, want);
+        assert!(scratch.parked() >= 1, "the working poly returned home");
+    }
+
+    #[test]
+    fn generate_keypair_into_matches_allocating_keygen() {
+        let ctx = ctx_p1();
+        let mut rng_a = StdRng::seed_from_u64(43);
+        let mut rng_b = StdRng::seed_from_u64(43);
+        let (pk_a, sk_a) = ctx.generate_keypair(&mut rng_a).unwrap();
+        let (mut pk_b, mut sk_b) = ctx.empty_keypair();
+        let mut scratch = ctx.new_scratch();
+        ctx.generate_keypair_into(&mut rng_b, &mut pk_b, &mut sk_b, &mut scratch)
+            .unwrap();
+        assert_eq!(pk_a, pk_b);
+        assert_eq!(sk_a.to_bytes().unwrap(), sk_b.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn wrong_dimension_scratch_is_rejected() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(44);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let mut ct = ctx.empty_ciphertext();
+        let mut scratch = PolyScratch::new(512);
+        let err = ctx
+            .encrypt_into(&pk, &[0u8; 32], &mut rng, &mut ct, &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, RlweError::Ntt(_)));
+    }
+
+    #[test]
+    fn all_backends_agree_bit_for_bit() {
+        // The backend changes the data layout, never the math: the same
+        // seed must produce the same keys and ciphertext bytes.
+        let mut fixtures: Vec<Vec<u8>> = Vec::new();
+        for backend in [NttBackend::Reference, NttBackend::Packed, NttBackend::Swar] {
+            let ctx = RlweContext::builder(ParamSet::P1)
+                .ntt_backend(backend)
+                .build()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(45);
+            let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+            let msg = vec![0x77u8; 32];
+            let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg, "{backend:?}");
+            let mut wire = pk.to_bytes().unwrap();
+            wire.extend(sk.to_bytes().unwrap());
+            wire.extend(ct.to_bytes().unwrap());
+            fixtures.push(wire);
+        }
+        assert_eq!(fixtures[0], fixtures[1], "packed backend diverged");
+        assert_eq!(fixtures[0], fixtures[2], "swar backend diverged");
+    }
+
+    #[test]
+    fn builder_rejects_wide_moduli_for_lane_backends() {
+        // 65537 is an NTT-friendly prime for n = 2048, but its residues
+        // overflow the 16-bit lanes of the packed layout and the 15-bit
+        // headroom SWAR's carryless addition needs.
+        let params = Params::custom(2048, 65537, rlwe_sampler::GaussianSpec::p1());
+        for backend in [NttBackend::Packed, NttBackend::Swar] {
+            let err = RlweContextBuilder::with_params(params)
+                .ntt_backend(backend)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, RlweError::Malformed { .. }), "{backend:?}");
+        }
+        assert!(RlweContextBuilder::with_params(params)
+            .ntt_backend(NttBackend::Reference)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn sampler_kinds_all_round_trip() {
+        for kind in [SamplerKind::Basic, SamplerKind::Lut1, SamplerKind::Lut] {
+            let ctx = RlweContext::builder(ParamSet::P1)
+                .sampler(kind)
+                .build()
+                .unwrap();
+            assert_eq!(ctx.sampler_kind(), kind);
+            let mut rng = StdRng::seed_from_u64(46);
+            let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+            let msg = vec![0x13u8; 32];
+            let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn wrong_key_garbles_the_message() {
         let ctx = ctx_p1();
         let mut rng = StdRng::seed_from_u64(3);
@@ -379,20 +1025,39 @@ mod tests {
     fn shared_a_keypairs_work() {
         let ctx = ctx_p1();
         let mut rng = StdRng::seed_from_u64(6);
-        let a_hat = ctx.sample_uniform_poly(&mut rng);
+        let a_hat = ctx.sample_uniform(&mut rng);
         let (pk1, sk1) = ctx
-            .generate_keypair_with_a(a_hat.clone(), &mut rng)
+            .generate_keypair_with_a_poly(a_hat.clone(), &mut rng)
             .unwrap();
         let (pk2, sk2) = ctx
-            .generate_keypair_with_a(a_hat.clone(), &mut rng)
+            .generate_keypair_with_a_poly(a_hat.clone(), &mut rng)
             .unwrap();
-        assert_eq!(pk1.a_hat(), pk2.a_hat());
-        assert_ne!(pk1.p_hat(), pk2.p_hat());
+        assert_eq!(pk1.a_poly(), pk2.a_poly());
+        assert_ne!(pk1.p_poly(), pk2.p_poly());
         let msg = vec![0x77u8; 32];
         let ct1 = ctx.encrypt(&pk1, &msg, &mut rng).unwrap();
         let ct2 = ctx.encrypt(&pk2, &msg, &mut rng).unwrap();
         assert_eq!(ctx.decrypt(&sk1, &ct1).unwrap(), msg);
         assert_eq!(ctx.decrypt(&sk2, &ct2).unwrap(), msg);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_raw_slice_keygen_still_works() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(47);
+        let a_hat = ctx.sample_uniform_poly(&mut rng);
+        let (pk, sk) = ctx
+            .generate_keypair_with_a(a_hat.clone(), &mut rng)
+            .unwrap();
+        assert_eq!(pk.a_poly().as_slice(), &a_hat[..]);
+        let msg = vec![0xABu8; 32];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg);
+        // Unreduced input is rejected by the Poly validation.
+        let mut bad = a_hat;
+        bad[0] = 7681;
+        assert!(ctx.generate_keypair_with_a(bad, &mut rng).is_err());
     }
 
     #[test]
@@ -465,9 +1130,9 @@ mod tests {
     fn uniform_poly_is_reduced_and_nonconstant() {
         let ctx = ctx_p1();
         let mut rng = StdRng::seed_from_u64(9);
-        let a = ctx.sample_uniform_poly(&mut rng);
+        let a = ctx.sample_uniform(&mut rng);
         assert_eq!(a.len(), 256);
-        assert!(a.iter().all(|&c| c < 7681));
-        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        assert!(a.as_slice().iter().all(|&c| c < 7681));
+        assert!(a.as_slice().windows(2).any(|w| w[0] != w[1]));
     }
 }

@@ -34,6 +34,28 @@ pub fn encode_message(msg: &[u8], n: usize, q: u32) -> Vec<u32> {
         .collect()
 }
 
+/// Adds the encoded message `m̄` onto an existing coefficient slice in
+/// place (`coeffs[i] ← coeffs[i] + m̄[i] mod q`) — the allocation-free
+/// fusion of [`encode_message`] with the `e₃ + m̄` addition on the
+/// encryption hot path.
+///
+/// # Panics
+///
+/// Panics if `msg.len() * 8 != coeffs.len()`.
+pub fn encode_message_add_assign(msg: &[u8], coeffs: &mut [u32], q: u32) {
+    assert_eq!(
+        msg.len() * 8,
+        coeffs.len(),
+        "message must supply exactly n bits"
+    );
+    let half = q / 2;
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        if (msg[i / 8] >> (i % 8)) & 1 == 1 {
+            *c = rlwe_zq::add_mod(*c, half, q);
+        }
+    }
+}
+
 /// Decodes one noisy coefficient to a bit: `1` iff the value lies in
 /// `(q/4, 3q/4]` (closer to `q/2` than to `0 ≡ q`).
 ///
@@ -59,20 +81,31 @@ pub fn decode_coefficient(c: u32, q: u32) -> u8 {
 ///
 /// Panics if the coefficient count is not a multiple of 8.
 pub fn decode_message(coeffs: &[u32], q: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(coeffs.len() / 8);
+    decode_message_into(coeffs, q, &mut out);
+    out
+}
+
+/// Decodes a coefficient vector into a caller-provided byte buffer
+/// (cleared and refilled — after warm-up the buffer's capacity is reused,
+/// so the decryption hot path allocates nothing).
+///
+/// # Panics
+///
+/// Panics if the coefficient count is not a multiple of 8.
+pub fn decode_message_into(coeffs: &[u32], q: u32, out: &mut Vec<u8>) {
     assert!(
         coeffs.len().is_multiple_of(8),
         "coefficient count must be byte-aligned"
     );
-    coeffs
-        .chunks_exact(8)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| decode_coefficient(c, q) << i)
-                .sum()
-        })
-        .collect()
+    out.clear();
+    out.extend(coeffs.chunks_exact(8).map(|chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| decode_coefficient(c, q) << i)
+            .sum::<u8>()
+    }));
 }
 
 #[cfg(test)]
@@ -114,5 +147,39 @@ mod tests {
     #[should_panic(expected = "exactly n bits")]
     fn wrong_length_panics() {
         encode_message(&[0u8; 3], 256, 7681);
+    }
+
+    #[test]
+    fn add_assign_on_zeroes_equals_encode() {
+        let q = 7681;
+        let msg: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(91) ^ 0x3C).collect();
+        let mut coeffs = vec![0u32; 256];
+        encode_message_add_assign(&msg, &mut coeffs, q);
+        assert_eq!(coeffs, encode_message(&msg, 256, q));
+        // And fused add matches encode-then-add.
+        let base: Vec<u32> = (0..256u32).map(|i| (i * 13 + 5) % q).collect();
+        let mut fused = base.clone();
+        encode_message_add_assign(&msg, &mut fused, q);
+        let manual: Vec<u32> = base
+            .iter()
+            .zip(&encode_message(&msg, 256, q))
+            .map(|(&a, &b)| rlwe_zq::add_mod(a, b, q))
+            .collect();
+        assert_eq!(fused, manual);
+    }
+
+    #[test]
+    fn decode_into_reuses_the_buffer() {
+        let q = 12289;
+        let msg = vec![0xB7u8; 64];
+        let coeffs = encode_message(&msg, 512, q);
+        let mut out = Vec::new();
+        decode_message_into(&coeffs, q, &mut out);
+        assert_eq!(out, msg);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        decode_message_into(&coeffs, q, &mut out);
+        assert_eq!(out, msg);
+        assert_eq!((out.capacity(), out.as_ptr()), (cap, ptr));
     }
 }

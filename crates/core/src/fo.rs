@@ -111,7 +111,12 @@ impl RlweContext {
             hash3(DS_KEY, &m, &ct_bytes)
         } else {
             // Implicit rejection: secret-dependent, ciphertext-bound.
-            let sk_bytes: Vec<u8> = sk.r2_hat().iter().flat_map(|&c| c.to_le_bytes()).collect();
+            let sk_bytes: Vec<u8> = sk
+                .r2_poly()
+                .as_slice()
+                .iter()
+                .flat_map(|&c| c.to_le_bytes())
+                .collect();
             hash3(DS_REJECT, &sk_bytes, &ct_bytes)
         };
         Ok(SharedSecret::from_bytes(key))

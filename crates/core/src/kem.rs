@@ -68,11 +68,32 @@ impl RlweContext {
         pk: &PublicKey,
         rng: &mut R,
     ) -> Result<(Ciphertext, SharedSecret), RlweError> {
+        let mut scratch = self.new_scratch();
+        let mut ct = self.empty_ciphertext();
+        let ss = self.encapsulate_into(pk, rng, &mut ct, &mut scratch)?;
+        Ok((ct, ss))
+    }
+
+    /// Polynomial-allocation-free encapsulation: writes the ciphertext into
+    /// existing storage and borrows working polynomials from `scratch`.
+    /// (The secret derivation still serializes the ciphertext for hashing,
+    /// which allocates the wire buffer — that binding is the KEM contract.)
+    ///
+    /// # Errors
+    ///
+    /// See [`RlweContext::encapsulate`]; additionally [`RlweError::Ntt`]
+    /// for a wrong-dimension scratch arena.
+    pub fn encapsulate_into<R: RngCore + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        rng: &mut R,
+        ct: &mut Ciphertext,
+        scratch: &mut rlwe_ntt::PolyScratch,
+    ) -> Result<SharedSecret, RlweError> {
         let mut m = vec![0u8; self.params().message_bytes()];
         rng.fill_bytes(&mut m);
-        let ct = self.encrypt(pk, &m, rng)?;
-        let ss = derive(&m, &ct)?;
-        Ok((ct, ss))
+        self.encrypt_into(pk, &m, rng, ct, scratch)?;
+        derive(&m, ct)
     }
 
     /// Decapsulates a received ciphertext into the shared secret.
@@ -82,7 +103,25 @@ impl RlweContext {
     /// Propagates [`RlweError::ParamMismatch`] on mixed parameter sets and
     /// serialization errors for custom parameter sets.
     pub fn decapsulate(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<SharedSecret, RlweError> {
-        let m = self.decrypt(sk, ct)?;
+        let mut scratch = self.new_scratch();
+        self.decapsulate_with_scratch(sk, ct, &mut scratch)
+    }
+
+    /// Decapsulation borrowing its working polynomial from `scratch` —
+    /// the batch/session sibling of [`RlweContext::decapsulate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RlweContext::decapsulate`]; additionally [`RlweError::Ntt`]
+    /// for a wrong-dimension scratch arena.
+    pub fn decapsulate_with_scratch(
+        &self,
+        sk: &SecretKey,
+        ct: &Ciphertext,
+        scratch: &mut rlwe_ntt::PolyScratch,
+    ) -> Result<SharedSecret, RlweError> {
+        let mut m = Vec::with_capacity(self.params().message_bytes());
+        self.decrypt_into(sk, ct, &mut m, scratch)?;
         derive(&m, ct)
     }
 }

@@ -1,6 +1,14 @@
 //! Key and ciphertext types (all NTT-domain, as in the paper).
+//!
+//! Since the `Poly` redesign these containers store [`Poly<Ntt>`] — the
+//! domain is part of the type, so a key can no longer be built from (or
+//! mistaken for) time-domain coefficients. The serialized wire format is
+//! unchanged: `magic ‖ param-id ‖ packed coefficients`.
+
+use rlwe_zq::Modulus;
 
 use crate::params::{ParamSet, Params};
+use crate::poly::{Ntt, Poly};
 use crate::serialize::{pack_coeffs, unpack_coeffs};
 use crate::RlweError;
 
@@ -8,6 +16,12 @@ use crate::RlweError;
 const MAGIC_PK: u8 = 0xA1;
 const MAGIC_SK: u8 = 0xA2;
 const MAGIC_CT: u8 = 0xA3;
+
+/// The modulus context for a named parameter set (whose primes are
+/// known-good by construction).
+fn modulus_for(params: &Params) -> Modulus {
+    Modulus::new(params.q()).expect("parameter-set modulus is a valid prime")
+}
 
 /// Serializes `(magic, param_id, polys...)` with fixed-width coefficients.
 ///
@@ -23,12 +37,12 @@ fn to_bytes_generic(magic: u8, params: Params, polys: &[&[u32]]) -> Result<Vec<u
     Ok(out)
 }
 
-/// Parses the common header and returns the per-poly coefficient vectors.
+/// Parses the common header and returns the per-poly NTT-domain values.
 fn from_bytes_generic(
     magic: u8,
     bytes: &[u8],
     n_polys: usize,
-) -> Result<(Params, Vec<Vec<u32>>), RlweError> {
+) -> Result<(Params, Vec<Poly<Ntt>>), RlweError> {
     if bytes.len() < 2 {
         return Err(RlweError::Malformed {
             reason: "truncated header".into(),
@@ -43,6 +57,7 @@ fn from_bytes_generic(
         reason: format!("unknown parameter-set id {}", bytes[1]),
     })?;
     let params = set.params();
+    let modulus = modulus_for(&params);
     let poly_bytes = (params.n() * params.coeff_bits() as usize).div_ceil(8);
     let expect = 2 + n_polys * poly_bytes;
     if bytes.len() != expect {
@@ -53,12 +68,9 @@ fn from_bytes_generic(
     let mut polys = Vec::with_capacity(n_polys);
     for i in 0..n_polys {
         let chunk = &bytes[2 + i * poly_bytes..2 + (i + 1) * poly_bytes];
-        polys.push(unpack_coeffs(
-            chunk,
-            params.coeff_bits(),
-            params.n(),
-            params.q(),
-        )?);
+        let coeffs = unpack_coeffs(chunk, params.coeff_bits(), params.n(), params.q())?;
+        // unpack_coeffs has already rejected unreduced coefficients.
+        polys.push(Poly::from_vec_unchecked(coeffs, modulus));
     }
     Ok((params, polys))
 }
@@ -68,25 +80,63 @@ fn from_bytes_generic(
 pub struct PublicKey {
     pub(crate) params: Params,
     /// The uniform public polynomial ã (NTT domain).
-    pub(crate) a_hat: Vec<u32>,
+    pub(crate) a_hat: Poly<Ntt>,
     /// `p̃ = r̃₁ − ã ∘ r̃₂` (NTT domain).
-    pub(crate) p_hat: Vec<u32>,
+    pub(crate) p_hat: Poly<Ntt>,
 }
 
 impl PublicKey {
+    /// Builds a public key from NTT-domain polynomials.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if either polynomial's length or
+    /// modulus disagrees with `params`.
+    pub fn from_polys(
+        params: Params,
+        a_hat: Poly<Ntt>,
+        p_hat: Poly<Ntt>,
+    ) -> Result<Self, RlweError> {
+        check_poly(&params, &a_hat)?;
+        check_poly(&params, &p_hat)?;
+        Ok(Self {
+            params,
+            a_hat,
+            p_hat,
+        })
+    }
+
     /// The parameters this key belongs to.
     pub fn params(&self) -> Params {
         self.params
     }
 
     /// The NTT-domain `ã` polynomial.
-    pub fn a_hat(&self) -> &[u32] {
+    pub fn a_poly(&self) -> &Poly<Ntt> {
         &self.a_hat
     }
 
     /// The NTT-domain `p̃` polynomial.
-    pub fn p_hat(&self) -> &[u32] {
+    pub fn p_poly(&self) -> &Poly<Ntt> {
         &self.p_hat
+    }
+
+    /// The NTT-domain `ã` coefficients as a raw slice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `a_poly()` — the typed Poly<Ntt> accessor"
+    )]
+    pub fn a_hat(&self) -> &[u32] {
+        self.a_hat.as_slice()
+    }
+
+    /// The NTT-domain `p̃` coefficients as a raw slice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `p_poly()` — the typed Poly<Ntt> accessor"
+    )]
+    pub fn p_hat(&self) -> &[u32] {
+        self.p_hat.as_slice()
     }
 
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(ã) ‖ pack₁₃(p̃)`
@@ -97,7 +147,11 @@ impl PublicKey {
     /// [`RlweError::Malformed`] for keys built from custom (unnamed)
     /// parameters, which have no stable wire identifier.
     pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
-        to_bytes_generic(MAGIC_PK, self.params, &[&self.a_hat, &self.p_hat])
+        to_bytes_generic(
+            MAGIC_PK,
+            self.params,
+            &[self.a_hat.as_slice(), self.p_hat.as_slice()],
+        )
     }
 
     /// Parses the [`PublicKey::to_bytes`] format.
@@ -118,22 +172,50 @@ impl PublicKey {
     }
 }
 
+/// Validates a polynomial against a parameter set.
+fn check_poly(params: &Params, poly: &Poly<Ntt>) -> Result<(), RlweError> {
+    if poly.len() != params.n() || poly.q() != params.q() {
+        return Err(RlweError::ParamMismatch);
+    }
+    Ok(())
+}
+
 /// Secret key `r̃₂` (NTT domain).
 #[derive(Clone, PartialEq, Eq)]
 pub struct SecretKey {
     pub(crate) params: Params,
-    pub(crate) r2_hat: Vec<u32>,
+    pub(crate) r2_hat: Poly<Ntt>,
 }
 
 impl SecretKey {
+    /// Builds a secret key from an NTT-domain polynomial.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if the polynomial's length or modulus
+    /// disagrees with `params`.
+    pub fn from_poly(params: Params, r2_hat: Poly<Ntt>) -> Result<Self, RlweError> {
+        check_poly(&params, &r2_hat)?;
+        Ok(Self { params, r2_hat })
+    }
+
     /// The parameters this key belongs to.
     pub fn params(&self) -> Params {
         self.params
     }
 
     /// The NTT-domain secret polynomial `r̃₂`.
-    pub fn r2_hat(&self) -> &[u32] {
+    pub fn r2_poly(&self) -> &Poly<Ntt> {
         &self.r2_hat
+    }
+
+    /// The NTT-domain secret coefficients as a raw slice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `r2_poly()` — the typed Poly<Ntt> accessor"
+    )]
+    pub fn r2_hat(&self) -> &[u32] {
+        self.r2_hat.as_slice()
     }
 
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(r̃₂)`.
@@ -142,7 +224,7 @@ impl SecretKey {
     ///
     /// [`RlweError::Malformed`] for keys from custom parameter sets.
     pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
-        to_bytes_generic(MAGIC_SK, self.params, &[&self.r2_hat])
+        to_bytes_generic(MAGIC_SK, self.params, &[self.r2_hat.as_slice()])
     }
 
     /// Parses the [`SecretKey::to_bytes`] format.
@@ -182,24 +264,62 @@ pub struct KeyPair {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ciphertext {
     pub(crate) params: Params,
-    pub(crate) c1_hat: Vec<u32>,
-    pub(crate) c2_hat: Vec<u32>,
+    pub(crate) c1_hat: Poly<Ntt>,
+    pub(crate) c2_hat: Poly<Ntt>,
 }
 
 impl Ciphertext {
+    /// Builds a ciphertext from NTT-domain polynomials.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if either polynomial's length or
+    /// modulus disagrees with `params`.
+    pub fn from_polys(
+        params: Params,
+        c1_hat: Poly<Ntt>,
+        c2_hat: Poly<Ntt>,
+    ) -> Result<Self, RlweError> {
+        check_poly(&params, &c1_hat)?;
+        check_poly(&params, &c2_hat)?;
+        Ok(Self {
+            params,
+            c1_hat,
+            c2_hat,
+        })
+    }
+
     /// The parameters this ciphertext belongs to.
     pub fn params(&self) -> Params {
         self.params
     }
 
     /// The NTT-domain `c̃₁` polynomial.
-    pub fn c1_hat(&self) -> &[u32] {
+    pub fn c1_poly(&self) -> &Poly<Ntt> {
         &self.c1_hat
     }
 
     /// The NTT-domain `c̃₂` polynomial.
-    pub fn c2_hat(&self) -> &[u32] {
+    pub fn c2_poly(&self) -> &Poly<Ntt> {
         &self.c2_hat
+    }
+
+    /// The NTT-domain `c̃₁` coefficients as a raw slice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `c1_poly()` — the typed Poly<Ntt> accessor"
+    )]
+    pub fn c1_hat(&self) -> &[u32] {
+        self.c1_hat.as_slice()
+    }
+
+    /// The NTT-domain `c̃₂` coefficients as a raw slice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `c2_poly()` — the typed Poly<Ntt> accessor"
+    )]
+    pub fn c2_hat(&self) -> &[u32] {
+        self.c2_hat.as_slice()
     }
 
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(c̃₁) ‖ pack₁₃(c̃₂)` —
@@ -209,7 +329,11 @@ impl Ciphertext {
     ///
     /// [`RlweError::Malformed`] for ciphertexts from custom parameter sets.
     pub fn to_bytes(&self) -> Result<Vec<u8>, RlweError> {
-        to_bytes_generic(MAGIC_CT, self.params, &[&self.c1_hat, &self.c2_hat])
+        to_bytes_generic(
+            MAGIC_CT,
+            self.params,
+            &[self.c1_hat.as_slice(), self.c2_hat.as_slice()],
+        )
     }
 
     /// Parses the [`Ciphertext::to_bytes`] format.
@@ -233,10 +357,15 @@ impl Ciphertext {
 mod tests {
     use super::*;
 
-    fn demo_poly(n: usize, q: u32, seed: u32) -> Vec<u32> {
-        (0..n as u32)
-            .map(|i| (i.wrapping_mul(seed) + 7) % q)
-            .collect()
+    fn demo_poly(n: usize, q: u32, seed: u32) -> Poly<Ntt> {
+        let modulus = Modulus::new(q).unwrap();
+        Poly::from_vec(
+            (0..n as u32)
+                .map(|i| (i.wrapping_mul(seed) + 7) % q)
+                .collect(),
+            modulus,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -269,6 +398,41 @@ mod tests {
         assert_eq!(Ciphertext::from_bytes(&bytes).unwrap(), ct);
         // 2 polys * 256 coeffs * 13 bits = 832 bytes + 2 header bytes.
         assert_eq!(bytes.len(), 834);
+    }
+
+    #[test]
+    fn from_polys_validates_parameters() {
+        let params = ParamSet::P1.params();
+        let good = demo_poly(256, 7681, 3);
+        let wrong_n = demo_poly(128, 7681, 3);
+        let wrong_q = demo_poly(256, 12289, 3);
+        assert!(PublicKey::from_polys(params, good.clone(), good.clone()).is_ok());
+        assert!(matches!(
+            PublicKey::from_polys(params, good.clone(), wrong_n.clone()),
+            Err(RlweError::ParamMismatch)
+        ));
+        assert!(matches!(
+            SecretKey::from_poly(params, wrong_q.clone()),
+            Err(RlweError::ParamMismatch)
+        ));
+        assert!(matches!(
+            Ciphertext::from_polys(params, wrong_n, wrong_q),
+            Err(RlweError::ParamMismatch)
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_slice_accessors_still_work() {
+        // The raw-slice shims must stay available (and agree with the
+        // typed accessors) until downstream callers migrate.
+        let pk = PublicKey {
+            params: ParamSet::P1.params(),
+            a_hat: demo_poly(256, 7681, 31),
+            p_hat: demo_poly(256, 7681, 77),
+        };
+        assert_eq!(pk.a_hat(), pk.a_poly().as_slice());
+        assert_eq!(pk.p_hat(), pk.p_poly().as_slice());
     }
 
     #[test]

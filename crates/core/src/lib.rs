@@ -48,15 +48,23 @@ mod encode;
 mod error;
 mod keys;
 mod params;
+mod poly;
 mod serialize;
 
 pub mod drbg;
 pub mod fo;
 pub mod kem;
 
-pub use context::{DecryptionDiagnostics, RlweContext};
-pub use encode::{decode_coefficient, decode_message, encode_message};
+pub use context::{
+    DecryptionDiagnostics, NttBackend, RlweContext, RlweContextBuilder, SamplerKind,
+};
+pub use encode::{
+    decode_coefficient, decode_message, decode_message_into, encode_message,
+    encode_message_add_assign,
+};
 pub use error::RlweError;
 pub use keys::{Ciphertext, KeyPair, PublicKey, SecretKey};
 pub use params::{ParamSet, Params};
+pub use poly::{Coeff, Domain, Ntt, Poly};
+pub use rlwe_ntt::PolyScratch;
 pub use serialize::{pack_coeffs, unpack_coeffs};

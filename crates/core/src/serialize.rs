@@ -53,15 +53,21 @@ pub fn pack_coeffs(coeffs: &[u32], bits: u32) -> Vec<u8> {
 /// Unpacks `n` coefficients of `bits` bits each and validates every value
 /// against the modulus `q`.
 ///
+/// Never panics: every malformed input — including an out-of-range `bits`
+/// width, which used to be an assertion — is reported as an error, so a
+/// parser can feed this attacker-controlled bytes directly.
+///
 /// # Errors
 ///
-/// [`RlweError::Malformed`] if the byte slice has the wrong length or any
-/// decoded coefficient is `≥ q`.
+/// [`RlweError::Malformed`] if `bits` is outside `1..=32`, the byte slice
+/// has the wrong length, any decoded coefficient is `≥ q`, or padding bits
+/// are non-zero.
 pub fn unpack_coeffs(bytes: &[u8], bits: u32, n: usize, q: u32) -> Result<Vec<u32>, RlweError> {
-    assert!(
-        (1..=32).contains(&bits),
-        "bits per coefficient out of range"
-    );
+    if !(1..=32).contains(&bits) {
+        return Err(RlweError::Malformed {
+            reason: format!("bits per coefficient must be in 1..=32, got {bits}"),
+        });
+    }
     let need = (n * bits as usize).div_ceil(8);
     if bytes.len() != need {
         return Err(RlweError::Malformed {
@@ -158,5 +164,11 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn oversized_coefficient_panics_on_pack() {
         pack_coeffs(&[1 << 13], 13);
+    }
+
+    #[test]
+    fn out_of_range_bit_width_is_an_error_not_a_panic() {
+        assert!(unpack_coeffs(&[0u8; 4], 0, 1, 7681).is_err());
+        assert!(unpack_coeffs(&[0u8; 5], 33, 1, 7681).is_err());
     }
 }

@@ -27,13 +27,33 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    fan_out_with(items, workers, || (), |(), i, t| f(i, t))
+}
+
+/// [`fan_out`] with per-worker state: `init` runs once on each worker
+/// thread and the resulting state is threaded through every item that
+/// worker processes. This is how the batch paths give each worker its own
+/// [`PolyScratch`](rlwe_core::PolyScratch) arena — warmed up on the
+/// worker's first item, reused (allocation-free) for all the rest.
+pub fn fan_out_with<T, S, R, I, F>(items: &[T], workers: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = workers.max(1).min(n);
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let chunk = n.div_ceil(workers);
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
@@ -46,9 +66,11 @@ where
         {
             let base = w * chunk;
             let f = &f;
+            let init = &init;
             s.spawn(move || {
+                let mut state = init();
                 for (offset, (slot, item)) in out.iter_mut().zip(input).enumerate() {
-                    *slot = Some(f(base + offset, item));
+                    *slot = Some(f(&mut state, base + offset, item));
                 }
             });
         }
@@ -57,6 +79,81 @@ where
         .into_iter()
         .map(|r| r.expect("every chunk slot is filled by its worker"))
         .collect()
+}
+
+/// Like [`fan_out_with`], but item `i` additionally receives exclusive
+/// mutable access to `out[i]` — the backbone of the `_into` batch paths,
+/// where outputs live in caller-owned, reusable storage.
+///
+/// # Panics
+///
+/// Panics if `out.len() != items.len()` (the public `_into` wrappers
+/// validate this and return an error first).
+pub fn fan_out_into<T, O, S, R, I, F>(
+    items: &[T],
+    out: &mut [O],
+    workers: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    O: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T, &mut O) -> R + Sync,
+{
+    assert_eq!(items.len(), out.len(), "one output slot per item");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .zip(out.iter_mut())
+            .enumerate()
+            .map(|(i, (t, slot))| f(&mut state, i, t, slot))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (w, ((res, input), slots)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            let base = w * chunk;
+            let f = &f;
+            let init = &init;
+            s.spawn(move || {
+                let mut state = init();
+                for (offset, ((r, item), slot)) in res.iter_mut().zip(input).zip(slots).enumerate()
+                {
+                    *r = Some(f(&mut state, base + offset, item, slot));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled by its worker"))
+        .collect()
+}
+
+/// Validates that a `_into` batch has exactly one output slot per item.
+fn check_slot_count(slots: usize, items: usize) -> Result<(), RlweError> {
+    if slots != items {
+        return Err(RlweError::Malformed {
+            reason: format!("need one output slot per item: {slots} slots for {items} items"),
+        });
+    }
+    Ok(())
 }
 
 /// The number of workers to use when the caller does not say: the
@@ -73,7 +170,9 @@ pub fn default_workers() -> usize {
 /// `HashDrbg::for_stream(master_seed, i)`.
 ///
 /// Bit-identical to calling [`RlweContext::encrypt`] sequentially with
-/// the same per-item DRBGs, for any worker count.
+/// the same per-item DRBGs, for any worker count. Each worker owns one
+/// [`PolyScratch`](rlwe_core::PolyScratch), so per-item cost is two output
+/// polynomials — use [`encrypt_batch_into`] to eliminate those as well.
 pub fn encrypt_batch(
     ctx: &RlweContext,
     pk: &PublicKey,
@@ -81,10 +180,46 @@ pub fn encrypt_batch(
     master_seed: &[u8; 32],
     workers: usize,
 ) -> Vec<Result<Ciphertext, RlweError>> {
-    fan_out(msgs, workers, |i, msg| {
-        let mut rng = HashDrbg::for_stream(master_seed, i as u64);
-        ctx.encrypt(pk, msg.as_ref(), &mut rng)
-    })
+    fan_out_with(
+        msgs,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, i, msg| {
+            let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+            ctx.encrypt_with_scratch(pk, msg.as_ref(), &mut rng, scratch)
+        },
+    )
+}
+
+/// Allocation-free batched encryption: ciphertext `i` is written into
+/// `out[i]` (start from [`RlweContext::empty_ciphertext`]; after the first
+/// batch on the same buffers, workers perform **zero** per-item polynomial
+/// allocations). Per-item failures land in the returned vector without
+/// poisoning the batch.
+///
+/// # Errors
+///
+/// [`RlweError::Malformed`] if `out.len() != msgs.len()` (reported with
+/// the two lengths), before any work is done.
+pub fn encrypt_batch_into(
+    ctx: &RlweContext,
+    pk: &PublicKey,
+    msgs: &[impl AsRef<[u8]> + Sync],
+    master_seed: &[u8; 32],
+    workers: usize,
+    out: &mut [Ciphertext],
+) -> Result<Vec<Result<(), RlweError>>, RlweError> {
+    check_slot_count(out.len(), msgs.len())?;
+    Ok(fan_out_into(
+        msgs,
+        out,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, i, msg, ct| {
+            let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+            ctx.encrypt_into(pk, msg.as_ref(), &mut rng, ct, scratch)
+        },
+    ))
 }
 
 /// Decrypts `cts` under `sk` (deterministic; no seed needed).
@@ -94,7 +229,39 @@ pub fn decrypt_batch(
     cts: &[Ciphertext],
     workers: usize,
 ) -> Vec<Result<Vec<u8>, RlweError>> {
-    fan_out(cts, workers, |_, ct| ctx.decrypt(sk, ct))
+    fan_out_with(
+        cts,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, _, ct| {
+            let mut out = Vec::with_capacity(ctx.params().message_bytes());
+            ctx.decrypt_into(sk, ct, &mut out, scratch)?;
+            Ok(out)
+        },
+    )
+}
+
+/// Allocation-free batched decryption: plaintext `i` is decoded into
+/// `out[i]` (cleared and refilled; capacities are reused across batches).
+///
+/// # Errors
+///
+/// [`RlweError::Malformed`] if `out.len() != cts.len()`.
+pub fn decrypt_batch_into(
+    ctx: &RlweContext,
+    sk: &SecretKey,
+    cts: &[Ciphertext],
+    workers: usize,
+    out: &mut [Vec<u8>],
+) -> Result<Vec<Result<(), RlweError>>, RlweError> {
+    check_slot_count(out.len(), cts.len())?;
+    Ok(fan_out_into(
+        cts,
+        out,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, _, ct, msg| ctx.decrypt_into(sk, ct, msg, scratch),
+    ))
 }
 
 /// Runs `count` encapsulations against `pk`, item `i` drawing its random
@@ -107,10 +274,17 @@ pub fn encap_batch(
     workers: usize,
 ) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
     let indices: Vec<usize> = (0..count).collect();
-    fan_out(&indices, workers, |i, _| {
-        let mut rng = HashDrbg::for_stream(master_seed, i as u64);
-        ctx.encapsulate(pk, &mut rng)
-    })
+    fan_out_with(
+        &indices,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, i, _| {
+            let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+            let mut ct = ctx.empty_ciphertext();
+            let ss = ctx.encapsulate_into(pk, &mut rng, &mut ct, scratch)?;
+            Ok((ct, ss))
+        },
+    )
 }
 
 /// Decapsulates `cts` under `sk` (deterministic; no seed needed).
@@ -120,7 +294,12 @@ pub fn decap_batch(
     cts: &[Ciphertext],
     workers: usize,
 ) -> Vec<Result<SharedSecret, RlweError>> {
-    fan_out(cts, workers, |_, ct| ctx.decapsulate(sk, ct))
+    fan_out_with(
+        cts,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, _, ct| ctx.decapsulate_with_scratch(sk, ct, scratch),
+    )
 }
 
 #[cfg(test)]
@@ -217,6 +396,66 @@ mod tests {
             .count();
         // KEM failure probability ~1% per item — require near-total agreement.
         assert!(agree >= 10, "only {agree}/12 secrets agreed");
+    }
+
+    #[test]
+    fn encrypt_batch_into_matches_allocating_batch() {
+        let ctx = ctx();
+        let (pk, sk) = keypair(&ctx);
+        let msgs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 32]).collect();
+        let master = [6u8; 32];
+        let allocating = encrypt_batch(&ctx, &pk, &msgs, &master, 3);
+        let mut out: Vec<Ciphertext> = (0..msgs.len()).map(|_| ctx.empty_ciphertext()).collect();
+        // Run twice on the same buffers: results identical, storage reused.
+        for _ in 0..2 {
+            let statuses = encrypt_batch_into(&ctx, &pk, &msgs, &master, 3, &mut out).unwrap();
+            assert!(statuses.iter().all(|s| s.is_ok()));
+            for (a, b) in allocating.iter().zip(&out) {
+                assert_eq!(a.as_ref().unwrap(), b);
+            }
+        }
+        let mut plain: Vec<Vec<u8>> = vec![Vec::new(); out.len()];
+        let statuses = decrypt_batch_into(&ctx, &sk, &out, 3, &mut plain).unwrap();
+        assert!(statuses.iter().all(|s| s.is_ok()));
+        let good = plain.iter().zip(&msgs).filter(|(g, w)| g == w).count();
+        assert!(good >= 8, "only {good}/10 round-tripped");
+    }
+
+    #[test]
+    fn batch_into_rejects_mismatched_output_length() {
+        let ctx = ctx();
+        let (pk, sk) = keypair(&ctx);
+        let msgs = [vec![0u8; 32]];
+        let mut out: Vec<Ciphertext> = Vec::new();
+        assert!(encrypt_batch_into(&ctx, &pk, &msgs, &[1u8; 32], 1, &mut out).is_err());
+        let mut plain: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        assert!(decrypt_batch_into(&ctx, &sk, &[], 1, &mut plain).is_err());
+    }
+
+    #[test]
+    fn fan_out_with_initialises_state_per_worker() {
+        // Each worker's state counts the items it processed. Workers get
+        // contiguous chunks of ceil(n/workers) items, so item i must see
+        // the count (i % chunk) + 1: init ran once per worker (a fresh
+        // count at every chunk boundary) and the state threaded through
+        // every item of that worker's chunk. An init-per-item regression
+        // (count always 1) or shared state (count never resetting) fails.
+        let items: Vec<u32> = (0..23).collect();
+        for workers in [1usize, 2, 5, 23] {
+            let seen = fan_out_with(
+                &items,
+                workers,
+                || 0usize,
+                |count, _, _| {
+                    *count += 1;
+                    *count
+                },
+            );
+            let chunk = items.len().div_ceil(workers.min(items.len()));
+            for (i, &count) in seen.iter().enumerate() {
+                assert_eq!(count, i % chunk + 1, "workers={workers}, item {i}");
+            }
+        }
     }
 
     #[test]

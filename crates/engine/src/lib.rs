@@ -48,7 +48,10 @@ pub mod metrics;
 pub mod pool;
 pub mod session;
 
-pub use batch::{decap_batch, decrypt_batch, default_workers, encap_batch, encrypt_batch, fan_out};
+pub use batch::{
+    decap_batch, decrypt_batch, decrypt_batch_into, default_workers, encap_batch, encrypt_batch,
+    encrypt_batch_into, fan_out, fan_out_into, fan_out_with,
+};
 pub use metrics::{EngineMetrics, LatencyHistogram, MetricsReport};
 pub use pool::{global as global_pool, ContextPool};
 pub use session::{Role, Session, SessionError, StreamReceiver, StreamSender};
@@ -177,6 +180,43 @@ impl Engine {
         let out = encrypt_batch(&self.ctx, pk, msgs, master_seed, self.workers);
         self.record(&self.metrics.encrypt, &out, start);
         out
+    }
+
+    /// Allocation-free batched encryption; see [`batch::encrypt_batch_into`].
+    /// Ciphertext `i` lands in `out[i]`; after the first batch on the same
+    /// buffers the workers allocate no polynomials at all.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] if `out.len() != msgs.len()`.
+    pub fn encrypt_batch_into(
+        &self,
+        pk: &PublicKey,
+        msgs: &[impl AsRef<[u8]> + Sync],
+        master_seed: &[u8; 32],
+        out: &mut [Ciphertext],
+    ) -> Result<Vec<Result<(), RlweError>>, RlweError> {
+        let start = Instant::now();
+        let statuses = encrypt_batch_into(&self.ctx, pk, msgs, master_seed, self.workers, out)?;
+        self.record(&self.metrics.encrypt, &statuses, start);
+        Ok(statuses)
+    }
+
+    /// Allocation-free batched decryption; see [`batch::decrypt_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::Malformed`] if `out.len() != cts.len()`.
+    pub fn decrypt_batch_into(
+        &self,
+        sk: &SecretKey,
+        cts: &[Ciphertext],
+        out: &mut [Vec<u8>],
+    ) -> Result<Vec<Result<(), RlweError>>, RlweError> {
+        let start = Instant::now();
+        let statuses = decrypt_batch_into(&self.ctx, sk, cts, self.workers, out)?;
+        self.record(&self.metrics.decrypt, &statuses, start);
+        Ok(statuses)
     }
 
     /// Batched decryption; see [`batch::decrypt_batch`].

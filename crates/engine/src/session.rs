@@ -48,7 +48,7 @@
 //! ([`Session::id`] is stable and cheap to store) or run a
 //! responder-nonce round on top before acting on received frames.
 
-use rlwe_core::{Ciphertext, PublicKey, RlweContext, RlweError, SecretKey};
+use rlwe_core::{Ciphertext, PolyScratch, PublicKey, RlweContext, RlweError, SecretKey};
 use rlwe_hash::{kdf2, HmacSha256, Sha256};
 
 use crate::metrics::EngineMetrics;
@@ -66,6 +66,29 @@ const TAG_LEN: usize = 32;
 const SID_LEN: usize = 16;
 /// Refuse length prefixes beyond this (anti-DoS bound for `open`).
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// Runs `f` with this thread's scratch arena for ring dimension `n`,
+/// creating (and thereafter caching) one per dimension per thread — the
+/// session handshake paths go through the scheme's `_into` entry points
+/// without each handshake paying the working-polynomial allocations.
+fn with_thread_scratch<T>(n: usize, f: impl FnOnce(&mut PolyScratch) -> T) -> T {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<Vec<PolyScratch>> = const { RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut arena = {
+            let mut pools = cell.borrow_mut();
+            match pools.iter().position(|s| s.n() == n) {
+                Some(i) => pools.swap_remove(i),
+                None => PolyScratch::new(n),
+            }
+        };
+        let result = f(&mut arena);
+        cell.borrow_mut().push(arena);
+        result
+    })
+}
 
 /// Domain-separation labels.
 const DS_SID: &[u8] = b"rlwe-engine/sid";
@@ -355,7 +378,11 @@ impl Session {
         rng: &mut R,
         metrics: Option<Arc<EngineMetrics>>,
     ) -> Result<(Self, Vec<u8>), SessionError> {
-        let (ct, ss) = ctx.encapsulate(pk, rng)?;
+        let (ct, ss) = with_thread_scratch(ctx.params().n(), |scratch| {
+            let mut ct = ctx.empty_ciphertext();
+            ctx.encapsulate_into(pk, rng, &mut ct, scratch)
+                .map(|ss| (ct, ss))
+        })?;
         let ct_bytes = ct.to_bytes()?;
         let session = Self::derive(ss.as_bytes(), &ct_bytes, Role::Initiator, metrics);
         let confirm = confirm_tag(&session.i2r, &session.sid);
@@ -388,7 +415,9 @@ impl Session {
         }
         let (ct_bytes, confirm) = hello.split_at(hello.len() - TAG_LEN);
         let ct = Ciphertext::from_bytes(ct_bytes)?;
-        let ss = ctx.decapsulate(sk, &ct)?;
+        let ss = with_thread_scratch(ctx.params().n(), |scratch| {
+            ctx.decapsulate_with_scratch(sk, &ct, scratch)
+        })?;
         let session = Self::derive(ss.as_bytes(), ct_bytes, Role::Responder, metrics);
         let expected = confirm_tag(&session.i2r, &session.sid);
         if !constant_time_eq(&expected, confirm) {

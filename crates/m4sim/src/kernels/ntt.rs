@@ -460,19 +460,19 @@ mod tests {
         let mut m = Machine::cortex_m4f(1);
         assert_eq!(
             pointwise_mul(&mut m, &plan, &a, &b),
-            rlwe_ntt::pointwise::mul(&a, &b, plan.modulus())
+            rlwe_ntt::pointwise::mul(&a, &b, plan.modulus()).unwrap()
         );
         assert_eq!(
             pointwise_mul_add(&mut m, &plan, &a, &b, &d),
-            rlwe_ntt::pointwise::mul_add(&a, &b, &d, plan.modulus())
+            rlwe_ntt::pointwise::mul_add(&a, &b, &d, plan.modulus()).unwrap()
         );
         assert_eq!(
             pointwise_add(&mut m, &plan, &a, &b),
-            rlwe_ntt::pointwise::add(&a, &b, plan.modulus())
+            rlwe_ntt::pointwise::add(&a, &b, plan.modulus()).unwrap()
         );
         assert_eq!(
             pointwise_sub(&mut m, &plan, &a, &b),
-            rlwe_ntt::pointwise::sub(&a, &b, plan.modulus())
+            rlwe_ntt::pointwise::sub(&a, &b, plan.modulus()).unwrap()
         );
     }
 }

@@ -22,6 +22,14 @@ pub enum NttError {
     },
     /// The underlying modulus failed validation (not prime / out of range).
     Modulus(ZqError),
+    /// Polynomial operands (or an output buffer) disagree in length.
+    LengthMismatch {
+        /// The length the operation expected (the plan's `n`, or the first
+        /// operand's length for plan-free pointwise ops).
+        expected: usize,
+        /// The offending operand's length.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NttError {
@@ -34,6 +42,12 @@ impl fmt::Display for NttError {
                 write!(f, "modulus {q} is not congruent to 1 mod {}", 2 * n)
             }
             NttError::Modulus(e) => write!(f, "invalid modulus: {e}"),
+            NttError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "polynomial length mismatch: expected {expected}, got {got}"
+                )
+            }
         }
     }
 }

@@ -44,6 +44,7 @@
 
 mod error;
 mod plan;
+mod scratch;
 
 pub mod bitrev;
 pub mod karatsuba;
@@ -56,3 +57,4 @@ pub mod swar;
 
 pub use error::NttError;
 pub use plan::NttPlan;
+pub use scratch::PolyScratch;

@@ -220,6 +220,48 @@ impl NttPlan {
         out
     }
 
+    /// Allocation-free forward transform: copies `src` into `dst` and
+    /// transforms in place.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::LengthMismatch`] if either slice's length differs from
+    /// `n`.
+    pub fn forward_into(&self, src: &[u32], dst: &mut [u32]) -> Result<(), NttError> {
+        self.check_len(src.len())?;
+        self.check_len(dst.len())?;
+        dst.copy_from_slice(src);
+        self.forward(dst);
+        Ok(())
+    }
+
+    /// Allocation-free inverse transform: copies `src` into `dst` and
+    /// inverse-transforms in place.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::LengthMismatch`] if either slice's length differs from
+    /// `n`.
+    pub fn inverse_into(&self, src: &[u32], dst: &mut [u32]) -> Result<(), NttError> {
+        self.check_len(src.len())?;
+        self.check_len(dst.len())?;
+        dst.copy_from_slice(src);
+        self.inverse(dst);
+        Ok(())
+    }
+
+    /// Validates a polynomial length against the plan.
+    #[inline]
+    pub(crate) fn check_len(&self, len: usize) -> Result<(), NttError> {
+        if len != self.n {
+            return Err(NttError::LengthMismatch {
+                expected: self.n,
+                got: len,
+            });
+        }
+        Ok(())
+    }
+
     /// Full negacyclic polynomial multiplication via the NTT
     /// (2 forward transforms + pointwise product + 1 inverse — the
     /// "NTT multiplication" row of the paper's Table I).
@@ -232,9 +274,39 @@ impl NttPlan {
         let mut fb = b.to_vec();
         self.forward(&mut fa);
         self.forward(&mut fb);
-        let mut c = crate::pointwise::mul(&fa, &fb, &self.modulus);
+        let mut c = crate::pointwise::mul(&fa, &fb, &self.modulus)
+            .expect("forward transforms preserve length");
         self.inverse(&mut c);
         c
+    }
+
+    /// Allocation-free negacyclic multiplication: `out ← a ⋆ b`, borrowing
+    /// working space from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::LengthMismatch`] if `a`, `b`, `out` or the scratch
+    /// arena's length differ from `n`.
+    pub fn negacyclic_mul_into(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        out: &mut [u32],
+        scratch: &mut crate::PolyScratch,
+    ) -> Result<(), NttError> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.check_len(out.len())?;
+        self.check_len(scratch.n())?;
+        let mut fa = scratch.take();
+        // out doubles as the second transform buffer: b̂ lands in it, the
+        // pointwise product overwrites it, the inverse finishes in place.
+        self.forward_into(a, &mut fa)?;
+        self.forward_into(b, out)?;
+        crate::pointwise::mul_assign(out, &fa, &self.modulus)?;
+        self.inverse(out);
+        scratch.put(fa);
+        Ok(())
     }
 }
 

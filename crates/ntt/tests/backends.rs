@@ -1,0 +1,131 @@
+//! Cross-backend equivalence: the reference scalar transform, the packed
+//! two-per-word transform and the SWAR four-lane transform must agree
+//! coefficient-for-coefficient on random polynomials.
+//!
+//! Rings covered: the paper's P1 (n=256, q=7681) and P2 (n=512, q=12289),
+//! plus a larger "P3" ring (n=1024, q=12289 — 12288 = 3·2¹², so the same
+//! prime supports n up to 2048) that exercises deeper butterfly ladders
+//! than either paper set.
+
+use proptest::prelude::*;
+use rlwe_ntt::packed::{forward_packed, inverse_packed};
+use rlwe_ntt::swar::{forward_swar, pack_coeffs4, unpack_coeffs4};
+use rlwe_ntt::{NttPlan, PolyScratch};
+
+/// (label, n, q) for the three rings under test.
+const RINGS: [(&str, usize, u32); 3] = [("P1", 256, 7681), ("P2", 512, 12289), ("P3", 1024, 12289)];
+
+fn poly_strategy(n: usize, q: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..q, n)
+}
+
+/// Strategy producing one random polynomial per ring.
+fn triple_strategy() -> impl Strategy<Value = [Vec<u32>; 3]> {
+    (
+        poly_strategy(RINGS[0].1, RINGS[0].2),
+        poly_strategy(RINGS[1].1, RINGS[1].2),
+        poly_strategy(RINGS[2].1, RINGS[2].2),
+    )
+        .prop_map(|(a, b, c)| [a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_agrees_across_all_backends(polys in triple_strategy()) {
+        for ((label, n, q), a) in RINGS.iter().zip(&polys) {
+            let plan = NttPlan::new(*n, *q).unwrap();
+            let reference = plan.forward_copy(a);
+
+            let mut packed_words = rlwe_ntt::packed::pack_coeffs(a);
+            forward_packed(&plan, &mut packed_words);
+            prop_assert_eq!(
+                rlwe_ntt::packed::unpack_coeffs(&packed_words),
+                reference.clone(),
+                "packed forward diverged on {}", label
+            );
+
+            let mut lanes = pack_coeffs4(a);
+            forward_swar(&plan, &mut lanes);
+            prop_assert_eq!(
+                unpack_coeffs4(&lanes),
+                reference,
+                "swar forward diverged on {}", label
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_agrees_between_reference_and_packed(polys in triple_strategy()) {
+        for ((label, n, q), a) in RINGS.iter().zip(&polys) {
+            let plan = NttPlan::new(*n, *q).unwrap();
+            let reference = plan.inverse_copy(a);
+            let mut packed_words = rlwe_ntt::packed::pack_coeffs(a);
+            inverse_packed(&plan, &mut packed_words);
+            prop_assert_eq!(
+                rlwe_ntt::packed::unpack_coeffs(&packed_words),
+                reference,
+                "packed inverse diverged on {}", label
+            );
+        }
+    }
+
+    #[test]
+    fn every_backend_round_trips_through_the_reference_inverse(polys in triple_strategy()) {
+        // forward (any backend) ∘ reference inverse == identity: the
+        // backends must produce genuinely the same NTT-domain values, not
+        // merely self-consistent ones.
+        for ((label, n, q), a) in RINGS.iter().zip(&polys) {
+            let plan = NttPlan::new(*n, *q).unwrap();
+
+            let mut via_packed = rlwe_ntt::packed::pack_coeffs(a);
+            forward_packed(&plan, &mut via_packed);
+            let flat = rlwe_ntt::packed::unpack_coeffs(&via_packed);
+            prop_assert_eq!(&plan.inverse_copy(&flat), a, "packed→reference on {}", label);
+
+            let mut via_swar = pack_coeffs4(a);
+            forward_swar(&plan, &mut via_swar);
+            let flat = unpack_coeffs4(&via_swar);
+            prop_assert_eq!(&plan.inverse_copy(&flat), a, "swar→reference on {}", label);
+        }
+    }
+
+    #[test]
+    fn negacyclic_mul_into_matches_allocating_mul(polys in triple_strategy(), seed in 1u32..1000) {
+        for ((label, n, q), a) in RINGS.iter().zip(&polys) {
+            let plan = NttPlan::new(*n, *q).unwrap();
+            let b: Vec<u32> = (0..*n as u32).map(|i| (i * seed + 3) % q).collect();
+            let want = plan.negacyclic_mul(a, &b);
+            let mut out = vec![0u32; *n];
+            let mut scratch = PolyScratch::new(*n);
+            plan.negacyclic_mul_into(a, &b, &mut out, &mut scratch).unwrap();
+            prop_assert_eq!(out, want, "negacyclic_mul_into diverged on {}", label);
+        }
+    }
+}
+
+#[test]
+fn length_mismatches_surface_as_errors() {
+    let plan = NttPlan::new(256, 7681).unwrap();
+    let a = vec![0u32; 256];
+    let short = vec![0u32; 128];
+    let mut out = vec![0u32; 256];
+    let mut scratch = PolyScratch::new(256);
+    assert!(plan
+        .negacyclic_mul_into(&short, &a, &mut out, &mut scratch)
+        .is_err());
+    assert!(plan
+        .negacyclic_mul_into(&a, &short, &mut out, &mut scratch)
+        .is_err());
+    let mut short_out = vec![0u32; 128];
+    assert!(plan
+        .negacyclic_mul_into(&a, &a, &mut short_out, &mut scratch)
+        .is_err());
+    let mut wrong_scratch = PolyScratch::new(512);
+    assert!(plan
+        .negacyclic_mul_into(&a, &a, &mut out, &mut wrong_scratch)
+        .is_err());
+    assert!(plan.forward_into(&short, &mut out).is_err());
+    assert!(plan.inverse_into(&a, &mut short_out).is_err());
+}

@@ -342,7 +342,18 @@ impl KnuthYao {
     /// polynomial generation step: each key generation draws 2n of these,
     /// each encryption 3n).
     pub fn sample_poly_zq<B: BitSource>(&self, n: usize, q: u32, bits: &mut B) -> Vec<u32> {
-        (0..n).map(|_| self.sample_lut(bits).to_zq(q)).collect()
+        let mut out = vec![0u32; n];
+        self.sample_poly_zq_into(q, bits, &mut out);
+        out
+    }
+
+    /// Allocation-free sibling of [`KnuthYao::sample_poly_zq`]: fills a
+    /// caller-provided buffer with residues (the `_into` scheme paths draw
+    /// their error polynomials through this).
+    pub fn sample_poly_zq_into<B: BitSource>(&self, q: u32, bits: &mut B, out: &mut [u32]) {
+        for c in out.iter_mut() {
+            *c = self.sample_lut(bits).to_zq(q);
+        }
     }
 }
 

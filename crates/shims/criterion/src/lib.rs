@@ -10,6 +10,12 @@
 //! adaptive batches until ~200 ms of samples accumulate; median
 //! per-iteration time is reported on stdout. No HTML reports, no
 //! statistical regression — just honest wall-clock medians.
+//!
+//! Test mode: like the real crate, when the binary is invoked *without*
+//! the `--bench` argument that `cargo bench` passes (i.e. under
+//! `cargo test --benches`), every closure runs exactly once as a smoke
+//! test instead of being measured — CI exercises every bench body in
+//! seconds.
 
 #![forbid(unsafe_code)]
 
@@ -61,15 +67,31 @@ pub enum Throughput {
     BytesDecimal(u64),
 }
 
+/// Whether the binary was launched by `cargo bench` (which passes
+/// `--bench`). Without it — e.g. under `cargo test --benches` — the
+/// harness runs each closure once as a smoke test, mirroring the real
+/// crate's test mode.
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
 /// Times closures (subset of `criterion::Bencher`).
 pub struct Bencher {
     measured: Option<Duration>,
     iters: u64,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Times `f`, storing the median per-iteration duration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.measured = Some(t.elapsed());
+            self.iters = 1;
+            return;
+        }
         // Warm-up and per-call estimate.
         let warm_start = Instant::now();
         let mut calls = 0u64;
@@ -103,6 +125,14 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
+        if self.smoke {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured = Some(t.elapsed());
+            self.iters = 1;
+            return;
+        }
         // Setup cost is excluded by timing only the routine calls.
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
@@ -150,8 +180,13 @@ fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut B
     let mut b = Bencher {
         measured: None,
         iters: 0,
+        smoke: !bench_mode(),
     };
     f(&mut b);
+    if b.smoke {
+        println!("{label:<50} (smoke: 1 iteration ok)");
+        return;
+    }
     match b.measured {
         Some(d) => {
             let rate = throughput.map(|t| match t {
@@ -296,10 +331,24 @@ mod tests {
         let mut b = Bencher {
             measured: None,
             iters: 0,
+            smoke: false,
         };
         b.iter(|| (0..100u64).sum::<u64>());
         assert!(b.measured.unwrap() > Duration::ZERO);
         assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut b = Bencher {
+            measured: None,
+            iters: 0,
+            smoke: true,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
     }
 
     #[test]

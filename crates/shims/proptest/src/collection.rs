@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: a fixed size or a range of sizes.
+/// Length specification for [`vec()`](fn@vec): a fixed size or a range of sizes.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,

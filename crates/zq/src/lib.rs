@@ -40,6 +40,7 @@
 
 mod error;
 mod modulus;
+mod ops;
 mod primality;
 
 pub mod montgomery;
@@ -49,6 +50,7 @@ pub mod shoup;
 
 pub use error::ZqError;
 pub use modulus::Modulus;
+pub use ops::SliceOps;
 pub use primality::is_prime_u64;
 
 /// Adds two residues modulo `q` without any precomputation.

@@ -1,0 +1,154 @@
+//! Slice-level modular operation traits.
+//!
+//! The polynomial layers above this crate (`rlwe-ntt`'s pointwise module,
+//! `rlwe-core`'s `Poly` type) all reduce to the same four coefficient-wise
+//! loops over `Z_q`. [`SliceOps`] names those loops once, as a trait on the
+//! reduction context, so every layer shares one implementation and the
+//! compiler sees one loop shape to vectorise.
+//!
+//! Length discipline: these are the *unchecked* kernels — callers must pass
+//! equal-length slices (debug builds assert it). The checked, error-returning
+//! entry points live in `rlwe_ntt::pointwise`, which validates lengths and
+//! then delegates here.
+
+use crate::Modulus;
+
+/// Coefficient-wise modular arithmetic over equal-length slices.
+///
+/// Implemented by [`Modulus`]; the methods assume every input coefficient is
+/// already reduced (`< q`) and produce reduced outputs.
+pub trait SliceOps {
+    /// `a[i] ← a[i] + b[i] mod q`.
+    fn add_assign_slice(&self, a: &mut [u32], b: &[u32]);
+
+    /// `a[i] ← a[i] − b[i] mod q`.
+    fn sub_assign_slice(&self, a: &mut [u32], b: &[u32]);
+
+    /// `a[i] ← a[i] · b[i] mod q`.
+    fn mul_assign_slice(&self, a: &mut [u32], b: &[u32]);
+
+    /// `acc[i] ← a[i] · b[i] + acc[i] mod q` — the fused shape of the
+    /// ring-LWE ciphertext computations (`ã∘ẽ₁ + ẽ₂`).
+    fn mul_add_assign_slice(&self, acc: &mut [u32], a: &[u32], b: &[u32]);
+
+    /// `out[i] ← a[i] + b[i] mod q`.
+    fn add_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]);
+
+    /// `out[i] ← a[i] − b[i] mod q`.
+    fn sub_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]);
+
+    /// `out[i] ← a[i] · b[i] mod q`.
+    fn mul_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]);
+}
+
+impl SliceOps for Modulus {
+    fn add_assign_slice(&self, a: &mut [u32], b: &[u32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.add(*x, y);
+        }
+    }
+
+    fn sub_assign_slice(&self, a: &mut [u32], b: &[u32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.sub(*x, y);
+        }
+    }
+
+    fn mul_assign_slice(&self, a: &mut [u32], b: &[u32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.mul(*x, y);
+        }
+    }
+
+    fn mul_add_assign_slice(&self, acc: &mut [u32], a: &[u32], b: &[u32]) {
+        debug_assert_eq!(acc.len(), a.len());
+        debug_assert_eq!(acc.len(), b.len());
+        for ((z, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            *z = self.add(self.mul(x, y), *z);
+        }
+    }
+
+    fn add_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]) {
+        debug_assert_eq!(out.len(), a.len());
+        debug_assert_eq!(out.len(), b.len());
+        for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *z = self.add(x, y);
+        }
+    }
+
+    fn sub_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]) {
+        debug_assert_eq!(out.len(), a.len());
+        debug_assert_eq!(out.len(), b.len());
+        for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *z = self.sub(x, y);
+        }
+    }
+
+    fn mul_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]) {
+        debug_assert_eq!(out.len(), a.len());
+        debug_assert_eq!(out.len(), b.len());
+        for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *z = self.mul(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Modulus {
+        Modulus::new(7681).unwrap()
+    }
+
+    #[test]
+    fn assign_ops_match_scalar_loops() {
+        let m = q();
+        let a = vec![5u32, 7000, 0, 7680];
+        let b = vec![3u32, 7000, 100, 7680];
+
+        let mut add = a.clone();
+        m.add_assign_slice(&mut add, &b);
+        let mut sub = a.clone();
+        m.sub_assign_slice(&mut sub, &b);
+        let mut mul = a.clone();
+        m.mul_assign_slice(&mut mul, &b);
+        for i in 0..a.len() {
+            assert_eq!(add[i], m.add(a[i], b[i]));
+            assert_eq!(sub[i], m.sub(a[i], b[i]));
+            assert_eq!(mul[i], m.mul(a[i], b[i]));
+        }
+    }
+
+    #[test]
+    fn mul_add_fuses_mul_and_add() {
+        let m = q();
+        let a = vec![5u32, 7000, 0, 7680];
+        let b = vec![3u32, 7000, 100, 7680];
+        let mut acc = vec![1u32, 2, 3, 4];
+        let want: Vec<u32> = acc
+            .iter()
+            .zip(a.iter().zip(&b))
+            .map(|(&z, (&x, &y))| m.add(m.mul(x, y), z))
+            .collect();
+        m.mul_add_assign_slice(&mut acc, &a, &b);
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn into_ops_write_the_output_slice() {
+        let m = q();
+        let a = vec![1u32, 7680, 42];
+        let b = vec![7680u32, 7680, 2];
+        let mut out = vec![0u32; 3];
+        m.add_into_slice(&mut out, &a, &b);
+        assert_eq!(out, vec![0, 7679, 44]);
+        m.sub_into_slice(&mut out, &a, &b);
+        assert_eq!(out, vec![2, 0, 40]);
+        m.mul_into_slice(&mut out, &a, &b);
+        assert_eq!(out, vec![7680, 1, 84]);
+    }
+}

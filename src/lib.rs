@@ -31,16 +31,51 @@
 //!
 //! # Quickstart
 //!
+//! Contexts are configured through the builder: pick a parameter set, an
+//! NTT backend (reference / packed / SWAR — all bit-identical) and a
+//! Knuth-Yao sampler variant, then encrypt. Keys and ciphertexts store
+//! typed [`scheme::Poly`]`<`[`scheme::Ntt`]`>` polynomials, so the
+//! coefficient-domain/NTT-domain distinction is checked by the compiler.
+//!
 //! ```
-//! use rlwe_suite::scheme::{ParamSet, RlweContext};
+//! use rlwe_suite::scheme::{NttBackend, ParamSet, RlweContext, SamplerKind};
+//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let ctx = RlweContext::new(ParamSet::P1)?;
-//! let mut rng = rand::thread_rng();
+//! let ctx = RlweContext::builder(ParamSet::P1)
+//!     .ntt_backend(NttBackend::Packed)   // backend choice is API, not module-picking
+//!     .sampler(SamplerKind::Lut)
+//!     .build()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let (pk, sk) = ctx.generate_keypair(&mut rng)?;
 //! let msg = vec![0xA5u8; ctx.params().message_bytes()];
 //! let ct = ctx.encrypt(&pk, &msg, &mut rng)?;
 //! assert_eq!(ctx.decrypt(&sk, &ct)?, msg);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Hot loops should use the allocation-free `_into` siblings with a
+//! caller-owned scratch arena (one per worker thread):
+//!
+//! ```
+//! use rlwe_suite::scheme::{ParamSet, RlweContext};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = RlweContext::new(ParamSet::P1)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+//! let (pk, sk) = ctx.generate_keypair(&mut rng)?;
+//! let mut scratch = ctx.new_scratch();      // reusable working polynomials
+//! let mut ct = ctx.empty_ciphertext();      // reusable output storage
+//! let mut plain = Vec::new();
+//! for round in 0u8..4 {
+//!     let msg = vec![round; ctx.params().message_bytes()];
+//!     // After the first round these calls allocate no polynomials at all.
+//!     ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)?;
+//!     ctx.decrypt_into(&sk, &ct, &mut plain, &mut scratch)?;
+//!     assert_eq!(plain, msg);
+//! }
 //! # Ok(())
 //! # }
 //! ```
