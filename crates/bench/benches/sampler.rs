@@ -1,9 +1,11 @@
 //! Wall-clock benches of the sampler optimisation ladder (host CPU):
 //! the paper's basic → Hamming-weight → clz → LUT1 → LUT1+LUT2 chain,
-//! plus the CDT and rejection baselines.
+//! plus the CDT and rejection baselines and the constant-time CDT rung
+//! (quantifying the speed cost of the fixed operation count).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlwe_sampler::cdt::CdtSampler;
+use rlwe_sampler::ct::CtCdtSampler;
 use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
 use rlwe_sampler::rejection::RejectionSampler;
 use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
@@ -38,6 +40,10 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(cdt.sample(&mut bits)))
     });
     g.bench_function("rejection", |b| b.iter(|| black_box(rej.sample(&mut bits))));
+    // The constant-time rung: always 129 bits and a full-table scan —
+    // the price of leakage freedom, to be read against lut1_lut2 above.
+    let ct = CtCdtSampler::new(&pmat);
+    g.bench_function("ct_cdt", |b| b.iter(|| black_box(ct.sample(&mut bits))));
     g.finish();
 }
 

@@ -20,6 +20,7 @@
 
 use rand::RngCore;
 use rlwe_ntt::{packed, parallel, pointwise, swar, NttPlan, PolyScratch};
+use rlwe_sampler::ct::CtCdtSampler;
 use rlwe_sampler::random::{BitSource, BufferedBitSource, WordSource};
 use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
 
@@ -57,10 +58,20 @@ pub enum NttBackend {
     Swar,
 }
 
-/// Which rung of the paper's Knuth-Yao optimisation ladder draws the error
-/// polynomials. All rungs sample the *same* distribution exactly; they
-/// trade table memory for speed (and consume random bits differently, so
-/// ciphertexts differ across kinds for the same seed).
+/// Which sampler rung draws the error polynomials. All rungs sample the
+/// *same* distribution exactly; they trade table memory and speed against
+/// leakage (and consume random bits differently, so ciphertexts differ
+/// across kinds for the same seed).
+///
+/// The Knuth-Yao rungs ([`SamplerKind::Basic`], [`SamplerKind::Lut1`],
+/// [`SamplerKind::Lut`]) are **variable-time**: the DDG walk length — and
+/// therefore the number of random bits consumed — depends on the sampled
+/// value. [`SamplerKind::CtCdt`] is the constant-operation-count CDT
+/// sampler ([`CtCdtSampler`]): exactly 129 bit draws and one full-table
+/// scan per sample, regardless of the value. Choose it for any context
+/// that processes attacker-supplied inputs (CCA decapsulation servers);
+/// the variable-time rungs stay available for throughput work on trusted
+/// inputs (see DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum SamplerKind {
@@ -71,6 +82,9 @@ pub enum SamplerKind {
     /// Two-level lookup — the paper's fastest variant (`sample_lut`).
     #[default]
     Lut,
+    /// Constant-operation-count CDT inversion ([`CtCdtSampler`]): fixed
+    /// bit draws and comparison count per sample, branchless accumulation.
+    CtCdt,
 }
 
 /// Configures and builds an [`RlweContext`].
@@ -153,11 +167,22 @@ impl RlweContextBuilder {
         let plan = NttPlan::new(self.params.n(), self.params.q())?;
         let spec = self.params.spec();
         let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
+        // The CT sampler inverts the same probability table the Knuth-Yao
+        // ladder walks, so the rungs are distribution-identical by
+        // construction; it is only built when selected. The KY ladder is
+        // built unconditionally even on the CtCdt rung: the public
+        // `sampler()` accessor and the m4sim cost model read it, and the
+        // one-time table cost is amortized by the engine's context pool.
+        let ct = match self.sampler {
+            SamplerKind::CtCdt => Some(CtCdtSampler::new(&pmat)),
+            _ => None,
+        };
         let ky = KnuthYao::new(pmat)?;
         Ok(RlweContext {
             params: self.params,
             plan,
             ky,
+            ct,
             backend: self.backend,
             sampler: self.sampler,
         })
@@ -192,6 +217,8 @@ pub struct RlweContext {
     params: Params,
     plan: NttPlan,
     ky: KnuthYao,
+    /// Present exactly when `sampler == SamplerKind::CtCdt`.
+    ct: Option<CtCdtSampler>,
     backend: NttBackend,
     sampler: SamplerKind,
 }
@@ -236,6 +263,13 @@ impl RlweContext {
     /// The Knuth-Yao sampler (exposed for benches and the M4F cost model).
     pub fn sampler(&self) -> &KnuthYao {
         &self.ky
+    }
+
+    /// The constant-time CDT sampler — present exactly when the context
+    /// was built with [`SamplerKind::CtCdt`] (exposed for the leakage
+    /// harness's operation-count checks).
+    pub fn ct_sampler(&self) -> Option<&CtCdtSampler> {
+        self.ct.as_ref()
     }
 
     /// The NTT backend this context routes transforms through.
@@ -304,6 +338,15 @@ impl RlweContext {
             SamplerKind::Lut1 => {
                 for c in out.iter_mut() {
                     *c = self.ky.sample_lut1(bits).to_zq(q);
+                }
+            }
+            SamplerKind::CtCdt => {
+                let ct = self
+                    .ct
+                    .as_ref()
+                    .expect("CtCdt contexts always carry the CT sampler");
+                for c in out.iter_mut() {
+                    *c = ct.sample(bits).to_zq(q);
                 }
             }
         }
@@ -970,12 +1013,18 @@ mod tests {
 
     #[test]
     fn sampler_kinds_all_round_trip() {
-        for kind in [SamplerKind::Basic, SamplerKind::Lut1, SamplerKind::Lut] {
+        for kind in [
+            SamplerKind::Basic,
+            SamplerKind::Lut1,
+            SamplerKind::Lut,
+            SamplerKind::CtCdt,
+        ] {
             let ctx = RlweContext::builder(ParamSet::P1)
                 .sampler(kind)
                 .build()
                 .unwrap();
             assert_eq!(ctx.sampler_kind(), kind);
+            assert_eq!(ctx.ct_sampler().is_some(), kind == SamplerKind::CtCdt);
             let mut rng = StdRng::seed_from_u64(46);
             let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
             let msg = vec![0x13u8; 32];

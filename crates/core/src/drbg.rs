@@ -100,6 +100,14 @@ impl RngCore for HashDrbg {
 // The DRBG is used with secret seeds (FO coins, batch master seeds).
 impl CryptoRng for HashDrbg {}
 
+// Both the seed and the buffered output block are key material.
+impl Drop for HashDrbg {
+    fn drop(&mut self) {
+        rlwe_zq::ct::zeroize(&mut self.seed);
+        rlwe_zq::ct::zeroize(&mut self.buffer);
+    }
+}
+
 impl std::fmt::Debug for HashDrbg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HashDrbg")

@@ -6,6 +6,12 @@
 //! decoder outputs `1` when the coefficient is closer to `⌊q/2⌋` than to
 //! `0` (i.e. lies in `(q/4, 3q/4]`). Decryption is correct as long as the
 //! noise magnitude stays below `q/4`.
+//!
+//! Both directions handle *secret* bits (the message, and during FO
+//! decapsulation the decrypted candidate), so the per-bit work is
+//! branchless: the encoded addend is `bit · ⌊q/2⌋` with a masked modular
+//! reduction, and the threshold decoder combines two [`rlwe_zq::ct`]
+//! predicates instead of a short-circuiting comparison chain.
 
 /// Encodes a message into ring coefficients: bit `i` of the message
 /// (little-endian within each byte) controls coefficient `i`.
@@ -24,13 +30,7 @@ pub fn encode_message(msg: &[u8], n: usize, q: u32) -> Vec<u32> {
     assert_eq!(msg.len() * 8, n, "message must supply exactly n bits");
     let half = q / 2;
     (0..n)
-        .map(|i| {
-            if (msg[i / 8] >> (i % 8)) & 1 == 1 {
-                half
-            } else {
-                0
-            }
-        })
+        .map(|i| (((msg[i / 8] >> (i % 8)) & 1) as u32) * half)
         .collect()
 }
 
@@ -50,9 +50,13 @@ pub fn encode_message_add_assign(msg: &[u8], coeffs: &mut [u32], q: u32) {
     );
     let half = q / 2;
     for (i, c) in coeffs.iter_mut().enumerate() {
-        if (msg[i / 8] >> (i % 8)) & 1 == 1 {
-            *c = rlwe_zq::add_mod(*c, half, q);
-        }
+        // bit ∈ {0,1} → addend ∈ {0, half}; reduce with a masked
+        // subtraction rather than `add_mod`'s conditional branch, so no
+        // control flow depends on the (secret) message bit.
+        let bit = ((msg[i / 8] >> (i % 8)) & 1) as u32;
+        let s = *c + bit * half;
+        let ge_mask = (rlwe_zq::ct::ct_lt_u32(s, q) ^ 1).wrapping_neg();
+        *c = s - (q & ge_mask);
     }
 }
 
@@ -71,8 +75,13 @@ pub fn encode_message_add_assign(msg: &[u8], coeffs: &mut [u32], q: u32) {
 #[inline]
 pub fn decode_coefficient(c: u32, q: u32) -> u8 {
     let quarter = q / 4;
-    let three_quarters = 3 * (q as u64) / 4;
-    u8::from(c > quarter && c as u64 <= three_quarters)
+    // q < 2³¹, so 3q/4 fits a u32.
+    let three_quarters = (3 * (q as u64) / 4) as u32;
+    // (c > q/4) & (c <= 3q/4) without a short-circuiting comparison
+    // chain — the coefficient is secret during decryption.
+    let gt = rlwe_zq::ct::ct_lt_u32(quarter, c);
+    let le = rlwe_zq::ct::ct_lt_u32(three_quarters, c) ^ 1;
+    (gt & le) as u8
 }
 
 /// Decodes a full coefficient vector back into message bytes.

@@ -24,7 +24,11 @@ use crate::RlweError;
 pub const SHARED_SECRET_LEN: usize = 32;
 
 /// A shared secret derived by encapsulation/decapsulation.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Equality is constant-time ([`rlwe_zq::ct::ct_eq`] — derived slice
+/// equality would early-exit on the first differing byte of a secret),
+/// and the bytes are best-effort erased on drop.
+#[derive(Clone)]
 pub struct SharedSecret([u8; SHARED_SECRET_LEN]);
 
 impl SharedSecret {
@@ -37,6 +41,20 @@ impl SharedSecret {
     /// [`crate::fo`]).
     pub(crate) fn from_bytes(b: [u8; SHARED_SECRET_LEN]) -> Self {
         Self(b)
+    }
+}
+
+impl PartialEq for SharedSecret {
+    fn eq(&self, other: &Self) -> bool {
+        rlwe_zq::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for SharedSecret {}
+
+impl Drop for SharedSecret {
+    fn drop(&mut self) {
+        rlwe_zq::ct::zeroize(&mut self.0);
     }
 }
 

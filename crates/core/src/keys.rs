@@ -241,6 +241,15 @@ impl SecretKey {
     }
 }
 
+// Secret material: best-effort erasure of the secret polynomial when the
+// key goes out of scope (zeroed coefficients are validly reduced, so the
+// Poly invariant holds throughout).
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        rlwe_zq::ct::zeroize_u32(self.r2_hat.as_mut_slice());
+    }
+}
+
 // Secret material: keep the Debug representation non-empty but redacted.
 impl std::fmt::Debug for SecretKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

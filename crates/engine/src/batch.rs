@@ -302,6 +302,51 @@ pub fn decap_batch(
     )
 }
 
+/// Runs `count` CCA-secure (FO-transform) encapsulations against `pk`,
+/// item `i` drawing from `HashDrbg::for_stream(master_seed, i)` — the
+/// hostile-network sibling of [`encap_batch`].
+pub fn encap_cca_batch(
+    ctx: &RlweContext,
+    pk: &PublicKey,
+    count: usize,
+    master_seed: &[u8; 32],
+    workers: usize,
+) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
+    let indices: Vec<usize> = (0..count).collect();
+    fan_out_with(
+        &indices,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, i, _| {
+            let mut rng = HashDrbg::for_stream(master_seed, i as u64);
+            ctx.encapsulate_cca_with_scratch(pk, &mut rng, scratch)
+        },
+    )
+}
+
+/// CCA-secure (FO-transform) batched decapsulation with implicit
+/// rejection: invalid ciphertexts yield pseudorandom keys, never
+/// observable errors, through the branch-free
+/// [`RlweContext::decapsulate_cca_with_scratch`] path. Combine with a
+/// [`SamplerKind::CtCdt`](rlwe_core::SamplerKind::CtCdt) context (see
+/// `ContextConfig::constant_time`) for a fully constant-time
+/// attacker-facing decapsulation service. The public key is required for
+/// the re-encryption check.
+pub fn decap_cca_batch(
+    ctx: &RlweContext,
+    sk: &SecretKey,
+    pk: &PublicKey,
+    cts: &[Ciphertext],
+    workers: usize,
+) -> Vec<Result<SharedSecret, RlweError>> {
+    fan_out_with(
+        cts,
+        workers,
+        || ctx.new_scratch(),
+        |scratch, _, ct| ctx.decapsulate_cca_with_scratch(sk, pk, ct, scratch),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +441,41 @@ mod tests {
             .count();
         // KEM failure probability ~1% per item — require near-total agreement.
         assert!(agree >= 10, "only {agree}/12 secrets agreed");
+    }
+
+    #[test]
+    fn cca_batches_round_trip_and_reject_tampering() {
+        let ctx = ctx();
+        let (pk, sk) = keypair(&ctx);
+        let out = encap_cca_batch(&ctx, &pk, 10, &[11u8; 32], 3);
+        let (cts, secrets): (Vec<_>, Vec<_>) = out.into_iter().map(|r| r.unwrap()).unzip();
+        let decapped = decap_cca_batch(&ctx, &sk, &pk, &cts, 3);
+        let agree = decapped
+            .iter()
+            .zip(&secrets)
+            .filter(|(got, want)| got.as_ref().unwrap() == *want)
+            .count();
+        // KEM failure probability ~1% per item — near-total agreement.
+        assert!(agree >= 8, "only {agree}/10 secrets agreed");
+        // Worker count cannot change a bit (same per-item DRBG streams).
+        let serial = encap_cca_batch(&ctx, &pk, 10, &[11u8; 32], 1);
+        for (a, b) in serial
+            .iter()
+            .zip(encap_cca_batch(&ctx, &pk, 10, &[11u8; 32], 4))
+        {
+            let (ct_a, ss_a) = a.as_ref().unwrap();
+            let (ct_b, ss_b) = &b.unwrap();
+            assert_eq!(ct_a, ct_b);
+            assert_eq!(ss_a.as_bytes(), ss_b.as_bytes());
+        }
+        // A mauled ciphertext decapsulates to an unrelated (implicit
+        // rejection) key, not an error.
+        let mut wire = cts[0].to_bytes().unwrap();
+        wire[30] ^= 1;
+        if let Ok(mauled) = Ciphertext::from_bytes(&wire) {
+            let rejected = decap_cca_batch(&ctx, &sk, &pk, &[mauled], 1);
+            assert_ne!(rejected[0].as_ref().unwrap(), &secrets[0]);
+        }
     }
 
     #[test]

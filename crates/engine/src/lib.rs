@@ -49,17 +49,19 @@ pub mod pool;
 pub mod session;
 
 pub use batch::{
-    decap_batch, decrypt_batch, decrypt_batch_into, default_workers, encap_batch, encrypt_batch,
-    encrypt_batch_into, fan_out, fan_out_into, fan_out_with,
+    decap_batch, decap_cca_batch, decrypt_batch, decrypt_batch_into, default_workers, encap_batch,
+    encap_cca_batch, encrypt_batch, encrypt_batch_into, fan_out, fan_out_into, fan_out_with,
 };
 pub use metrics::{EngineMetrics, LatencyHistogram, MetricsReport};
-pub use pool::{global as global_pool, ContextPool};
+pub use pool::{global as global_pool, ContextConfig, ContextPool};
 pub use session::{Role, Session, SessionError, StreamReceiver, StreamSender};
 
 use rand::RngCore;
 use rlwe_core::drbg::HashDrbg;
 use rlwe_core::kem::SharedSecret;
-use rlwe_core::{Ciphertext, ParamSet, PublicKey, RlweContext, RlweError, SecretKey};
+use rlwe_core::{
+    Ciphertext, NttBackend, ParamSet, PublicKey, RlweContext, RlweError, SamplerKind, SecretKey,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +70,7 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct EngineBuilder {
     set: ParamSet,
+    config: ContextConfig,
     workers: Option<usize>,
     private_pool: bool,
 }
@@ -87,18 +90,39 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the sampler rung for this engine's pooled context —
+    /// [`SamplerKind::CtCdt`] makes every error-sampling operation
+    /// (key generation, encryption, CCA re-encryption during
+    /// decapsulation) constant-operation-count.
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.config.sampler = sampler;
+        self
+    }
+
+    /// Selects the NTT backend for this engine's pooled context.
+    pub fn ntt_backend(mut self, backend: NttBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Selects both context knobs at once (see [`ContextConfig`]).
+    pub fn context_config(mut self, config: ContextConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Builds the engine, constructing the context on first use of its
-    /// parameter set.
+    /// `(parameter set, config)` pair.
     ///
     /// # Errors
     ///
     /// Propagates context construction failures (cannot happen for the
-    /// named parameter sets).
+    /// named parameter sets under the default config).
     pub fn build(self) -> Result<Engine, RlweError> {
         let ctx = if self.private_pool {
-            ContextPool::new().get(self.set)?
+            ContextPool::new().get_with(self.set, self.config)?
         } else {
-            pool::global().get(self.set)?
+            pool::global().get_with(self.set, self.config)?
         };
         Ok(Engine {
             ctx,
@@ -134,6 +158,7 @@ impl Engine {
     pub fn builder(set: ParamSet) -> EngineBuilder {
         EngineBuilder {
             set,
+            config: ContextConfig::default(),
             workers: None,
             private_pool: false,
         }
@@ -256,6 +281,37 @@ impl Engine {
         out
     }
 
+    /// Batched CCA (FO-transform) encapsulation; see
+    /// [`batch::encap_cca_batch`].
+    pub fn encap_cca_batch(
+        &self,
+        pk: &PublicKey,
+        count: usize,
+        master_seed: &[u8; 32],
+    ) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
+        let start = Instant::now();
+        let out = encap_cca_batch(&self.ctx, pk, count, master_seed, self.workers);
+        self.record(&self.metrics.encap, &out, start);
+        out
+    }
+
+    /// Batched CCA (FO-transform) decapsulation with implicit rejection,
+    /// through the branch-free constant-time path; see
+    /// [`batch::decap_cca_batch`]. This — on an engine built with
+    /// [`EngineBuilder::sampler`]`(SamplerKind::CtCdt)` — is the
+    /// attacker-facing serving configuration.
+    pub fn decap_cca_batch(
+        &self,
+        sk: &SecretKey,
+        pk: &PublicKey,
+        cts: &[Ciphertext],
+    ) -> Vec<Result<SharedSecret, RlweError>> {
+        let start = Instant::now();
+        let out = decap_cca_batch(&self.ctx, sk, pk, cts, self.workers);
+        self.record(&self.metrics.decap, &out, start);
+        out
+    }
+
     /// Opens a session toward a responder's public key; returns the
     /// session and the handshake message to deliver.
     ///
@@ -366,6 +422,35 @@ mod tests {
 
     /// Index well inside the sealed body for tamper tests.
     const HEADER_PROBE: usize = 14;
+
+    #[test]
+    fn constant_time_engines_pool_the_ct_rung() {
+        let a = Engine::builder(ParamSet::P1)
+            .sampler(SamplerKind::CtCdt)
+            .build()
+            .unwrap();
+        let b = Engine::builder(ParamSet::P1)
+            .context_config(ContextConfig::constant_time())
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(a.context(), b.context()));
+        assert_eq!(a.context().sampler_kind(), SamplerKind::CtCdt);
+        // The default-config engine keeps its own (variable-time) context.
+        let c = Engine::new(ParamSet::P1).unwrap();
+        assert!(!Arc::ptr_eq(a.context(), c.context()));
+        // The CT rung serves real hostile-input traffic: the CCA batch
+        // path (branch-free FO decapsulation + CT sampling) round-trips.
+        let (pk, sk) = a.generate_keypair(&[21u8; 32]).unwrap();
+        let out = a.encap_cca_batch(&pk, 8, &[22u8; 32]);
+        let (cts, secrets): (Vec<_>, Vec<_>) = out.into_iter().map(|r| r.unwrap()).unzip();
+        let decapped = a.decap_cca_batch(&sk, &pk, &cts);
+        let agree = decapped
+            .iter()
+            .zip(&secrets)
+            .filter(|(got, want)| got.as_ref().unwrap() == *want)
+            .count();
+        assert!(agree >= 6, "only {agree}/8 secrets agreed");
+    }
 
     #[test]
     fn engines_share_pooled_contexts() {

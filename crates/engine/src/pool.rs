@@ -6,8 +6,43 @@
 //! [`ParamSet`] so a million requests share two table builds, and clones
 //! of the `Arc` can be handed to worker threads without copying tables.
 
-use rlwe_core::{ParamSet, RlweContext, RlweError};
+use rlwe_core::{NttBackend, ParamSet, RlweContext, RlweError, SamplerKind};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Non-default context knobs a pooled context can be built with: the NTT
+/// backend and the sampler rung (notably [`SamplerKind::CtCdt`], the
+/// constant-time rung a decapsulation server wants).
+///
+/// The default config is what [`ContextPool::get`] serves; every distinct
+/// config gets its own cached context per parameter set, so a process can
+/// run a constant-time decapsulation pool next to a fastest-rung
+/// encryption pool without rebuilding tables per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ContextConfig {
+    /// NTT backend selection (see [`NttBackend`]; all bit-identical).
+    pub backend: NttBackend,
+    /// Sampler rung drawing the error polynomials (see [`SamplerKind`]).
+    pub sampler: SamplerKind,
+}
+
+impl ContextConfig {
+    /// The configuration every context defaults to.
+    pub fn standard() -> Self {
+        Self::default()
+    }
+
+    /// The constant-time serving configuration: [`SamplerKind::CtCdt`]
+    /// with the reference NTT backend.
+    pub fn constant_time() -> Self {
+        Self {
+            backend: NttBackend::Reference,
+            sampler: SamplerKind::CtCdt,
+        }
+    }
+}
+
+/// One cached non-default-config context, keyed by `(set, config)`.
+type CustomEntry = ((ParamSet, ContextConfig), Arc<RlweContext>);
 
 /// A cache of ready-to-use contexts, one per parameter set.
 ///
@@ -31,8 +66,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// ```
 #[derive(Debug, Default)]
 pub struct ContextPool {
-    // Two named sets exist; a fixed two-slot table beats a HashMap.
+    // Two named sets exist; a fixed two-slot table beats a HashMap for
+    // the default config, which is almost every lookup.
     slots: [Mutex<Option<Arc<RlweContext>>>; 2],
+    // Non-default configs are rare (one or two per process); a scanned
+    // vector under one lock is simpler than a map and just as fast.
+    custom: Mutex<Vec<CustomEntry>>,
 }
 
 fn slot_index(set: ParamSet) -> usize {
@@ -48,7 +87,8 @@ impl ContextPool {
         Self::default()
     }
 
-    /// The shared context for `set`, building it on first use.
+    /// The shared default-config context for `set`, building it on first
+    /// use.
     ///
     /// # Errors
     ///
@@ -66,21 +106,75 @@ impl ContextPool {
         Ok(ctx)
     }
 
-    /// Whether a context for `set` has already been built.
+    /// The shared context for `(set, config)`, building it on first use —
+    /// how an engine selects the constant-time sampler rung (or a
+    /// non-default NTT backend) while still sharing tables process-wide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction failures (e.g. a lane-layout
+    /// backend combined with a too-wide modulus).
+    pub fn get_with(
+        &self,
+        set: ParamSet,
+        config: ContextConfig,
+    ) -> Result<Arc<RlweContext>, RlweError> {
+        if config == ContextConfig::default() {
+            return self.get(set);
+        }
+        let key = (set, config);
+        {
+            let custom = self.custom.lock().expect("context pool lock poisoned");
+            if let Some((_, ctx)) = custom.iter().find(|(k, _)| *k == key) {
+                return Ok(Arc::clone(ctx));
+            }
+        }
+        // Build outside the lock: the ~5 ms table construction must not
+        // serialize unrelated configs or block cache hits. Two racers for
+        // the *same* key may both build; the first insert wins and the
+        // loser's context is dropped — a rarer and cheaper cost than a
+        // process-wide stall.
+        let built = Arc::new(
+            RlweContext::builder(set)
+                .ntt_backend(config.backend)
+                .sampler(config.sampler)
+                .build()?,
+        );
+        let mut custom = self.custom.lock().expect("context pool lock poisoned");
+        if let Some((_, ctx)) = custom.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(ctx));
+        }
+        custom.push((key, Arc::clone(&built)));
+        Ok(built)
+    }
+
+    /// Whether any context for `set` has already been built (default
+    /// config or custom); mirrors the scope of [`ContextPool::evict`].
     pub fn is_cached(&self, set: ParamSet) -> bool {
         self.slots[slot_index(set)]
             .lock()
             .expect("context pool lock poisoned")
             .is_some()
+            || self
+                .custom
+                .lock()
+                .expect("context pool lock poisoned")
+                .iter()
+                .any(|((s, _), _)| *s == set)
     }
 
-    /// Drops the cached context for `set` (subsequent [`ContextPool::get`]
-    /// rebuilds). Outstanding `Arc`s stay valid.
+    /// Drops every cached context for `set` — the default slot and any
+    /// custom-config entries (subsequent gets rebuild). Outstanding
+    /// `Arc`s stay valid.
     pub fn evict(&self, set: ParamSet) {
         self.slots[slot_index(set)]
             .lock()
             .expect("context pool lock poisoned")
             .take();
+        self.custom
+            .lock()
+            .expect("context pool lock poisoned")
+            .retain(|((s, _), _)| *s != set);
     }
 }
 
@@ -119,6 +213,42 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         // The evicted loan still works.
         assert_eq!(a.params().n(), 256);
+    }
+
+    #[test]
+    fn custom_configs_get_their_own_cached_context() {
+        let pool = ContextPool::new();
+        let default = pool.get(ParamSet::P1).unwrap();
+        // The default config routes to the same slot as get().
+        let same = pool
+            .get_with(ParamSet::P1, ContextConfig::standard())
+            .unwrap();
+        assert!(Arc::ptr_eq(&default, &same));
+        // A constant-time config builds once and is cached thereafter.
+        assert!(!pool.is_cached(ParamSet::P2));
+        let ct2_ctx = pool
+            .get_with(ParamSet::P2, ContextConfig::constant_time())
+            .unwrap();
+        assert!(
+            pool.is_cached(ParamSet::P2),
+            "custom entries count as cached"
+        );
+        assert_eq!(ct2_ctx.params().n(), 512);
+        let ct1 = pool
+            .get_with(ParamSet::P1, ContextConfig::constant_time())
+            .unwrap();
+        let ct2 = pool
+            .get_with(ParamSet::P1, ContextConfig::constant_time())
+            .unwrap();
+        assert!(Arc::ptr_eq(&ct1, &ct2));
+        assert!(!Arc::ptr_eq(&default, &ct1));
+        assert_eq!(ct1.sampler_kind(), SamplerKind::CtCdt);
+        // Eviction clears custom entries too.
+        pool.evict(ParamSet::P1);
+        let ct3 = pool
+            .get_with(ParamSet::P1, ContextConfig::constant_time())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&ct1, &ct3));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 use rlwe_core::{Ciphertext, PolyScratch, PublicKey, RlweContext, RlweError, SecretKey};
 use rlwe_hash::{kdf2, HmacSha256, Sha256};
+use rlwe_zq::ct;
 
 use crate::metrics::EngineMetrics;
 use rand::RngCore;
@@ -150,11 +151,19 @@ impl From<RlweError> for SessionError {
     }
 }
 
-/// One direction's key material.
+/// One direction's key material. Best-effort erased on drop (each clone
+/// handed to a sender/receiver scrubs its own copy).
 #[derive(Clone)]
 struct DirectionKeys {
     enc: [u8; 32],
     mac: [u8; 32],
+}
+
+impl Drop for DirectionKeys {
+    fn drop(&mut self) {
+        ct::zeroize(&mut self.enc);
+        ct::zeroize(&mut self.mac);
+    }
 }
 
 impl DirectionKeys {
@@ -162,11 +171,12 @@ impl DirectionKeys {
         let mut info = Vec::with_capacity(label.len() + SID_LEN);
         info.extend_from_slice(label);
         info.extend_from_slice(sid);
-        let okm = kdf2(ss, &info, 64);
+        let mut okm = kdf2(ss, &info, 64);
         let mut enc = [0u8; 32];
         let mut mac = [0u8; 32];
         enc.copy_from_slice(&okm[..32]);
         mac.copy_from_slice(&okm[32..]);
+        ct::zeroize(&mut okm);
         Self { enc, mac }
     }
 }
@@ -253,7 +263,7 @@ impl StreamReceiver {
         }
         // MAC check before anything else touches the body or the state.
         let tag = frame_tag(&self.keys.mac, &self.sid, &buf[..HEADER_LEN + len]);
-        if !constant_time_eq(&tag, &buf[HEADER_LEN + len..total]) {
+        if !ct::ct_eq(&tag, &buf[HEADER_LEN + len..total]) {
             return Err(SessionError::BadTag);
         }
         if seq != self.expected_seq {
@@ -295,17 +305,6 @@ fn frame_tag(mac_key: &[u8; 32], sid: &[u8; SID_LEN], header_and_body: &[u8]) ->
     h.update(sid);
     h.update(header_and_body);
     h.finalize()
-}
-
-fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (x, y) in a.iter().zip(b) {
-        diff |= x ^ y;
-    }
-    diff == 0
 }
 
 fn session_id(ct_bytes: &[u8]) -> [u8; SID_LEN] {
@@ -420,7 +419,7 @@ impl Session {
         })?;
         let session = Self::derive(ss.as_bytes(), ct_bytes, Role::Responder, metrics);
         let expected = confirm_tag(&session.i2r, &session.sid);
-        if !constant_time_eq(&expected, confirm) {
+        if !ct::ct_eq(&expected, confirm) {
             return Err(SessionError::HandshakeFailed);
         }
         Ok(session)

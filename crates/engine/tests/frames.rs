@@ -1,0 +1,109 @@
+//! Property tests for session-frame robustness: `StreamReceiver::open`
+//! must reject — never panic on, never advance state for — arbitrary
+//! byte strings, truncations, and bit-flips of valid frames.
+//!
+//! The receiver state matters as much as the error: a defect that
+//! advanced `expected_seq` on a rejected frame would let an attacker
+//! desynchronise a stream with garbage.
+
+use proptest::prelude::*;
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_engine::{Session, SessionError};
+use std::sync::OnceLock;
+
+/// Both halves of one established session, built once: handshakes cost a
+/// lattice operation each, and every test case only needs fresh
+/// sender/receiver halves (which `Session` hands out independently).
+fn halves() -> &'static (Session, Session) {
+    static FIXTURE: OnceLock<(Session, Session)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let mut rng = HashDrbg::new([77u8; 32]);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        // Retry over the documented ~1% KEM decryption-failure rate.
+        for attempt in 0..8u64 {
+            let mut hs_rng = HashDrbg::for_stream(&[78u8; 32], attempt);
+            let (initiator, hello) = Session::initiate(&ctx, &pk, &mut hs_rng).unwrap();
+            match Session::accept(&ctx, &sk, &hello) {
+                Ok(responder) => return (initiator, responder),
+                Err(SessionError::HandshakeFailed) => continue,
+                Err(e) => panic!("unexpected handshake error: {e}"),
+            }
+        }
+        panic!("eight consecutive KEM failures — astronomically unlikely");
+    })
+}
+
+/// The responder-side session, whose receiver the tests attack.
+fn session() -> &'static Session {
+    &halves().1
+}
+
+/// A fresh seq-0 frame in the initiator→responder direction — the
+/// traffic the responder fixture's receiver verifies. Each call uses a
+/// fresh sender, so the frame always carries sequence number 0, matching
+/// a fresh receiver.
+fn valid_frame(payload: &[u8]) -> Vec<u8> {
+    halves().0.sender().seal(payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_bytes_never_open_and_never_advance_state(
+        bytes in prop::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let mut rx = session().receiver();
+        prop_assert_eq!(rx.expected_seq(), 0);
+        let result = rx.open(&bytes);
+        prop_assert!(
+            result.is_err(),
+            "random bytes must not authenticate (a forged MAC would be a break)"
+        );
+        prop_assert_eq!(rx.expected_seq(), 0, "rejected input advanced the sequence");
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_are_rejected_without_state_change(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        cut in any::<u16>(),
+    ) {
+        let frame = valid_frame(&payload);
+        let cut = (cut as usize) % frame.len(); // strictly shorter
+        let mut rx = session().receiver();
+        let err = rx.open(&frame[..cut]);
+        prop_assert!(err.is_err(), "truncation to {} bytes opened", cut);
+        prop_assert_eq!(rx.expected_seq(), 0);
+        // The pristine frame still opens afterwards: state untouched.
+        let (got, used) = rx.open(&frame).unwrap();
+        prop_assert_eq!(got, payload);
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(rx.expected_seq(), 1);
+    }
+
+    #[test]
+    fn bit_flips_of_valid_frames_are_rejected_without_state_change(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        byte_sel in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = valid_frame(&payload);
+        let idx = (byte_sel as usize) % frame.len();
+        frame[idx] ^= 1 << bit;
+        let mut rx = session().receiver();
+        let err = rx.open(&frame).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                SessionError::BadTag
+                    | SessionError::BadMagic(_)
+                    | SessionError::Truncated
+                    | SessionError::TooLarge(_)
+            ),
+            "byte {} bit {}: unexpected error {:?}", idx, bit, err
+        );
+        prop_assert_eq!(rx.expected_seq(), 0, "rejected flip advanced the sequence");
+    }
+}

@@ -33,12 +33,21 @@ impl HmacSha256 {
         } else {
             k[..key.len()].copy_from_slice(key);
         }
+        // The padded keys stay on the stack and are erased before they
+        // leave scope — no heap copies of key material.
+        let mut pad = [0u8; Self::BLOCK];
         let mut inner = Sha256::new();
-        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-        inner.update(&ipad);
+        for (p, &b) in pad.iter_mut().zip(&k) {
+            *p = b ^ 0x36;
+        }
+        inner.update(&pad);
         let mut outer = Sha256::new();
-        let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-        outer.update(&opad);
+        for (p, &b) in pad.iter_mut().zip(&k) {
+            *p = b ^ 0x5c;
+        }
+        outer.update(&pad);
+        rlwe_zq::ct::zeroize(&mut k);
+        rlwe_zq::ct::zeroize(&mut pad);
         Self { inner, outer }
     }
 
@@ -61,18 +70,13 @@ impl HmacSha256 {
         h.finalize()
     }
 
-    /// Constant-time tag comparison (length must match, every byte is
-    /// inspected regardless of mismatches).
+    /// Constant-time tag comparison via the workspace-wide
+    /// [`rlwe_zq::ct::ct_eq`]: every byte is inspected regardless of
+    /// mismatches, and a length mismatch folds into the same masked
+    /// verdict instead of short-circuiting.
     pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
         let computed = Self::mac(key, message);
-        if tag.len() != computed.len() {
-            return false;
-        }
-        let mut diff = 0u8;
-        for (a, b) in computed.iter().zip(tag) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        rlwe_zq::ct::ct_eq(&computed, tag)
     }
 }
 

@@ -27,6 +27,8 @@ mod hmac;
 mod kdf;
 mod sha256;
 
+pub mod probe;
+
 pub use hmac::HmacSha256;
 pub use kdf::kdf2;
 pub use sha256::Sha256;

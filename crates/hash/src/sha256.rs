@@ -31,11 +31,18 @@ const H0: [u32; 8] = [
 /// h.update(b"world");
 /// assert_eq!(h.finalize(), Sha256::digest(b"hello world"));
 /// ```
-#[derive(Debug, Clone)]
+/// The hasher buffers at most one 64-byte block **on the stack**: callers
+/// feed secret material through `update` (FO messages, secret-key
+/// coefficients, MAC keys, DRBG seeds), so the unprocessed tail must not
+/// transit — or be left behind in — heap allocations. `finalize` erases
+/// the tail before returning.
+#[derive(Clone)]
 pub struct Sha256 {
     state: [u32; 8],
-    /// Unprocessed tail of the input (always < 64 bytes).
-    buffer: Vec<u8>,
+    /// The current, partially filled input block.
+    block: [u8; 64],
+    /// Number of valid bytes at the front of `block` (always < 64).
+    fill: usize,
     /// Total message length in bytes.
     length: u64,
 }
@@ -46,12 +53,23 @@ impl Default for Sha256 {
     }
 }
 
+// The buffered tail may be key material; show only the public length.
+impl std::fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha256")
+            .field("length", &self.length)
+            .field("buffer", &"<redacted>")
+            .finish()
+    }
+}
+
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
         Self {
             state: H0,
-            buffer: Vec::with_capacity(64),
+            block: [0u8; 64],
+            fill: 0,
             length: 0,
         }
     }
@@ -66,34 +84,47 @@ impl Sha256 {
     /// Feeds more input.
     pub fn update(&mut self, data: &[u8]) {
         self.length += data.len() as u64;
-        self.buffer.extend_from_slice(data);
-        let full_blocks = self.buffer.len() / 64;
-        for i in 0..full_blocks {
-            let block: [u8; 64] = self.buffer[i * 64..(i + 1) * 64]
-                .try_into()
-                .expect("exactly 64 bytes");
+        let mut rest = data;
+        if self.fill > 0 {
+            let take = rest.len().min(64 - self.fill);
+            self.block[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill < 64 {
+                return; // data exhausted without completing the block
+            }
+            let block = self.block;
             self.compress(&block);
+            self.fill = 0;
         }
-        self.buffer.drain(..full_blocks * 64);
+        while rest.len() >= 64 {
+            let block: [u8; 64] = rest[..64].try_into().expect("64 bytes");
+            self.compress(&block);
+            rest = &rest[64..];
+        }
+        self.block[..rest.len()].copy_from_slice(rest);
+        self.fill = rest.len();
     }
 
     /// Consumes the hasher and returns the digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        crate::probe::record(self.length);
         let bit_len = self.length * 8;
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.buffer.push(0x80);
-        while self.buffer.len() % 64 != 56 {
-            self.buffer.push(0);
+        // Padding: 0x80, zeros, 64-bit big-endian length — one extra
+        // block when the tail leaves no room for the 9 padding bytes.
+        let mut pad = [0u8; 128];
+        pad[..self.fill].copy_from_slice(&self.block[..self.fill]);
+        pad[self.fill] = 0x80;
+        let total = if self.fill < 56 { 64 } else { 128 };
+        pad[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+        for i in 0..total / 64 {
+            let block: [u8; 64] = pad[i * 64..(i + 1) * 64].try_into().expect("64 bytes");
+            self.compress(&block);
         }
-        self.buffer.extend_from_slice(&bit_len.to_be_bytes());
-        let blocks: Vec<[u8; 64]> = self
-            .buffer
-            .chunks_exact(64)
-            .map(|c| c.try_into().expect("64-byte chunk"))
-            .collect();
-        for b in &blocks {
-            self.compress(b);
-        }
+        // Both copies of the (possibly secret) input tail are ours to
+        // erase before they leave scope.
+        rlwe_zq::ct::zeroize(&mut self.block);
+        rlwe_zq::ct::zeroize(&mut pad);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&w.to_be_bytes());

@@ -1,0 +1,147 @@
+//! Deterministic operation-count invariance tests — the CI-gating shadow
+//! of the wall-clock t-test bench.
+//!
+//! Three exact properties, no statistics involved:
+//!
+//! 1. The constant-time CDT sampler draws exactly 129 bits and executes
+//!    exactly one full-table scan per sample, for every sample and both
+//!    parameter sets.
+//! 2. `decapsulate_cca` on a CtCdt-rung context performs an *identical*
+//!    sequence of hash calls (count and per-call message lengths) whether
+//!    the ciphertext is accepted or implicitly rejected.
+//! 3. That hash-call shape is also invariant across different accepted
+//!    ciphertexts — it depends on the parameter set alone.
+
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::kem::SharedSecret;
+use rlwe_core::{Ciphertext, ParamSet, RlweContext, SamplerKind};
+use rlwe_hash::probe;
+use rlwe_sampler::ct::CtCdtSampler;
+use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
+use rlwe_sampler::ProbabilityMatrix;
+
+#[test]
+fn ct_sampler_operation_counts_are_exactly_invariant() {
+    for (pmat, rows) in [
+        (ProbabilityMatrix::paper_p1().unwrap(), 55),
+        (ProbabilityMatrix::paper_p2().unwrap(), 59),
+    ] {
+        let ct = CtCdtSampler::new(&pmat);
+        assert_eq!(ct.comparisons_per_sample(), rows);
+        let mut bits = BufferedBitSource::new(SplitMix64::new(0xC0DE));
+        for i in 0..10_000 {
+            let before = bits.bits_drawn();
+            let (_, trace) = ct.sample_traced(&mut bits);
+            assert_eq!(
+                trace.bits_drawn,
+                CtCdtSampler::BITS_PER_SAMPLE,
+                "sample {i}: bit draws varied"
+            );
+            assert_eq!(
+                bits.bits_drawn() - before,
+                CtCdtSampler::BITS_PER_SAMPLE,
+                "sample {i}: source-side count disagrees"
+            );
+            assert_eq!(
+                trace.comparisons, rows as u64,
+                "sample {i}: comparison count varied"
+            );
+        }
+    }
+}
+
+#[test]
+fn context_ct_rung_exposes_the_instrumented_sampler() {
+    let ctx = RlweContext::builder(ParamSet::P1)
+        .sampler(SamplerKind::CtCdt)
+        .build()
+        .unwrap();
+    let ct = ctx.ct_sampler().expect("CtCdt context carries the sampler");
+    let mut bits = BufferedBitSource::new(SplitMix64::new(9));
+    let (_, trace) = ct.sample_traced(&mut bits);
+    assert_eq!(trace.bits_drawn, 129);
+    assert_eq!(trace.comparisons, ct.comparisons_per_sample() as u64);
+    // The default rung carries none — the CT table is not paid for
+    // unless selected.
+    let default_ctx = RlweContext::new(ParamSet::P1).unwrap();
+    assert!(default_ctx.ct_sampler().is_none());
+}
+
+/// An accepting `(ct, key)` pair plus one rejecting maul of it.
+fn accept_and_reject_pair(
+    ctx: &RlweContext,
+    seed: [u8; 32],
+) -> (
+    rlwe_core::PublicKey,
+    rlwe_core::SecretKey,
+    Ciphertext,
+    SharedSecret,
+    Ciphertext,
+) {
+    let mut rng = HashDrbg::new(seed);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+    // Retry over the ~1% decryption-failure probability so the "valid"
+    // ciphertext provably takes the accept path.
+    let (ct, key) = loop {
+        let (ct, k1) = ctx.encapsulate_cca(&pk, &mut rng).unwrap();
+        let k2 = ctx.decapsulate_cca(&sk, &pk, &ct).unwrap();
+        if k1 == k2 {
+            break (ct, k1);
+        }
+    };
+    let mauled = rlwe_leakage::first_parsing_maul(&ct).expect("some single-bit maul parses");
+    (pk, sk, ct, key, mauled)
+}
+
+#[test]
+fn decapsulation_hash_shape_is_identical_on_accept_and_reject() {
+    // The CtCdt rung makes the re-encryption's random-bit consumption
+    // (and therefore the DRBG's SHA-256 refill count) fixed, so the
+    // *entire* decapsulation hash trace must be input-independent.
+    let ctx = RlweContext::builder(ParamSet::P1)
+        .sampler(SamplerKind::CtCdt)
+        .build()
+        .unwrap();
+    let (pk, sk, ct, key, mauled) = accept_and_reject_pair(&ctx, [31u8; 32]);
+
+    probe::start();
+    let accept_key = ctx.decapsulate_cca(&sk, &pk, &ct).unwrap();
+    let accept_trace = probe::take();
+
+    probe::start();
+    let reject_key = ctx.decapsulate_cca(&sk, &pk, &mauled).unwrap();
+    let reject_trace = probe::take();
+
+    // The two runs really did take opposite paths...
+    assert_eq!(accept_key, key, "fixture ciphertext must accept");
+    assert_ne!(reject_key, key, "mauled ciphertext must reject");
+    // ...yet performed exactly the same hash calls.
+    assert!(!accept_trace.is_empty());
+    assert_eq!(
+        accept_trace, reject_trace,
+        "hash-call shape differed between accept and reject"
+    );
+}
+
+#[test]
+fn decapsulation_hash_shape_depends_only_on_the_parameter_set() {
+    let ctx = RlweContext::builder(ParamSet::P1)
+        .sampler(SamplerKind::CtCdt)
+        .build()
+        .unwrap();
+    let (pk1, sk1, ct1, _, _) = accept_and_reject_pair(&ctx, [41u8; 32]);
+    let (pk2, sk2, ct2, _, _) = accept_and_reject_pair(&ctx, [42u8; 32]);
+
+    probe::start();
+    ctx.decapsulate_cca(&sk1, &pk1, &ct1).unwrap();
+    let trace1 = probe::take();
+
+    probe::start();
+    ctx.decapsulate_cca(&sk2, &pk2, &ct2).unwrap();
+    let trace2 = probe::take();
+
+    assert_eq!(
+        trace1, trace2,
+        "hash-call shape varied across independent keypairs/ciphertexts"
+    );
+}

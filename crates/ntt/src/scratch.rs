@@ -104,6 +104,21 @@ impl PolyScratch {
     pub fn parked(&self) -> usize {
         self.bufs.len()
     }
+
+    /// Best-effort erasure of every parked buffer (the buffers stay
+    /// parked for reuse). Secret-handling operations that route working
+    /// polynomials through the arena — notably CCA decapsulation, whose
+    /// decrypted candidate message transits a scratch buffer — call this
+    /// before returning so a long-lived per-thread arena does not retain
+    /// key-determining material between operations.
+    pub fn scrub(&mut self) {
+        for buf in &mut self.bufs {
+            rlwe_zq::ct::zeroize_u32(buf);
+        }
+        for buf in &mut self.bufs64 {
+            rlwe_zq::ct::zeroize_u64(buf);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +135,24 @@ mod tests {
         let buf2 = s.take();
         assert_eq!(buf2.as_ptr(), ptr, "the same allocation comes back");
         assert_eq!(s.parked(), 0);
+    }
+
+    #[test]
+    fn scrub_erases_parked_buffers_in_place() {
+        let mut s = PolyScratch::new(8);
+        let mut a = s.take();
+        let mut b = s.take64();
+        a.fill(0xDEAD_BEEF);
+        b.fill(0xFEED_FACE_CAFE_F00D);
+        s.put(a);
+        s.put64(b);
+        s.scrub();
+        let a = s.take();
+        assert!(a.iter().all(|&c| c == 0), "u32 buffer survived the scrub");
+        let b = s.take64();
+        assert!(b.iter().all(|&w| w == 0), "u64 buffer survived the scrub");
+        s.put(a);
+        s.put64(b);
     }
 
     #[test]

@@ -71,34 +71,48 @@ impl CtCdtSampler {
     /// comparison contributes its result bit via masked arithmetic, never
     /// via control flow.
     pub fn sample<B: BitSource>(&self, bits: &mut B) -> SignedSample {
+        self.sample_traced(bits).0
+    }
+
+    /// [`CtCdtSampler::sample`] plus an exact operation count — the hook
+    /// the leakage harness's deterministic invariance tests assert on.
+    pub fn sample_traced<B: BitSource>(&self, bits: &mut B) -> (SignedSample, SampleTrace) {
+        let bits_before = bits.bits_drawn();
         let mut u: u128 = 0;
         for _ in 0..4 {
             u = (u << 32) | bits.take_bits(32) as u128;
         }
         // Branchless rank computation: k = number of cum entries <= u.
         let mut k: u32 = 0;
+        let mut comparisons: u64 = 0;
         for &c in &self.cum {
             // (c <= u) as a 0/1 without a data-dependent branch. The
             // comparison itself compiles to flag arithmetic; no early
             // exit, no table-index-dependent memory access pattern.
-            k += u128_ge_branchless(u, c);
+            k += rlwe_zq::ct::ct_ge_u128(u, c);
+            comparisons += 1;
         }
         let k = k.min(self.cum.len() as u32 - 1);
         // Sign: masked so that magnitude 0 ignores it (q - 0 = q ≡ 0
         // anyway, but SignedSample normalises through the mask).
         let sign_bit = bits.take_bit();
         let nonzero_mask = (k != 0) as u32;
-        SignedSample::new(k as u16, (sign_bit & nonzero_mask) == 1)
+        let sample = SignedSample::new(k as u16, (sign_bit & nonzero_mask) == 1);
+        let trace = SampleTrace {
+            bits_drawn: bits.bits_drawn() - bits_before,
+            comparisons,
+        };
+        (sample, trace)
     }
 }
 
-/// `(a >= b) as u32` without a data-dependent branch.
-#[inline]
-fn u128_ge_branchless(a: u128, b: u128) -> u32 {
-    // borrow = 1 iff a < b; computed through wrapping arithmetic on the
-    // high bit of the difference chain.
-    let (_, borrow) = a.overflowing_sub(b);
-    1 - borrow as u32
+/// Exact per-sample operation counts from [`CtCdtSampler::sample_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleTrace {
+    /// Uniform bits consumed (always [`CtCdtSampler::BITS_PER_SAMPLE`]).
+    pub bits_drawn: u64,
+    /// Table comparisons executed (always the full table length).
+    pub comparisons: u64,
 }
 
 #[cfg(test)]
@@ -160,18 +174,14 @@ mod tests {
     }
 
     #[test]
-    fn branchless_compare_is_correct() {
-        let cases = [
-            (0u128, 0u128),
-            (1, 0),
-            (0, 1),
-            (u128::MAX, u128::MAX),
-            (u128::MAX, 0),
-            (0, u128::MAX),
-            (1 << 127, (1 << 127) - 1),
-        ];
-        for (a, b) in cases {
-            assert_eq!(u128_ge_branchless(a, b), (a >= b) as u32, "{a} vs {b}");
+    fn traced_sample_reports_exact_counts() {
+        let (ct, _) = sampler();
+        let mut bits = BufferedBitSource::new(SplitMix64::new(77));
+        for _ in 0..1000 {
+            let (s, trace) = ct.sample_traced(&mut bits);
+            assert!(s.magnitude() < 55);
+            assert_eq!(trace.bits_drawn, CtCdtSampler::BITS_PER_SAMPLE);
+            assert_eq!(trace.comparisons, ct.comparisons_per_sample() as u64);
         }
     }
 

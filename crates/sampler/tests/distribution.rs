@@ -78,6 +78,81 @@ fn p2_sampler_fits_its_own_distribution() {
     assert!(chi2 < CHI2_LIMIT, "chi2 = {chi2}");
 }
 
+mod cross_rung_identity {
+    //! The context builder exposes four sampler rungs (Basic / Lut1 / Lut
+    //! / CtCdt). They consume random bits differently, but every rung
+    //! must draw the *same* discrete Gaussian — these property tests pin
+    //! that identity across random seeds, so a table-construction bug in
+    //! any one rung (including the constant-time CDT path) shows up as a
+    //! distribution divergence rather than a silent security-margin loss.
+
+    use super::*;
+    use proptest::prelude::*;
+    use rlwe_sampler::ct::CtCdtSampler;
+
+    const RUNG_SAMPLES: usize = 120_000;
+    /// Looser than the fixed-seed limit: seeds are random here, so leave
+    /// statistical headroom (32 d.o.f.; P[chi2 > 90] ≈ 2e-7 per rung).
+    const RUNG_CHI2_LIMIT: f64 = 90.0;
+
+    fn rung_chi2<F: FnMut(&mut BufferedBitSource<SplitMix64>) -> SignedSample>(
+        pmat: &ProbabilityMatrix,
+        seed: u64,
+        mut f: F,
+    ) -> f64 {
+        let mut bits = BufferedBitSource::new(SplitMix64::new(seed));
+        let samples: Vec<i32> = (0..RUNG_SAMPLES)
+            .map(|_| f(&mut bits).signed_value())
+            .collect();
+        let observed = stats::observed_signed_histogram(&samples, MAX_MAG);
+        let (_, expected) = stats::expected_signed_histogram(pmat, RUNG_SAMPLES as u64, MAX_MAG);
+        stats::chi_square(&observed, &expected)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn every_rung_draws_the_same_distribution(seed in any::<u64>()) {
+            let pmat = ProbabilityMatrix::paper_p1().unwrap();
+            let ky = KnuthYao::new(pmat.clone()).unwrap();
+            let ct = CtCdtSampler::new(&pmat);
+            let rungs: [(&str, f64); 4] = [
+                ("basic", rung_chi2(&pmat, seed, |b| ky.sample_basic(b))),
+                ("lut1", rung_chi2(&pmat, seed ^ 1, |b| ky.sample_lut1(b))),
+                ("lut", rung_chi2(&pmat, seed ^ 2, |b| ky.sample_lut(b))),
+                ("ctcdt", rung_chi2(&pmat, seed ^ 3, |b| ct.sample(b))),
+            ];
+            for (name, chi2) in rungs {
+                prop_assert!(
+                    chi2 < RUNG_CHI2_LIMIT,
+                    "rung {} diverged from the exact distribution: chi2 = {}",
+                    name,
+                    chi2
+                );
+            }
+        }
+
+        #[test]
+        fn ct_rung_matches_variable_time_cdt_bit_for_bit(seed in any::<u64>()) {
+            // Stronger than distribution identity: on the same bit stream
+            // the CT sampler and the variable-time CDT sampler invert the
+            // same cumulative table, so their magnitudes must agree
+            // sample for sample.
+            let pmat = ProbabilityMatrix::paper_p1().unwrap();
+            let ct = CtCdtSampler::new(&pmat);
+            let vt = CdtSampler::new(&pmat);
+            let mut b1 = BufferedBitSource::new(SplitMix64::new(seed));
+            let mut b2 = b1.clone();
+            for i in 0..5_000 {
+                let a = ct.sample(&mut b1);
+                let b = vt.sample(&mut b2);
+                prop_assert_eq!(a.magnitude(), b.magnitude(), "diverged at sample {}", i);
+            }
+        }
+    }
+}
+
 #[test]
 fn bit_budget_ordering_ky_vs_cdt_vs_rejection() {
     // The paper's motivation: KY needs ~6.3 bits/sample, CDT a fixed 129,

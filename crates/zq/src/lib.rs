@@ -21,6 +21,10 @@
 //! 13/14-bit coefficients fit into one 32-bit processor word, so memory
 //! traffic is halved by loading/storing coefficient *pairs*.
 //!
+//! The [`ct`] module is the workspace's single home for constant-time
+//! primitives (masked compare/select, branchless predicates, best-effort
+//! zeroisation) — every secret-handling crate above routes through it.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +47,7 @@ mod modulus;
 mod ops;
 mod primality;
 
+pub mod ct;
 pub mod montgomery;
 pub mod packed;
 pub mod primitive;

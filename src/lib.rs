@@ -28,6 +28,9 @@
 //!   symmetric frames), and live metrics. This is the serving-scale
 //!   counterpart to the paper's single-operation focus; see `DESIGN.md`
 //!   §Engine for the threading model and wire format.
+//! * [`leakage`] — the constant-time regression harness: a dudect-style
+//!   Welch t-test over `decapsulate_cca` plus the deterministic
+//!   operation-count checks that gate CI (see `DESIGN.md` §5).
 //!
 //! # Quickstart
 //!
@@ -106,6 +109,7 @@ pub use rlwe_core as scheme;
 pub use rlwe_ecc as ecc;
 pub use rlwe_engine as engine;
 pub use rlwe_hash as hash;
+pub use rlwe_leakage as leakage;
 pub use rlwe_m4sim as m4sim;
 pub use rlwe_ntt as ntt;
 pub use rlwe_sampler as sampler;
