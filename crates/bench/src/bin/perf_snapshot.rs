@@ -1,0 +1,155 @@
+//! Machine-readable performance snapshot of the suite's hot paths.
+//!
+//! Measures the NTT (forward/inverse), full negacyclic multiplication and
+//! the scheme's encrypt/decrypt throughput on this host, and — with
+//! `--json` — writes the numbers as a `BENCH_<PR>.json` snapshot so the
+//! repository accumulates a benchmark trajectory across PRs.
+//!
+//! ```text
+//! cargo run --release -p rlwe-bench --bin perf_snapshot            # print only
+//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --json  # + BENCH_4.json
+//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --smoke # CI: few reps
+//! ```
+//!
+//! `--json [PATH]` defaults to `BENCH_4.json` in the working directory;
+//! `--smoke` cuts repetition counts ~100× so CI can exercise the binary in
+//! seconds (the numbers are then smoke-quality — trend data comes from
+//! full runs).
+
+use std::time::Instant;
+
+use rlwe_bench::snapshot::{Snapshot, SnapshotEntry};
+
+/// The PR this snapshot belongs to — bump once per PR; it names the
+/// default `--json` output file and is recorded inside the document.
+const PR: u32 = 4;
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{ParamSet, RlweContext};
+use rlwe_ntt::NttPlan;
+
+/// Times `f` over `reps` repetitions (after one warm-up call) and returns
+/// nanoseconds per call.
+fn time_ns<F: FnMut()>(mut f: F, reps: u32) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| (i.wrapping_mul(seed) + 1) % q)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| format!("BENCH_{PR}.json"))
+    });
+
+    let (ntt_reps, scheme_reps): (u32, u32) = if smoke { (50, 5) } else { (20_000, 500) };
+    let mut snap = Snapshot::new(PR, smoke);
+
+    println!(
+        "PERF SNAPSHOT ({} mode, ns/op and ops/s, this host)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!("{:<28}{:>14}{:>16}", "benchmark", "ns/op", "ops/s");
+
+    // --- NTT layer --------------------------------------------------------
+    for (label, n, q) in [("p1", 256usize, 7681u32), ("p2", 512, 12289)] {
+        let plan = NttPlan::new(n, q).expect("paper ring");
+        let poly = demo(n, q, 31);
+        let other = demo(n, q, 77);
+
+        let mut buf = poly.clone();
+        let fwd = time_ns(
+            || {
+                buf.copy_from_slice(&poly);
+                plan.forward(std::hint::black_box(&mut buf));
+            },
+            ntt_reps,
+        );
+        snap.push(SnapshotEntry::ns(format!("ntt_forward_{label}_n{n}"), fwd));
+
+        let hat = plan.forward_copy(&poly);
+        let inv = time_ns(
+            || {
+                buf.copy_from_slice(&hat);
+                plan.inverse(std::hint::black_box(&mut buf));
+            },
+            ntt_reps,
+        );
+        snap.push(SnapshotEntry::ns(format!("ntt_inverse_{label}_n{n}"), inv));
+
+        let mut out = vec![0u32; n];
+        let mut scratch = rlwe_ntt::PolyScratch::new(n);
+        let mul = time_ns(
+            || {
+                plan.negacyclic_mul_into(
+                    std::hint::black_box(&poly),
+                    std::hint::black_box(&other),
+                    &mut out,
+                    &mut scratch,
+                )
+                .expect("lengths match");
+            },
+            ntt_reps / 2,
+        );
+        snap.push(SnapshotEntry::ns(
+            format!("negacyclic_mul_{label}_n{n}"),
+            mul,
+        ));
+    }
+
+    // --- Scheme layer -----------------------------------------------------
+    for set in [ParamSet::P1, ParamSet::P2] {
+        let label = match set {
+            ParamSet::P1 => "p1",
+            ParamSet::P2 => "p2",
+        };
+        let ctx = RlweContext::new(set).expect("named set");
+        let mut rng = HashDrbg::new([7u8; 32]);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).expect("keygen");
+        let msg = vec![0xA5u8; ctx.params().message_bytes()];
+        let mut scratch = ctx.new_scratch();
+        let mut ct = ctx.empty_ciphertext();
+        ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+            .expect("encrypt");
+
+        let enc = time_ns(
+            || {
+                ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+                    .expect("encrypt");
+            },
+            scheme_reps,
+        );
+        snap.push(SnapshotEntry::ns(format!("encrypt_{label}"), enc));
+
+        let mut pt = vec![0u8; ctx.params().message_bytes()];
+        let dec = time_ns(
+            || {
+                ctx.decrypt_into(&sk, &ct, &mut pt, &mut scratch)
+                    .expect("decrypt");
+            },
+            scheme_reps,
+        );
+        snap.push(SnapshotEntry::ns(format!("decrypt_{label}"), dec));
+    }
+
+    for e in snap.entries() {
+        println!("{:<28}{:>14.1}{:>16.0}", e.name, e.ns_per_op, e.ops_per_sec);
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, snap.to_json()).expect("write snapshot");
+        println!("\nwrote {path}");
+    }
+}

@@ -16,6 +16,7 @@
 //! the Cortex-M4F; the M4F numbers come from the cost-model binaries.
 
 pub mod literature;
+pub mod snapshot;
 
 /// Formats one comparison line with a fixed-width layout shared by the
 /// table binaries.

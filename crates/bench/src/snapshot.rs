@@ -1,0 +1,142 @@
+//! Perf-snapshot data model and (dependency-free) JSON rendering.
+//!
+//! The build environment is offline, so instead of `serde` the snapshot
+//! serializes itself with a small hand-rolled writer. The format is a
+//! stable flat shape downstream tooling can diff across PRs:
+//!
+//! ```json
+//! {
+//!   "schema": "rlwe-bench/perf-snapshot/v1",
+//!   "pr": 4,
+//!   "smoke": false,
+//!   "entries": [
+//!     {"name": "ntt_forward_p1_n256", "ns_per_op": 1234.5, "ops_per_sec": 810372.0}
+//!   ]
+//! }
+//! ```
+
+/// One measured benchmark: a name plus ns/op and the derived ops/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Stable machine-readable benchmark name (`snake_case`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations per second (`1e9 / ns_per_op`).
+    pub ops_per_sec: f64,
+}
+
+impl SnapshotEntry {
+    /// Builds an entry from a ns/op measurement.
+    pub fn ns(name: impl Into<String>, ns_per_op: f64) -> Self {
+        let ops = if ns_per_op > 0.0 {
+            1e9 / ns_per_op
+        } else {
+            0.0
+        };
+        Self {
+            name: name.into(),
+            ns_per_op,
+            ops_per_sec: ops,
+        }
+    }
+}
+
+/// A full snapshot: PR number, measurement mode and the entry list.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pr: u32,
+    smoke: bool,
+    entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot for PR `pr`; `smoke` records whether the numbers
+    /// came from the abbreviated CI run.
+    pub fn new(pr: u32, smoke: bool) -> Self {
+        Self {
+            pr,
+            smoke,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, entry: SnapshotEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The measurements collected so far.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// Renders the snapshot as a JSON document (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rlwe-bench/perf-snapshot/v1\",\n");
+        out.push_str(&format!("  \"pr\": {},\n", self.pr));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"ops_per_sec\": {}}}{comma}\n",
+                json_escape(&e.name),
+                fmt_f64(e.ns_per_op),
+                fmt_f64(e.ops_per_sec)
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Formats a float with one fractional digit — enough resolution for
+/// nanosecond timings, stable across runs for diffs.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escapes the two JSON-significant characters benchmark names could
+/// plausibly contain (names are ASCII identifiers by convention).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_derives_ops_per_sec() {
+        let e = SnapshotEntry::ns("x", 2000.0);
+        assert_eq!(e.ops_per_sec, 500_000.0);
+        assert_eq!(SnapshotEntry::ns("z", 0.0).ops_per_sec, 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut s = Snapshot::new(4, true);
+        s.push(SnapshotEntry::ns("ntt_forward_p1_n256", 1234.56));
+        s.push(SnapshotEntry::ns("encrypt_p1", 100.0));
+        let j = s.to_json();
+        assert!(j.contains("\"schema\": \"rlwe-bench/perf-snapshot/v1\""));
+        assert!(j.contains("\"pr\": 4"));
+        assert!(j.contains("\"smoke\": true"));
+        assert!(j.contains("\"name\": \"ntt_forward_p1_n256\", \"ns_per_op\": 1234.6"));
+        assert!(j.contains("\"ops_per_sec\": 10000000.0"));
+        // Exactly one comma between the two entries, none after the last.
+        assert_eq!(j.matches("}},\n").count(), 0);
+        assert_eq!(j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

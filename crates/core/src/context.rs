@@ -145,21 +145,22 @@ impl RlweContextBuilder {
     /// * [`RlweError::Sampler`] if the Gaussian tables cannot meet the
     ///   2⁻⁹⁰ statistical-distance bound.
     /// * [`RlweError::Malformed`] if the modulus is too wide for the
-    ///   selected backend's lane layout ([`NttBackend::Packed`] needs
-    ///   16-bit coefficients, [`NttBackend::Swar`] needs `q < 2¹⁵`).
+    ///   selected backend's lane layout (the halfword-packed
+    ///   [`NttBackend::Packed`]/[`NttBackend::Swar`] lazy butterflies
+    ///   need `4q < 2¹⁶`, i.e. `q < 2¹⁴`).
     pub fn build(self) -> Result<RlweContext, RlweError> {
         // The lane layouts assume narrow coefficients (the paper's §III-C
-        // observation); past these widths lanes would silently overlap.
+        // observation) with headroom for the [0, 4q) lazy domain; past
+        // these widths lanes would silently overlap.
         let q = self.params.q();
         let max_q = match self.backend {
-            NttBackend::Reference => u32::MAX,
-            NttBackend::Packed => 1 << 16,
-            NttBackend::Swar => 1 << 15,
+            NttBackend::Reference => u32::MAX, // NttPlan::new enforces q < 2³⁰
+            NttBackend::Packed | NttBackend::Swar => rlwe_ntt::packed::MAX_PACKED_Q,
         };
-        if q > max_q {
+        if q >= max_q {
             return Err(RlweError::Malformed {
                 reason: format!(
-                    "modulus {q} is too wide for the {:?} NTT backend (max {max_q})",
+                    "modulus {q} is too wide for the {:?} NTT backend (needs q < {max_q})",
                     self.backend
                 ),
             });
@@ -482,15 +483,6 @@ impl RlweContext {
         }
     }
 
-    /// Raw-slice shim over [`RlweContext::sample_uniform`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `sample_uniform()`, which returns a typed Poly<Ntt>"
-    )]
-    pub fn sample_uniform_poly<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
-        self.sample_uniform(rng).into_vec()
-    }
-
     // ------------------------------------------------------------------
     // Key generation
     // ------------------------------------------------------------------
@@ -515,28 +507,6 @@ impl RlweContext {
         let mut scratch = self.new_scratch();
         self.keypair_body(rng, &mut pk, &mut sk, &mut scratch)?;
         Ok((pk, sk))
-    }
-
-    /// Raw-slice shim over [`RlweContext::generate_keypair_with_a_poly`].
-    ///
-    /// # Errors
-    ///
-    /// [`RlweError::ParamMismatch`] if `a_hat` has the wrong length;
-    /// [`RlweError::Malformed`] if it contains unreduced coefficients.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `generate_keypair_with_a_poly()`, which takes a typed Poly<Ntt>"
-    )]
-    pub fn generate_keypair_with_a<R: RngCore + ?Sized>(
-        &self,
-        a_hat: Vec<u32>,
-        rng: &mut R,
-    ) -> Result<(PublicKey, SecretKey), RlweError> {
-        if a_hat.len() != self.params.n() {
-            return Err(RlweError::ParamMismatch);
-        }
-        let a_hat = Poly::from_vec(a_hat, *self.plan.modulus())?;
-        self.generate_keypair_with_a_poly(a_hat, rng)
     }
 
     /// Key generation with a fresh uniform `ã`.
@@ -1088,25 +1058,6 @@ mod tests {
         let ct2 = ctx.encrypt(&pk2, &msg, &mut rng).unwrap();
         assert_eq!(ctx.decrypt(&sk1, &ct1).unwrap(), msg);
         assert_eq!(ctx.decrypt(&sk2, &ct2).unwrap(), msg);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_raw_slice_keygen_still_works() {
-        let ctx = ctx_p1();
-        let mut rng = StdRng::seed_from_u64(47);
-        let a_hat = ctx.sample_uniform_poly(&mut rng);
-        let (pk, sk) = ctx
-            .generate_keypair_with_a(a_hat.clone(), &mut rng)
-            .unwrap();
-        assert_eq!(pk.a_poly().as_slice(), &a_hat[..]);
-        let msg = vec![0xABu8; 32];
-        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
-        assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg);
-        // Unreduced input is rejected by the Poly validation.
-        let mut bad = a_hat;
-        bad[0] = 7681;
-        assert!(ctx.generate_keypair_with_a(bad, &mut rng).is_err());
     }
 
     #[test]

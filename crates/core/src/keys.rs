@@ -121,24 +121,6 @@ impl PublicKey {
         &self.p_hat
     }
 
-    /// The NTT-domain `ã` coefficients as a raw slice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `a_poly()` — the typed Poly<Ntt> accessor"
-    )]
-    pub fn a_hat(&self) -> &[u32] {
-        self.a_hat.as_slice()
-    }
-
-    /// The NTT-domain `p̃` coefficients as a raw slice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `p_poly()` — the typed Poly<Ntt> accessor"
-    )]
-    pub fn p_hat(&self) -> &[u32] {
-        self.p_hat.as_slice()
-    }
-
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(ã) ‖ pack₁₃(p̃)`
     /// (13-bit packing for P1, 14-bit for P2).
     ///
@@ -207,15 +189,6 @@ impl SecretKey {
     /// The NTT-domain secret polynomial `r̃₂`.
     pub fn r2_poly(&self) -> &Poly<Ntt> {
         &self.r2_hat
-    }
-
-    /// The NTT-domain secret coefficients as a raw slice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `r2_poly()` — the typed Poly<Ntt> accessor"
-    )]
-    pub fn r2_hat(&self) -> &[u32] {
-        self.r2_hat.as_slice()
     }
 
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(r̃₂)`.
@@ -311,24 +284,6 @@ impl Ciphertext {
     /// The NTT-domain `c̃₂` polynomial.
     pub fn c2_poly(&self) -> &Poly<Ntt> {
         &self.c2_hat
-    }
-
-    /// The NTT-domain `c̃₁` coefficients as a raw slice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `c1_poly()` — the typed Poly<Ntt> accessor"
-    )]
-    pub fn c1_hat(&self) -> &[u32] {
-        self.c1_hat.as_slice()
-    }
-
-    /// The NTT-domain `c̃₂` coefficients as a raw slice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `c2_poly()` — the typed Poly<Ntt> accessor"
-    )]
-    pub fn c2_hat(&self) -> &[u32] {
-        self.c2_hat.as_slice()
     }
 
     /// Serializes as `magic ‖ param-id ‖ pack₁₃(c̃₁) ‖ pack₁₃(c̃₂)` —
@@ -428,20 +383,6 @@ mod tests {
             Ciphertext::from_polys(params, wrong_n, wrong_q),
             Err(RlweError::ParamMismatch)
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_slice_accessors_still_work() {
-        // The raw-slice shims must stay available (and agree with the
-        // typed accessors) until downstream callers migrate.
-        let pk = PublicKey {
-            params: ParamSet::P1.params(),
-            a_hat: demo_poly(256, 7681, 31),
-            p_hat: demo_poly(256, 7681, 77),
-        };
-        assert_eq!(pk.a_hat(), pk.a_poly().as_slice());
-        assert_eq!(pk.p_hat(), pk.p_poly().as_slice());
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //!
 //! Invariant: every stored coefficient is reduced (`< q`). All constructors
 //! validate or inherit reduction, and mutation goes through modular ops, so
-//! downstream code (serialization, NTT kernels) can rely on it.
+//! downstream code (serialization, NTT kernels) can rely on it. The NTT
+//! kernels themselves run on **lazy** `[0, 2q)`/`[0, 4q)` coefficients
+//! internally (`rlwe_zq::lazy`), but every crossing a `Poly` exposes —
+//! [`Poly::forward`], [`Poly::inverse`], and the plan's `forward_into`/
+//! `inverse_into`/`negacyclic_mul_into` the scheme layer drives — ends in
+//! a masked normalization, so the unreduced domain never escapes into a
+//! stored `Poly`.
 
 use std::marker::PhantomData;
 

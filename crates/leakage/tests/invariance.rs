@@ -1,7 +1,7 @@
 //! Deterministic operation-count invariance tests — the CI-gating shadow
 //! of the wall-clock t-test bench.
 //!
-//! Three exact properties, no statistics involved:
+//! Four exact properties, no statistics involved:
 //!
 //! 1. The constant-time CDT sampler draws exactly 129 bits and executes
 //!    exactly one full-table scan per sample, for every sample and both
@@ -11,11 +11,19 @@
 //!    the ciphertext is accepted or implicitly rejected.
 //! 3. That hash-call shape is also invariant across different accepted
 //!    ciphertexts — it depends on the parameter set alone.
+//! 4. The NTT kernels execute an *identical* reduction-operation trace
+//!    (butterflies, masked corrections, lazy twiddle multiplies, final
+//!    normalizations — `NttPlan::forward_traced`/`inverse_traced`)
+//!    regardless of the coefficient values, matching the closed forms in
+//!    `rlwe_ntt::NttOpTrace` exactly. This is the transform-layer gate
+//!    the lazy-butterfly rewrite added: zero conditional reductions left
+//!    for an input value to modulate.
 
 use rlwe_core::drbg::HashDrbg;
 use rlwe_core::kem::SharedSecret;
 use rlwe_core::{Ciphertext, ParamSet, RlweContext, SamplerKind};
 use rlwe_hash::probe;
+use rlwe_ntt::{NttOpTrace, NttPlan};
 use rlwe_sampler::ct::CtCdtSampler;
 use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
 use rlwe_sampler::ProbabilityMatrix;
@@ -91,6 +99,70 @@ fn accept_and_reject_pair(
     };
     let mauled = rlwe_leakage::first_parsing_maul(&ct).expect("some single-bit maul parses");
     (pk, sk, ct, key, mauled)
+}
+
+/// The value classes an NTT trace must be blind to: zeros, the all-(q−1)
+/// worst case that saturates every lazy bound, and assorted pseudo-random
+/// vectors.
+fn ntt_input_classes(n: usize, q: u32) -> Vec<Vec<u32>> {
+    let mut classes = vec![vec![0u32; n], vec![q - 1; n]];
+    let mut rng = SplitMix64::new(0x17AC_E5EED);
+    use rlwe_sampler::random::WordSource;
+    for _ in 0..4 {
+        classes.push((0..n).map(|_| rng.next_word() % q).collect());
+    }
+    // A single spike, and an alternating 0 / q−1 comb.
+    let mut spike = vec![0u32; n];
+    spike[n / 2] = q - 1;
+    classes.push(spike);
+    classes.push((0..n).map(|i| if i % 2 == 0 { 0 } else { q - 1 }).collect());
+    classes
+}
+
+#[test]
+fn ntt_reduction_op_trace_is_value_independent_and_matches_closed_form() {
+    // The transform-layer analogue of the sampler's exact bit-draw gate:
+    // every input class must produce the *same* operation trace, equal to
+    // the closed-form count — a conditional reduction anywhere in the
+    // butterflies would break the equality for some class.
+    for (set_label, n, q) in [("P1", 256usize, 7681u32), ("P2", 512, 12289)] {
+        let plan = NttPlan::new(n, q).unwrap();
+        let expected_fwd = NttOpTrace::expected_forward(n);
+        let expected_inv = NttOpTrace::expected_inverse(n);
+        for (class, input) in ntt_input_classes(n, q).into_iter().enumerate() {
+            let mut a = input.clone();
+            let fwd = plan.forward_traced(&mut a);
+            assert_eq!(
+                fwd, expected_fwd,
+                "{set_label}: forward trace varied on input class {class}"
+            );
+            // The traced kernel is the real kernel: outputs must be
+            // bit-identical to the untraced entry point.
+            assert_eq!(a, plan.forward_copy(&input), "{set_label} class {class}");
+
+            let inv = plan.inverse_traced(&mut a);
+            assert_eq!(
+                inv, expected_inv,
+                "{set_label}: inverse trace varied on input class {class}"
+            );
+            assert_eq!(a, input, "{set_label}: round trip broke on class {class}");
+        }
+    }
+}
+
+#[test]
+fn ntt_trace_depends_only_on_the_ring_dimension() {
+    // Same n, different q: the trace is structural, so it must be
+    // identical — coefficient width plays no role in the op counts.
+    let mut traces = Vec::new();
+    for q in [7681u32, 12289, 40961] {
+        let plan = NttPlan::new(256, q).unwrap();
+        let mut a: Vec<u32> = (0..256u32).map(|i| (i * 31 + 5) % q).collect();
+        let f = plan.forward_traced(&mut a);
+        let i = plan.inverse_traced(&mut a);
+        traces.push((f, i));
+    }
+    assert!(traces.windows(2).all(|w| w[0] == w[1]));
 }
 
 #[test]

@@ -22,6 +22,13 @@ pub enum NttError {
     },
     /// The underlying modulus failed validation (not prime / out of range).
     Modulus(ZqError),
+    /// The modulus is a valid prime but too large for the lazy-reduction
+    /// butterflies, which track coefficients in `[0, 4q)` and need that
+    /// range to fit a 32-bit word (`q < 2³⁰`).
+    ModulusTooLarge {
+        /// The rejected modulus.
+        q: u32,
+    },
     /// Polynomial operands (or an output buffer) disagree in length.
     LengthMismatch {
         /// The length the operation expected (the plan's `n`, or the first
@@ -42,6 +49,12 @@ impl fmt::Display for NttError {
                 write!(f, "modulus {q} is not congruent to 1 mod {}", 2 * n)
             }
             NttError::Modulus(e) => write!(f, "invalid modulus: {e}"),
+            NttError::ModulusTooLarge { q } => {
+                write!(
+                    f,
+                    "modulus {q} >= 2^30: lazy-reduction butterflies need 4q to fit a 32-bit word"
+                )
+            }
             NttError::LengthMismatch { expected, got } => {
                 write!(
                     f,

@@ -21,6 +21,20 @@
 //!   the same loop nest so twiddle loads and loop overhead are shared
 //!   (§III-D, measured at 8.3% faster than three separate NTTs).
 //!
+//! All three variants share the same **lazy-reduction butterfly** core
+//! (`rlwe_zq::lazy`, Harvey-style): coefficients travel unreduced in
+//! `[0, 2q)`/`[0, 4q)` across stages, the few surviving corrections are
+//! masked (branch-free, cmov-independent), and canonical `[0, q)` is
+//! restored exactly once per transform — the forward in a final sweep
+//! (skippable via [`NttPlan::forward_lazy`] when the consumer reduces
+//! anyway), the inverse inside its merged final stage, where the `n⁻¹`
+//! scaling is folded into the last butterflies. This requires `q < 2³⁰`
+//! (enforced by [`NttPlan::new`]); the halfword-packed layouts further
+//! require `q < 2¹⁴`, amply satisfied by the paper's moduli.
+//! [`NttPlan::forward_traced`]/[`NttPlan::inverse_traced`] return the
+//! exact per-kind operation counts ([`NttOpTrace`]) so the leakage
+//! harness can pin the transforms' input-independence in CI.
+//!
 //! A schoolbook negacyclic multiplier ([`schoolbook`]) is the independent
 //! correctness oracle: every variant must agree with it exactly.
 //!
@@ -45,6 +59,7 @@
 mod error;
 mod plan;
 mod scratch;
+mod trace;
 
 pub mod bitrev;
 pub mod karatsuba;
@@ -58,3 +73,4 @@ pub mod swar;
 pub use error::NttError;
 pub use plan::NttPlan;
 pub use scratch::PolyScratch;
+pub use trace::NttOpTrace;

@@ -1,5 +1,5 @@
 //! Packed-word NTT: two coefficients per 32-bit word, inner loop unrolled
-//! by two — the paper's §III-D / Algorithm 4.
+//! by two — the paper's §III-D / Algorithm 4, on lazy butterflies.
 //!
 //! On the Cortex-M4F every memory access costs 2 cycles regardless of
 //! width, so storing 13/14-bit coefficients as halfword *pairs* halves the
@@ -18,11 +18,30 @@
 //! the final forward stage (span 1) becomes an *intra-word* butterfly —
 //! exactly the structure of the epilogue of the paper's Algorithm 4
 //! (the loop over pairs `(A[2k], A[2k+1])`).
+//!
+//! Lazy-domain bound: between stages each halfword lane carries a
+//! `[0, 4q)` (forward) / `[0, 2q)` (inverse) coefficient, so the layout
+//! requires `4q < 2¹⁶`, i.e. **`q < 2¹⁴`** — satisfied with room to spare
+//! by both paper moduli (7681 and 12289). The transforms assert it.
 
+use rlwe_zq::lazy;
 use rlwe_zq::packed::{pack, unpack};
-use rlwe_zq::{add_mod, sub_mod};
 
 use crate::plan::NttPlan;
+
+/// Largest modulus the packed lazy butterflies support: `4q` must fit a
+/// halfword lane.
+pub const MAX_PACKED_Q: u32 = 1 << 14;
+
+/// Asserts the packed lazy-domain precondition `4q < 2¹⁶` — shared by
+/// every halfword-lane transform (packed, SWAR, fused parallel).
+#[inline]
+pub(crate) fn assert_packed_q(q: u32) {
+    assert!(
+        q < MAX_PACKED_Q,
+        "packed lazy butterflies need 4q < 2^16 (q < 16384), got q = {q}"
+    );
+}
 
 /// Packs a natural-order coefficient slice into the two-per-word layout.
 ///
@@ -40,16 +59,20 @@ pub fn unpack_coeffs(words: &[u32]) -> Vec<u32> {
 
 /// In-place forward negacyclic NTT on packed words.
 ///
-/// Functionally identical to [`NttPlan::forward`]; the only difference is
-/// the memory layout (n/2 words instead of n coefficient slots).
+/// Functionally identical to [`NttPlan::forward`] — lazy `[0, 4q)`
+/// stages, fully reduced output; the only difference is the memory
+/// layout (n/2 words instead of n coefficient slots). Normalization is
+/// folded into the final intra-word stage, so no extra sweep runs.
 ///
 /// # Panics
 ///
-/// Panics if `words.len() != n/2`.
+/// Panics if `words.len() != n/2` or `q ≥ 2¹⁴`.
 pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
     let n = plan.n();
     assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
     let q = plan.q();
+    assert_packed_q(q);
+    let two_q = plan.two_q();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -63,65 +86,81 @@ pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
             let s = tw[m + i];
             let mut j = j1;
             while j < j1 + t {
-                let w1 = words[j / 2];
-                let w2 = words[(j + t) / 2];
-                let (u0, u1) = unpack(w1);
-                let (v0, v1) = unpack(w2);
-                let x0 = s.mul(v0, q);
-                let x1 = s.mul(v1, q);
-                words[j / 2] = pack(add_mod(u0, x0, q), add_mod(u1, x1, q));
-                words[(j + t) / 2] = pack(sub_mod(u0, x0, q), sub_mod(u1, x1, q));
+                let (u0, u1) = unpack(words[j / 2]);
+                let (v0, v1) = unpack(words[(j + t) / 2]);
+                let u0 = lazy::reduce_once(u0, two_q);
+                let u1 = lazy::reduce_once(u1, two_q);
+                let x0 = s.mul_lazy(v0, q);
+                let x1 = s.mul_lazy(v1, q);
+                words[j / 2] = pack(lazy::add_lazy(u0, x0), lazy::add_lazy(u1, x1));
+                words[(j + t) / 2] =
+                    pack(lazy::sub_lazy(u0, x0, two_q), lazy::sub_lazy(u1, x1, two_q));
                 j += 2;
             }
         }
         m <<= 1;
     }
     // Final stage (t = 1): intra-word butterflies, one twiddle per word —
-    // the epilogue of the paper's Algorithm 4.
+    // the epilogue of the paper's Algorithm 4 — with the [0, q)
+    // normalization folded into the store.
     debug_assert_eq!(m, n / 2);
     for (i, w) in words.iter_mut().enumerate() {
         let (u, v) = unpack(*w);
         let s = tw[m + i];
-        let x = s.mul(v, q);
-        *w = pack(add_mod(u, x, q), sub_mod(u, x, q));
+        let u = lazy::reduce_once(u, two_q);
+        let x = s.mul_lazy(v, q);
+        *w = pack(
+            lazy::normalize4(lazy::add_lazy(u, x), q),
+            lazy::normalize4(lazy::sub_lazy(u, x, two_q), q),
+        );
     }
 }
 
 /// In-place inverse negacyclic NTT on packed words, including the `n⁻¹`
-/// post-scaling.
+/// post-scaling — folded into the final word stage's twiddles, exactly
+/// as in [`NttPlan::inverse`].
 ///
 /// # Panics
 ///
-/// Panics if `words.len() != n/2`.
+/// Panics if `words.len() != n/2` or `q ≥ 2¹⁴`.
 pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
     let n = plan.n();
     assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
     let q = plan.q();
+    assert_packed_q(q);
+    let two_q = plan.two_q();
     let tw = plan.inverse_twiddles();
-    // First stage (t = 1): intra-word butterflies.
+    // First stage (t = 1): intra-word butterflies into the [0, 2q) lazy
+    // domain (both lanes stay under 2¹⁵).
     let h = n / 2;
     for (i, w) in words.iter_mut().enumerate() {
         let (u, v) = unpack(*w);
         let s = tw[h + i];
-        *w = pack(add_mod(u, v, q), s.mul(sub_mod(u, v, q), q));
+        *w = pack(
+            lazy::reduce_once(lazy::add_lazy(u, v), two_q),
+            s.mul_lazy(lazy::sub_lazy(u, v, two_q), q),
+        );
     }
-    // Word-level stages.
+    // Word-level lazy stages down to (and excluding) the last.
     let mut t = 2usize;
     let mut m = n / 2;
-    while m > 1 {
+    while m > 2 {
         let h = m >> 1;
         let mut j1 = 0usize;
         for i in 0..h {
             let s = tw[h + i];
             let mut j = j1;
             while j < j1 + t {
-                let w1 = words[j / 2];
-                let w2 = words[(j + t) / 2];
-                let (u0, u1) = unpack(w1);
-                let (v0, v1) = unpack(w2);
-                words[j / 2] = pack(add_mod(u0, v0, q), add_mod(u1, v1, q));
-                words[(j + t) / 2] =
-                    pack(s.mul(sub_mod(u0, v0, q), q), s.mul(sub_mod(u1, v1, q), q));
+                let (u0, u1) = unpack(words[j / 2]);
+                let (v0, v1) = unpack(words[(j + t) / 2]);
+                words[j / 2] = pack(
+                    lazy::reduce_once(lazy::add_lazy(u0, v0), two_q),
+                    lazy::reduce_once(lazy::add_lazy(u1, v1), two_q),
+                );
+                words[(j + t) / 2] = pack(
+                    s.mul_lazy(lazy::sub_lazy(u0, v0, two_q), q),
+                    s.mul_lazy(lazy::sub_lazy(u1, v1, two_q), q),
+                );
                 j += 2;
             }
             j1 += 2 * t;
@@ -129,11 +168,24 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
         t <<= 1;
         m = h;
     }
-    // Scale both lanes by n^{-1}.
-    let n_inv = rlwe_zq::shoup::ShoupPair::new(plan.n_inv(), q);
-    for w in words.iter_mut() {
-        let (a, b) = unpack(*w);
-        *w = pack(n_inv.mul(a, q), n_inv.mul(b, q));
+    // Merged final stage: butterfly × n⁻¹ scaling in one pass, outputs
+    // normalized to [0, q) — no separate scaling sweep over the words.
+    debug_assert_eq!(t, n / 2);
+    let n_inv = plan.n_inv_pair();
+    let s_merged = plan.merged_inverse_twiddle();
+    let mut j = 0usize;
+    while j < t {
+        let (u0, u1) = unpack(words[j / 2]);
+        let (v0, v1) = unpack(words[(j + t) / 2]);
+        words[j / 2] = pack(
+            lazy::reduce_once(n_inv.mul_lazy(lazy::add_lazy(u0, v0), q), q),
+            lazy::reduce_once(n_inv.mul_lazy(lazy::add_lazy(u1, v1), q), q),
+        );
+        words[(j + t) / 2] = pack(
+            lazy::reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u0, v0, two_q), q), q),
+            lazy::reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u1, v1, two_q), q), q),
+        );
+        j += 2;
     }
 }
 
@@ -183,7 +235,7 @@ mod tests {
 
     #[test]
     fn packed_inverse_matches_scalar() {
-        for &(n, q) in &[(256usize, 7681u32), (512, 12289)] {
+        for &(n, q) in &[(256usize, 7681u32), (512, 12289), (4, 12289)] {
             let plan = NttPlan::new(n, q).unwrap();
             let a = demo_poly(n, q, 91);
             let scalar = plan.inverse_copy(&a);
@@ -201,6 +253,20 @@ mod tests {
         forward_packed(&plan, &mut words);
         inverse_packed(&plan, &mut words);
         assert_eq!(unpack_coeffs(&words), a);
+    }
+
+    #[test]
+    fn packed_outputs_are_fully_reduced_for_worst_case_inputs() {
+        // All-(q-1) vectors drive the lazy domain to its widest; every
+        // stored halfword must still come out canonical.
+        for &(n, q) in &[(256usize, 7681u32), (512, 12289)] {
+            let plan = NttPlan::new(n, q).unwrap();
+            let mut words = pack_coeffs(&vec![q - 1; n]);
+            forward_packed(&plan, &mut words);
+            assert!(unpack_coeffs(&words).iter().all(|&c| c < q), "fwd n={n}");
+            inverse_packed(&plan, &mut words);
+            assert!(unpack_coeffs(&words).iter().all(|&c| c < q), "inv n={n}");
+        }
     }
 
     #[test]
@@ -223,6 +289,16 @@ mod tests {
     fn wrong_length_panics() {
         let plan = NttPlan::new(16, 12289).unwrap();
         let mut words = vec![0u32; 16]; // should be 8
+        forward_packed(&plan, &mut words);
+    }
+
+    #[test]
+    #[should_panic(expected = "4q < 2^16")]
+    fn oversized_modulus_panics() {
+        // 40961 = 1 + 2^13·5 is prime and NTT-friendly for n = 16, but
+        // its lazy domain does not fit a halfword lane.
+        let plan = NttPlan::new(16, 40961).unwrap();
+        let mut words = vec![0u32; 8];
         forward_packed(&plan, &mut words);
     }
 }

@@ -11,10 +11,13 @@
 //! On a host CPU the arithmetic is identical; the sharing shows up in the
 //! M4F cost model (`rlwe-m4sim`), which charges the fused loop exactly once
 //! for the shared work. This module provides the fused-loop implementations
-//! whose outputs are bit-for-bit those of three separate transforms.
+//! whose outputs are bit-for-bit those of three separate transforms — and
+//! like those, the butterflies are lazy ([`rlwe_zq::lazy`]): coefficients
+//! cross stages in `[0, 4q)` and a fused normalization pass restores
+//! `[0, q)` once at the end.
 
+use rlwe_zq::lazy;
 use rlwe_zq::packed::{pack, unpack};
-use rlwe_zq::{add_mod, sub_mod};
 
 use crate::plan::NttPlan;
 
@@ -33,6 +36,7 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
     assert_eq!(b.len(), n, "polynomial length must equal n");
     assert_eq!(c.len(), n, "polynomial length must equal n");
     let q = plan.q();
+    let two_q = plan.two_q();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -42,20 +46,29 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
             let j1 = 2 * i * t;
             let s = tw[m + i]; // loaded once, used by all three data sets
             for j in j1..j1 + t {
-                let va = s.mul(a[j + t], q);
-                a[j + t] = sub_mod(a[j], va, q);
-                a[j] = add_mod(a[j], va, q);
+                let ua = lazy::reduce_once(a[j], two_q);
+                let va = s.mul_lazy(a[j + t], q);
+                a[j] = lazy::add_lazy(ua, va);
+                a[j + t] = lazy::sub_lazy(ua, va, two_q);
 
-                let vb = s.mul(b[j + t], q);
-                b[j + t] = sub_mod(b[j], vb, q);
-                b[j] = add_mod(b[j], vb, q);
+                let ub = lazy::reduce_once(b[j], two_q);
+                let vb = s.mul_lazy(b[j + t], q);
+                b[j] = lazy::add_lazy(ub, vb);
+                b[j + t] = lazy::sub_lazy(ub, vb, two_q);
 
-                let vc = s.mul(c[j + t], q);
-                c[j + t] = sub_mod(c[j], vc, q);
-                c[j] = add_mod(c[j], vc, q);
+                let uc = lazy::reduce_once(c[j], two_q);
+                let vc = s.mul_lazy(c[j + t], q);
+                c[j] = lazy::add_lazy(uc, vc);
+                c[j + t] = lazy::sub_lazy(uc, vc, two_q);
             }
         }
         m <<= 1;
+    }
+    // Fused normalization sweep: one pass restores [0, q) for all three.
+    for j in 0..n {
+        a[j] = lazy::normalize4(a[j], q);
+        b[j] = lazy::normalize4(b[j], q);
+        c[j] = lazy::normalize4(c[j], q);
     }
 }
 
@@ -67,7 +80,8 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
 ///
 /// # Panics
 ///
-/// Panics if any buffer's length differs from `n/2`.
+/// Panics if any buffer's length differs from `n/2`, or if `q ≥ 2¹⁴`
+/// (the packed lazy domain must fit a halfword lane).
 pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
     let n = plan.n();
     let [a, b, c] = buffers;
@@ -75,6 +89,8 @@ pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
     assert_eq!(b.len(), n / 2, "packed buffer must hold n/2 words");
     assert_eq!(c.len(), n / 2, "packed buffer must hold n/2 words");
     let q = plan.q();
+    crate::packed::assert_packed_q(q);
+    let two_q = plan.two_q();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -86,27 +102,33 @@ pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
             let mut j = j1;
             while j < j1 + t {
                 for buf in [&mut *a, &mut *b, &mut *c] {
-                    let w1 = buf[j / 2];
-                    let w2 = buf[(j + t) / 2];
-                    let (u0, u1) = unpack(w1);
-                    let (v0, v1) = unpack(w2);
-                    let x0 = s.mul(v0, q);
-                    let x1 = s.mul(v1, q);
-                    buf[j / 2] = pack(add_mod(u0, x0, q), add_mod(u1, x1, q));
-                    buf[(j + t) / 2] = pack(sub_mod(u0, x0, q), sub_mod(u1, x1, q));
+                    let (u0, u1) = unpack(buf[j / 2]);
+                    let (v0, v1) = unpack(buf[(j + t) / 2]);
+                    let u0 = lazy::reduce_once(u0, two_q);
+                    let u1 = lazy::reduce_once(u1, two_q);
+                    let x0 = s.mul_lazy(v0, q);
+                    let x1 = s.mul_lazy(v1, q);
+                    buf[j / 2] = pack(lazy::add_lazy(u0, x0), lazy::add_lazy(u1, x1));
+                    buf[(j + t) / 2] =
+                        pack(lazy::sub_lazy(u0, x0, two_q), lazy::sub_lazy(u1, x1, two_q));
                 }
                 j += 2;
             }
         }
         m <<= 1;
     }
-    // Final intra-word stage shared across the three buffers.
+    // Final intra-word stage shared across the three buffers, normalizing
+    // each output into [0, q) on the way out.
     for i in 0..n / 2 {
         let s = tw[m + i];
         for buf in [&mut *a, &mut *b, &mut *c] {
             let (u, v) = unpack(buf[i]);
-            let x = s.mul(v, q);
-            buf[i] = pack(add_mod(u, x, q), sub_mod(u, x, q));
+            let u = lazy::reduce_once(u, two_q);
+            let x = s.mul_lazy(v, q);
+            buf[i] = pack(
+                lazy::normalize4(lazy::add_lazy(u, x), q),
+                lazy::normalize4(lazy::sub_lazy(u, x, two_q), q),
+            );
         }
     }
 }
@@ -135,6 +157,23 @@ mod tests {
             assert_eq!(b, eb);
             assert_eq!(c, ec);
         }
+    }
+
+    #[test]
+    fn fused_equals_three_separate_on_worst_case_vectors() {
+        let (n, q) = (256usize, 12289u32);
+        let plan = NttPlan::new(n, q).unwrap();
+        let mut a = vec![q - 1; n];
+        let mut b = vec![0u32; n];
+        let mut c = demo_poly(n, q, 13);
+        let ea = plan.forward_copy(&a);
+        let eb = plan.forward_copy(&b);
+        let ec = plan.forward_copy(&c);
+        forward3(&plan, [&mut a, &mut b, &mut c]);
+        assert_eq!(a, ea);
+        assert_eq!(b, eb);
+        assert_eq!(c, ec);
+        assert!(a.iter().all(|&x| x < q), "outputs must be canonical");
     }
 
     #[test]

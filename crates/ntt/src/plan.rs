@@ -1,11 +1,25 @@
 //! The [`NttPlan`]: precomputed twiddle tables plus the reference scalar
 //! transforms.
+//!
+//! The butterflies are Harvey-style **lazy-reduction** kernels built on
+//! `rlwe_zq::lazy`: forward coefficients travel in `[0, 4q)` across
+//! stages (one masked correction + one lazy Shoup multiply per
+//! butterfly, nothing else), inverse coefficients in `[0, 2q)`, and
+//! canonical `[0, q)` is restored exactly once — the forward transform
+//! in a final normalization sweep, the inverse inside its last stage,
+//! where the `n⁻¹` post-scaling is folded into the butterfly (the
+//! paper's merged-scaling trick, extended). Every residual conditional
+//! subtraction is masked, so the transforms execute an input-independent
+//! operation sequence; `forward_traced`/`inverse_traced` expose the
+//! exact counts the leakage harness pins in CI.
 
+use rlwe_zq::lazy;
 use rlwe_zq::shoup::ShoupPair;
 use rlwe_zq::Modulus;
 
 use crate::bitrev::bitrev;
 use crate::error::NttError;
+use crate::trace::{NoTrace, NttOpTrace, OpRecorder};
 
 /// Precomputed context for n-point negacyclic NTTs modulo `q`.
 ///
@@ -27,8 +41,13 @@ pub struct NttPlan {
     psi_bitrev: Vec<ShoupPair>,
     /// `ipsi_bitrev[i] = ψ^(−bitrev(i))` with Shoup companion — inverse twiddles.
     ipsi_bitrev: Vec<ShoupPair>,
-    /// `n⁻¹ mod q` as a Shoup pair for the inverse post-scale.
+    /// `n⁻¹ mod q` as a Shoup pair for the inverse's merged final stage.
     n_inv: ShoupPair,
+    /// `n⁻¹·ψ^(−bitrev(1))` — the last inverse stage's twiddle with the
+    /// `n⁻¹` scaling folded in (the merged-scaling trick).
+    ipsi1_n_inv: ShoupPair,
+    /// `2q`, precomputed for the lazy butterflies.
+    two_q: u32,
 }
 
 impl NttPlan {
@@ -40,9 +59,15 @@ impl NttPlan {
     /// * [`NttError::InvalidDimension`] for a bad `n`.
     /// * [`NttError::NotNttFriendly`] when `2n ∤ q − 1`.
     /// * [`NttError::Modulus`] when `q` is not a usable prime.
+    /// * [`NttError::ModulusTooLarge`] when `q ≥ 2³⁰` — the lazy-reduction
+    ///   butterflies track coefficients in `[0, 4q)`, which must fit a
+    ///   32-bit word.
     pub fn new(n: usize, q: u32) -> Result<Self, NttError> {
         if !n.is_power_of_two() || !(4..=1 << 20).contains(&n) {
             return Err(NttError::InvalidDimension { n });
+        }
+        if q >= lazy::MAX_LAZY_Q {
+            return Err(NttError::ModulusTooLarge { q });
         }
         let modulus = Modulus::new(q)?;
         if !(q as u64 - 1).is_multiple_of(2 * n as u64) {
@@ -66,10 +91,11 @@ impl NttPlan {
         let psi_bitrev = (0..n)
             .map(|i| ShoupPair::new(pw[bitrev(i, log_n)], q))
             .collect();
-        let ipsi_bitrev = (0..n)
+        let ipsi_bitrev: Vec<ShoupPair> = (0..n)
             .map(|i| ShoupPair::new(ipw[bitrev(i, log_n)], q))
             .collect();
         let n_inv_val = modulus.inv(n as u32).expect("n < q is a unit");
+        let ipsi1_n_inv = ShoupPair::new(modulus.mul(ipsi_bitrev[1].value, n_inv_val), q);
         Ok(Self {
             modulus,
             n,
@@ -78,6 +104,8 @@ impl NttPlan {
             psi_bitrev,
             ipsi_bitrev,
             n_inv: ShoupPair::new(n_inv_val, q),
+            ipsi1_n_inv,
+            two_q: 2 * q,
         })
     }
 
@@ -117,6 +145,27 @@ impl NttPlan {
         self.n_inv.value
     }
 
+    /// `n⁻¹ mod q` as a Shoup pair — the merged final-stage sum-leg
+    /// constant, exposed for the packed/parallel backends.
+    #[inline]
+    pub fn n_inv_pair(&self) -> ShoupPair {
+        self.n_inv
+    }
+
+    /// `n⁻¹·ψ^(−bitrev(1))` as a Shoup pair — the merged final-stage
+    /// difference-leg constant (inverse twiddle with the `n⁻¹` scaling
+    /// folded in).
+    #[inline]
+    pub fn merged_inverse_twiddle(&self) -> ShoupPair {
+        self.ipsi1_n_inv
+    }
+
+    /// `2q`, precomputed for the lazy butterflies.
+    #[inline]
+    pub fn two_q(&self) -> u32 {
+        self.two_q
+    }
+
     /// Forward twiddle table (`ψ^bitrev(i)` pairs) — exposed for the packed
     /// and parallel variants and for the M4F cost-model kernels.
     #[inline]
@@ -130,21 +179,13 @@ impl NttPlan {
         &self.ipsi_bitrev
     }
 
-    /// In-place forward negacyclic NTT (Cooley-Tukey, decimation in time).
-    ///
-    /// Input: natural order, coefficients reduced mod q.
-    /// Output: NTT domain in bit-reversed order.
-    ///
-    /// The ψ powers are merged into the butterflies, so no separate
-    /// pre-scaling pass is needed — this is the paper's `w = √w_m` trick
-    /// (§II-C / Algorithm 3) in its standard in-place form.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.len() != n`.
-    pub fn forward(&self, a: &mut [u32]) {
+    /// The lazy forward stage ladder: all `log₂n` Cooley-Tukey stages with
+    /// coefficients kept in `[0, 4q)` — no normalization.
+    #[inline(always)]
+    fn forward_lazy_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         let q = self.modulus.value();
+        let two_q = self.two_q;
         let mut t = self.n;
         let mut m = 1usize;
         while m < self.n {
@@ -153,49 +194,154 @@ impl NttPlan {
                 let j1 = 2 * i * t;
                 let s = self.psi_bitrev[m + i];
                 for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = s.mul(a[j + t], q);
-                    a[j] = rlwe_zq::add_mod(u, v, q);
-                    a[j + t] = rlwe_zq::sub_mod(u, v, q);
+                    // Harvey butterfly: one masked correction brings the
+                    // add leg back under 2q, the twiddle product lands in
+                    // [0, 2q) with no correction at all, and both outputs
+                    // re-enter the [0, 4q) stage invariant.
+                    lazy::debug_assert_bound(a[j], 4 * q as u64);
+                    let u = lazy::reduce_once(a[j], two_q);
+                    let v = s.mul_lazy(a[j + t], q);
+                    a[j] = lazy::add_lazy(u, v);
+                    a[j + t] = lazy::sub_lazy(u, v, two_q);
+                    rec.butterfly();
+                    rec.masked_reduction();
+                    rec.lazy_mul();
                 }
             }
             m <<= 1;
         }
     }
 
-    /// In-place inverse negacyclic NTT (Gentleman-Sande, decimation in
-    /// frequency), including the `n⁻¹` post-scaling.
+    #[inline(always)]
+    fn forward_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
+        self.forward_lazy_impl(a, rec);
+        let q = self.modulus.value();
+        for x in a.iter_mut() {
+            *x = lazy::normalize4(*x, q);
+            rec.normalization();
+        }
+    }
+
+    /// In-place forward negacyclic NTT (Cooley-Tukey, decimation in time).
     ///
-    /// Input: NTT domain in bit-reversed order.
-    /// Output: natural order coefficients.
+    /// Input: natural order, coefficients reduced mod q.
+    /// Output: NTT domain in bit-reversed order, reduced mod q.
+    ///
+    /// The ψ powers are merged into the butterflies, so no separate
+    /// pre-scaling pass is needed — this is the paper's `w = √w_m` trick
+    /// (§II-C / Algorithm 3) in its standard in-place form. The stages run
+    /// lazily (coefficients in `[0, 4q)`, see the module docs) and a final
+    /// masked sweep restores `[0, q)`; use [`NttPlan::forward_lazy`] to
+    /// skip that sweep when the consumer reduces anyway.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
-    pub fn inverse(&self, a: &mut [u32]) {
+    pub fn forward(&self, a: &mut [u32]) {
+        self.forward_impl(a, &mut NoTrace);
+    }
+
+    /// [`NttPlan::forward`] without the final normalization sweep: outputs
+    /// lie in `[0, 4q)`, congruent mod q to the reduced transform.
+    ///
+    /// This is the right entry point when the next consumer reduces
+    /// anyway — e.g. a pointwise product whose Barrett reduction accepts
+    /// any 64-bit operand ([`crate::pointwise::mul_lazy_assign`]).
+    /// Accepts lazy inputs in `[0, 4q)` as well, so lazy stages chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_lazy(&self, a: &mut [u32]) {
+        self.forward_lazy_impl(a, &mut NoTrace);
+    }
+
+    /// [`NttPlan::forward`] plus the exact operation counts — the hook the
+    /// leakage harness's deterministic invariance tests assert on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_traced(&self, a: &mut [u32]) -> NttOpTrace {
+        let mut trace = NttOpTrace::default();
+        self.forward_impl(a, &mut trace);
+        trace
+    }
+
+    #[inline(always)]
+    fn inverse_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         let q = self.modulus.value();
+        let two_q = self.two_q;
         let mut t = 1usize;
         let mut m = self.n;
-        while m > 1 {
+        // Lazy Gentleman-Sande stages: coefficients stay in [0, 2q); the
+        // sum leg takes one masked correction, the difference leg is
+        // re-reduced to [0, 2q) by the lazy twiddle multiply itself.
+        while m > 2 {
             let h = m >> 1;
             let mut j1 = 0usize;
             for i in 0..h {
                 let s = self.ipsi_bitrev[h + i];
                 for j in j1..j1 + t {
+                    lazy::debug_assert_bound(a[j], 2 * q as u64);
+                    lazy::debug_assert_bound(a[j + t], 2 * q as u64);
                     let u = a[j];
                     let v = a[j + t];
-                    a[j] = rlwe_zq::add_mod(u, v, q);
-                    a[j + t] = s.mul(rlwe_zq::sub_mod(u, v, q), q);
+                    a[j] = lazy::reduce_once(lazy::add_lazy(u, v), two_q);
+                    a[j + t] = s.mul_lazy(lazy::sub_lazy(u, v, two_q), q);
+                    rec.butterfly();
+                    rec.masked_reduction();
+                    rec.lazy_mul();
                 }
                 j1 += 2 * t;
             }
             t <<= 1;
             m = h;
         }
-        for x in a.iter_mut() {
-            *x = self.n_inv.mul(*x, q);
+        // Merged final stage: the n⁻¹ post-scaling is folded into the last
+        // butterfly's twiddles (sum leg × n⁻¹, difference leg ×
+        // n⁻¹·ψ^(−bitrev(1))) and the outputs are normalized to [0, q) on
+        // the way out — no separate scaling pass.
+        debug_assert_eq!(t, self.n / 2);
+        for j in 0..t {
+            let u = a[j];
+            let v = a[j + t];
+            a[j] = lazy::reduce_once(self.n_inv.mul_lazy(lazy::add_lazy(u, v), q), q);
+            a[j + t] =
+                lazy::reduce_once(self.ipsi1_n_inv.mul_lazy(lazy::sub_lazy(u, v, two_q), q), q);
+            rec.butterfly();
+            rec.lazy_mul();
+            rec.lazy_mul();
+            rec.normalization();
+            rec.normalization();
         }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman-Sande, decimation in
+    /// frequency), including the `n⁻¹` post-scaling — folded into the
+    /// final stage's twiddles rather than run as a separate pass.
+    ///
+    /// Input: NTT domain in bit-reversed order, reduced mod q.
+    /// Output: natural order coefficients, reduced mod q.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u32]) {
+        self.inverse_impl(a, &mut NoTrace);
+    }
+
+    /// [`NttPlan::inverse`] plus the exact operation counts — the hook the
+    /// leakage harness's deterministic invariance tests assert on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_traced(&self, a: &mut [u32]) -> NttOpTrace {
+        let mut trace = NttOpTrace::default();
+        self.inverse_impl(a, &mut trace);
+        trace
     }
 
     /// Convenience: forward-transforms a copy of `a`.
@@ -266,15 +412,20 @@ impl NttPlan {
     /// (2 forward transforms + pointwise product + 1 inverse — the
     /// "NTT multiplication" row of the paper's Table I).
     ///
+    /// Both forward transforms run **lazily** (`[0, 4q)` outputs, no
+    /// normalization sweep): the pointwise product's Barrett reduction
+    /// accepts the unreduced operands directly, so the 2n per-transform
+    /// normalizations are skipped entirely.
+    ///
     /// # Panics
     ///
     /// Panics if either input's length differs from n.
     pub fn negacyclic_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
         let mut fa = a.to_vec();
         let mut fb = b.to_vec();
-        self.forward(&mut fa);
-        self.forward(&mut fb);
-        let mut c = crate::pointwise::mul(&fa, &fb, &self.modulus)
+        self.forward_lazy(&mut fa);
+        self.forward_lazy(&mut fb);
+        let mut c = crate::pointwise::mul_lazy(&fa, &fb, &self.modulus)
             .expect("forward transforms preserve length");
         self.inverse(&mut c);
         c
@@ -282,6 +433,11 @@ impl NttPlan {
 
     /// Allocation-free negacyclic multiplication: `out ← a ⋆ b`, borrowing
     /// working space from `scratch`.
+    ///
+    /// Like [`NttPlan::negacyclic_mul`], the two forward transforms stay
+    /// in the lazy domain and the pointwise Barrett reduction absorbs the
+    /// normalization; the output is reduced (the inverse normalizes in
+    /// its merged final stage).
     ///
     /// # Errors
     ///
@@ -301,9 +457,11 @@ impl NttPlan {
         let mut fa = scratch.take();
         // out doubles as the second transform buffer: b̂ lands in it, the
         // pointwise product overwrites it, the inverse finishes in place.
-        self.forward_into(a, &mut fa)?;
-        self.forward_into(b, out)?;
-        crate::pointwise::mul_assign(out, &fa, &self.modulus)?;
+        fa.copy_from_slice(a);
+        self.forward_lazy(&mut fa);
+        out.copy_from_slice(b);
+        self.forward_lazy(out);
+        crate::pointwise::mul_lazy_assign(out, &fa, &self.modulus)?;
         self.inverse(out);
         scratch.put(fa);
         Ok(())

@@ -72,6 +72,35 @@ pub fn mul_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError>
     Ok(())
 }
 
+/// Pointwise product of **lazy-domain** operands: the inputs may be any
+/// `u32` values congruent to the intended residues (typically `[0, 4q)`
+/// coefficients from [`crate::NttPlan::forward_lazy`]); the outputs are
+/// canonical `[0, q)`. This is how negacyclic multiplication skips the
+/// forward transforms' normalization sweeps — the Barrett reduction of
+/// the 64-bit product absorbs them for free.
+///
+/// # Errors
+///
+/// [`NttError::LengthMismatch`] if the inputs differ in length.
+pub fn mul_lazy(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+    check_lengths(a.len(), &[b.len()])?;
+    let mut out = vec![0u32; a.len()];
+    q.mul_into_slice_lazy(&mut out, a, b);
+    Ok(out)
+}
+
+/// In-place lazy-domain pointwise product `a[i] ← a[i] · b[i] mod q`
+/// (see [`mul_lazy`] for the operand contract).
+///
+/// # Errors
+///
+/// [`NttError::LengthMismatch`] if the inputs differ in length.
+pub fn mul_lazy_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+    check_lengths(a.len(), &[b.len()])?;
+    q.mul_assign_slice_lazy(a, b);
+    Ok(())
+}
+
 /// Pointwise sum `c[i] = a[i] + b[i] mod q`.
 ///
 /// # Errors

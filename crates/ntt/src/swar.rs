@@ -4,18 +4,22 @@
 //!
 //! Two 13/14-bit coefficients already share a 32-bit word in the paper's
 //! packed layout; on a 64-bit register **four** coefficients fit in
-//! 16-bit lanes. Lane sums never exceed `2q < 2¹⁵`, so a single 64-bit
-//! addition performs four modular-addition first halves at once with no
-//! carry ever crossing a lane boundary; a branch-free per-lane
-//! conditional subtract finishes the reduction. The twiddle multiply
-//! still needs widening, so butterflies unpack for the product and
-//! re-pack — exactly the trade a real NEON port makes (`vmull.u16`
-//! widens to 32 bits).
+//! 16-bit lanes. With the lazy butterflies, lane values stay below
+//! `4q < 2¹⁶` (requiring `q < 2¹⁴`, true for both paper moduli), so the
+//! whole-word lane additions of the butterfly never carry across a lane
+//! boundary — and because the difference leg is `+2q`-biased
+//! ([`rlwe_zq::lazy::sub_lazy`]), whole-word subtraction never borrows
+//! across one either. The twiddle multiply still needs widening, so
+//! butterflies unpack for the product and re-pack — exactly the trade a
+//! real NEON port makes (`vmull.u16` widens to 32 bits). All residual
+//! reductions are the masked [`rlwe_zq::lazy::reduce_once`].
 //!
 //! The point is architectural exploration, not peak speed: the variant is
 //! bit-for-bit equivalent to [`crate::NttPlan::forward`] (tests enforce
 //! it) and the Criterion benches let the reader judge whether 4-lane SWAR
 //! pays off on their machine.
+
+use rlwe_zq::lazy;
 
 use crate::plan::NttPlan;
 
@@ -48,30 +52,28 @@ pub fn unpack4(w: u64) -> [u32; 4] {
 /// Lane-parallel modular addition: `(a + b) mod q` in all four lanes.
 ///
 /// Works because `a, b < q ≤ 12289` keeps every lane sum below 2¹⁵ — no
-/// carry can cross a lane boundary.
+/// carry can cross a lane boundary. The per-lane correction is the
+/// masked [`rlwe_zq::lazy::reduce_once`].
 #[inline]
 pub fn add4_mod(a: u64, b: u64, q: u32) -> u64 {
     debug_assert!(q < 1 << 15);
     // Lane sums stay below 2^15, so a plain 64-bit add never carries
     // across a lane boundary.
     let sum = a.wrapping_add(b) & LANE_MASK;
-    // Per-lane conditional subtract, branch-free (compiles to selects).
     let mut lanes = unpack4(sum);
     for l in lanes.iter_mut() {
-        let ge = (*l >= q) as u32;
-        *l -= ge * q;
+        *l = lazy::reduce_once(*l, q);
     }
     pack4(lanes)
 }
 
-/// Lane-parallel modular subtraction.
+/// Lane-parallel modular subtraction, masked per lane.
 #[inline]
 pub fn sub4_mod(a: u64, b: u64, q: u32) -> u64 {
     let mut la = unpack4(a);
     let lb = unpack4(b);
     for (x, y) in la.iter_mut().zip(lb) {
-        let lt = (*x < y) as u32;
-        *x = x.wrapping_add(lt * q) - y;
+        *x = lazy::sub_mod_masked(*x, y, q);
     }
     pack4(la)
 }
@@ -80,16 +82,20 @@ pub fn sub4_mod(a: u64, b: u64, q: u32) -> u64 {
 ///
 /// Layout: word `i` holds coefficients `4i .. 4i+3`. Stages with span
 /// ≥ 4 run four butterflies per iteration on whole words; the last two
-/// stages (spans 2 and 1) work intra-word.
+/// stages (spans 2 and 1) work intra-word. Between stages lanes carry
+/// lazy `[0, 4q)` values; the final stage normalizes, so the output is
+/// fully reduced — bit-identical to [`NttPlan::forward`].
 ///
 /// # Panics
 ///
-/// Panics if `words.len() != n/4` or `n < 8`.
+/// Panics if `words.len() != n/4`, `n < 8`, or `q ≥ 2¹⁴`.
 pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
     let n = plan.n();
     assert!(n >= 8, "SWAR layout needs n >= 8");
     assert_eq!(words.len(), n / 4, "need n/4 four-lane words");
     let q = plan.q();
+    crate::packed::assert_packed_q(q);
+    let two_q = plan.two_q();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -101,18 +107,30 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
             let j1 = 2 * i * t;
             let mut j = j1;
             while j < j1 + t {
-                let u = words[j / 4];
-                let v = words[(j + t) / 4];
-                // Widening twiddle multiply per lane (the vmull step).
-                let lv = unpack4(v);
-                let prod = pack4([
-                    s.mul(lv[0], q),
-                    s.mul(lv[1], q),
-                    s.mul(lv[2], q),
-                    s.mul(lv[3], q),
-                ]);
-                words[j / 4] = add4_mod(u, prod, q);
-                words[(j + t) / 4] = sub4_mod(u, prod, q);
+                let lu = unpack4(words[j / 4]);
+                let lv = unpack4(words[(j + t) / 4]);
+                // Masked per-lane correction of the add leg, widening
+                // twiddle multiply per lane (the vmull step) into [0, 2q).
+                let ur = [
+                    lazy::reduce_once(lu[0], two_q),
+                    lazy::reduce_once(lu[1], two_q),
+                    lazy::reduce_once(lu[2], two_q),
+                    lazy::reduce_once(lu[3], two_q),
+                ];
+                let prod = [
+                    s.mul_lazy(lv[0], q),
+                    s.mul_lazy(lv[1], q),
+                    s.mul_lazy(lv[2], q),
+                    s.mul_lazy(lv[3], q),
+                ];
+                let u_word = pack4(ur);
+                let p_word = pack4(prod);
+                // Whole-word lane arithmetic: sums < 4q < 2^16 (no carry);
+                // the +2q bias keeps every difference lane non-negative
+                // (no borrow).
+                let bias = pack4([two_q; 4]);
+                words[j / 4] = u_word.wrapping_add(p_word);
+                words[(j + t) / 4] = u_word.wrapping_add(bias).wrapping_sub(p_word);
                 j += 4;
             }
         }
@@ -124,29 +142,33 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
     for i in 0..n / 4 {
         let lanes = unpack4(words[i]);
         let sp = tw[m + i];
-        let v0 = sp.mul(lanes[2], q);
-        let v1 = sp.mul(lanes[3], q);
+        let u0 = lazy::reduce_once(lanes[0], two_q);
+        let u1 = lazy::reduce_once(lanes[1], two_q);
+        let v0 = sp.mul_lazy(lanes[2], q);
+        let v1 = sp.mul_lazy(lanes[3], q);
         words[i] = pack4([
-            rlwe_zq::add_mod(lanes[0], v0, q),
-            rlwe_zq::add_mod(lanes[1], v1, q),
-            rlwe_zq::sub_mod(lanes[0], v0, q),
-            rlwe_zq::sub_mod(lanes[1], v1, q),
+            lazy::add_lazy(u0, v0),
+            lazy::add_lazy(u1, v1),
+            lazy::sub_lazy(u0, v0, two_q),
+            lazy::sub_lazy(u1, v1, two_q),
         ]);
     }
     m <<= 1;
     // Final stage, span 1: butterflies (4i, 4i+1) and (4i+2, 4i+3) with
-    // distinct twiddles.
+    // distinct twiddles, normalizing each output into [0, q).
     for i in 0..n / 4 {
         let lanes = unpack4(words[i]);
         let s0 = tw[m + 2 * i];
         let s1 = tw[m + 2 * i + 1];
-        let v0 = s0.mul(lanes[1], q);
-        let v1 = s1.mul(lanes[3], q);
+        let u0 = lazy::reduce_once(lanes[0], two_q);
+        let u2 = lazy::reduce_once(lanes[2], two_q);
+        let v0 = s0.mul_lazy(lanes[1], q);
+        let v1 = s1.mul_lazy(lanes[3], q);
         words[i] = pack4([
-            rlwe_zq::add_mod(lanes[0], v0, q),
-            rlwe_zq::sub_mod(lanes[0], v0, q),
-            rlwe_zq::add_mod(lanes[2], v1, q),
-            rlwe_zq::sub_mod(lanes[2], v1, q),
+            lazy::normalize4(lazy::add_lazy(u0, v0), q),
+            lazy::normalize4(lazy::sub_lazy(u0, v0, two_q), q),
+            lazy::normalize4(lazy::add_lazy(u2, v1), q),
+            lazy::normalize4(lazy::sub_lazy(u2, v1, two_q), q),
         ]);
     }
 }
@@ -206,6 +228,16 @@ mod tests {
             forward_swar(&plan, &mut words);
             assert_eq!(unpack_coeffs4(&words), want, "n={n} q={q}");
         }
+    }
+
+    #[test]
+    fn swar_forward_reduces_worst_case_inputs() {
+        let plan = NttPlan::new(256, 12289).unwrap();
+        let mut words = pack_coeffs4(&vec![12288u32; 256]);
+        forward_swar(&plan, &mut words);
+        let got = unpack_coeffs4(&words);
+        assert!(got.iter().all(|&c| c < 12289));
+        assert_eq!(got, plan.forward_copy(&vec![12288u32; 256]));
     }
 
     #[test]

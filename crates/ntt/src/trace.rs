@@ -1,0 +1,130 @@
+//! Deterministic operation-count tracing for the NTT kernels — the
+//! transform-layer sibling of `rlwe_sampler::ct::CtCdtSampler::sample_traced`.
+//!
+//! The lazy-reduction butterflies are branch-free by construction, so the
+//! number of masked reductions, lazy twiddle multiplies and final
+//! normalizations a transform performs is a function of `n` alone — never
+//! of the coefficient values. [`NttOpTrace`] makes that property *testable*:
+//! `NttPlan::forward_traced`/`inverse_traced` run the exact same generic
+//! kernel as the untraced entry points (monomorphised over a recorder that
+//! compiles to nothing in the untraced case) and return the exact counts,
+//! which `crates/leakage/tests/invariance.rs` pins in CI against the
+//! closed forms below for all-zero, all-`q−1` and random inputs alike.
+
+/// Sink for per-operation events inside the butterfly kernels.
+///
+/// The no-op implementation ([`NoTrace`]) is what the public `forward`/
+/// `inverse` entry points instantiate; with every method `#[inline]` and
+/// empty, the recorder monomorphises away completely, so tracing costs
+/// the hot path nothing.
+pub(crate) trait OpRecorder {
+    /// One butterfly executed.
+    #[inline(always)]
+    fn butterfly(&mut self) {}
+    /// One masked (branch-free) conditional subtraction executed inside
+    /// the stage loops.
+    #[inline(always)]
+    fn masked_reduction(&mut self) {}
+    /// One lazy Shoup twiddle multiplication (`[0,2q)` result, no final
+    /// correction) executed.
+    #[inline(always)]
+    fn lazy_mul(&mut self) {}
+    /// One output coefficient normalized into canonical `[0, q)`.
+    #[inline(always)]
+    fn normalization(&mut self) {}
+}
+
+/// The zero-cost recorder behind the untraced entry points.
+pub(crate) struct NoTrace;
+
+impl OpRecorder for NoTrace {}
+
+/// Exact operation counts of one transform, by kind.
+///
+/// All four counts are determined by the ring dimension alone; the
+/// closed forms are [`NttOpTrace::expected_forward`] and
+/// [`NttOpTrace::expected_inverse`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NttOpTrace {
+    /// Butterflies executed (`(n/2)·log₂n` for either direction).
+    pub butterflies: u64,
+    /// Masked in-loop conditional subtractions.
+    pub masked_reductions: u64,
+    /// Lazy Shoup twiddle multiplies.
+    pub lazy_muls: u64,
+    /// Final `[0, q)` normalizations.
+    pub normalizations: u64,
+}
+
+impl OpRecorder for NttOpTrace {
+    #[inline(always)]
+    fn butterfly(&mut self) {
+        self.butterflies += 1;
+    }
+    #[inline(always)]
+    fn masked_reduction(&mut self) {
+        self.masked_reductions += 1;
+    }
+    #[inline(always)]
+    fn lazy_mul(&mut self) {
+        self.lazy_muls += 1;
+    }
+    #[inline(always)]
+    fn normalization(&mut self) {
+        self.normalizations += 1;
+    }
+}
+
+impl NttOpTrace {
+    /// The exact trace of a forward transform of dimension `n`: every one
+    /// of the `(n/2)·log₂n` butterflies performs one masked reduction and
+    /// one lazy multiply, and each of the `n` outputs is normalized once
+    /// at the end.
+    pub fn expected_forward(n: usize) -> Self {
+        let log_n = n.trailing_zeros() as u64;
+        let butterflies = (n as u64 / 2) * log_n;
+        Self {
+            butterflies,
+            masked_reductions: butterflies,
+            lazy_muls: butterflies,
+            normalizations: n as u64,
+        }
+    }
+
+    /// The exact trace of an inverse transform of dimension `n`: the
+    /// first `log₂n − 1` stages pay one masked reduction and one lazy
+    /// multiply per butterfly; the merged final stage (butterfly ×
+    /// `n⁻¹` scaling folded together) pays two lazy multiplies and two
+    /// normalizations per butterfly instead.
+    pub fn expected_inverse(n: usize) -> Self {
+        let log_n = n.trailing_zeros() as u64;
+        let half = n as u64 / 2;
+        Self {
+            butterflies: half * log_n,
+            masked_reductions: half * (log_n - 1),
+            lazy_muls: half * (log_n - 1) + n as u64,
+            normalizations: n as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_hand_counts_for_small_n() {
+        // n = 8, log n = 3: forward = 12 butterflies.
+        let f = NttOpTrace::expected_forward(8);
+        assert_eq!(f.butterflies, 12);
+        assert_eq!(f.masked_reductions, 12);
+        assert_eq!(f.lazy_muls, 12);
+        assert_eq!(f.normalizations, 8);
+        // Inverse: 2 lazy stages of 4 butterflies + merged final stage.
+        let i = NttOpTrace::expected_inverse(8);
+        assert_eq!(i.butterflies, 12);
+        assert_eq!(i.masked_reductions, 8);
+        assert_eq!(i.lazy_muls, 8 + 8);
+        assert_eq!(i.normalizations, 8);
+    }
+}

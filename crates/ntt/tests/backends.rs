@@ -92,6 +92,23 @@ proptest! {
     }
 
     #[test]
+    fn forward_lazy_plus_normalization_equals_forward(polys in triple_strategy()) {
+        // The lazy entry point defers the final sweep; normalizing its
+        // [0, 4q) output by hand must give exactly the reduced transform.
+        for ((label, n, q), a) in RINGS.iter().zip(&polys) {
+            let plan = NttPlan::new(*n, *q).unwrap();
+            let reference = plan.forward_copy(a);
+            let mut lazy_out = a.clone();
+            plan.forward_lazy(&mut lazy_out);
+            for x in lazy_out.iter_mut() {
+                prop_assert!((*x as u64) < 4 * *q as u64, "lazy bound escaped on {}", label);
+                *x = rlwe_zq::lazy::normalize4(*x, *q);
+            }
+            prop_assert_eq!(lazy_out, reference, "lazy+normalize diverged on {}", label);
+        }
+    }
+
+    #[test]
     fn negacyclic_mul_into_matches_allocating_mul(polys in triple_strategy(), seed in 1u32..1000) {
         for ((label, n, q), a) in RINGS.iter().zip(&polys) {
             let plan = NttPlan::new(*n, *q).unwrap();
@@ -103,6 +120,70 @@ proptest! {
             prop_assert_eq!(out, want, "negacyclic_mul_into diverged on {}", label);
         }
     }
+}
+
+#[test]
+fn all_backends_agree_on_worst_case_vectors() {
+    // All-(q−1) coefficients drive every lazy bound to its edge in every
+    // stage; the three backends must still agree bit-for-bit and produce
+    // canonical outputs, and the schoolbook oracle must confirm the
+    // round-trip product.
+    for (label, n, q) in RINGS {
+        let plan = NttPlan::new(n, q).unwrap();
+        let worst = vec![q - 1; n];
+        let reference = plan.forward_copy(&worst);
+        assert!(
+            reference.iter().all(|&c| c < q),
+            "unreduced forward output on {label}"
+        );
+
+        let mut packed_words = rlwe_ntt::packed::pack_coeffs(&worst);
+        forward_packed(&plan, &mut packed_words);
+        assert_eq!(
+            rlwe_ntt::packed::unpack_coeffs(&packed_words),
+            reference,
+            "packed diverged on {label}"
+        );
+
+        let mut lanes = pack_coeffs4(&worst);
+        forward_swar(&plan, &mut lanes);
+        assert_eq!(
+            unpack_coeffs4(&lanes),
+            reference,
+            "swar diverged on {label}"
+        );
+
+        let inv = plan.inverse_copy(&reference);
+        assert_eq!(
+            inv, worst,
+            "round trip lost the worst-case vector on {label}"
+        );
+    }
+    // And the worst-case product agrees with the schoolbook oracle.
+    let (n, q) = (64usize, 7681u32);
+    let plan = NttPlan::new(n, q).unwrap();
+    let worst = vec![q - 1; n];
+    assert_eq!(
+        plan.negacyclic_mul(&worst, &worst),
+        rlwe_ntt::schoolbook::negacyclic_mul(&worst, &worst, q)
+    );
+}
+
+#[test]
+fn oversized_moduli_are_rejected_at_plan_build() {
+    // 3221225473 = 3·2³⁰ + 1 is the classic large NTT prime, but it sits
+    // above the lazy-domain ceiling (4q must fit a u32) — the plan must
+    // refuse it up front rather than overflow a butterfly.
+    assert!(matches!(
+        NttPlan::new(512, 3221225473u64 as u32),
+        Err(rlwe_ntt::NttError::ModulusTooLarge { .. })
+    ));
+    // Boundary: 2³⁰ itself is out, anything below is gated by the other
+    // checks only.
+    assert!(matches!(
+        NttPlan::new(512, 1 << 30),
+        Err(rlwe_ntt::NttError::ModulusTooLarge { .. })
+    ));
 }
 
 #[test]

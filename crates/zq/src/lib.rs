@@ -25,6 +25,14 @@
 //! primitives (masked compare/select, branchless predicates, best-effort
 //! zeroisation) — every secret-handling crate above routes through it.
 //!
+//! The [`lazy`] module supplies masked (branch-free, cmov-independent)
+//! modular corrections plus the lazy-reduction domain ops
+//! (`[0, 2q)`/`[0, 4q)` coefficients, deferred normalization) that the
+//! NTT butterflies in `rlwe-ntt` are built from. The eager entry points
+//! below ([`add_mod`], [`sub_mod`], [`neg_mod`], [`Modulus::reduce`],
+//! [`shoup::mul_shoup`]) are all reimplemented on top of that masked
+//! core, so every caller inherits branchlessness.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +56,7 @@ mod ops;
 mod primality;
 
 pub mod ct;
+pub mod lazy;
 pub mod montgomery;
 pub mod packed;
 pub mod primitive;
@@ -61,7 +70,9 @@ pub use primality::is_prime_u64;
 /// Adds two residues modulo `q` without any precomputation.
 ///
 /// Inputs must already be reduced (`a, b < q`); the function then returns
-/// `(a + b) mod q` with a single conditional subtraction.
+/// `(a + b) mod q` with a single **masked** conditional subtraction
+/// ([`lazy::reduce_once`]) — no branch, no reliance on the compiler
+/// choosing a conditional move.
 ///
 /// # Panics
 ///
@@ -75,17 +86,13 @@ pub use primality::is_prime_u64;
 #[inline]
 pub fn add_mod(a: u32, b: u32, q: u32) -> u32 {
     debug_assert!(a < q && b < q, "add_mod inputs must be reduced");
-    let s = a + b;
-    if s >= q {
-        s - q
-    } else {
-        s
-    }
+    lazy::add_mod_masked(a, b, q)
 }
 
 /// Subtracts two residues modulo `q` without any precomputation.
 ///
-/// Inputs must already be reduced (`a, b < q`).
+/// Inputs must already be reduced (`a, b < q`); the borrow-mask
+/// correction is branch-free ([`lazy::sub_mod_masked`]).
 ///
 /// # Example
 ///
@@ -95,14 +102,10 @@ pub fn add_mod(a: u32, b: u32, q: u32) -> u32 {
 #[inline]
 pub fn sub_mod(a: u32, b: u32, q: u32) -> u32 {
     debug_assert!(a < q && b < q, "sub_mod inputs must be reduced");
-    if a >= b {
-        a - b
-    } else {
-        a + q - b
-    }
+    lazy::sub_mod_masked(a, b, q)
 }
 
-/// Negates a residue modulo `q` (`0` maps to `0`).
+/// Negates a residue modulo `q` (`0` maps to `0`), branch-free.
 ///
 /// # Example
 ///
@@ -113,11 +116,7 @@ pub fn sub_mod(a: u32, b: u32, q: u32) -> u32 {
 #[inline]
 pub fn neg_mod(a: u32, q: u32) -> u32 {
     debug_assert!(a < q, "neg_mod input must be reduced");
-    if a == 0 {
-        0
-    } else {
-        q - a
-    }
+    lazy::neg_mod_masked(a, q)
 }
 
 /// Multiplies two residues modulo `q` using a 64-bit intermediate.

@@ -65,7 +65,17 @@ impl Modulus {
         32 - (self.q - 1).leading_zeros()
     }
 
-    /// Reduces an arbitrary 64-bit value modulo `q` via Barrett reduction.
+    /// Reduces an arbitrary 64-bit value modulo `q` via Barrett reduction
+    /// with a **masked** correction tail.
+    ///
+    /// The quotient estimate uses `μ = ⌊(2⁶⁴ − 1)/q⌋`, which never
+    /// overshoots and undershoots the true quotient by at most 2 for
+    /// *every* `x` up to `u64::MAX` (μ > (2⁶⁴ − 1 − q)/q gives
+    /// `quot > x/q − x(1+q)/(q·2⁶⁴) − 1 > x/q − 3`). The remainder
+    /// estimate therefore lies in `[0, 3q)` and is corrected to `[0, q)`
+    /// by exactly two branch-free conditional subtractions
+    /// ([`crate::lazy::reduce_once_u64`] by `2q`, then by `q`) — the same
+    /// instruction sequence for every input value.
     ///
     /// # Example
     ///
@@ -73,17 +83,31 @@ impl Modulus {
     /// # use rlwe_zq::Modulus;
     /// let q = Modulus::new(7681).unwrap();
     /// assert_eq!(q.reduce(7681 * 7681 + 5), 5);
+    ///
+    /// // x ≥ q² edge cases up to the top of the u64 range: the two-step
+    /// // masked correction must still land in [0, q).
+    /// assert_eq!(q.reduce(u64::MAX), (u64::MAX % 7681) as u32);
+    /// assert_eq!(q.reduce(u64::MAX - 1), ((u64::MAX - 1) % 7681) as u32);
+    /// let q2 = 7681u64 * 7681;
+    /// assert_eq!(q.reduce(q2), 0);
+    /// assert_eq!(q.reduce(q2 - 1), (q2 as u32 - 1) % 7681);
+    ///
+    /// // Same extremes for a 31-bit modulus, where q² itself is close
+    /// // to the representable limit.
+    /// let big = Modulus::new(2147483647).unwrap(); // 2³¹ − 1
+    /// assert_eq!(big.reduce(u64::MAX), (u64::MAX % 2147483647) as u32);
+    /// let b2 = 2147483647u64 * 2147483647;
+    /// assert_eq!(big.reduce(b2 + 1), 1);
     /// ```
     #[inline]
     pub fn reduce(&self, x: u64) -> u32 {
-        // Barrett: estimate quotient with the precomputed reciprocal, then
-        // correct with at most three subtractions (the estimate never
-        // overshoots, so r stays non-negative).
         let quot = ((x as u128 * self.barrett_mu as u128) >> 64) as u64;
-        let mut r = x - quot * self.q as u64;
-        while r >= self.q as u64 {
-            r -= self.q as u64;
-        }
+        // r ∈ [0, 3q): the estimate never overshoots and misses the true
+        // quotient by at most 2 (see the doc comment's bound).
+        let r = x - quot * self.q as u64;
+        debug_assert!(r < 3 * self.q as u64, "Barrett estimate out of [0, 3q)");
+        let r = crate::lazy::reduce_once_u64(r, 2 * self.q as u64);
+        let r = crate::lazy::reduce_once_u64(r, self.q as u64);
         debug_assert_eq!(r, x % self.q as u64);
         r as u32
     }

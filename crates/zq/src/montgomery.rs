@@ -73,15 +73,14 @@ impl MontgomeryCtx {
     }
 
     /// Montgomery reduction: computes `t · R⁻¹ mod q` for `t < qR`.
+    ///
+    /// The intermediate lies in `[0, 2q)`; the single correction is the
+    /// masked [`crate::lazy::reduce_once`], not a value-dependent branch.
     #[inline]
     pub fn redc(&self, t: u64) -> u32 {
         let m = (t as u32).wrapping_mul(self.neg_q_inv);
         let u = ((t + m as u64 * self.q as u64) >> 32) as u32;
-        if u >= self.q {
-            u - self.q
-        } else {
-            u
-        }
+        crate::lazy::reduce_once(u, self.q)
     }
 
     /// Multiplies two values already in Montgomery form.

@@ -39,6 +39,16 @@ pub trait SliceOps {
 
     /// `out[i] ← a[i] · b[i] mod q`.
     fn mul_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]);
+
+    /// `a[i] ← a[i] · b[i] mod q` for **lazy** (possibly unreduced)
+    /// operands: any `u32` values congruent to the intended residues —
+    /// e.g. `[0, 4q)` coefficients straight out of a lazy forward NTT.
+    /// The 64-bit product is Barrett-reduced, so outputs are canonical.
+    fn mul_assign_slice_lazy(&self, a: &mut [u32], b: &[u32]);
+
+    /// `out[i] ← a[i] · b[i] mod q` for lazy operands (see
+    /// [`SliceOps::mul_assign_slice_lazy`]).
+    fn mul_into_slice_lazy(&self, out: &mut [u32], a: &[u32], b: &[u32]);
 }
 
 impl SliceOps for Modulus {
@@ -67,7 +77,10 @@ impl SliceOps for Modulus {
         debug_assert_eq!(acc.len(), a.len());
         debug_assert_eq!(acc.len(), b.len());
         for ((z, &x), &y) in acc.iter_mut().zip(a).zip(b) {
-            *z = self.add(self.mul(x, y), *z);
+            // Lazily accumulate the 64-bit product before reducing: one
+            // Barrett pass replaces the reduce-then-add-then-correct
+            // chain (x·y + z < q² + q always fits u64 for q < 2³¹).
+            *z = self.reduce(x as u64 * y as u64 + *z as u64);
         }
     }
 
@@ -92,6 +105,21 @@ impl SliceOps for Modulus {
         debug_assert_eq!(out.len(), b.len());
         for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
             *z = self.mul(x, y);
+        }
+    }
+
+    fn mul_assign_slice_lazy(&self, a: &mut [u32], b: &[u32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.reduce(*x as u64 * y as u64);
+        }
+    }
+
+    fn mul_into_slice_lazy(&self, out: &mut [u32], a: &[u32], b: &[u32]) {
+        debug_assert_eq!(out.len(), a.len());
+        debug_assert_eq!(out.len(), b.len());
+        for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *z = self.reduce(x as u64 * y as u64);
         }
     }
 }

@@ -40,14 +40,13 @@ pub fn shoup_precompute(w: u32, q: u32) -> u32 {
 /// Multiplies `a` by the fixed `w` modulo `q`, given `w`'s precomputed
 /// companion word from [`shoup_precompute`].
 ///
-/// Requires `q < 2³¹` and both operands reduced.
+/// Requires `q < 2³¹` and both operands reduced. The unreduced product
+/// lands in `[0, 2q)` ([`crate::lazy::mul_shoup_lazy`]) and the single
+/// final correction is masked — no branch on the coefficient value.
 #[inline]
 pub fn mul_shoup(a: u32, w: u32, w_shoup: u32, q: u32) -> u32 {
     debug_assert!(a < q && w < q);
-    let t = ((a as u64 * w_shoup as u64) >> 32) as u32;
-    let r = a.wrapping_mul(w).wrapping_sub(t.wrapping_mul(q));
-    // r is guaranteed to be in [0, 2q): subtract q at most once.
-    let r = if r >= q { r - q } else { r };
+    let r = crate::lazy::reduce_once(crate::lazy::mul_shoup_lazy(a, w, w_shoup, q), q);
     debug_assert_eq!(r as u64, a as u64 * w as u64 % q as u64);
     r
 }
@@ -82,6 +81,15 @@ impl ShoupPair {
     #[inline]
     pub fn mul(&self, a: u32, q: u32) -> u32 {
         mul_shoup(a, self.value, self.companion, q)
+    }
+
+    /// Lazy-domain twiddle multiply: accepts **any** `u32` first operand
+    /// (in particular a `[0, 4q)` lazy coefficient) and returns a value
+    /// in `[0, 2q)` congruent to `a·w mod q`, with no final correction —
+    /// the inner-loop workhorse of the Harvey-style NTT butterflies.
+    #[inline]
+    pub fn mul_lazy(&self, a: u32, q: u32) -> u32 {
+        crate::lazy::mul_shoup_lazy(a, self.value, self.companion, q)
     }
 }
 

@@ -2,13 +2,18 @@
 
 use proptest::prelude::*;
 use rlwe_zq::montgomery::MontgomeryCtx;
-use rlwe_zq::packed;
-use rlwe_zq::shoup::{mul_shoup, shoup_precompute};
-use rlwe_zq::{add_mod, inv_mod, mul_mod, neg_mod, pow_mod, sub_mod, Modulus};
+use rlwe_zq::shoup::{mul_shoup, shoup_precompute, ShoupPair};
+use rlwe_zq::{add_mod, inv_mod, lazy, mul_mod, neg_mod, packed, pow_mod, sub_mod, Modulus};
 
 /// The paper's two moduli plus one mid-size and one large prime.
 fn any_modulus() -> impl Strategy<Value = u32> {
     prop::sample::select(vec![7681u32, 12289, 8383489, 2147483647])
+}
+
+/// Moduli inside the lazy domain (`q < 2³⁰`): the paper's P1/P2 primes
+/// (P3 reuses 12289) plus a 23-bit prime for headroom coverage.
+fn lazy_modulus() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![7681u32, 12289, 8383489])
 }
 
 proptest! {
@@ -119,5 +124,115 @@ proptest! {
         let m = Modulus::new(q).unwrap();
         let a = a % q;
         prop_assert_eq!(m.from_signed(m.to_signed(a) as i64), a);
+    }
+
+    #[test]
+    fn lazy_pipeline_agrees_with_eager_ops(q in lazy_modulus(), a: u32, b: u32, w: u32) {
+        // The eager API and the lazy-domain pipeline (lazy ops + one
+        // final normalization) must agree on every input.
+        let (a, b, w) = (a % q, b % q, w % q);
+        let two_q = 2 * q;
+        prop_assert_eq!(add_mod(a, b, q), lazy::normalize4(lazy::add_lazy(a, b), q));
+        prop_assert_eq!(
+            sub_mod(a, b, q),
+            lazy::normalize4(lazy::sub_lazy(a, b, two_q), q)
+        );
+        let pair = ShoupPair::new(w, q);
+        prop_assert_eq!(mul_mod(a, w, q), lazy::reduce_once(pair.mul_lazy(a, q), q));
+    }
+
+    #[test]
+    fn lazy_butterfly_chain_agrees_after_final_normalization(
+        q in lazy_modulus(),
+        a: u32,
+        b: u32,
+        w: u32,
+    ) {
+        // One forward butterfly followed by one inverse butterfly, eager
+        // vs fully lazy with a single trailing normalization — the shape
+        // the NTT kernels chain thousands of times.
+        let (a, b, w) = (a % q, b % q, w % q);
+        let two_q = 2 * q;
+        let pair = ShoupPair::new(w, q);
+
+        // Eager: v = b·w; (x, y) = (a+v, a−v); then x' = x+y, y' = (x−y)·w.
+        let v = mul_mod(b, w, q);
+        let x = add_mod(a, v, q);
+        let y = sub_mod(a, v, q);
+        let x2 = add_mod(x, y, q);
+        let y2 = mul_mod(sub_mod(x, y, q), w, q);
+
+        // Lazy: same dataflow, no intermediate reductions beyond the
+        // butterflies' own masked corrections.
+        let u = lazy::reduce_once(a, two_q);
+        let lv = pair.mul_lazy(b, q);
+        let lx = lazy::add_lazy(u, lv);                    // [0, 4q)
+        let ly = lazy::sub_lazy(u, lv, two_q);             // [0, 4q)
+        let lx_r = lazy::reduce_once(lx, two_q); // back under 2q
+        let ly_r = lazy::reduce_once(ly, two_q);
+        let lx2 = lazy::reduce_once(lazy::add_lazy(lx_r, ly_r), two_q);
+        let ly2 = pair.mul_lazy(lazy::sub_lazy(lx_r, ly_r, two_q), q);
+
+        prop_assert_eq!(x2, lazy::normalize4(lx2, q));
+        prop_assert_eq!(y2, lazy::normalize4(ly2, q));
+    }
+
+    #[test]
+    fn slice_lazy_mul_matches_eager_after_normalization(
+        q in lazy_modulus(),
+        pairs in prop::collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 1..64),
+    ) {
+        use rlwe_zq::SliceOps;
+        let m = Modulus::new(q).unwrap();
+        // Lazy operands: anything < 4q, here derived by folding arbitrary
+        // u32s into [0, 4q).
+        let a: Vec<u32> = pairs.iter().map(|&(x, _)| x % (4 * q)).collect();
+        let b: Vec<u32> = pairs.iter().map(|&(_, y)| y % (4 * q)).collect();
+        let mut lazy_out = a.clone();
+        m.mul_assign_slice_lazy(&mut lazy_out, &b);
+        let eager: Vec<u32> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| m.mul(x % q, y % q))
+            .collect();
+        prop_assert_eq!(lazy_out, eager);
+    }
+}
+
+#[test]
+fn lazy_pipeline_handles_all_q_minus_1_worst_case_vectors() {
+    // Every operand at its maximum drives each lazy bound to its edge:
+    // add_lazy peaks at 2q−2 from reduced inputs and 4q−2 from lazy
+    // ones, sub_lazy at 4q−1, the Shoup product at 2q−1. All must still
+    // normalize to the eager result.
+    for q in [7681u32, 12289, 8383489] {
+        let two_q = 2 * q;
+        let a = q - 1;
+        let pair = ShoupPair::new(q - 1, q);
+        assert_eq!(
+            lazy::normalize4(lazy::add_lazy(a, a), q),
+            add_mod(a, a, q),
+            "q={q} add"
+        );
+        assert_eq!(
+            lazy::normalize4(lazy::sub_lazy(0, a, two_q), q),
+            sub_mod(0, a, q),
+            "q={q} sub"
+        );
+        // Widest lazy operand into the twiddle multiply: 4q − 1.
+        let widest = 4 * q - 1;
+        let r = pair.mul_lazy(widest, q);
+        assert!(r < two_q, "q={q}: lazy product escaped [0, 2q)");
+        assert_eq!(
+            lazy::reduce_once(r, q),
+            mul_mod(widest % q, q - 1, q),
+            "q={q} mul"
+        );
+        // And the worst-case *chain*: (a + a)·w − a, all lazy.
+        let sum = lazy::add_lazy(lazy::reduce_once(a, two_q), lazy::reduce_once(a, two_q));
+        let prod = pair.mul_lazy(sum, q);
+        let diff = lazy::sub_lazy(prod, a, two_q);
+        let eager = sub_mod(mul_mod(add_mod(a, a, q), q - 1, q), a, q);
+        assert_eq!(lazy::normalize4(diff, q), eager, "q={q} chain");
     }
 }
