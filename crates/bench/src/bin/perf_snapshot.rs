@@ -5,13 +5,21 @@
 //! `--json` — writes the numbers as a `BENCH_<PR>.json` snapshot so the
 //! repository accumulates a benchmark trajectory across PRs.
 //!
+//! Since PR 5 every arm comes in two flavours: the default names
+//! (`ntt_forward_p1_n256`, `encrypt_p2`, …) measure what the suite
+//! actually runs — the **specialized** `Q7681`/`Q12289` reducer plans
+//! the dispatch layer selects for the paper's parameter sets — while the
+//! `_generic` siblings force the runtime-Barrett fallback on the same
+//! ring, making the specialization ablation a one-file diff (DESIGN.md
+//! §7).
+//!
 //! ```text
 //! cargo run --release -p rlwe-bench --bin perf_snapshot            # print only
-//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --json  # + BENCH_4.json
+//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --json  # + BENCH_5.json
 //! cargo run --release -p rlwe-bench --bin perf_snapshot -- --smoke # CI: few reps
 //! ```
 //!
-//! `--json [PATH]` defaults to `BENCH_4.json` in the working directory;
+//! `--json [PATH]` defaults to `BENCH_5.json` in the working directory;
 //! `--smoke` cuts repetition counts ~100× so CI can exercise the binary in
 //! seconds (the numbers are then smoke-quality — trend data comes from
 //! full runs).
@@ -22,10 +30,12 @@ use rlwe_bench::snapshot::{Snapshot, SnapshotEntry};
 
 /// The PR this snapshot belongs to — bump once per PR; it names the
 /// default `--json` output file and is recorded inside the document.
-const PR: u32 = 4;
+const PR: u32 = 5;
 use rlwe_core::drbg::HashDrbg;
-use rlwe_core::{ParamSet, RlweContext};
+use rlwe_core::{ParamSet, ReducerPreference, RlweContext};
 use rlwe_ntt::NttPlan;
+use rlwe_zq::reduce::{Q12289, Q7681};
+use rlwe_zq::Reducer;
 
 /// Times `f` over `reps` repetitions (after one warm-up call) and returns
 /// nanoseconds per call.
@@ -42,6 +52,84 @@ fn demo(n: usize, q: u32, seed: u32) -> Vec<u32> {
     (0..n as u32)
         .map(|i| (i.wrapping_mul(seed) + 1) % q)
         .collect()
+}
+
+/// NTT-layer arms for one plan instantiation; callers pass the full
+/// `label` — the bare ring name (`"p1_n256"`) for the dispatched
+/// specialized plan, the `_generic`-suffixed form for the forced
+/// runtime-Barrett ablation arm.
+fn bench_ntt_plan<R: Reducer>(snap: &mut Snapshot, plan: &NttPlan<R>, label: &str, ntt_reps: u32) {
+    let n = plan.n();
+    let q = plan.q();
+    let poly = demo(n, q, 31);
+    let other = demo(n, q, 77);
+
+    let mut buf = poly.clone();
+    let fwd = time_ns(
+        || {
+            buf.copy_from_slice(&poly);
+            plan.forward(std::hint::black_box(&mut buf));
+        },
+        ntt_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("ntt_forward_{label}"), fwd));
+
+    let hat = plan.forward_copy(&poly);
+    let inv = time_ns(
+        || {
+            buf.copy_from_slice(&hat);
+            plan.inverse(std::hint::black_box(&mut buf));
+        },
+        ntt_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("ntt_inverse_{label}"), inv));
+
+    let mut out = vec![0u32; n];
+    let mut scratch = rlwe_ntt::PolyScratch::new(n);
+    let mul = time_ns(
+        || {
+            plan.negacyclic_mul_into(
+                std::hint::black_box(&poly),
+                std::hint::black_box(&other),
+                &mut out,
+                &mut scratch,
+            )
+            .expect("lengths match");
+        },
+        ntt_reps / 2,
+    );
+    snap.push(SnapshotEntry::ns(format!("negacyclic_mul_{label}"), mul));
+}
+
+/// Scheme-layer arms (encrypt/decrypt) for one context; `label` as in
+/// [`bench_ntt_plan`].
+fn bench_scheme(snap: &mut Snapshot, ctx: &RlweContext, label: &str, scheme_reps: u32) {
+    let mut rng = HashDrbg::new([7u8; 32]);
+    let (pk, sk) = ctx.generate_keypair(&mut rng).expect("keygen");
+    let msg = vec![0xA5u8; ctx.params().message_bytes()];
+    let mut scratch = ctx.new_scratch();
+    let mut ct = ctx.empty_ciphertext();
+    ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+        .expect("encrypt");
+
+    let enc = time_ns(
+        || {
+            ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+                .expect("encrypt");
+        },
+        scheme_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("encrypt_{label}"), enc));
+
+    let mut pt = vec![0u8; ctx.params().message_bytes()];
+    let dec = time_ns(
+        || {
+            ctx.decrypt_into(&sk, &ct, &mut pt, &mut scratch)
+                .expect("decrypt");
+        },
+        scheme_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("decrypt_{label}"), dec));
 }
 
 fn main() {
@@ -61,91 +149,46 @@ fn main() {
         "PERF SNAPSHOT ({} mode, ns/op and ops/s, this host)\n",
         if smoke { "smoke" } else { "full" }
     );
-    println!("{:<28}{:>14}{:>16}", "benchmark", "ns/op", "ops/s");
+    println!("{:<34}{:>14}{:>16}", "benchmark", "ns/op", "ops/s");
 
-    // --- NTT layer --------------------------------------------------------
-    for (label, n, q) in [("p1", 256usize, 7681u32), ("p2", 512, 12289)] {
-        let plan = NttPlan::new(n, q).expect("paper ring");
-        let poly = demo(n, q, 31);
-        let other = demo(n, q, 77);
+    // --- NTT layer: specialized (the dispatched default) vs generic ------
+    let p1 = NttPlan::with_reducer(256, Q7681).expect("paper ring");
+    bench_ntt_plan(&mut snap, &p1, "p1_n256", ntt_reps);
+    let p1_gen = NttPlan::new(256, 7681).expect("paper ring");
+    bench_ntt_plan(&mut snap, &p1_gen, "p1_n256_generic", ntt_reps);
 
-        let mut buf = poly.clone();
-        let fwd = time_ns(
-            || {
-                buf.copy_from_slice(&poly);
-                plan.forward(std::hint::black_box(&mut buf));
-            },
-            ntt_reps,
-        );
-        snap.push(SnapshotEntry::ns(format!("ntt_forward_{label}_n{n}"), fwd));
+    let p2 = NttPlan::with_reducer(512, Q12289).expect("paper ring");
+    bench_ntt_plan(&mut snap, &p2, "p2_n512", ntt_reps);
+    let p2_gen = NttPlan::new(512, 12289).expect("paper ring");
+    bench_ntt_plan(&mut snap, &p2_gen, "p2_n512_generic", ntt_reps);
 
-        let hat = plan.forward_copy(&poly);
-        let inv = time_ns(
-            || {
-                buf.copy_from_slice(&hat);
-                plan.inverse(std::hint::black_box(&mut buf));
-            },
-            ntt_reps,
-        );
-        snap.push(SnapshotEntry::ns(format!("ntt_inverse_{label}_n{n}"), inv));
-
-        let mut out = vec![0u32; n];
-        let mut scratch = rlwe_ntt::PolyScratch::new(n);
-        let mul = time_ns(
-            || {
-                plan.negacyclic_mul_into(
-                    std::hint::black_box(&poly),
-                    std::hint::black_box(&other),
-                    &mut out,
-                    &mut scratch,
-                )
-                .expect("lengths match");
-            },
-            ntt_reps / 2,
-        );
-        snap.push(SnapshotEntry::ns(
-            format!("negacyclic_mul_{label}_n{n}"),
-            mul,
-        ));
-    }
-
-    // --- Scheme layer -----------------------------------------------------
+    // --- Scheme layer: dispatched context vs forced-generic context ------
     for set in [ParamSet::P1, ParamSet::P2] {
         let label = match set {
             ParamSet::P1 => "p1",
             ParamSet::P2 => "p2",
         };
         let ctx = RlweContext::new(set).expect("named set");
-        let mut rng = HashDrbg::new([7u8; 32]);
-        let (pk, sk) = ctx.generate_keypair(&mut rng).expect("keygen");
-        let msg = vec![0xA5u8; ctx.params().message_bytes()];
-        let mut scratch = ctx.new_scratch();
-        let mut ct = ctx.empty_ciphertext();
-        ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
-            .expect("encrypt");
-
-        let enc = time_ns(
-            || {
-                ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
-                    .expect("encrypt");
-            },
+        assert_ne!(
+            ctx.reducer_kind(),
+            rlwe_zq::ReducerKind::Barrett,
+            "default context must dispatch to the specialized plan"
+        );
+        bench_scheme(&mut snap, &ctx, label, scheme_reps);
+        let generic_ctx = RlweContext::builder(set)
+            .reducer_preference(ReducerPreference::Generic)
+            .build()
+            .expect("named set");
+        bench_scheme(
+            &mut snap,
+            &generic_ctx,
+            &format!("{label}_generic"),
             scheme_reps,
         );
-        snap.push(SnapshotEntry::ns(format!("encrypt_{label}"), enc));
-
-        let mut pt = vec![0u8; ctx.params().message_bytes()];
-        let dec = time_ns(
-            || {
-                ctx.decrypt_into(&sk, &ct, &mut pt, &mut scratch)
-                    .expect("decrypt");
-            },
-            scheme_reps,
-        );
-        snap.push(SnapshotEntry::ns(format!("decrypt_{label}"), dec));
     }
 
     for e in snap.entries() {
-        println!("{:<28}{:>14.1}{:>16.0}", e.name, e.ns_per_op, e.ops_per_sec);
+        println!("{:<34}{:>14.1}{:>16.0}", e.name, e.ns_per_op, e.ops_per_sec);
     }
 
     if let Some(path) = json_path {

@@ -19,10 +19,11 @@
 //! equivalence tests in `rlwe-ntt` enforce it).
 
 use rand::RngCore;
-use rlwe_ntt::{packed, parallel, pointwise, swar, NttPlan, PolyScratch};
+use rlwe_ntt::{packed, parallel, pointwise, swar, AnyNttPlan, NttPlan, PolyScratch};
 use rlwe_sampler::ct::CtCdtSampler;
 use rlwe_sampler::random::{BitSource, BufferedBitSource, WordSource};
 use rlwe_sampler::{KnuthYao, ProbabilityMatrix};
+use rlwe_zq::{Reducer, ReducerKind};
 
 use crate::encode::{decode_message_into, encode_message_add_assign};
 use crate::keys::{Ciphertext, PublicKey, SecretKey};
@@ -87,6 +88,26 @@ pub enum SamplerKind {
     CtCdt,
 }
 
+/// Which modular-reduction instantiation the context's kernels run on.
+///
+/// The default, [`ReducerPreference::Auto`], dispatches on the modulus
+/// once at construction: `q = 7681` and `q = 12289` (the paper's P1/P2
+/// primes) get the fully monomorphized special-prime reducers
+/// ([`rlwe_zq::reduce::Q7681`] / [`rlwe_zq::reduce::Q12289`]), every
+/// other prime the runtime-Barrett fallback. All instantiations are
+/// bit-identical; [`ReducerPreference::Generic`] forces the fallback
+/// even for the paper's primes — the ablation/bench knob, not something
+/// a server wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ReducerPreference {
+    /// Specialize when the modulus is one of the paper's primes.
+    #[default]
+    Auto,
+    /// Always use the runtime-Barrett reducer.
+    Generic,
+}
+
 /// Configures and builds an [`RlweContext`].
 ///
 /// # Example
@@ -108,6 +129,7 @@ pub struct RlweContextBuilder {
     params: Params,
     backend: NttBackend,
     sampler: SamplerKind,
+    reducer: ReducerPreference,
 }
 
 impl RlweContextBuilder {
@@ -122,6 +144,7 @@ impl RlweContextBuilder {
             params,
             backend: NttBackend::default(),
             sampler: SamplerKind::default(),
+            reducer: ReducerPreference::default(),
         }
     }
 
@@ -134,6 +157,15 @@ impl RlweContextBuilder {
     /// Selects the Knuth-Yao sampler variant (default: [`SamplerKind::Lut`]).
     pub fn sampler(mut self, sampler: SamplerKind) -> Self {
         self.sampler = sampler;
+        self
+    }
+
+    /// Selects the reducer instantiation (default:
+    /// [`ReducerPreference::Auto`] — specialize for the paper's primes).
+    /// [`ReducerPreference::Generic`] exists for ablation benches and
+    /// bit-identity tests.
+    pub fn reducer_preference(mut self, reducer: ReducerPreference) -> Self {
+        self.reducer = reducer;
         self
     }
 
@@ -166,6 +198,17 @@ impl RlweContextBuilder {
             });
         }
         let plan = NttPlan::new(self.params.n(), self.params.q())?;
+        // Dispatch the reducer instantiation exactly once, here: every
+        // hot path below routes through `dispatch`, so the P1/P2 kernels
+        // run fully monomorphized with compile-time constants. The
+        // generic `plan` is kept alongside for the `plan()` accessor
+        // (cost-model and bench consumers) — same twiddles, same
+        // outputs, different reduction tail; `promote` moves a clone's
+        // tables into the specialized type rather than rebuilding them.
+        let dispatch = match self.reducer {
+            ReducerPreference::Auto => AnyNttPlan::promote(plan.clone()),
+            ReducerPreference::Generic => AnyNttPlan::Generic(plan.clone()),
+        };
         let spec = self.params.spec();
         let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
         // The CT sampler inverts the same probability table the Knuth-Yao
@@ -182,12 +225,26 @@ impl RlweContextBuilder {
         Ok(RlweContext {
             params: self.params,
             plan,
+            dispatch,
             ky,
             ct,
             backend: self.backend,
             sampler: self.sampler,
         })
     }
+}
+
+/// Runs `$body` with `$p` bound to the context's dispatched, typed
+/// [`NttPlan`] — the single point where the reducer instantiation is
+/// selected; everything inside `$body` monomorphizes per reducer.
+macro_rules! with_dispatch {
+    ($self:expr, |$p:ident| $body:expr) => {
+        match &$self.dispatch {
+            AnyNttPlan::Q7681($p) => $body,
+            AnyNttPlan::Q12289($p) => $body,
+            AnyNttPlan::Generic($p) => $body,
+        }
+    };
 }
 
 /// Everything needed to run the scheme for one parameter set: the NTT plan
@@ -216,7 +273,14 @@ impl RlweContextBuilder {
 #[derive(Debug, Clone)]
 pub struct RlweContext {
     params: Params,
+    /// The runtime-Barrett view of the plan (twiddles identical to
+    /// `dispatch`'s) — what [`RlweContext::plan`] exposes to the cost
+    /// model and benches.
     plan: NttPlan,
+    /// The reducer-dispatched plan every scheme operation routes
+    /// through; for P1/P2 this holds the monomorphized special-prime
+    /// kernels (unless [`ReducerPreference::Generic`] was selected).
+    dispatch: AnyNttPlan,
     ky: KnuthYao,
     /// Present exactly when `sampler == SamplerKind::CtCdt`.
     ct: Option<CtCdtSampler>,
@@ -278,6 +342,14 @@ impl RlweContext {
         self.backend
     }
 
+    /// Which reducer instantiation the scheme kernels dispatched to —
+    /// [`ReducerKind::Q7681`]/[`ReducerKind::Q12289`] for the paper's
+    /// parameter sets under [`ReducerPreference::Auto`],
+    /// [`ReducerKind::Barrett`] otherwise. CI pins this for P1/P2.
+    pub fn reducer_kind(&self) -> ReducerKind {
+        self.dispatch.kind()
+    }
+
     /// The sampler variant drawing the error polynomials.
     pub fn sampler_kind(&self) -> SamplerKind {
         self.sampler
@@ -326,19 +398,20 @@ impl RlweContext {
 
     /// Fills `out` with error-polynomial residues through the configured
     /// sampler rung (the default rung delegates to the sampler crate's
-    /// own fill loop).
-    fn sample_error_into<B: BitSource>(&self, bits: &mut B, out: &mut [u32]) {
-        let q = self.params.q();
+    /// own fill loop). Generic over the dispatched reducer, so the
+    /// per-coefficient sign application ([`Reducer::signed_residue`])
+    /// monomorphizes with compile-time `q` on the specialized plans.
+    fn sample_error_into<R: Reducer, B: BitSource>(&self, r: &R, bits: &mut B, out: &mut [u32]) {
         match self.sampler {
-            SamplerKind::Lut => self.ky.sample_poly_zq_into(q, bits, out),
+            SamplerKind::Lut => self.ky.sample_poly_reduced_into(r, bits, out),
             SamplerKind::Basic => {
                 for c in out.iter_mut() {
-                    *c = self.ky.sample_basic(bits).to_zq(q);
+                    *c = self.ky.sample_basic(bits).to_zq_with(r);
                 }
             }
             SamplerKind::Lut1 => {
                 for c in out.iter_mut() {
-                    *c = self.ky.sample_lut1(bits).to_zq(q);
+                    *c = self.ky.sample_lut1(bits).to_zq_with(r);
                 }
             }
             SamplerKind::CtCdt => {
@@ -347,23 +420,24 @@ impl RlweContext {
                     .as_ref()
                     .expect("CtCdt contexts always carry the CT sampler");
                 for c in out.iter_mut() {
-                    *c = ct.sample(bits).to_zq(q);
+                    *c = ct.sample(bits).to_zq_with(r);
                 }
             }
         }
     }
 
-    /// In-place forward NTT through the configured backend.
-    fn ntt_forward(&self, a: &mut [u32], scratch: &mut PolyScratch) {
+    /// In-place forward NTT through the configured backend, on the
+    /// dispatched plan.
+    fn ntt_forward<R: Reducer>(&self, plan: &NttPlan<R>, a: &mut [u32], scratch: &mut PolyScratch) {
         match self.backend {
-            NttBackend::Reference => self.plan.forward(a),
+            NttBackend::Reference => plan.forward(a),
             NttBackend::Packed => {
                 let mut w = scratch.take();
                 let half = a.len() / 2;
                 for (i, word) in w[..half].iter_mut().enumerate() {
                     *word = rlwe_zq::packed::pack(a[2 * i], a[2 * i + 1]);
                 }
-                packed::forward_packed(&self.plan, &mut w[..half]);
+                packed::forward_packed(plan, &mut w[..half]);
                 for (i, &word) in w[..half].iter().enumerate() {
                     let (lo, hi) = rlwe_zq::packed::unpack(word);
                     a[2 * i] = lo;
@@ -373,14 +447,14 @@ impl RlweContext {
             }
             NttBackend::Swar => {
                 if a.len() < 8 {
-                    self.plan.forward(a);
+                    plan.forward(a);
                     return;
                 }
                 let mut w = scratch.take64();
                 for (i, word) in w.iter_mut().enumerate() {
                     *word = swar::pack4([a[4 * i], a[4 * i + 1], a[4 * i + 2], a[4 * i + 3]]);
                 }
-                swar::forward_swar(&self.plan, &mut w);
+                swar::forward_swar(plan, &mut w);
                 for (i, &word) in w.iter().enumerate() {
                     let lanes = swar::unpack4(word);
                     a[4 * i..4 * i + 4].copy_from_slice(&lanes);
@@ -394,9 +468,14 @@ impl RlweContext {
     /// on the reference backend, the fused *packed* loop nest (the
     /// configuration Table I actually benchmarks) on the packed backend,
     /// per-polynomial on SWAR.
-    fn ntt_forward3(&self, polys: [&mut [u32]; 3], scratch: &mut PolyScratch) {
+    fn ntt_forward3<R: Reducer>(
+        &self,
+        plan: &NttPlan<R>,
+        polys: [&mut [u32]; 3],
+        scratch: &mut PolyScratch,
+    ) {
         match self.backend {
-            NttBackend::Reference => parallel::forward3(&self.plan, polys),
+            NttBackend::Reference => parallel::forward3(plan, polys),
             NttBackend::Packed => {
                 let half = self.params.n() / 2;
                 let mut words = [scratch.take(), scratch.take(), scratch.take()];
@@ -408,7 +487,7 @@ impl RlweContext {
                 {
                     let [wa, wb, wc] = &mut words;
                     parallel::forward3_packed(
-                        &self.plan,
+                        plan,
                         [&mut wa[..half], &mut wb[..half], &mut wc[..half]],
                     );
                 }
@@ -425,25 +504,26 @@ impl RlweContext {
             }
             NttBackend::Swar => {
                 for p in polys {
-                    self.ntt_forward(p, scratch);
+                    self.ntt_forward(plan, p, scratch);
                 }
             }
         }
     }
 
-    /// In-place inverse NTT through the configured backend.
-    fn ntt_inverse(&self, a: &mut [u32], scratch: &mut PolyScratch) {
+    /// In-place inverse NTT through the configured backend, on the
+    /// dispatched plan.
+    fn ntt_inverse<R: Reducer>(&self, plan: &NttPlan<R>, a: &mut [u32], scratch: &mut PolyScratch) {
         match self.backend {
             // SWAR provides a forward transform only; its inverse is the
             // reference Gentleman-Sande loop.
-            NttBackend::Reference | NttBackend::Swar => self.plan.inverse(a),
+            NttBackend::Reference | NttBackend::Swar => plan.inverse(a),
             NttBackend::Packed => {
                 let mut w = scratch.take();
                 let half = a.len() / 2;
                 for (i, word) in w[..half].iter_mut().enumerate() {
                     *word = rlwe_zq::packed::pack(a[2 * i], a[2 * i + 1]);
                 }
-                packed::inverse_packed(&self.plan, &mut w[..half]);
+                packed::inverse_packed(plan, &mut w[..half]);
                 for (i, &word) in w[..half].iter().enumerate() {
                     let (lo, hi) = rlwe_zq::packed::unpack(word);
                     a[2 * i] = lo;
@@ -552,8 +632,20 @@ impl RlweContext {
 
     /// Shared tail of key generation: `pk.a_hat` is already populated;
     /// draws `r₁, r₂`, transforms them, and fills `p̃` and the secret key.
+    /// Dispatches the reducer once and runs the monomorphized body.
     fn keypair_body<R: RngCore + ?Sized>(
         &self,
+        rng: &mut R,
+        pk: &mut PublicKey,
+        sk: &mut SecretKey,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        with_dispatch!(self, |p| self.keypair_body_with(p, rng, pk, sk, scratch))
+    }
+
+    fn keypair_body_with<RR: Reducer, R: RngCore + ?Sized>(
+        &self,
+        plan: &NttPlan<RR>,
         rng: &mut R,
         pk: &mut PublicKey,
         sk: &mut SecretKey,
@@ -562,19 +654,19 @@ impl RlweContext {
         let mut bits = BufferedBitSource::new(RngWords(rng));
         // r₁, r₂ ← X_σ (time domain), then into the NTT domain.
         let mut r1 = scratch.take();
-        self.sample_error_into(&mut bits, &mut r1);
-        self.sample_error_into(&mut bits, sk.r2_hat.as_mut_slice());
-        self.ntt_forward(&mut r1, scratch);
-        self.ntt_forward(sk.r2_hat.as_mut_slice(), scratch);
+        self.sample_error_into(plan.reducer(), &mut bits, &mut r1);
+        self.sample_error_into(plan.reducer(), &mut bits, sk.r2_hat.as_mut_slice());
+        self.ntt_forward(plan, &mut r1, scratch);
+        self.ntt_forward(plan, sk.r2_hat.as_mut_slice(), scratch);
         // p̃ = r̃₁ − ã ∘ r̃₂.
         let mut ar2 = scratch.take();
         pointwise::mul_into(
             &mut ar2,
             pk.a_hat.as_slice(),
             sk.r2_hat.as_slice(),
-            self.plan.modulus(),
+            plan.reducer(),
         )?;
-        pointwise::sub_into(pk.p_hat.as_mut_slice(), &r1, &ar2, self.plan.modulus())?;
+        pointwise::sub_into(pk.p_hat.as_mut_slice(), &r1, &ar2, plan.reducer())?;
         scratch.put(r1);
         scratch.put(ar2);
         Ok(())
@@ -666,6 +758,20 @@ impl RlweContext {
             });
         }
         self.check_scratch(scratch)?;
+        with_dispatch!(self, |p| self.encrypt_body(p, pk, msg, rng, ct, scratch))
+    }
+
+    /// The monomorphized encryption body: sampling, the fused triple
+    /// forward NTT and both multiply-adds all run on `plan`'s reducer.
+    fn encrypt_body<RR: Reducer, R: RngCore + ?Sized>(
+        &self,
+        plan: &NttPlan<RR>,
+        pk: &PublicKey,
+        msg: &[u8],
+        rng: &mut R,
+        ct: &mut Ciphertext,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
         let n = self.params.n();
         let q = self.params.q();
         let modulus = self.plan.modulus();
@@ -673,20 +779,30 @@ impl RlweContext {
         let mut e1 = scratch.take();
         let mut e2 = scratch.take();
         let mut e3m = scratch.take();
-        self.sample_error_into(&mut bits, &mut e1);
-        self.sample_error_into(&mut bits, &mut e2);
-        self.sample_error_into(&mut bits, &mut e3m);
+        self.sample_error_into(plan.reducer(), &mut bits, &mut e1);
+        self.sample_error_into(plan.reducer(), &mut bits, &mut e2);
+        self.sample_error_into(plan.reducer(), &mut bits, &mut e3m);
         // e₃ + m̄ (time domain) becomes the third parallel-NTT operand.
         encode_message_add_assign(msg, &mut e3m, q);
-        self.ntt_forward3([&mut e1, &mut e2, &mut e3m], scratch);
+        self.ntt_forward3(plan, [&mut e1, &mut e2, &mut e3m], scratch);
         // c̃₁ = ã∘ẽ₁ + ẽ₂ ; c̃₂ = p̃∘ẽ₁ + NTT(e₃ + m̄).
         ct.params = pk.params;
         ct.c1_hat.reset(n, *modulus);
         ct.c2_hat.reset(n, *modulus);
         ct.c1_hat.as_mut_slice().copy_from_slice(&e2);
-        pointwise::mul_add_assign(ct.c1_hat.as_mut_slice(), pk.a_hat.as_slice(), &e1, modulus)?;
+        pointwise::mul_add_assign(
+            ct.c1_hat.as_mut_slice(),
+            pk.a_hat.as_slice(),
+            &e1,
+            plan.reducer(),
+        )?;
         ct.c2_hat.as_mut_slice().copy_from_slice(&e3m);
-        pointwise::mul_add_assign(ct.c2_hat.as_mut_slice(), pk.p_hat.as_slice(), &e1, modulus)?;
+        pointwise::mul_add_assign(
+            ct.c2_hat.as_mut_slice(),
+            pk.p_hat.as_slice(),
+            &e1,
+            plan.reducer(),
+        )?;
         scratch.put(e1);
         scratch.put(e2);
         scratch.put(e3m);
@@ -732,15 +848,21 @@ impl RlweContext {
             return Err(RlweError::ParamMismatch);
         }
         self.check_scratch(scratch)?;
-        let modulus = self.plan.modulus();
-        let mut m = scratch.take();
-        // m ← c̃₂ + c̃₁∘r̃₂, then out of the NTT domain.
-        m.copy_from_slice(ct.c2_hat.as_slice());
-        pointwise::mul_add_assign(&mut m, ct.c1_hat.as_slice(), sk.r2_hat.as_slice(), modulus)?;
-        self.ntt_inverse(&mut m, scratch);
-        decode_message_into(&m, self.params.q(), out);
-        scratch.put(m);
-        Ok(())
+        with_dispatch!(self, |p| {
+            let mut m = scratch.take();
+            // m ← c̃₂ + c̃₁∘r̃₂, then out of the NTT domain.
+            m.copy_from_slice(ct.c2_hat.as_slice());
+            pointwise::mul_add_assign(
+                &mut m,
+                ct.c1_hat.as_slice(),
+                sk.r2_hat.as_slice(),
+                p.reducer(),
+            )?;
+            self.ntt_inverse(p, &mut m, scratch);
+            decode_message_into(&m, self.params.q(), out);
+            scratch.put(m);
+            Ok(())
+        })
     }
 
     /// The pre-decoder decryption output `m' = INTT(c̃₁∘r̃₂ + c̃₂)` —
@@ -757,16 +879,17 @@ impl RlweContext {
         if sk.params != self.params || ct.params != sk.params {
             return Err(RlweError::ParamMismatch);
         }
-        let modulus = self.plan.modulus();
-        let mut m = pointwise::mul_add(
-            ct.c1_hat.as_slice(),
-            sk.r2_hat.as_slice(),
-            ct.c2_hat.as_slice(),
-            modulus,
-        )?;
-        let mut scratch = self.new_scratch();
-        self.ntt_inverse(&mut m, &mut scratch);
-        Ok(m)
+        with_dispatch!(self, |p| {
+            let mut m = pointwise::mul_add(
+                ct.c1_hat.as_slice(),
+                sk.r2_hat.as_slice(),
+                ct.c2_hat.as_slice(),
+                p.reducer(),
+            )?;
+            let mut scratch = self.new_scratch();
+            self.ntt_inverse(p, &mut m, &mut scratch);
+            Ok(m)
+        })
     }
 
     /// Measures how much noise margin a ciphertext has left: decryption is
@@ -936,6 +1059,61 @@ mod tests {
             .encrypt_into(&pk, &[0u8; 32], &mut rng, &mut ct, &mut scratch)
             .unwrap_err();
         assert!(matches!(err, RlweError::Ntt(_)));
+    }
+
+    #[test]
+    fn paper_sets_dispatch_to_the_specialized_reducers() {
+        let p1 = RlweContext::new(ParamSet::P1).unwrap();
+        assert_eq!(p1.reducer_kind(), ReducerKind::Q7681);
+        let p2 = RlweContext::new(ParamSet::P2).unwrap();
+        assert_eq!(p2.reducer_kind(), ReducerKind::Q12289);
+        // A non-paper prime falls back to runtime Barrett.
+        let params = Params::custom(512, 8383489, rlwe_sampler::GaussianSpec::p1());
+        let other = RlweContext::with_params(params).unwrap();
+        assert_eq!(other.reducer_kind(), ReducerKind::Barrett);
+        // The preference knob can force the fallback for ablations.
+        let forced = RlweContext::builder(ParamSet::P1)
+            .reducer_preference(ReducerPreference::Generic)
+            .build()
+            .unwrap();
+        assert_eq!(forced.reducer_kind(), ReducerKind::Barrett);
+    }
+
+    #[test]
+    fn specialized_and_generic_contexts_are_bit_identical() {
+        // Same seed, same backend, opposite reducer preference: keys,
+        // ciphertexts and decryptions must agree byte for byte.
+        for set in [ParamSet::P1, ParamSet::P2] {
+            let auto = RlweContext::new(set).unwrap();
+            let generic = RlweContext::builder(set)
+                .reducer_preference(ReducerPreference::Generic)
+                .build()
+                .unwrap();
+            assert_ne!(auto.reducer_kind(), generic.reducer_kind());
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_g = StdRng::seed_from_u64(77);
+            let (pk_a, sk_a) = auto.generate_keypair(&mut rng_a).unwrap();
+            let (pk_g, sk_g) = generic.generate_keypair(&mut rng_g).unwrap();
+            assert_eq!(pk_a, pk_g, "{set}: public keys diverged");
+            assert_eq!(
+                sk_a.to_bytes().unwrap(),
+                sk_g.to_bytes().unwrap(),
+                "{set}: secret keys diverged"
+            );
+            let msg = vec![0x3Cu8; auto.params().message_bytes()];
+            let ct_a = auto.encrypt(&pk_a, &msg, &mut rng_a).unwrap();
+            let ct_g = generic.encrypt(&pk_g, &msg, &mut rng_g).unwrap();
+            assert_eq!(
+                ct_a.to_bytes().unwrap(),
+                ct_g.to_bytes().unwrap(),
+                "{set}: ciphertexts diverged"
+            );
+            assert_eq!(
+                auto.decrypt(&sk_a, &ct_g).unwrap(),
+                generic.decrypt(&sk_g, &ct_a).unwrap(),
+                "{set}: cross-decryptions diverged"
+            );
+        }
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod fo;
 pub mod kem;
 
 pub use context::{
-    DecryptionDiagnostics, NttBackend, RlweContext, RlweContextBuilder, SamplerKind,
+    DecryptionDiagnostics, NttBackend, ReducerPreference, RlweContext, RlweContextBuilder,
+    SamplerKind,
 };
 pub use encode::{
     decode_coefficient, decode_message, decode_message_into, encode_message,
@@ -67,4 +68,5 @@ pub use keys::{Ciphertext, KeyPair, PublicKey, SecretKey};
 pub use params::{ParamSet, Params};
 pub use poly::{Coeff, Domain, Ntt, Poly};
 pub use rlwe_ntt::PolyScratch;
+pub use rlwe_zq::ReducerKind;
 pub use serialize::{pack_coeffs, unpack_coeffs};

@@ -252,6 +252,33 @@ mod tests {
     }
 
     #[test]
+    fn specialized_plan_dispatch_is_selected_for_the_paper_sets() {
+        // The CI-pinned dispatch gate: every pooled P1/P2 context —
+        // default and custom config alike — must run on the
+        // monomorphized special-prime reducer, never the generic
+        // Barrett fallback. A regression here silently costs the whole
+        // serving layer the specialized kernels.
+        use rlwe_core::ReducerKind;
+        let pool = ContextPool::new();
+        assert_eq!(
+            pool.get(ParamSet::P1).unwrap().reducer_kind(),
+            ReducerKind::Q7681
+        );
+        assert_eq!(
+            pool.get(ParamSet::P2).unwrap().reducer_kind(),
+            ReducerKind::Q12289
+        );
+        for set in [ParamSet::P1, ParamSet::P2] {
+            let ct = pool.get_with(set, ContextConfig::constant_time()).unwrap();
+            assert_ne!(
+                ct.reducer_kind(),
+                ReducerKind::Barrett,
+                "{set}: constant-time config lost the specialized plan"
+            );
+        }
+    }
+
+    #[test]
     fn global_pool_is_a_singleton() {
         let a = global().get(ParamSet::P1).unwrap();
         let b = global().get(ParamSet::P1).unwrap();

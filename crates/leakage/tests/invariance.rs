@@ -23,10 +23,11 @@ use rlwe_core::drbg::HashDrbg;
 use rlwe_core::kem::SharedSecret;
 use rlwe_core::{Ciphertext, ParamSet, RlweContext, SamplerKind};
 use rlwe_hash::probe;
-use rlwe_ntt::{NttOpTrace, NttPlan};
+use rlwe_ntt::{AnyNttPlan, NttOpTrace, NttPlan};
 use rlwe_sampler::ct::CtCdtSampler;
 use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
 use rlwe_sampler::ProbabilityMatrix;
+use rlwe_zq::ReducerKind;
 
 #[test]
 fn ct_sampler_operation_counts_are_exactly_invariant() {
@@ -146,6 +147,52 @@ fn ntt_reduction_op_trace_is_value_independent_and_matches_closed_form() {
                 "{set_label}: inverse trace varied on input class {class}"
             );
             assert_eq!(a, input, "{set_label}: round trip broke on class {class}");
+        }
+    }
+}
+
+#[test]
+fn specialized_plans_keep_the_pinned_reduction_op_traces() {
+    // The monomorphized special-prime plans must execute *exactly* the
+    // same reduction-op structure as the generic plan — the same closed
+    // forms, on every adversarial input class. Specialization changes
+    // how one masked correction is computed (shift-add fold vs second
+    // conditional subtraction inside a single `normalization` event),
+    // never how many reduction events run or whether an input value can
+    // modulate them.
+    for (set_label, n, q) in [("P1", 256usize, 7681u32), ("P2", 512, 12289)] {
+        let plan = AnyNttPlan::new(n, q).unwrap();
+        // Guard the guard: these must actually be the specialized plans.
+        assert_ne!(
+            plan.kind(),
+            ReducerKind::Barrett,
+            "{set_label}: dispatch fell back to the generic reducer"
+        );
+        let generic = NttPlan::new(n, q).unwrap();
+        let expected_fwd = NttOpTrace::expected_forward(n);
+        let expected_inv = NttOpTrace::expected_inverse(n);
+        for (class, input) in ntt_input_classes(n, q).into_iter().enumerate() {
+            let mut a = input.clone();
+            let fwd = plan.forward_traced(&mut a);
+            assert_eq!(
+                fwd, expected_fwd,
+                "{set_label}: specialized forward trace varied on input class {class}"
+            );
+            // Same trace *and* same bits as the generic plan.
+            assert_eq!(
+                a,
+                generic.forward_copy(&input),
+                "{set_label}: specialized forward output diverged on class {class}"
+            );
+            let inv = plan.inverse_traced(&mut a);
+            assert_eq!(
+                inv, expected_inv,
+                "{set_label}: specialized inverse trace varied on input class {class}"
+            );
+            assert_eq!(
+                a, input,
+                "{set_label}: specialized round trip broke on class {class}"
+            );
         }
     }
 }

@@ -24,7 +24,9 @@ pub enum NttError {
     Modulus(ZqError),
     /// The modulus is a valid prime but too large for the lazy-reduction
     /// butterflies, which track coefficients in `[0, 4q)` and need that
-    /// range to fit a 32-bit word (`q < 2³⁰`).
+    /// range to fit a 32-bit word. The authoritative bound is
+    /// [`rlwe_zq::lazy::MAX_LAZY_Q`] (`2³⁰`); `rlwe_zq::Modulus` itself
+    /// accepts primes up to `2³¹`, but no NTT plan can use them.
     ModulusTooLarge {
         /// The rejected modulus.
         q: u32,
@@ -52,7 +54,8 @@ impl fmt::Display for NttError {
             NttError::ModulusTooLarge { q } => {
                 write!(
                     f,
-                    "modulus {q} >= 2^30: lazy-reduction butterflies need 4q to fit a 32-bit word"
+                    "modulus {q} >= 2^30 (rlwe_zq::lazy::MAX_LAZY_Q): lazy-reduction \
+                     butterflies need 4q to fit a 32-bit word"
                 )
             }
             NttError::LengthMismatch { expected, got } => {

@@ -35,6 +35,15 @@
 //! exact per-kind operation counts ([`NttOpTrace`]) so the leakage
 //! harness can pin the transforms' input-independence in CI.
 //!
+//! Every kernel is generic over the modular-reduction strategy
+//! ([`rlwe_zq::Reducer`]): `NttPlan` defaults to the runtime-Barrett
+//! reducer, while `NttPlan<rlwe_zq::reduce::Q7681>` /
+//! `NttPlan<rlwe_zq::reduce::Q12289>` monomorphize the paper's
+//! special-form primes into the butterflies as compile-time constants —
+//! identical operation structure, bit-identical outputs. [`AnyNttPlan`]
+//! performs the `(n, q) → instantiation` selection exactly once, at
+//! construction.
+//!
 //! A schoolbook negacyclic multiplier ([`schoolbook`]) is the independent
 //! correctness oracle: every variant must agree with it exactly.
 //!
@@ -56,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dispatch;
 mod error;
 mod plan;
 mod scratch;
@@ -70,6 +80,7 @@ pub mod primes;
 pub mod schoolbook;
 pub mod swar;
 
+pub use dispatch::AnyNttPlan;
 pub use error::NttError;
 pub use plan::NttPlan;
 pub use scratch::PolyScratch;

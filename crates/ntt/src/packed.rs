@@ -24,8 +24,8 @@
 //! requires `4q < 2¹⁶`, i.e. **`q < 2¹⁴`** — satisfied with room to spare
 //! by both paper moduli (7681 and 12289). The transforms assert it.
 
-use rlwe_zq::lazy;
 use rlwe_zq::packed::{pack, unpack};
+use rlwe_zq::{lazy, Reducer};
 
 use crate::plan::NttPlan;
 
@@ -67,12 +67,13 @@ pub fn unpack_coeffs(words: &[u32]) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics if `words.len() != n/2` or `q ≥ 2¹⁴`.
-pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
+pub fn forward_packed<R: Reducer>(plan: &NttPlan<R>, words: &mut [u32]) {
     let n = plan.n();
     assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
     let q = plan.q();
     assert_packed_q(q);
     let two_q = plan.two_q();
+    let r = *plan.reducer();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -88,8 +89,8 @@ pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
             while j < j1 + t {
                 let (u0, u1) = unpack(words[j / 2]);
                 let (v0, v1) = unpack(words[(j + t) / 2]);
-                let u0 = lazy::reduce_once(u0, two_q);
-                let u1 = lazy::reduce_once(u1, two_q);
+                let u0 = r.reduce_once_2q(u0);
+                let u1 = r.reduce_once_2q(u1);
                 let x0 = s.mul_lazy(v0, q);
                 let x1 = s.mul_lazy(v1, q);
                 words[j / 2] = pack(lazy::add_lazy(u0, x0), lazy::add_lazy(u1, x1));
@@ -107,11 +108,11 @@ pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
     for (i, w) in words.iter_mut().enumerate() {
         let (u, v) = unpack(*w);
         let s = tw[m + i];
-        let u = lazy::reduce_once(u, two_q);
+        let u = r.reduce_once_2q(u);
         let x = s.mul_lazy(v, q);
         *w = pack(
-            lazy::normalize4(lazy::add_lazy(u, x), q),
-            lazy::normalize4(lazy::sub_lazy(u, x, two_q), q),
+            r.normalize4(lazy::add_lazy(u, x)),
+            r.normalize4(lazy::sub_lazy(u, x, two_q)),
         );
     }
 }
@@ -123,12 +124,13 @@ pub fn forward_packed(plan: &NttPlan, words: &mut [u32]) {
 /// # Panics
 ///
 /// Panics if `words.len() != n/2` or `q ≥ 2¹⁴`.
-pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
+pub fn inverse_packed<R: Reducer>(plan: &NttPlan<R>, words: &mut [u32]) {
     let n = plan.n();
     assert_eq!(words.len(), n / 2, "packed buffer must hold n/2 words");
     let q = plan.q();
     assert_packed_q(q);
     let two_q = plan.two_q();
+    let r = *plan.reducer();
     let tw = plan.inverse_twiddles();
     // First stage (t = 1): intra-word butterflies into the [0, 2q) lazy
     // domain (both lanes stay under 2¹⁵).
@@ -137,7 +139,7 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
         let (u, v) = unpack(*w);
         let s = tw[h + i];
         *w = pack(
-            lazy::reduce_once(lazy::add_lazy(u, v), two_q),
+            r.reduce_once_2q(lazy::add_lazy(u, v)),
             s.mul_lazy(lazy::sub_lazy(u, v, two_q), q),
         );
     }
@@ -154,8 +156,8 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
                 let (u0, u1) = unpack(words[j / 2]);
                 let (v0, v1) = unpack(words[(j + t) / 2]);
                 words[j / 2] = pack(
-                    lazy::reduce_once(lazy::add_lazy(u0, v0), two_q),
-                    lazy::reduce_once(lazy::add_lazy(u1, v1), two_q),
+                    r.reduce_once_2q(lazy::add_lazy(u0, v0)),
+                    r.reduce_once_2q(lazy::add_lazy(u1, v1)),
                 );
                 words[(j + t) / 2] = pack(
                     s.mul_lazy(lazy::sub_lazy(u0, v0, two_q), q),
@@ -178,12 +180,12 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
         let (u0, u1) = unpack(words[j / 2]);
         let (v0, v1) = unpack(words[(j + t) / 2]);
         words[j / 2] = pack(
-            lazy::reduce_once(n_inv.mul_lazy(lazy::add_lazy(u0, v0), q), q),
-            lazy::reduce_once(n_inv.mul_lazy(lazy::add_lazy(u1, v1), q), q),
+            r.reduce_once(n_inv.mul_lazy(lazy::add_lazy(u0, v0), q)),
+            r.reduce_once(n_inv.mul_lazy(lazy::add_lazy(u1, v1), q)),
         );
         words[(j + t) / 2] = pack(
-            lazy::reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u0, v0, two_q), q), q),
-            lazy::reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u1, v1, two_q), q), q),
+            r.reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u0, v0, two_q), q)),
+            r.reduce_once(s_merged.mul_lazy(lazy::sub_lazy(u1, v1, two_q), q)),
         );
         j += 2;
     }
@@ -194,8 +196,8 @@ pub fn inverse_packed(plan: &NttPlan, words: &mut [u32]) {
 /// # Panics
 ///
 /// Panics if either input's length differs from `n/2` words.
-pub fn negacyclic_mul_packed(plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
-    let q = plan.modulus();
+pub fn negacyclic_mul_packed<R: Reducer>(plan: &NttPlan<R>, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let r = *plan.reducer();
     let mut fa = a.to_vec();
     let mut fb = b.to_vec();
     forward_packed(plan, &mut fa);
@@ -206,7 +208,7 @@ pub fn negacyclic_mul_packed(plan: &NttPlan, a: &[u32], b: &[u32]) -> Vec<u32> {
         .map(|(&wa, &wb)| {
             let (a0, a1) = unpack(wa);
             let (b0, b1) = unpack(wb);
-            pack(q.mul(a0, b0), q.mul(a1, b1))
+            pack(r.mul(a0, b0), r.mul(a1, b1))
         })
         .collect();
     inverse_packed(plan, &mut c);

@@ -16,8 +16,8 @@
 //! cross stages in `[0, 4q)` and a fused normalization pass restores
 //! `[0, q)` once at the end.
 
-use rlwe_zq::lazy;
 use rlwe_zq::packed::{pack, unpack};
+use rlwe_zq::{lazy, Reducer};
 
 use crate::plan::NttPlan;
 
@@ -29,7 +29,7 @@ use crate::plan::NttPlan;
 /// # Panics
 ///
 /// Panics if any slice's length differs from `n`.
-pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
+pub fn forward3<R: Reducer>(plan: &NttPlan<R>, polys: [&mut [u32]; 3]) {
     let n = plan.n();
     let [a, b, c] = polys;
     assert_eq!(a.len(), n, "polynomial length must equal n");
@@ -37,6 +37,7 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
     assert_eq!(c.len(), n, "polynomial length must equal n");
     let q = plan.q();
     let two_q = plan.two_q();
+    let r = *plan.reducer();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -46,17 +47,17 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
             let j1 = 2 * i * t;
             let s = tw[m + i]; // loaded once, used by all three data sets
             for j in j1..j1 + t {
-                let ua = lazy::reduce_once(a[j], two_q);
+                let ua = r.reduce_once_2q(a[j]);
                 let va = s.mul_lazy(a[j + t], q);
                 a[j] = lazy::add_lazy(ua, va);
                 a[j + t] = lazy::sub_lazy(ua, va, two_q);
 
-                let ub = lazy::reduce_once(b[j], two_q);
+                let ub = r.reduce_once_2q(b[j]);
                 let vb = s.mul_lazy(b[j + t], q);
                 b[j] = lazy::add_lazy(ub, vb);
                 b[j + t] = lazy::sub_lazy(ub, vb, two_q);
 
-                let uc = lazy::reduce_once(c[j], two_q);
+                let uc = r.reduce_once_2q(c[j]);
                 let vc = s.mul_lazy(c[j + t], q);
                 c[j] = lazy::add_lazy(uc, vc);
                 c[j + t] = lazy::sub_lazy(uc, vc, two_q);
@@ -66,9 +67,9 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
     }
     // Fused normalization sweep: one pass restores [0, q) for all three.
     for j in 0..n {
-        a[j] = lazy::normalize4(a[j], q);
-        b[j] = lazy::normalize4(b[j], q);
-        c[j] = lazy::normalize4(c[j], q);
+        a[j] = r.normalize4(a[j]);
+        b[j] = r.normalize4(b[j]);
+        c[j] = r.normalize4(c[j]);
     }
 }
 
@@ -82,7 +83,7 @@ pub fn forward3(plan: &NttPlan, polys: [&mut [u32]; 3]) {
 ///
 /// Panics if any buffer's length differs from `n/2`, or if `q ≥ 2¹⁴`
 /// (the packed lazy domain must fit a halfword lane).
-pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
+pub fn forward3_packed<R: Reducer>(plan: &NttPlan<R>, buffers: [&mut [u32]; 3]) {
     let n = plan.n();
     let [a, b, c] = buffers;
     assert_eq!(a.len(), n / 2, "packed buffer must hold n/2 words");
@@ -91,6 +92,7 @@ pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
     let q = plan.q();
     crate::packed::assert_packed_q(q);
     let two_q = plan.two_q();
+    let r = *plan.reducer();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -104,8 +106,8 @@ pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
                 for buf in [&mut *a, &mut *b, &mut *c] {
                     let (u0, u1) = unpack(buf[j / 2]);
                     let (v0, v1) = unpack(buf[(j + t) / 2]);
-                    let u0 = lazy::reduce_once(u0, two_q);
-                    let u1 = lazy::reduce_once(u1, two_q);
+                    let u0 = r.reduce_once_2q(u0);
+                    let u1 = r.reduce_once_2q(u1);
                     let x0 = s.mul_lazy(v0, q);
                     let x1 = s.mul_lazy(v1, q);
                     buf[j / 2] = pack(lazy::add_lazy(u0, x0), lazy::add_lazy(u1, x1));
@@ -123,11 +125,11 @@ pub fn forward3_packed(plan: &NttPlan, buffers: [&mut [u32]; 3]) {
         let s = tw[m + i];
         for buf in [&mut *a, &mut *b, &mut *c] {
             let (u, v) = unpack(buf[i]);
-            let u = lazy::reduce_once(u, two_q);
+            let u = r.reduce_once_2q(u);
             let x = s.mul_lazy(v, q);
             buf[i] = pack(
-                lazy::normalize4(lazy::add_lazy(u, x), q),
-                lazy::normalize4(lazy::sub_lazy(u, x, two_q), q),
+                r.normalize4(lazy::add_lazy(u, x)),
+                r.normalize4(lazy::sub_lazy(u, x, two_q)),
             );
         }
     }

@@ -12,10 +12,19 @@
 //! subtraction is masked, so the transforms execute an input-independent
 //! operation sequence; `forward_traced`/`inverse_traced` expose the
 //! exact counts the leakage harness pins in CI.
+//!
+//! The plan is generic over its [`Reducer`]: `NttPlan` (the default,
+//! `NttPlan<BarrettGeneric>`) carries the runtime modulus exactly as
+//! before, while `NttPlan<Q7681>` / `NttPlan<Q12289>`
+//! ([`NttPlan::with_reducer`]) monomorphize every butterfly with the
+//! paper's primes as compile-time constants — same operation structure,
+//! bit-identical outputs, immediate operands. [`crate::AnyNttPlan`]
+//! performs the q-based selection once at the top.
 
 use rlwe_zq::lazy;
+use rlwe_zq::reduce::BarrettGeneric;
 use rlwe_zq::shoup::ShoupPair;
-use rlwe_zq::Modulus;
+use rlwe_zq::{Modulus, Reducer};
 
 use crate::bitrev::bitrev;
 use crate::error::NttError;
@@ -31,8 +40,13 @@ use crate::trace::{NoTrace, NttOpTrace, OpRecorder};
 /// "NTT domain" order; the inverse maps back. All NTT-domain values in this
 /// suite (keys, ciphertexts) live in that bit-reversed order, so pointwise
 /// products are consistent without any explicit permutation.
+///
+/// The type parameter selects the modular-reduction strategy (see
+/// [`Reducer`]); it defaults to the runtime-Barrett [`BarrettGeneric`],
+/// so plain `NttPlan` behaves exactly as it always has.
 #[derive(Debug, Clone)]
-pub struct NttPlan {
+pub struct NttPlan<R: Reducer = BarrettGeneric> {
+    reducer: R,
     modulus: Modulus,
     n: usize,
     log_n: u32,
@@ -51,17 +65,18 @@ pub struct NttPlan {
 }
 
 impl NttPlan {
-    /// Builds a plan for dimension `n` (power of two, ≥ 4) and prime `q`
-    /// with `q ≡ 1 (mod 2n)`.
+    /// Builds a runtime-Barrett plan for dimension `n` (power of two,
+    /// ≥ 4) and prime `q` with `q ≡ 1 (mod 2n)`.
     ///
     /// # Errors
     ///
     /// * [`NttError::InvalidDimension`] for a bad `n`.
     /// * [`NttError::NotNttFriendly`] when `2n ∤ q − 1`.
     /// * [`NttError::Modulus`] when `q` is not a usable prime.
-    /// * [`NttError::ModulusTooLarge`] when `q ≥ 2³⁰` — the lazy-reduction
-    ///   butterflies track coefficients in `[0, 4q)`, which must fit a
-    ///   32-bit word.
+    /// * [`NttError::ModulusTooLarge`] when `q ≥ 2³⁰`
+    ///   ([`lazy::MAX_LAZY_Q`], the authoritative bound) — the
+    ///   lazy-reduction butterflies track coefficients in `[0, 4q)`,
+    ///   which must fit a 32-bit word.
     pub fn new(n: usize, q: u32) -> Result<Self, NttError> {
         if !n.is_power_of_two() || !(4..=1 << 20).contains(&n) {
             return Err(NttError::InvalidDimension { n });
@@ -70,6 +85,30 @@ impl NttPlan {
             return Err(NttError::ModulusTooLarge { q });
         }
         let modulus = Modulus::new(q)?;
+        Self::with_reducer(n, modulus)
+    }
+}
+
+impl<R: Reducer> NttPlan<R> {
+    /// Builds a plan for dimension `n` over the given reducer — the
+    /// monomorphizing constructor: `NttPlan::with_reducer(256,
+    /// rlwe_zq::reduce::Q7681)` compiles the butterflies with `q = 7681`
+    /// as an immediate constant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NttPlan::new`] (the reducer's prime already
+    /// passed modulus validation, so only dimension, range and
+    /// NTT-friendliness can fail here).
+    pub fn with_reducer(n: usize, reducer: R) -> Result<Self, NttError> {
+        if !n.is_power_of_two() || !(4..=1 << 20).contains(&n) {
+            return Err(NttError::InvalidDimension { n });
+        }
+        let q = reducer.q();
+        if q >= lazy::MAX_LAZY_Q {
+            return Err(NttError::ModulusTooLarge { q });
+        }
+        let modulus = reducer.modulus();
         if !(q as u64 - 1).is_multiple_of(2 * n as u64) {
             return Err(NttError::NotNttFriendly { n, q });
         }
@@ -97,6 +136,7 @@ impl NttPlan {
         let n_inv_val = modulus.inv(n as u32).expect("n < q is a unit");
         let ipsi1_n_inv = ShoupPair::new(modulus.mul(ipsi_bitrev[1].value, n_inv_val), q);
         Ok(Self {
+            reducer,
             modulus,
             n,
             log_n,
@@ -127,10 +167,16 @@ impl NttPlan {
         &self.modulus
     }
 
+    /// The reduction strategy this plan's kernels are monomorphized over.
+    #[inline]
+    pub fn reducer(&self) -> &R {
+        &self.reducer
+    }
+
     /// The raw modulus value q.
     #[inline]
     pub fn q(&self) -> u32 {
-        self.modulus.value()
+        self.reducer.q()
     }
 
     /// The 2n-th primitive root ψ used by this plan.
@@ -181,28 +227,34 @@ impl NttPlan {
 
     /// The lazy forward stage ladder: all `log₂n` Cooley-Tukey stages with
     /// coefficients kept in `[0, 4q)` — no normalization.
+    ///
+    /// Each stage walks `m` blocks of `2t` coefficients through
+    /// `chunks_exact_mut`/`split_at_mut`, so the inner loop carries no
+    /// bounds checks; the twiddles come from the matching
+    /// `psi_bitrev[m..2m]` window.
     #[inline(always)]
-    fn forward_lazy_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
+    fn forward_lazy_impl<Rec: OpRecorder>(&self, a: &mut [u32], rec: &mut Rec) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
-        let q = self.modulus.value();
-        let two_q = self.two_q;
+        let r = self.reducer;
+        let q = r.q();
+        let two_q = r.two_q();
         let mut t = self.n;
         let mut m = 1usize;
         while m < self.n {
             t >>= 1;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let s = self.psi_bitrev[m + i];
-                for j in j1..j1 + t {
+            let twiddles = &self.psi_bitrev[m..2 * m];
+            for (block, s) in a.chunks_exact_mut(2 * t).zip(twiddles) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
                     // Harvey butterfly: one masked correction brings the
                     // add leg back under 2q, the twiddle product lands in
                     // [0, 2q) with no correction at all, and both outputs
                     // re-enter the [0, 4q) stage invariant.
-                    lazy::debug_assert_bound(a[j], 4 * q as u64);
-                    let u = lazy::reduce_once(a[j], two_q);
-                    let v = s.mul_lazy(a[j + t], q);
-                    a[j] = lazy::add_lazy(u, v);
-                    a[j + t] = lazy::sub_lazy(u, v, two_q);
+                    lazy::debug_assert_bound(*x, 4 * q as u64);
+                    let u = r.reduce_once_2q(*x);
+                    let v = s.mul_lazy(*y, q);
+                    *x = lazy::add_lazy(u, v);
+                    *y = lazy::sub_lazy(u, v, two_q);
                     rec.butterfly();
                     rec.masked_reduction();
                     rec.lazy_mul();
@@ -213,11 +265,11 @@ impl NttPlan {
     }
 
     #[inline(always)]
-    fn forward_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
+    fn forward_impl<Rec: OpRecorder>(&self, a: &mut [u32], rec: &mut Rec) {
         self.forward_lazy_impl(a, rec);
-        let q = self.modulus.value();
+        let r = self.reducer;
         for x in a.iter_mut() {
-            *x = lazy::normalize4(*x, q);
+            *x = r.normalize4(*x);
             rec.normalization();
         }
     }
@@ -245,8 +297,8 @@ impl NttPlan {
     /// lie in `[0, 4q)`, congruent mod q to the reduced transform.
     ///
     /// This is the right entry point when the next consumer reduces
-    /// anyway — e.g. a pointwise product whose Barrett reduction accepts
-    /// any 64-bit operand ([`crate::pointwise::mul_lazy_assign`]).
+    /// anyway — e.g. a pointwise product whose reduction accepts the
+    /// lazy operand domain ([`crate::pointwise::mul_lazy_assign`]).
     /// Accepts lazy inputs in `[0, 4q)` as well, so lazy stages chain.
     ///
     /// # Panics
@@ -269,10 +321,11 @@ impl NttPlan {
     }
 
     #[inline(always)]
-    fn inverse_impl<R: OpRecorder>(&self, a: &mut [u32], rec: &mut R) {
+    fn inverse_impl<Rec: OpRecorder>(&self, a: &mut [u32], rec: &mut Rec) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
-        let q = self.modulus.value();
-        let two_q = self.two_q;
+        let r = self.reducer;
+        let q = r.q();
+        let two_q = r.two_q();
         let mut t = 1usize;
         let mut m = self.n;
         // Lazy Gentleman-Sande stages: coefficients stay in [0, 2q); the
@@ -280,21 +333,20 @@ impl NttPlan {
         // re-reduced to [0, 2q) by the lazy twiddle multiply itself.
         while m > 2 {
             let h = m >> 1;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let s = self.ipsi_bitrev[h + i];
-                for j in j1..j1 + t {
-                    lazy::debug_assert_bound(a[j], 2 * q as u64);
-                    lazy::debug_assert_bound(a[j + t], 2 * q as u64);
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = lazy::reduce_once(lazy::add_lazy(u, v), two_q);
-                    a[j + t] = s.mul_lazy(lazy::sub_lazy(u, v, two_q), q);
+            let twiddles = &self.ipsi_bitrev[h..2 * h];
+            for (block, s) in a.chunks_exact_mut(2 * t).zip(twiddles) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    lazy::debug_assert_bound(*x, 2 * q as u64);
+                    lazy::debug_assert_bound(*y, 2 * q as u64);
+                    let u = *x;
+                    let v = *y;
+                    *x = r.reduce_once_2q(lazy::add_lazy(u, v));
+                    *y = s.mul_lazy(lazy::sub_lazy(u, v, two_q), q);
                     rec.butterfly();
                     rec.masked_reduction();
                     rec.lazy_mul();
                 }
-                j1 += 2 * t;
             }
             t <<= 1;
             m = h;
@@ -304,12 +356,12 @@ impl NttPlan {
         // n⁻¹·ψ^(−bitrev(1))) and the outputs are normalized to [0, q) on
         // the way out — no separate scaling pass.
         debug_assert_eq!(t, self.n / 2);
-        for j in 0..t {
-            let u = a[j];
-            let v = a[j + t];
-            a[j] = lazy::reduce_once(self.n_inv.mul_lazy(lazy::add_lazy(u, v), q), q);
-            a[j + t] =
-                lazy::reduce_once(self.ipsi1_n_inv.mul_lazy(lazy::sub_lazy(u, v, two_q), q), q);
+        let (lo, hi) = a.split_at_mut(t);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            *x = r.reduce_once(self.n_inv.mul_lazy(lazy::add_lazy(u, v), q));
+            *y = r.reduce_once(self.ipsi1_n_inv.mul_lazy(lazy::sub_lazy(u, v, two_q), q));
             rec.butterfly();
             rec.lazy_mul();
             rec.lazy_mul();
@@ -396,6 +448,26 @@ impl NttPlan {
         Ok(())
     }
 
+    /// Re-tags an already-built plan with another reducer for the same
+    /// modulus, moving the twiddle tables instead of recomputing them —
+    /// how [`crate::AnyNttPlan`] upgrades a generic plan to a
+    /// specialized instantiation without a second construction.
+    pub(crate) fn retag<R2: Reducer>(self, reducer: R2) -> NttPlan<R2> {
+        debug_assert_eq!(reducer.q(), self.q(), "retag must preserve the modulus");
+        NttPlan {
+            reducer,
+            modulus: self.modulus,
+            n: self.n,
+            log_n: self.log_n,
+            psi: self.psi,
+            psi_bitrev: self.psi_bitrev,
+            ipsi_bitrev: self.ipsi_bitrev,
+            n_inv: self.n_inv,
+            ipsi1_n_inv: self.ipsi1_n_inv,
+            two_q: self.two_q,
+        }
+    }
+
     /// Validates a polynomial length against the plan.
     #[inline]
     pub(crate) fn check_len(&self, len: usize) -> Result<(), NttError> {
@@ -413,8 +485,8 @@ impl NttPlan {
     /// "NTT multiplication" row of the paper's Table I).
     ///
     /// Both forward transforms run **lazily** (`[0, 4q)` outputs, no
-    /// normalization sweep): the pointwise product's Barrett reduction
-    /// accepts the unreduced operands directly, so the 2n per-transform
+    /// normalization sweep): the pointwise product's reduction accepts
+    /// the unreduced operands directly, so the 2n per-transform
     /// normalizations are skipped entirely.
     ///
     /// # Panics
@@ -425,7 +497,7 @@ impl NttPlan {
         let mut fb = b.to_vec();
         self.forward_lazy(&mut fa);
         self.forward_lazy(&mut fb);
-        let mut c = crate::pointwise::mul_lazy(&fa, &fb, &self.modulus)
+        let mut c = crate::pointwise::mul_lazy(&fa, &fb, &self.reducer)
             .expect("forward transforms preserve length");
         self.inverse(&mut c);
         c
@@ -435,7 +507,7 @@ impl NttPlan {
     /// working space from `scratch`.
     ///
     /// Like [`NttPlan::negacyclic_mul`], the two forward transforms stay
-    /// in the lazy domain and the pointwise Barrett reduction absorbs the
+    /// in the lazy domain and the pointwise reduction absorbs the
     /// normalization; the output is reduced (the inverse normalizes in
     /// its merged final stage).
     ///
@@ -461,7 +533,7 @@ impl NttPlan {
         self.forward_lazy(&mut fa);
         out.copy_from_slice(b);
         self.forward_lazy(out);
-        crate::pointwise::mul_lazy_assign(out, &fa, &self.modulus)?;
+        crate::pointwise::mul_lazy_assign(out, &fa, &self.reducer)?;
         self.inverse(out);
         scratch.put(fa);
         Ok(())
@@ -471,6 +543,7 @@ impl NttPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rlwe_zq::reduce::{Q12289, Q7681};
 
     #[test]
     fn rejects_bad_dimensions() {
@@ -486,6 +559,10 @@ mod tests {
             NttPlan::new(96, 7681),
             Err(NttError::InvalidDimension { .. })
         ));
+        assert!(matches!(
+            NttPlan::with_reducer(96, Q7681),
+            Err(NttError::InvalidDimension { .. })
+        ));
     }
 
     #[test]
@@ -494,6 +571,10 @@ mod tests {
         assert!(NttPlan::new(256, 7681).is_ok());
         assert!(matches!(
             NttPlan::new(2048, 7681),
+            Err(NttError::NotNttFriendly { .. })
+        ));
+        assert!(matches!(
+            NttPlan::with_reducer(2048, Q7681),
             Err(NttError::NotNttFriendly { .. })
         ));
         assert!(matches!(
@@ -521,6 +602,35 @@ mod tests {
         plan.forward(&mut a);
         plan.inverse(&mut a);
         assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn specialized_plans_are_bit_identical_to_generic() {
+        // The reducer changes how x mod q is computed, never the value:
+        // the specialized plans must agree with the runtime-Barrett plan
+        // on every entry point, including the all-(q−1) worst case.
+        let gp1 = NttPlan::new(256, 7681).unwrap();
+        let sp1 = NttPlan::with_reducer(256, Q7681).unwrap();
+        let gp2 = NttPlan::new(512, 12289).unwrap();
+        let sp2 = NttPlan::with_reducer(512, Q12289).unwrap();
+
+        let a1: Vec<u32> = (0..256u32).map(|i| (i * 31 + 5) % 7681).collect();
+        let worst1 = vec![7680u32; 256];
+        for v in [&a1, &worst1] {
+            assert_eq!(sp1.forward_copy(v), gp1.forward_copy(v));
+            assert_eq!(sp1.inverse_copy(v), gp1.inverse_copy(v));
+            assert_eq!(
+                sp1.negacyclic_mul(v, &a1),
+                gp1.negacyclic_mul(v, &a1),
+                "negacyclic"
+            );
+        }
+        let a2: Vec<u32> = (0..512u32).map(|i| (i * 97 + 3) % 12289).collect();
+        let worst2 = vec![12288u32; 512];
+        for v in [&a2, &worst2] {
+            assert_eq!(sp2.forward_copy(v), gp2.forward_copy(v));
+            assert_eq!(sp2.inverse_copy(v), gp2.inverse_copy(v));
+        }
     }
 
     #[test]
@@ -576,9 +686,11 @@ mod tests {
         // 12289 = 1 + 3 * 2^12: supports every n up to 2048.
         for n in [4usize, 8, 16, 64, 256, 1024, 2048] {
             let plan = NttPlan::new(n, 12289).unwrap();
+            let spec = NttPlan::with_reducer(n, Q12289).unwrap();
             let orig: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 1) % 12289).collect();
             let mut a = orig.clone();
             plan.forward(&mut a);
+            assert_eq!(a, spec.forward_copy(&orig), "specialized diverged n={n}");
             plan.inverse(&mut a);
             assert_eq!(a, orig, "round trip failed at n={n}");
         }

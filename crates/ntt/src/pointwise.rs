@@ -9,8 +9,14 @@
 //! bodies live in [`rlwe_zq::SliceOps`] so the `Poly` layer above shares
 //! them. The `_into` variants write into caller-provided buffers and are
 //! the allocation-free path the engine's batch workers use.
+//!
+//! All entry points are generic over the reduction strategy
+//! ([`rlwe_zq::Reducer`]): passing `&Modulus` gives the runtime-Barrett
+//! kernels, passing `&rlwe_zq::reduce::Q7681`/`Q12289` (or any plan's
+//! [`crate::NttPlan::reducer`]) monomorphizes the loops with the paper's
+//! primes as compile-time constants.
 
-use rlwe_zq::{Modulus, SliceOps};
+use rlwe_zq::{Reducer, SliceOps};
 
 use crate::NttError;
 
@@ -43,7 +49,7 @@ fn check_lengths(first: usize, rest: &[usize]) -> Result<(), NttError> {
 /// assert_eq!(c, vec![8, 15]);
 /// assert!(rlwe_ntt::pointwise::mul(&[2, 3], &[4], &q).is_err());
 /// ```
-pub fn mul(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+pub fn mul<R: Reducer>(a: &[u32], b: &[u32], q: &R) -> Result<Vec<u32>, NttError> {
     check_lengths(a.len(), &[b.len()])?;
     let mut out = vec![0u32; a.len()];
     q.mul_into_slice(&mut out, a, b);
@@ -55,7 +61,7 @@ pub fn mul(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if `b` or `out` differ in length from `a`.
-pub fn mul_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn mul_into<R: Reducer>(out: &mut [u32], a: &[u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len(), out.len()])?;
     q.mul_into_slice(out, a, b);
     Ok(())
@@ -66,23 +72,24 @@ pub fn mul_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<()
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn mul_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn mul_assign<R: Reducer>(a: &mut [u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len()])?;
     q.mul_assign_slice(a, b);
     Ok(())
 }
 
-/// Pointwise product of **lazy-domain** operands: the inputs may be any
-/// `u32` values congruent to the intended residues (typically `[0, 4q)`
-/// coefficients from [`crate::NttPlan::forward_lazy`]); the outputs are
-/// canonical `[0, q)`. This is how negacyclic multiplication skips the
-/// forward transforms' normalization sweeps — the Barrett reduction of
-/// the 64-bit product absorbs them for free.
+/// Pointwise product of **lazy-domain** operands: inputs in `[0, 4q)`
+/// congruent to the intended residues (exactly what
+/// [`crate::NttPlan::forward_lazy`] produces); the outputs are canonical
+/// `[0, q)`. This is how negacyclic multiplication skips the forward
+/// transforms' normalization sweeps — the reduction of the wide product
+/// absorbs them for free ([`rlwe_zq::Reducer::reduce_mul`]; the
+/// generic-Barrett reducer tolerates any `u32` operands).
 ///
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn mul_lazy(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+pub fn mul_lazy<R: Reducer>(a: &[u32], b: &[u32], q: &R) -> Result<Vec<u32>, NttError> {
     check_lengths(a.len(), &[b.len()])?;
     let mut out = vec![0u32; a.len()];
     q.mul_into_slice_lazy(&mut out, a, b);
@@ -95,7 +102,7 @@ pub fn mul_lazy(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError>
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn mul_lazy_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn mul_lazy_assign<R: Reducer>(a: &mut [u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len()])?;
     q.mul_assign_slice_lazy(a, b);
     Ok(())
@@ -106,7 +113,7 @@ pub fn mul_lazy_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttE
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn add(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+pub fn add<R: Reducer>(a: &[u32], b: &[u32], q: &R) -> Result<Vec<u32>, NttError> {
     check_lengths(a.len(), &[b.len()])?;
     let mut out = vec![0u32; a.len()];
     q.add_into_slice(&mut out, a, b);
@@ -118,7 +125,7 @@ pub fn add(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if `b` or `out` differ in length from `a`.
-pub fn add_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn add_into<R: Reducer>(out: &mut [u32], a: &[u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len(), out.len()])?;
     q.add_into_slice(out, a, b);
     Ok(())
@@ -129,7 +136,7 @@ pub fn add_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<()
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn add_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn add_assign<R: Reducer>(a: &mut [u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len()])?;
     q.add_assign_slice(a, b);
     Ok(())
@@ -140,7 +147,7 @@ pub fn add_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError>
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn sub(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+pub fn sub<R: Reducer>(a: &[u32], b: &[u32], q: &R) -> Result<Vec<u32>, NttError> {
     check_lengths(a.len(), &[b.len()])?;
     let mut out = vec![0u32; a.len()];
     q.sub_into_slice(&mut out, a, b);
@@ -152,7 +159,7 @@ pub fn sub(a: &[u32], b: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if `b` or `out` differ in length from `a`.
-pub fn sub_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn sub_into<R: Reducer>(out: &mut [u32], a: &[u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len(), out.len()])?;
     q.sub_into_slice(out, a, b);
     Ok(())
@@ -163,7 +170,7 @@ pub fn sub_into(out: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<()
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn sub_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn sub_assign<R: Reducer>(a: &mut [u32], b: &[u32], q: &R) -> Result<(), NttError> {
     check_lengths(a.len(), &[b.len()])?;
     q.sub_assign_slice(a, b);
     Ok(())
@@ -175,7 +182,7 @@ pub fn sub_assign(a: &mut [u32], b: &[u32], q: &Modulus) -> Result<(), NttError>
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn mul_add(a: &[u32], b: &[u32], d: &[u32], q: &Modulus) -> Result<Vec<u32>, NttError> {
+pub fn mul_add<R: Reducer>(a: &[u32], b: &[u32], d: &[u32], q: &R) -> Result<Vec<u32>, NttError> {
     check_lengths(a.len(), &[b.len(), d.len()])?;
     let mut out = d.to_vec();
     q.mul_add_assign_slice(&mut out, a, b);
@@ -188,7 +195,12 @@ pub fn mul_add(a: &[u32], b: &[u32], d: &[u32], q: &Modulus) -> Result<Vec<u32>,
 /// # Errors
 ///
 /// [`NttError::LengthMismatch`] if the inputs differ in length.
-pub fn mul_add_assign(acc: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Result<(), NttError> {
+pub fn mul_add_assign<R: Reducer>(
+    acc: &mut [u32],
+    a: &[u32],
+    b: &[u32],
+    q: &R,
+) -> Result<(), NttError> {
     check_lengths(acc.len(), &[a.len(), b.len()])?;
     q.mul_add_assign_slice(acc, a, b);
     Ok(())
@@ -197,6 +209,7 @@ pub fn mul_add_assign(acc: &mut [u32], a: &[u32], b: &[u32], q: &Modulus) -> Res
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rlwe_zq::Modulus;
 
     fn q() -> Modulus {
         Modulus::new(7681).unwrap()

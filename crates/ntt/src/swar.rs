@@ -19,7 +19,7 @@
 //! it) and the Criterion benches let the reader judge whether 4-lane SWAR
 //! pays off on their machine.
 
-use rlwe_zq::lazy;
+use rlwe_zq::{lazy, Reducer};
 
 use crate::plan::NttPlan;
 
@@ -89,13 +89,14 @@ pub fn sub4_mod(a: u64, b: u64, q: u32) -> u64 {
 /// # Panics
 ///
 /// Panics if `words.len() != n/4`, `n < 8`, or `q ≥ 2¹⁴`.
-pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
+pub fn forward_swar<R: Reducer>(plan: &NttPlan<R>, words: &mut [u64]) {
     let n = plan.n();
     assert!(n >= 8, "SWAR layout needs n >= 8");
     assert_eq!(words.len(), n / 4, "need n/4 four-lane words");
     let q = plan.q();
     crate::packed::assert_packed_q(q);
     let two_q = plan.two_q();
+    let r = *plan.reducer();
     let tw = plan.forward_twiddles();
     let mut t = n;
     let mut m = 1usize;
@@ -112,10 +113,10 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
                 // Masked per-lane correction of the add leg, widening
                 // twiddle multiply per lane (the vmull step) into [0, 2q).
                 let ur = [
-                    lazy::reduce_once(lu[0], two_q),
-                    lazy::reduce_once(lu[1], two_q),
-                    lazy::reduce_once(lu[2], two_q),
-                    lazy::reduce_once(lu[3], two_q),
+                    r.reduce_once_2q(lu[0]),
+                    r.reduce_once_2q(lu[1]),
+                    r.reduce_once_2q(lu[2]),
+                    r.reduce_once_2q(lu[3]),
                 ];
                 let prod = [
                     s.mul_lazy(lv[0], q),
@@ -142,8 +143,8 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
     for i in 0..n / 4 {
         let lanes = unpack4(words[i]);
         let sp = tw[m + i];
-        let u0 = lazy::reduce_once(lanes[0], two_q);
-        let u1 = lazy::reduce_once(lanes[1], two_q);
+        let u0 = r.reduce_once_2q(lanes[0]);
+        let u1 = r.reduce_once_2q(lanes[1]);
         let v0 = sp.mul_lazy(lanes[2], q);
         let v1 = sp.mul_lazy(lanes[3], q);
         words[i] = pack4([
@@ -160,15 +161,15 @@ pub fn forward_swar(plan: &NttPlan, words: &mut [u64]) {
         let lanes = unpack4(words[i]);
         let s0 = tw[m + 2 * i];
         let s1 = tw[m + 2 * i + 1];
-        let u0 = lazy::reduce_once(lanes[0], two_q);
-        let u2 = lazy::reduce_once(lanes[2], two_q);
+        let u0 = r.reduce_once_2q(lanes[0]);
+        let u2 = r.reduce_once_2q(lanes[2]);
         let v0 = s0.mul_lazy(lanes[1], q);
         let v1 = s1.mul_lazy(lanes[3], q);
         words[i] = pack4([
-            lazy::normalize4(lazy::add_lazy(u0, v0), q),
-            lazy::normalize4(lazy::sub_lazy(u0, v0, two_q), q),
-            lazy::normalize4(lazy::add_lazy(u2, v1), q),
-            lazy::normalize4(lazy::sub_lazy(u2, v1, two_q), q),
+            r.normalize4(lazy::add_lazy(u0, v0)),
+            r.normalize4(lazy::sub_lazy(u0, v0, two_q)),
+            r.normalize4(lazy::add_lazy(u2, v1)),
+            r.normalize4(lazy::sub_lazy(u2, v1, two_q)),
         ]);
     }
 }

@@ -122,6 +122,102 @@ proptest! {
     }
 }
 
+/// One full pass over all four backends (reference, packed, SWAR and the
+/// fused parallel transform) on a specialized plan, asserting
+/// bit-identity with the generic-Barrett plan's reference transform.
+fn assert_specialized_backends_match<R: rlwe_zq::Reducer>(
+    special: &NttPlan<R>,
+    generic: &NttPlan,
+    a: &[u32],
+    label: &str,
+) {
+    let n = a.len();
+    let reference = generic.forward_copy(a);
+
+    assert_eq!(
+        special.forward_copy(a),
+        reference,
+        "specialized reference forward diverged on {label}"
+    );
+
+    let mut packed_words = rlwe_ntt::packed::pack_coeffs(a);
+    forward_packed(special, &mut packed_words);
+    assert_eq!(
+        rlwe_ntt::packed::unpack_coeffs(&packed_words),
+        reference,
+        "specialized packed forward diverged on {label}"
+    );
+    inverse_packed(special, &mut packed_words);
+    assert_eq!(
+        rlwe_ntt::packed::unpack_coeffs(&packed_words),
+        a,
+        "specialized packed inverse broke the round trip on {label}"
+    );
+
+    let mut lanes = pack_coeffs4(a);
+    forward_swar(special, &mut lanes);
+    assert_eq!(
+        unpack_coeffs4(&lanes),
+        reference,
+        "specialized swar forward diverged on {label}"
+    );
+
+    let mut x = a.to_vec();
+    let mut y = a.to_vec();
+    let mut z = a.to_vec();
+    rlwe_ntt::parallel::forward3(special, [&mut x, &mut y, &mut z]);
+    assert_eq!(x, reference, "specialized forward3 diverged on {label}");
+    assert_eq!(y, z, "specialized forward3 lanes diverged on {label}");
+
+    assert_eq!(
+        special.inverse_copy(&reference),
+        a,
+        "specialized inverse diverged on {label}"
+    );
+    let b: Vec<u32> = (0..n as u32)
+        .map(|i| (i * 131 + 17) % special.q())
+        .collect();
+    assert_eq!(
+        special.negacyclic_mul(a, &b),
+        generic.negacyclic_mul(a, &b),
+        "specialized negacyclic_mul diverged on {label}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn specialized_plans_are_bit_identical_across_all_backends(polys in triple_strategy()) {
+        // Acceptance gate for the monomorphized reduction core: for both
+        // paper rings (plus the deeper P3 ring on the 12289 reducer),
+        // every backend driven by a specialized plan must agree
+        // bit-for-bit with the generic-Barrett plan — on random vectors
+        // here and on the all-(q−1) worst case below.
+        let p1 = NttPlan::with_reducer(256, rlwe_zq::reduce::Q7681).unwrap();
+        let g1 = NttPlan::new(256, 7681).unwrap();
+        assert_specialized_backends_match(&p1, &g1, &polys[0], "P1/q7681");
+
+        let p2 = NttPlan::with_reducer(512, rlwe_zq::reduce::Q12289).unwrap();
+        let g2 = NttPlan::new(512, 12289).unwrap();
+        assert_specialized_backends_match(&p2, &g2, &polys[1], "P2/q12289");
+
+        let p3 = NttPlan::with_reducer(1024, rlwe_zq::reduce::Q12289).unwrap();
+        let g3 = NttPlan::new(1024, 12289).unwrap();
+        assert_specialized_backends_match(&p3, &g3, &polys[2], "P3/q12289");
+    }
+}
+
+#[test]
+fn specialized_plans_survive_worst_case_vectors_on_every_backend() {
+    let p1 = NttPlan::with_reducer(256, rlwe_zq::reduce::Q7681).unwrap();
+    let g1 = NttPlan::new(256, 7681).unwrap();
+    assert_specialized_backends_match(&p1, &g1, &vec![7680u32; 256], "P1 worst case");
+    let p2 = NttPlan::with_reducer(512, rlwe_zq::reduce::Q12289).unwrap();
+    let g2 = NttPlan::new(512, 12289).unwrap();
+    assert_specialized_backends_match(&p2, &g2, &vec![12288u32; 512], "P2 worst case");
+}
+
 #[test]
 fn all_backends_agree_on_worst_case_vectors() {
     // All-(q−1) coefficients drive every lazy bound to its edge in every

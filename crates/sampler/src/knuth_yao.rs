@@ -3,6 +3,7 @@
 use crate::error::SamplerError;
 use crate::pmat::ProbabilityMatrix;
 use crate::random::BitSource;
+use rlwe_zq::Reducer;
 
 /// Number of DDG levels covered by the first lookup table (§III-B5:
 /// "the first 8 levels", resolving 97.27% of samples for P1).
@@ -60,6 +61,16 @@ impl SignedSample {
         } else {
             self.magnitude as u32
         }
+    }
+
+    /// [`SignedSample::to_zq`] through a [`Reducer`]: the coefficient
+    /// reduction monomorphizes with the context's reduction strategy
+    /// (compile-time `q` for the paper's primes) and the sign is applied
+    /// with a **masked select** ([`Reducer::signed_residue`]) rather
+    /// than a branch on the secret sign bit.
+    #[inline]
+    pub fn to_zq_with<R: Reducer>(&self, r: &R) -> u32 {
+        r.signed_residue(self.magnitude as u32, self.negative)
     }
 }
 
@@ -353,6 +364,23 @@ impl KnuthYao {
     pub fn sample_poly_zq_into<B: BitSource>(&self, q: u32, bits: &mut B, out: &mut [u32]) {
         for c in out.iter_mut() {
             *c = self.sample_lut(bits).to_zq(q);
+        }
+    }
+
+    /// [`KnuthYao::sample_poly_zq_into`] generic over the reduction
+    /// strategy: the per-coefficient sign application goes through
+    /// [`Reducer::signed_residue`] (masked, monomorphized), so a
+    /// context built on a specialized reducer draws error polynomials
+    /// with compile-time constants. Bit-stream- and value-identical to
+    /// the `q`-taking sibling for the matching modulus.
+    pub fn sample_poly_reduced_into<R: Reducer, B: BitSource>(
+        &self,
+        r: &R,
+        bits: &mut B,
+        out: &mut [u32],
+    ) {
+        for c in out.iter_mut() {
+            *c = self.sample_lut(bits).to_zq_with(r);
         }
     }
 }

@@ -38,6 +38,11 @@
 //! `cargo test` instead of silently wrapping in release.
 
 /// Largest modulus the `u32` lazy domain supports: `4q` must fit a word.
+///
+/// This is the **single authoritative bound** for every lazy-reduction
+/// context: `rlwe_ntt::NttPlan::new` rejects `q ≥ MAX_LAZY_Q` with
+/// `NttError::ModulusTooLarge`, and [`crate::Modulus::new`]'s wider
+/// `q < 2³¹` acceptance documents that NTT use narrows to this constant.
 pub const MAX_LAZY_Q: u32 = 1 << 30;
 
 /// All-ones mask iff `x < m`, as pure arithmetic on the borrow bit.

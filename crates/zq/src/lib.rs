@@ -33,6 +33,15 @@
 //! [`shoup::mul_shoup`]) are all reimplemented on top of that masked
 //! core, so every caller inherits branchlessness.
 //!
+//! The [`reduce`] module names the reduction *strategy* as a sealed
+//! [`Reducer`] trait: [`reduce::Q7681`] and [`reduce::Q12289`] are
+//! compile-time reducers for the paper's special-form primes
+//! (`2¹³ − 2⁹ + 1` and `2¹⁴ − 2¹² + 1`), while [`Modulus`] itself is the
+//! runtime-Barrett fallback ([`reduce::BarrettGeneric`]). Kernels
+//! generic over `R: Reducer` — the NTT backends, the pointwise slice
+//! ops, the sampler's coefficient reduction — monomorphize into code
+//! with immediate constants for P1/P2.
+//!
 //! # Example
 //!
 //! ```
@@ -60,12 +69,14 @@ pub mod lazy;
 pub mod montgomery;
 pub mod packed;
 pub mod primitive;
+pub mod reduce;
 pub mod shoup;
 
 pub use error::ZqError;
 pub use modulus::Modulus;
 pub use ops::SliceOps;
 pub use primality::is_prime_u64;
+pub use reduce::{Reducer, ReducerKind};
 
 /// Adds two residues modulo `q` without any precomputation.
 ///

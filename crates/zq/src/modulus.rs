@@ -33,6 +33,16 @@ pub struct Modulus {
 impl Modulus {
     /// Creates a modulus context for the prime `q`.
     ///
+    /// # Range
+    ///
+    /// `Modulus` itself accepts any prime `2 ≤ q < 2³¹` — the widest
+    /// range the Barrett tail's `[0, 3q)` estimate can correct in 64-bit
+    /// arithmetic. The **lazy-reduction NTT domain is narrower**: every
+    /// transform tracks coefficients in `[0, 4q)`, so NTT plans reject
+    /// `q ≥ 2³⁰`. That bound has a single authoritative definition,
+    /// [`crate::lazy::MAX_LAZY_Q`]; `rlwe_ntt::NttPlan::new` enforces it
+    /// (`NttError::ModulusTooLarge`) and both error messages cite it.
+    ///
     /// # Errors
     ///
     /// * [`ZqError::OutOfRange`] if `q < 2` or `q ≥ 2³¹`.

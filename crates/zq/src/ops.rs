@@ -1,22 +1,32 @@
 //! Slice-level modular operation traits.
 //!
 //! The polynomial layers above this crate (`rlwe-ntt`'s pointwise module,
-//! `rlwe-core`'s `Poly` type) all reduce to the same four coefficient-wise
-//! loops over `Z_q`. [`SliceOps`] names those loops once, as a trait on the
-//! reduction context, so every layer shares one implementation and the
-//! compiler sees one loop shape to vectorise.
+//! `rlwe-core`'s `Poly` type) all reduce to the same coefficient-wise
+//! loops over `Z_q`. [`SliceOps`] names those loops once, as a trait on
+//! the reduction context, so every layer shares one implementation and
+//! the compiler sees one loop shape to vectorise.
+//!
+//! The trait is blanket-implemented for every [`Reducer`], so the loops
+//! monomorphize per reduction strategy: on [`Modulus`]
+//! ([`crate::reduce::BarrettGeneric`]) they are the runtime-Barrett
+//! kernels they always were, while on [`crate::reduce::Q7681`] /
+//! [`crate::reduce::Q12289`] every reduction constant is an immediate.
 //!
 //! Length discipline: these are the *unchecked* kernels — callers must pass
 //! equal-length slices (debug builds assert it). The checked, error-returning
 //! entry points live in `rlwe_ntt::pointwise`, which validates lengths and
 //! then delegates here.
 
+#[cfg(doc)]
 use crate::Modulus;
+use crate::Reducer;
 
 /// Coefficient-wise modular arithmetic over equal-length slices.
 ///
-/// Implemented by [`Modulus`]; the methods assume every input coefficient is
-/// already reduced (`< q`) and produce reduced outputs.
+/// Blanket-implemented for every [`Reducer`] (in particular [`Modulus`]);
+/// the methods assume every input coefficient is already reduced (`< q`)
+/// and produce reduced outputs, except the `_lazy` variants whose operand
+/// domain is the lazy `[0, 4q)` (see [`Reducer::reduce_mul`]).
 pub trait SliceOps {
     /// `a[i] ← a[i] + b[i] mod q`.
     fn add_assign_slice(&self, a: &mut [u32], b: &[u32]);
@@ -41,9 +51,10 @@ pub trait SliceOps {
     fn mul_into_slice(&self, out: &mut [u32], a: &[u32], b: &[u32]);
 
     /// `a[i] ← a[i] · b[i] mod q` for **lazy** (possibly unreduced)
-    /// operands: any `u32` values congruent to the intended residues —
-    /// e.g. `[0, 4q)` coefficients straight out of a lazy forward NTT.
-    /// The 64-bit product is Barrett-reduced, so outputs are canonical.
+    /// operands in `[0, 4q)` — e.g. coefficients straight out of a lazy
+    /// forward NTT. Outputs are canonical. (The generic-Barrett
+    /// implementation tolerates any `u32` operands; portable callers
+    /// must respect the `[0, 4q)` contract.)
     fn mul_assign_slice_lazy(&self, a: &mut [u32], b: &[u32]);
 
     /// `out[i] ← a[i] · b[i] mod q` for lazy operands (see
@@ -51,7 +62,7 @@ pub trait SliceOps {
     fn mul_into_slice_lazy(&self, out: &mut [u32], a: &[u32], b: &[u32]);
 }
 
-impl SliceOps for Modulus {
+impl<R: Reducer> SliceOps for R {
     fn add_assign_slice(&self, a: &mut [u32], b: &[u32]) {
         debug_assert_eq!(a.len(), b.len());
         for (x, &y) in a.iter_mut().zip(b) {
@@ -77,10 +88,9 @@ impl SliceOps for Modulus {
         debug_assert_eq!(acc.len(), a.len());
         debug_assert_eq!(acc.len(), b.len());
         for ((z, &x), &y) in acc.iter_mut().zip(a).zip(b) {
-            // Lazily accumulate the 64-bit product before reducing: one
-            // Barrett pass replaces the reduce-then-add-then-correct
-            // chain (x·y + z < q² + q always fits u64 for q < 2³¹).
-            *z = self.reduce(x as u64 * y as u64 + *z as u64);
+            // One fused reduction pass replaces the
+            // reduce-then-add-then-correct chain.
+            *z = self.mul_add(x, y, *z);
         }
     }
 
@@ -111,7 +121,7 @@ impl SliceOps for Modulus {
     fn mul_assign_slice_lazy(&self, a: &mut [u32], b: &[u32]) {
         debug_assert_eq!(a.len(), b.len());
         for (x, &y) in a.iter_mut().zip(b) {
-            *x = self.reduce(*x as u64 * y as u64);
+            *x = self.reduce_mul(*x, y);
         }
     }
 
@@ -119,7 +129,7 @@ impl SliceOps for Modulus {
         debug_assert_eq!(out.len(), a.len());
         debug_assert_eq!(out.len(), b.len());
         for ((z, &x), &y) in out.iter_mut().zip(a).zip(b) {
-            *z = self.reduce(x as u64 * y as u64);
+            *z = self.reduce_mul(x, y);
         }
     }
 }
@@ -127,6 +137,7 @@ impl SliceOps for Modulus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Modulus;
 
     fn q() -> Modulus {
         Modulus::new(7681).unwrap()
@@ -147,7 +158,7 @@ mod tests {
         for i in 0..a.len() {
             assert_eq!(add[i], m.add(a[i], b[i]));
             assert_eq!(sub[i], m.sub(a[i], b[i]));
-            assert_eq!(mul[i], m.mul(a[i], b[i]));
+            assert_eq!(mul[i], Modulus::mul(&m, a[i], b[i]));
         }
     }
 
@@ -160,7 +171,7 @@ mod tests {
         let want: Vec<u32> = acc
             .iter()
             .zip(a.iter().zip(&b))
-            .map(|(&z, (&x, &y))| m.add(m.mul(x, y), z))
+            .map(|(&z, (&x, &y))| m.add(Modulus::mul(&m, x, y), z))
             .collect();
         m.mul_add_assign_slice(&mut acc, &a, &b);
         assert_eq!(acc, want);
@@ -178,5 +189,24 @@ mod tests {
         assert_eq!(out, vec![2, 0, 40]);
         m.mul_into_slice(&mut out, &a, &b);
         assert_eq!(out, vec![7680, 1, 84]);
+    }
+
+    #[test]
+    fn specialized_reducers_drive_the_same_loops() {
+        use crate::reduce::Q7681;
+        let m = q();
+        let a = vec![5u32, 7000, 0, 7680];
+        let b = vec![3u32, 7000, 100, 7680];
+        let mut generic = a.clone();
+        m.mul_assign_slice(&mut generic, &b);
+        let mut special = a.clone();
+        Q7681.mul_assign_slice(&mut special, &b);
+        assert_eq!(generic, special);
+
+        let mut acc_g = vec![9u32; 4];
+        let mut acc_s = vec![9u32; 4];
+        m.mul_add_assign_slice(&mut acc_g, &a, &b);
+        Q7681.mul_add_assign_slice(&mut acc_s, &a, &b);
+        assert_eq!(acc_g, acc_s);
     }
 }

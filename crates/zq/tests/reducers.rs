@@ -1,0 +1,201 @@
+//! Cross-implementation property tests for the [`Reducer`] trait: every
+//! specialized `Q7681`/`Q12289` operation must agree with the
+//! runtime-Barrett [`BarrettGeneric`] reducer over its full operand
+//! domain — the reduction *strategy* may differ, the computed function
+//! may not. Mirrors the eager-vs-lazy pipeline tests of PR 4 at the
+//! strategy level.
+
+use proptest::prelude::*;
+use rlwe_zq::reduce::{BarrettGeneric, Q12289, Q7681};
+use rlwe_zq::{Modulus, Reducer, SliceOps};
+
+fn generic(q: u32) -> BarrettGeneric {
+    Modulus::new(q).unwrap()
+}
+
+/// Exercises every scalar `Reducer` method on one specialized/generic
+/// pair for one operand triple drawn from the widest domain each method
+/// accepts.
+fn check_all_ops<S: Reducer>(special: S, raw: (u32, u32, u32), x64: u64) {
+    let q = special.q();
+    let g = generic(q);
+    let (a4, b4) = (raw.0 % (4 * q), raw.1 % (4 * q));
+    let (a, b, acc) = (raw.0 % q, raw.1 % q, raw.2 % q);
+
+    assert_eq!(special.reduce_u64(x64), g.reduce_u64(x64), "reduce_u64");
+    assert_eq!(
+        special.reduce_mul(a4, b4),
+        g.reduce_mul(a4, b4),
+        "reduce_mul({a4}, {b4})"
+    );
+    assert_eq!(Reducer::mul(&special, a, b), Reducer::mul(&g, a, b), "mul");
+    assert_eq!(
+        special.mul_add(a, b, acc),
+        g.mul_add(a, b, acc),
+        "mul_add({a}, {b}, {acc})"
+    );
+    assert_eq!(Reducer::add(&special, a, b), Reducer::add(&g, a, b), "add");
+    assert_eq!(Reducer::sub(&special, a, b), Reducer::sub(&g, a, b), "sub");
+    assert_eq!(Reducer::neg(&special, a), Reducer::neg(&g, a), "neg");
+    let x2 = raw.0 % (2 * q);
+    assert_eq!(
+        special.reduce_once(x2),
+        g.reduce_once(x2),
+        "reduce_once({x2})"
+    );
+    assert_eq!(
+        special.reduce_once_2q(a4),
+        g.reduce_once_2q(a4),
+        "reduce_once_2q({a4})"
+    );
+    assert_eq!(special.normalize4(a4), g.normalize4(a4), "normalize4({a4})");
+    for negative in [false, true] {
+        assert_eq!(
+            special.signed_residue(a, negative),
+            g.signed_residue(a, negative),
+            "signed_residue({a}, {negative})"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn q7681_matches_generic_on_every_op(r0: u32, r1: u32, r2: u32, x64: u64) {
+        check_all_ops(Q7681, (r0, r1, r2), x64);
+    }
+
+    #[test]
+    fn q12289_matches_generic_on_every_op(r0: u32, r1: u32, r2: u32, x64: u64) {
+        check_all_ops(Q12289, (r0, r1, r2), x64);
+    }
+
+    #[test]
+    fn specialized_slice_ops_match_generic(
+        pairs in prop::collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 1..48),
+        accs in prop::collection::vec(0u32..u32::MAX, 48),
+    ) {
+        // The blanket SliceOps loops, driven by each reducer: reduced
+        // operand vectors for the eager ops, [0, 4q) vectors for the
+        // lazy product.
+        fn run<S: Reducer>(special: S, pairs: &[(u32, u32)], accs: &[u32]) {
+            let q = special.q();
+            let g = generic(q);
+            let a: Vec<u32> = pairs.iter().map(|&(x, _)| x % q).collect();
+            let b: Vec<u32> = pairs.iter().map(|&(_, y)| y % q).collect();
+            let acc: Vec<u32> = accs[..a.len()].iter().map(|&z| z % q).collect();
+
+            for (label, f) in [
+                ("add", SliceOps::add_assign_slice as fn(&S, &mut [u32], &[u32])),
+                ("sub", SliceOps::sub_assign_slice),
+                ("mul", SliceOps::mul_assign_slice),
+            ] {
+                let mut s = a.clone();
+                f(&special, &mut s, &b);
+                let mut gv = a.clone();
+                match label {
+                    "add" => g.add_assign_slice(&mut gv, &b),
+                    "sub" => g.sub_assign_slice(&mut gv, &b),
+                    _ => g.mul_assign_slice(&mut gv, &b),
+                }
+                assert_eq!(s, gv, "{label}_assign_slice diverged");
+            }
+
+            let mut fused_s = acc.clone();
+            special.mul_add_assign_slice(&mut fused_s, &a, &b);
+            let mut fused_g = acc.clone();
+            g.mul_add_assign_slice(&mut fused_g, &a, &b);
+            assert_eq!(fused_s, fused_g, "mul_add_assign_slice diverged");
+
+            let la: Vec<u32> = pairs.iter().map(|&(x, _)| x % (4 * q)).collect();
+            let lb: Vec<u32> = pairs.iter().map(|&(_, y)| y % (4 * q)).collect();
+            let mut lazy_s = la.clone();
+            special.mul_assign_slice_lazy(&mut lazy_s, &lb);
+            let mut lazy_g = la.clone();
+            g.mul_assign_slice_lazy(&mut lazy_g, &lb);
+            assert_eq!(lazy_s, lazy_g, "mul_assign_slice_lazy diverged");
+            let mut out_s = vec![0u32; la.len()];
+            special.mul_into_slice_lazy(&mut out_s, &la, &lb);
+            assert_eq!(out_s, lazy_s, "mul_into_slice_lazy diverged");
+        }
+        run(Q7681, &pairs, &accs);
+        run(Q12289, &pairs, &accs);
+    }
+}
+
+/// Every operand at the documented domain edges — `q−1`, `2q−1`, `4q−1`
+/// (and 0/1) — pushed through every operation on both specialized
+/// reducers, mirroring PR 4's worst-case-vector tests.
+#[test]
+fn domain_edges_match_generic_exactly() {
+    fn run<S: Reducer>(special: S) {
+        let q = special.q();
+        let g = generic(q);
+        let edges = [0u32, 1, q - 1, q, q + 1, 2 * q - 1, 2 * q, 4 * q - 1];
+        for &a in &edges {
+            for &b in &edges {
+                assert_eq!(
+                    special.reduce_mul(a, b),
+                    g.reduce_mul(a, b),
+                    "q={q} reduce_mul({a}, {b})"
+                );
+            }
+            if a < 2 * q {
+                assert_eq!(special.reduce_once(a), g.reduce_once(a), "q={q} ro({a})");
+            }
+            assert_eq!(
+                special.reduce_once_2q(a),
+                g.reduce_once_2q(a),
+                "q={q} ro2q({a})"
+            );
+            assert_eq!(special.normalize4(a), g.normalize4(a), "q={q} norm4({a})");
+        }
+        // Reduced-domain edges for the eager ops.
+        for &a in &[0u32, 1, q / 2, q - 2, q - 1] {
+            for &b in &[0u32, 1, q / 2, q - 2, q - 1] {
+                assert_eq!(Reducer::mul(&special, a, b), Reducer::mul(&g, a, b));
+                assert_eq!(
+                    special.mul_add(a, b, q - 1),
+                    g.mul_add(a, b, q - 1),
+                    "q={q} mul_add edge"
+                );
+                assert_eq!(Reducer::add(&special, a, b), Reducer::add(&g, a, b));
+                assert_eq!(Reducer::sub(&special, a, b), Reducer::sub(&g, a, b));
+            }
+        }
+        // reduce_u64 at the wide edges, including q² neighbourhoods.
+        let q64 = q as u64;
+        for x in [
+            0u64,
+            q64 - 1,
+            q64,
+            q64 * q64 - 1,
+            q64 * q64,
+            q64 * q64 + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(special.reduce_u64(x), g.reduce_u64(x), "q={q} u64({x})");
+        }
+    }
+    run(Q7681);
+    run(Q12289);
+}
+
+/// The fused `mul_add` must equal the unfused mul-then-add composition —
+/// the single-Barrett-pass optimisation may not change the function.
+#[test]
+fn fused_mul_add_equals_composition() {
+    fn run<S: Reducer>(special: S) {
+        let q = special.q();
+        for a in (0..q).step_by(211) {
+            for b in (0..q).step_by(509) {
+                let acc = (a ^ b) % q;
+                let fused = special.mul_add(a, b, acc);
+                let composed = special.add(Reducer::mul(&special, a, b), acc);
+                assert_eq!(fused, composed, "q={q} a={a} b={b}");
+            }
+        }
+    }
+    run(Q7681);
+    run(Q12289);
+}
