@@ -1,0 +1,134 @@
+//! Observability overhead gate: the cost of `rlwe-obs` instrumentation
+//! on the hot paths, asserted — not just reported.
+//!
+//! Two claims from the observability design are pinned here, in the
+//! function bodies (so the CI `cargo test --benches` smoke gate executes
+//! them even when criterion runs each closure exactly once):
+//!
+//! 1. A **disabled** span costs a relaxed atomic load and a branch —
+//!    budgeted at < 15 ns per enter/drop pair, measured min-of-rounds.
+//! 2. Turning span tracing **on** costs < 3% on P2 encryption (four
+//!    phase spans per call against ~tens of microseconds of lattice
+//!    math), measured by interleaving tracing-on and tracing-off rounds
+//!    and comparing the per-mode minima.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlwe_core::{ParamSet, RlweContext};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Budget for one disabled `SpanId::enter()` + drop, in nanoseconds.
+/// The design target is < 5 ns; the assert leaves headroom for shared
+/// CI hardware while still catching any accidental work (an `Instant`
+/// read, a thread-local push) on the disabled path.
+const DISABLED_SPAN_BUDGET_NS: f64 = 15.0;
+
+/// Maximum tolerated encrypt slowdown with span tracing enabled.
+const MAX_ENABLED_RATIO: f64 = 1.03;
+
+/// Min-of-rounds nanoseconds per call of `f`, amortized over `iters`.
+fn min_ns_per_iter(rounds: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn bench_disabled_span(c: &mut Criterion) {
+    rlwe_obs::set_tracing(false);
+    let id = rlwe_obs::SpanId::register("bench.disabled");
+    let ns = min_ns_per_iter(16, 100_000, || {
+        let _ = black_box(id.enter());
+    });
+    println!("disabled span: {ns:.2} ns/enter (budget {DISABLED_SPAN_BUDGET_NS} ns)");
+    assert!(
+        ns < DISABLED_SPAN_BUDGET_NS,
+        "disabled span costs {ns:.2} ns — over the {DISABLED_SPAN_BUDGET_NS} ns budget; \
+         the no-op path is doing real work"
+    );
+    c.bench_function("obs/disabled_span", |b| {
+        b.iter(|| {
+            let _ = black_box(id.enter());
+        })
+    });
+}
+
+fn bench_encrypt_overhead(c: &mut Criterion) {
+    // P2: the larger parameter set, where the fixed per-call span cost
+    // is smallest relative to the lattice math it brackets.
+    let ctx = RlweContext::new(ParamSet::P2).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+    let msg = vec![0x5Au8; ctx.params().message_bytes()];
+    let mut ct = ctx.empty_ciphertext();
+    let mut scratch = ctx.new_scratch();
+
+    // Measure the two modes back-to-back within each round so drift
+    // (thermal, cache, scheduler) hits both sides of one ratio equally,
+    // then assert on the MEDIAN of the per-round ratios — robust to a
+    // few noisy rounds on a shared runner, while a real regression
+    // shifts every round and therefore the median.
+    let rounds = 15;
+    let iters = 64;
+    let mut ratios = Vec::with_capacity(rounds);
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        let mut ns = [0.0f64; 2];
+        for (slot, enabled) in [(0usize, false), (1, true)] {
+            rlwe_obs::set_tracing(enabled);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+                    .unwrap();
+                black_box(&ct);
+            }
+            ns[slot] = t0.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        best_off = best_off.min(ns[0]);
+        best_on = best_on.min(ns[1]);
+        ratios.push(ns[1] / ns[0]);
+    }
+    rlwe_obs::set_tracing(false);
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ratio = ratios[ratios.len() / 2];
+    println!(
+        "P2 encrypt: {best_off:.1} ns off, {best_on:.1} ns on — \
+         median ratio {ratio:.4} (max {MAX_ENABLED_RATIO})"
+    );
+    assert!(
+        ratio < MAX_ENABLED_RATIO,
+        "span tracing costs {:.2}% on P2 encrypt — over the {:.0}% budget",
+        (ratio - 1.0) * 100.0,
+        (MAX_ENABLED_RATIO - 1.0) * 100.0
+    );
+
+    let mut g = c.benchmark_group("obs/encrypt_p2");
+    g.bench_function("tracing_off", |b| {
+        rlwe_obs::set_tracing(false);
+        b.iter(|| {
+            ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+                .unwrap();
+            black_box(&ct);
+        })
+    });
+    g.bench_function("tracing_on", |b| {
+        rlwe_obs::set_tracing(true);
+        b.iter(|| {
+            ctx.encrypt_into(&pk, &msg, &mut rng, &mut ct, &mut scratch)
+                .unwrap();
+            black_box(&ct);
+        })
+    });
+    rlwe_obs::set_tracing(false);
+    g.finish();
+}
+
+criterion_group!(benches, bench_disabled_span, bench_encrypt_overhead);
+criterion_main!(benches);

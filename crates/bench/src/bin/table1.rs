@@ -4,29 +4,16 @@
 //! cargo run -p rlwe-bench --bin table1
 //! ```
 
-use rlwe_bench::group_digits;
 use rlwe_core::ParamSet;
 use rlwe_m4sim::report;
 
 fn main() {
     println!("TABLE I: MEASURED RESULTS OF MAJOR OPERATIONS");
     println!("(cycles; 'paper' = DWT_CYCCNT on the STM32F407, 'model' = M4F cost model)\n");
-    println!(
-        "{:<28}{:>14}{:>14}{:>10}   params",
-        "Operation", "paper", "model", "ratio"
-    );
+    println!("{}", report::table1_header());
     println!("{}", "-".repeat(78));
     for set in [ParamSet::P1, ParamSet::P2] {
-        for row in report::table1(set) {
-            println!(
-                "{:<28}{:>14}{:>14}{:>10.3}   {}",
-                row.operation,
-                group_digits(row.paper_cycles as u64),
-                group_digits(row.model_cycles as u64),
-                row.ratio(),
-                row.params
-            );
-        }
+        print!("{}", report::render_table1(set));
         println!();
     }
     // The derived claims of §IV-A.

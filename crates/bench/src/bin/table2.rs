@@ -4,7 +4,6 @@
 //! cargo run -p rlwe-bench --bin table2
 //! ```
 
-use rlwe_bench::group_digits;
 use rlwe_core::ParamSet;
 use rlwe_m4sim::report;
 
@@ -12,33 +11,10 @@ fn main() {
     println!("TABLE II: RING-LWE ENCRYPTION SCHEME — CYCLES, FLASH, RAM");
     println!("(RAM model reproduces the paper exactly; flash code size is an estimate,");
     println!(" table bytes are computed from our actual structures)\n");
-    println!(
-        "{:<16}{:>12}{:>12}{:>8}{:>14}{:>14}{:>12}{:>12}  params",
-        "Operation",
-        "paper cyc",
-        "model cyc",
-        "ratio",
-        "paper flash",
-        "est. code",
-        "paper RAM",
-        "model RAM"
-    );
+    println!("{}", report::table2_header());
     println!("{}", "-".repeat(116));
     for set in [ParamSet::P1, ParamSet::P2] {
-        for row in report::table2(set) {
-            println!(
-                "{:<16}{:>12}{:>12}{:>8.3}{:>14}{:>14}{:>12}{:>12}  {}",
-                row.cycles.operation,
-                group_digits(row.cycles.paper_cycles as u64),
-                group_digits(row.cycles.model_cycles as u64),
-                row.cycles.ratio(),
-                row.paper_flash,
-                row.model_code_estimate,
-                row.paper_ram,
-                row.model_ram,
-                row.cycles.params,
-            );
-        }
+        print!("{}", report::render_table2(set));
         let ctx = rlwe_core::RlweContext::new(set).unwrap();
         println!(
             "  (+ {} B of constant tables in flash: twiddles, P_mat, DDG LUTs)\n",

@@ -28,19 +28,9 @@ pub fn fmt_row(label: &str, platform: &str, cycles: f64, params: &str, ours: boo
     )
 }
 
-/// Renders `1234567` as `1 234 567`, the paper's digit grouping.
-pub fn group_digits(v: u64) -> String {
-    let s = v.to_string();
-    let bytes: Vec<char> = s.chars().collect();
-    let mut out = String::new();
-    for (i, c) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
-            out.push(' ');
-        }
-        out.push(*c);
-    }
-    out
-}
+/// Renders `1234567` as `1 234 567`, the paper's digit grouping
+/// (re-exported from the shared formatter in `rlwe-obs`).
+pub use rlwe_obs::group_digits;
 
 #[cfg(test)]
 mod tests {

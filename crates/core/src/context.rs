@@ -59,6 +59,17 @@ pub enum NttBackend {
     Swar,
 }
 
+impl NttBackend {
+    /// Stable lowercase identifier for the `ntt_backend` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NttBackend::Reference => "reference",
+            NttBackend::Packed => "packed",
+            NttBackend::Swar => "swar",
+        }
+    }
+}
+
 /// Which sampler rung draws the error polynomials. All rungs sample the
 /// *same* distribution exactly; they trade table memory and speed against
 /// leakage (and consume random bits differently, so ciphertexts differ
@@ -86,6 +97,94 @@ pub enum SamplerKind {
     /// Constant-operation-count CDT inversion ([`CtCdtSampler`]): fixed
     /// bit draws and comparison count per sample, branchless accumulation.
     CtCdt,
+}
+
+impl SamplerKind {
+    /// Stable lowercase identifier for the `sampler_kind` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerKind::Basic => "basic",
+            SamplerKind::Lut1 => "lut1",
+            SamplerKind::Lut => "lut",
+            SamplerKind::CtCdt => "ct_cdt",
+        }
+    }
+}
+
+/// Observability handles a context resolves **once at construction**
+/// and records through on the hot paths (one relaxed atomic op per
+/// event, no registry lookups). Every label is public data — parameter
+/// set, reducer kind, backend, sampler rung — never key or message
+/// material, and recording never branches on secret values, so the
+/// `crates/leakage` invariance gates hold with tracing enabled.
+#[derive(Debug, Clone)]
+pub(crate) struct ObsHooks {
+    /// `rlwe_sampler_draws_total{param_set, sampler_kind}`.
+    pub sampler_draws: rlwe_obs::Counter,
+    /// `rlwe_kem_op_ns{op, param_set, reducer_kind, ntt_backend}`.
+    pub encap_ns: rlwe_obs::Histogram,
+    /// As above, `op="decap"`.
+    pub decap_ns: rlwe_obs::Histogram,
+    /// As above, `op="encap_cca"`.
+    pub encap_cca_ns: rlwe_obs::Histogram,
+    /// As above, `op="decap_cca"`.
+    pub decap_cca_ns: rlwe_obs::Histogram,
+    /// Pipeline-phase spans: encrypt sample → encode → NTT → pointwise.
+    pub sp_enc_sample: rlwe_obs::SpanId,
+    /// Encrypt message-encode phase.
+    pub sp_enc_encode: rlwe_obs::SpanId,
+    /// Encrypt fused triple forward NTT phase.
+    pub sp_enc_ntt: rlwe_obs::SpanId,
+    /// Encrypt pointwise multiply-add phase.
+    pub sp_enc_pointwise: rlwe_obs::SpanId,
+    /// Decrypt pointwise multiply-add phase.
+    pub sp_dec_pointwise: rlwe_obs::SpanId,
+    /// Decrypt inverse NTT phase.
+    pub sp_dec_ntt: rlwe_obs::SpanId,
+    /// Decrypt threshold-decode phase.
+    pub sp_dec_decode: rlwe_obs::SpanId,
+}
+
+impl ObsHooks {
+    fn resolve(
+        params: &Params,
+        kind: ReducerKind,
+        backend: NttBackend,
+        sampler: SamplerKind,
+    ) -> Self {
+        let reg = rlwe_obs::global();
+        let set = params.obs_label();
+        let kem = |op: &str| {
+            reg.histogram(
+                "rlwe_kem_op_ns",
+                "KEM operation wall-clock latency by operation kind.",
+                &[
+                    ("op", op),
+                    ("param_set", &set),
+                    ("reducer_kind", kind.label()),
+                    ("ntt_backend", backend.label()),
+                ],
+            )
+        };
+        Self {
+            sampler_draws: reg.counter(
+                "rlwe_sampler_draws_total",
+                "Error-polynomial coefficients drawn through the sampler rung.",
+                &[("param_set", &set), ("sampler_kind", sampler.label())],
+            ),
+            encap_ns: kem("encap"),
+            decap_ns: kem("decap"),
+            encap_cca_ns: kem("encap_cca"),
+            decap_cca_ns: kem("decap_cca"),
+            sp_enc_sample: rlwe_obs::SpanId::register("encrypt.sample"),
+            sp_enc_encode: rlwe_obs::SpanId::register("encrypt.encode"),
+            sp_enc_ntt: rlwe_obs::SpanId::register("encrypt.ntt"),
+            sp_enc_pointwise: rlwe_obs::SpanId::register("encrypt.pointwise"),
+            sp_dec_pointwise: rlwe_obs::SpanId::register("decrypt.pointwise"),
+            sp_dec_ntt: rlwe_obs::SpanId::register("decrypt.ntt"),
+            sp_dec_decode: rlwe_obs::SpanId::register("decrypt.decode"),
+        }
+    }
 }
 
 /// Which modular-reduction instantiation the context's kernels run on.
@@ -207,7 +306,7 @@ impl RlweContextBuilder {
         // tables into the specialized type rather than rebuilding them.
         let dispatch = match self.reducer {
             ReducerPreference::Auto => AnyNttPlan::promote(plan.clone()),
-            ReducerPreference::Generic => AnyNttPlan::Generic(plan.clone()),
+            ReducerPreference::Generic => AnyNttPlan::generic(plan.clone()),
         };
         let spec = self.params.spec();
         let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
@@ -222,6 +321,9 @@ impl RlweContextBuilder {
             _ => None,
         };
         let ky = KnuthYao::new(pmat)?;
+        // Observability handles resolve here, once: hot paths below
+        // record through them without touching the registry again.
+        let obs = ObsHooks::resolve(&self.params, dispatch.kind(), self.backend, self.sampler);
         Ok(RlweContext {
             params: self.params,
             plan,
@@ -230,6 +332,7 @@ impl RlweContextBuilder {
             ct,
             backend: self.backend,
             sampler: self.sampler,
+            obs,
         })
     }
 }
@@ -286,6 +389,8 @@ pub struct RlweContext {
     ct: Option<CtCdtSampler>,
     backend: NttBackend,
     sampler: SamplerKind,
+    /// Pre-resolved observability handles (see [`ObsHooks`]).
+    pub(crate) obs: ObsHooks,
 }
 
 impl RlweContext {
@@ -402,6 +507,10 @@ impl RlweContext {
     /// per-coefficient sign application ([`Reducer::signed_residue`])
     /// monomorphizes with compile-time `q` on the specialized plans.
     fn sample_error_into<R: Reducer, B: BitSource>(&self, r: &R, bits: &mut B, out: &mut [u32]) {
+        // One relaxed add keyed only by the (public) output length; the
+        // draw loop itself is untouched, so the sampler's operation
+        // trace — which the leakage gates pin exactly — cannot shift.
+        self.obs.sampler_draws.add(out.len() as u64);
         match self.sampler {
             SamplerKind::Lut => self.ky.sample_poly_reduced_into(r, bits, out),
             SamplerKind::Basic => {
@@ -779,12 +888,22 @@ impl RlweContext {
         let mut e1 = scratch.take();
         let mut e2 = scratch.take();
         let mut e3m = scratch.take();
-        self.sample_error_into(plan.reducer(), &mut bits, &mut e1);
-        self.sample_error_into(plan.reducer(), &mut bits, &mut e2);
-        self.sample_error_into(plan.reducer(), &mut bits, &mut e3m);
-        // e₃ + m̄ (time domain) becomes the third parallel-NTT operand.
-        encode_message_add_assign(msg, &mut e3m, q);
-        self.ntt_forward3(plan, [&mut e1, &mut e2, &mut e3m], scratch);
+        {
+            let _span = self.obs.sp_enc_sample.enter();
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e1);
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e2);
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e3m);
+        }
+        {
+            // e₃ + m̄ (time domain) becomes the third parallel-NTT operand.
+            let _span = self.obs.sp_enc_encode.enter();
+            encode_message_add_assign(msg, &mut e3m, q);
+        }
+        {
+            let _span = self.obs.sp_enc_ntt.enter();
+            self.ntt_forward3(plan, [&mut e1, &mut e2, &mut e3m], scratch);
+        }
+        let _span = self.obs.sp_enc_pointwise.enter();
         // c̃₁ = ã∘ẽ₁ + ẽ₂ ; c̃₂ = p̃∘ẽ₁ + NTT(e₃ + m̄).
         ct.params = pk.params;
         ct.c1_hat.reset(n, *modulus);
@@ -850,16 +969,25 @@ impl RlweContext {
         self.check_scratch(scratch)?;
         with_dispatch!(self, |p| {
             let mut m = scratch.take();
-            // m ← c̃₂ + c̃₁∘r̃₂, then out of the NTT domain.
-            m.copy_from_slice(ct.c2_hat.as_slice());
-            pointwise::mul_add_assign(
-                &mut m,
-                ct.c1_hat.as_slice(),
-                sk.r2_hat.as_slice(),
-                p.reducer(),
-            )?;
-            self.ntt_inverse(p, &mut m, scratch);
-            decode_message_into(&m, self.params.q(), out);
+            {
+                // m ← c̃₂ + c̃₁∘r̃₂, then out of the NTT domain.
+                let _span = self.obs.sp_dec_pointwise.enter();
+                m.copy_from_slice(ct.c2_hat.as_slice());
+                pointwise::mul_add_assign(
+                    &mut m,
+                    ct.c1_hat.as_slice(),
+                    sk.r2_hat.as_slice(),
+                    p.reducer(),
+                )?;
+            }
+            {
+                let _span = self.obs.sp_dec_ntt.enter();
+                self.ntt_inverse(p, &mut m, scratch);
+            }
+            {
+                let _span = self.obs.sp_dec_decode.enter();
+                decode_message_into(&m, self.params.q(), out);
+            }
             scratch.put(m);
             Ok(())
         })

@@ -112,6 +112,7 @@ impl RlweContext {
         rng: &mut R,
         scratch: &mut PolyScratch,
     ) -> Result<(Ciphertext, SharedSecret), RlweError> {
+        let t0 = std::time::Instant::now();
         let mut m = vec![0u8; self.params().message_bytes()];
         rng.fill_bytes(&mut m);
         let mut coins = hash2(DS_COINS, &m);
@@ -129,6 +130,7 @@ impl RlweContext {
         // transited the arena.
         ct::zeroize(&mut m);
         scratch.scrub();
+        self.obs.encap_cca_ns.record(t0.elapsed());
         match result {
             Ok(ss) => Ok((ct, ss)),
             Err(e) => {
@@ -192,6 +194,10 @@ impl RlweContext {
         ct: &Ciphertext,
         scratch: &mut PolyScratch,
     ) -> Result<SharedSecret, RlweError> {
+        // Entry/exit clock reads only — recording a duration adds no
+        // data-dependent branch to the branch-free core below, and the
+        // obs-toggle leakage gate pins that the op trace is unchanged.
+        let t0 = std::time::Instant::now();
         let mut m = Vec::with_capacity(self.params().message_bytes());
         let mut reencrypted = self.empty_ciphertext();
         let result = self.decapsulate_cca_core(sk, pk, ct, scratch, &mut m, &mut reencrypted);
@@ -204,6 +210,7 @@ impl RlweContext {
         ct::zeroize_u32(reencrypted.c1_hat.as_mut_slice());
         ct::zeroize_u32(reencrypted.c2_hat.as_mut_slice());
         scratch.scrub();
+        self.obs.decap_cca_ns.record(t0.elapsed());
         result
     }
 

@@ -108,10 +108,13 @@ impl RlweContext {
         ct: &mut Ciphertext,
         scratch: &mut rlwe_ntt::PolyScratch,
     ) -> Result<SharedSecret, RlweError> {
+        let t0 = std::time::Instant::now();
         let mut m = vec![0u8; self.params().message_bytes()];
         rng.fill_bytes(&mut m);
         self.encrypt_into(pk, &m, rng, ct, scratch)?;
-        derive(&m, ct)
+        let out = derive(&m, ct);
+        self.obs.encap_ns.record(t0.elapsed());
+        out
     }
 
     /// Decapsulates a received ciphertext into the shared secret.
@@ -138,9 +141,15 @@ impl RlweContext {
         ct: &Ciphertext,
         scratch: &mut rlwe_ntt::PolyScratch,
     ) -> Result<SharedSecret, RlweError> {
+        // Wall-clock recording only: reading the clock at entry and
+        // exit neither branches on secrets nor alters the decryption
+        // path's operation counts (pinned by the leakage gates).
+        let t0 = std::time::Instant::now();
         let mut m = Vec::with_capacity(self.params().message_bytes());
         self.decrypt_into(sk, ct, &mut m, scratch)?;
-        derive(&m, ct)
+        let out = derive(&m, ct);
+        self.obs.decap_ns.record(t0.elapsed());
+        out
     }
 }
 

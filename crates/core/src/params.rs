@@ -106,6 +106,16 @@ impl Params {
         self.spec
     }
 
+    /// Stable public label for the `param_set` dimension of `rlwe-obs`
+    /// metrics: `"P1"`/`"P2"` for the named sets, `"n{n}q{q}"` for
+    /// custom parameters. Contains only public data by construction.
+    pub fn obs_label(&self) -> String {
+        match self.set {
+            Some(s) => format!("{s:?}"),
+            None => format!("n{}q{}", self.n, self.q),
+        }
+    }
+
     /// Plaintext size in bytes (`n/8`: one coefficient per bit).
     #[inline]
     pub fn message_bytes(&self) -> usize {

@@ -20,7 +20,10 @@
 //!   payloads: the "millions of users" workload where lattice math is
 //!   per-session, not per-message.
 //! * [`metrics`] — lock-free counters and fixed-bucket latency
-//!   histograms with an `m4sim`-style text report.
+//!   histograms with an `m4sim`-style text report. Every cell also
+//!   mirrors into the process-wide `rlwe-obs` registry (labelled by
+//!   `param_set`), so `rlwe_obs::render()` exports pool, batch and
+//!   session metrics in Prometheus exposition format.
 //!
 //! # Example
 //!
@@ -62,7 +65,6 @@ use rlwe_core::kem::SharedSecret;
 use rlwe_core::{
     Ciphertext, NttBackend, ParamSet, PublicKey, RlweContext, RlweError, SamplerKind, SecretKey,
 };
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -124,10 +126,11 @@ impl EngineBuilder {
         } else {
             pool::global().get_with(self.set, self.config)?
         };
+        let metrics = Arc::new(EngineMetrics::for_params(&ctx.params().obs_label()));
         Ok(Engine {
             ctx,
             workers: self.workers.unwrap_or_else(default_workers),
-            metrics: Arc::new(EngineMetrics::new()),
+            metrics,
         })
     }
 }
@@ -202,6 +205,7 @@ impl Engine {
         master_seed: &[u8; 32],
     ) -> Vec<Result<Ciphertext, RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(msgs.len(), self.workers);
         let out = encrypt_batch(&self.ctx, pk, msgs, master_seed, self.workers);
         self.record(&self.metrics.encrypt, &out, start);
         out
@@ -222,9 +226,17 @@ impl Engine {
         out: &mut [Ciphertext],
     ) -> Result<Vec<Result<(), RlweError>>, RlweError> {
         let start = Instant::now();
-        let statuses = encrypt_batch_into(&self.ctx, pk, msgs, master_seed, self.workers, out)?;
-        self.record(&self.metrics.encrypt, &statuses, start);
-        Ok(statuses)
+        self.metrics.batch_begin(msgs.len(), self.workers);
+        match encrypt_batch_into(&self.ctx, pk, msgs, master_seed, self.workers, out) {
+            Ok(statuses) => {
+                self.record(&self.metrics.encrypt, &statuses, start);
+                Ok(statuses)
+            }
+            Err(e) => {
+                self.metrics.batch_end(msgs.len());
+                Err(e)
+            }
+        }
     }
 
     /// Allocation-free batched decryption; see [`batch::decrypt_batch_into`].
@@ -239,9 +251,17 @@ impl Engine {
         out: &mut [Vec<u8>],
     ) -> Result<Vec<Result<(), RlweError>>, RlweError> {
         let start = Instant::now();
-        let statuses = decrypt_batch_into(&self.ctx, sk, cts, self.workers, out)?;
-        self.record(&self.metrics.decrypt, &statuses, start);
-        Ok(statuses)
+        self.metrics.batch_begin(cts.len(), self.workers);
+        match decrypt_batch_into(&self.ctx, sk, cts, self.workers, out) {
+            Ok(statuses) => {
+                self.record(&self.metrics.decrypt, &statuses, start);
+                Ok(statuses)
+            }
+            Err(e) => {
+                self.metrics.batch_end(cts.len());
+                Err(e)
+            }
+        }
     }
 
     /// Batched decryption; see [`batch::decrypt_batch`].
@@ -251,6 +271,7 @@ impl Engine {
         cts: &[Ciphertext],
     ) -> Vec<Result<Vec<u8>, RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(cts.len(), self.workers);
         let out = decrypt_batch(&self.ctx, sk, cts, self.workers);
         self.record(&self.metrics.decrypt, &out, start);
         out
@@ -264,6 +285,7 @@ impl Engine {
         master_seed: &[u8; 32],
     ) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(count, self.workers);
         let out = encap_batch(&self.ctx, pk, count, master_seed, self.workers);
         self.record(&self.metrics.encap, &out, start);
         out
@@ -276,6 +298,7 @@ impl Engine {
         cts: &[Ciphertext],
     ) -> Vec<Result<SharedSecret, RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(cts.len(), self.workers);
         let out = decap_batch(&self.ctx, sk, cts, self.workers);
         self.record(&self.metrics.decap, &out, start);
         out
@@ -290,6 +313,7 @@ impl Engine {
         master_seed: &[u8; 32],
     ) -> Vec<Result<(Ciphertext, SharedSecret), RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(count, self.workers);
         let out = encap_cca_batch(&self.ctx, pk, count, master_seed, self.workers);
         self.record(&self.metrics.encap, &out, start);
         out
@@ -307,6 +331,7 @@ impl Engine {
         cts: &[Ciphertext],
     ) -> Vec<Result<SharedSecret, RlweError>> {
         let start = Instant::now();
+        self.metrics.batch_begin(cts.len(), self.workers);
         let out = decap_cca_batch(&self.ctx, sk, pk, cts, self.workers);
         self.record(&self.metrics.decap, &out, start);
         out
@@ -323,7 +348,13 @@ impl Engine {
         pk: &PublicKey,
         rng: &mut R,
     ) -> Result<(Session, Vec<u8>), SessionError> {
-        Session::initiate_with_metrics(&self.ctx, pk, rng, Some(Arc::clone(&self.metrics)))
+        let out =
+            Session::initiate_with_metrics(&self.ctx, pk, rng, Some(Arc::clone(&self.metrics)));
+        match &out {
+            Ok(_) => self.metrics.handshakes_initiated.inc(),
+            Err(_) => self.metrics.handshake_failures.inc(),
+        }
+        out
     }
 
     /// Accepts an initiator's handshake message.
@@ -334,15 +365,24 @@ impl Engine {
     /// [`SessionError::HandshakeFailed`] is the retryable ~1% KEM
     /// decryption-failure case.
     pub fn accept_session(&self, sk: &SecretKey, hello: &[u8]) -> Result<Session, SessionError> {
-        Session::accept_with_metrics(&self.ctx, sk, hello, Some(Arc::clone(&self.metrics)))
+        let out =
+            Session::accept_with_metrics(&self.ctx, sk, hello, Some(Arc::clone(&self.metrics)));
+        match &out {
+            Ok(_) => self.metrics.handshakes_accepted.inc(),
+            Err(_) => self.metrics.handshake_failures.inc(),
+        }
+        out
     }
 
+    /// Counts one finished batch: ok/failed item tallies, the batch
+    /// latency sample, and the queue-depth drop matching the
+    /// `batch_begin` issued when the batch entered.
     fn record<T, E>(&self, op: &metrics::OpMetrics, results: &[Result<T, E>], start: Instant) {
         let failed = results.iter().filter(|r| r.is_err()).count() as u64;
-        op.ok
-            .fetch_add(results.len() as u64 - failed, Ordering::Relaxed);
-        op.failed.fetch_add(failed, Ordering::Relaxed);
+        op.ok.add(results.len() as u64 - failed);
+        op.failed.add(failed);
         op.batch_latency.record(start.elapsed());
+        self.metrics.batch_end(results.len());
     }
 }
 
@@ -450,6 +490,48 @@ mod tests {
             .filter(|(got, want)| got.as_ref().unwrap() == *want)
             .count();
         assert!(agree >= 6, "only {agree}/8 secrets agreed");
+    }
+
+    #[test]
+    fn global_render_exposes_the_stack_metrics() {
+        // Drive the whole serving stack once, then check the global
+        // registry export names every layer's series. Presence checks
+        // only: other tests in this process write the same global
+        // series concurrently, so exact counts belong to the per-engine
+        // cells (tested above), not the aggregated export.
+        let engine = Engine::builder(ParamSet::P1).workers(2).build().unwrap();
+        let (pk, sk) = engine.generate_keypair(&[31u8; 32]).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 32]).collect();
+        let cts: Vec<_> = engine
+            .encrypt_batch(&pk, &msgs, &[32u8; 32])
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let _ = engine.decrypt_batch(&sk, &cts);
+        let _ = engine.encap_batch(&pk, 2, &[33u8; 32]);
+        let mut rng = HashDrbg::new([34u8; 32]);
+        let _ = engine.initiate_session(&pk, &mut rng);
+        let text = rlwe_obs::render();
+        for name in [
+            "rlwe_pool_hits_total",
+            "rlwe_pool_misses_total",
+            "rlwe_pool_build_ns",
+            "rlwe_ntt_dispatch_total",
+            "rlwe_batch_items_total",
+            "rlwe_batch_failures_total",
+            "rlwe_batch_latency_ns",
+            "rlwe_batch_queue_depth",
+            "rlwe_batch_items_per_worker",
+            "rlwe_session_frames_sealed_total",
+            "rlwe_session_handshakes_total",
+            "rlwe_sampler_draws_total",
+            "rlwe_kem_op_ns",
+        ] {
+            assert!(text.contains(name), "render() missing {name}:\n{text}");
+        }
+        // The label dimensions the issue pins.
+        assert!(text.contains("param_set=\"P1\""));
+        assert!(text.contains("reducer_kind=\"q7681\""));
     }
 
     #[test]

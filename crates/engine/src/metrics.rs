@@ -1,11 +1,25 @@
-//! Engine observability: operation counters and latency histograms.
+//! Engine observability: operation counters and latency histograms,
+//! rebuilt as a thin facade over the `rlwe-obs` registry.
 //!
-//! Mirrors `rlwe-m4sim`'s report idiom (plain structs + a `Display`
-//! rendering as an aligned text table) but measures the live engine
-//! instead of a cost model. Counters are lock-free atomics so worker
-//! threads record without contention; the histogram uses fixed
-//! power-of-two buckets, so percentile estimates cost a 32-entry scan.
+//! Every cell is **mirrored**: a private per-engine cell (what
+//! [`EngineMetrics::report`] reads — exact and isolated, so two engines
+//! in one process never pollute each other's counts) plus a handle into
+//! the process-wide [`rlwe_obs::global`] registry labelled by
+//! `param_set` (what `rlwe_obs::render()` exports — aggregated across
+//! engines, which is what a metrics endpoint wants). Recording hits
+//! both with relaxed atomic ops; the report's text format is unchanged
+//! from the pre-registry implementation (now rendered through the
+//! shared [`rlwe_obs::TextTable`]).
+//!
+//! The original `LatencyHistogram` derived `len()`, `mean_us()` and
+//! each quantile from *independent* re-scans of the relaxed atomics, so
+//! a report taken concurrently with writers could see a mean computed
+//! over a different population than its percentiles. Fixed here: one
+//! consistent copy of the cells per snapshot, all statistics derived
+//! from that copy (the registry's nanosecond histograms inherit the
+//! same design via `rlwe_obs::HistogramSnapshot`).
 
+use rlwe_obs::{Col, TextTable};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -37,37 +51,31 @@ impl LatencyHistogram {
         self.total_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    /// Number of recorded samples.
-    pub fn len(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Whether nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Mean recorded latency in microseconds.
-    pub fn mean_us(&self) -> f64 {
-        let n = self.len();
-        if n == 0 {
-            return 0.0;
+    /// One consistent copy of the cells: a single sweep, from which
+    /// every statistic below is derived — never a second scan of the
+    /// live atomics.
+    fn cells(&self) -> ([u64; BUCKETS], u64) {
+        let mut counts = [0u64; BUCKETS];
+        for (acc, c) in counts.iter_mut().zip(self.counts.iter()) {
+            *acc = c.load(Ordering::Relaxed);
         }
-        self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+        (counts, self.total_us.load(Ordering::Relaxed))
     }
 
-    /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
-    /// `q` in `[0, 1]` — e.g. `0.5` for p50, `0.99` for p99. Returns 0 on
-    /// an empty histogram.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.len();
+    fn count_of(counts: &[u64; BUCKETS]) -> u64 {
+        counts.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// sample within one frozen counts array.
+    fn quantile_of(counts: &[u64; BUCKETS], n: u64, q: f64) -> u64 {
         if n == 0 {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
             if seen >= rank {
                 return 1u64 << (i + 1);
             }
@@ -75,14 +83,47 @@ impl LatencyHistogram {
         1u64 << BUCKETS
     }
 
-    /// A point-in-time copy for reporting.
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        Self::count_of(&self.cells().0)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean recorded latency in microseconds, with count and sum read
+    /// from the same cell sweep.
+    pub fn mean_us(&self) -> f64 {
+        let (counts, total) = self.cells();
+        let n = Self::count_of(&counts);
+        if n == 0 {
+            return 0.0;
+        }
+        total as f64 / n as f64
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
+    /// `q` in `[0, 1]` — e.g. `0.5` for p50, `0.99` for p99. Returns 0 on
+    /// an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let (counts, _) = self.cells();
+        Self::quantile_of(&counts, Self::count_of(&counts), q)
+    }
+
+    /// A point-in-time copy for reporting: one cell sweep, every
+    /// statistic derived from it, so samples/mean/percentiles always
+    /// describe the same population even while writers are running.
     fn snapshot(&self) -> LatencySnapshot {
+        let (counts, total) = self.cells();
+        let n = Self::count_of(&counts);
         LatencySnapshot {
-            samples: self.len(),
-            mean_us: self.mean_us(),
-            p50_us: self.quantile_us(0.50),
-            p90_us: self.quantile_us(0.90),
-            p99_us: self.quantile_us(0.99),
+            samples: n,
+            mean_us: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            p50_us: Self::quantile_of(&counts, n, 0.50),
+            p90_us: Self::quantile_of(&counts, n, 0.90),
+            p99_us: Self::quantile_of(&counts, n, 0.99),
         }
     }
 }
@@ -102,30 +143,124 @@ pub struct LatencySnapshot {
     pub p99_us: u64,
 }
 
+/// A counter that feeds both a private per-engine cell (exact, read by
+/// [`EngineMetrics::report`]) and a shared series in the global
+/// `rlwe-obs` registry (aggregated across engines, read by
+/// `rlwe_obs::render`).
+#[derive(Debug)]
+pub struct MirroredCounter {
+    local: AtomicU64,
+    global: rlwe_obs::Counter,
+}
+
+impl MirroredCounter {
+    fn new(global: rlwe_obs::Counter) -> Self {
+        Self {
+            local: AtomicU64::new(0),
+            global,
+        }
+    }
+
+    /// Adds one to both cells.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n` to both cells.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.local.fetch_add(n, Ordering::Relaxed);
+        self.global.add(n);
+    }
+
+    /// This engine's count (the global series keeps aggregating across
+    /// engines and is read through the registry instead).
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram that feeds both the per-engine microsecond
+/// [`LatencyHistogram`] (report format unchanged) and a nanosecond
+/// histogram series in the global registry.
+#[derive(Debug)]
+pub struct MirroredHistogram {
+    local: LatencyHistogram,
+    global: rlwe_obs::Histogram,
+}
+
+impl MirroredHistogram {
+    fn new(global: rlwe_obs::Histogram) -> Self {
+        Self {
+            local: LatencyHistogram::new(),
+            global,
+        }
+    }
+
+    /// Records one duration into both histograms.
+    pub fn record(&self, d: Duration) {
+        self.local.record(d);
+        self.global.record(d);
+    }
+
+    /// Samples recorded by this engine.
+    pub fn len(&self) -> u64 {
+        self.local.len()
+    }
+
+    /// Whether this engine recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty()
+    }
+}
+
 /// Live counters for one operation kind.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OpMetrics {
     /// Items completed successfully.
-    pub ok: AtomicU64,
+    pub ok: MirroredCounter,
     /// Items that returned an error.
-    pub failed: AtomicU64,
+    pub failed: MirroredCounter,
     /// Per-batch wall-clock latency.
-    pub batch_latency: LatencyHistogram,
+    pub batch_latency: MirroredHistogram,
 }
 
 impl OpMetrics {
+    fn new(op: &'static str, set: &str) -> Self {
+        let reg = rlwe_obs::global();
+        let labels = [("op", op), ("param_set", set)];
+        Self {
+            ok: MirroredCounter::new(reg.counter(
+                "rlwe_batch_items_total",
+                "Batch items completed successfully.",
+                &labels,
+            )),
+            failed: MirroredCounter::new(reg.counter(
+                "rlwe_batch_failures_total",
+                "Batch items that returned an error.",
+                &labels,
+            )),
+            batch_latency: MirroredHistogram::new(reg.histogram(
+                "rlwe_batch_latency_ns",
+                "Whole-batch wall-clock latency.",
+                &labels,
+            )),
+        }
+    }
+
     fn snapshot(&self, name: &'static str) -> OpReport {
         OpReport {
             name,
-            ok: self.ok.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            latency: self.batch_latency.snapshot(),
+            ok: self.ok.get(),
+            failed: self.failed.get(),
+            latency: self.batch_latency.local.snapshot(),
         }
     }
 }
 
 /// All engine metrics, shared by reference with worker threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EngineMetrics {
     /// Batch encryption.
     pub encrypt: OpMetrics,
@@ -136,17 +271,112 @@ pub struct EngineMetrics {
     /// Batch decapsulation.
     pub decap: OpMetrics,
     /// Session frames sealed.
-    pub frames_sealed: AtomicU64,
+    pub frames_sealed: MirroredCounter,
     /// Session frames opened (MAC verified).
-    pub frames_opened: AtomicU64,
+    pub frames_opened: MirroredCounter,
     /// Session frames rejected (bad MAC / sequence / framing).
-    pub frames_rejected: AtomicU64,
+    pub frames_rejected: MirroredCounter,
+    /// Session handshakes initiated through this engine.
+    pub handshakes_initiated: MirroredCounter,
+    /// Session handshakes accepted through this engine.
+    pub handshakes_accepted: MirroredCounter,
+    /// Handshakes that failed (KEM decryption failure / bad confirm tag).
+    pub handshake_failures: MirroredCounter,
+    /// Items currently in flight across batch calls (global-only:
+    /// a point-in-time quantity, meaningless to sum per engine).
+    queue_depth: rlwe_obs::Gauge,
+    /// Items handed to each worker per batch (global-only).
+    per_worker_items: rlwe_obs::Histogram,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EngineMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh metrics with the global series labelled `param_set="unset"`
+    /// (engines label with their real parameter set via
+    /// [`EngineMetrics::for_params`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::for_params("unset")
+    }
+
+    /// Fresh metrics whose global registry series carry
+    /// `param_set=<set>`. The per-engine cells always start at zero;
+    /// the global series are shared with every other engine on the same
+    /// parameter set.
+    pub fn for_params(set: &str) -> Self {
+        let reg = rlwe_obs::global();
+        let set_label = [("param_set", set)];
+        let frames = |name: &'static str, help: &'static str| {
+            MirroredCounter::new(reg.counter(name, help, &set_label))
+        };
+        Self {
+            encrypt: OpMetrics::new("encrypt", set),
+            decrypt: OpMetrics::new("decrypt", set),
+            encap: OpMetrics::new("encap", set),
+            decap: OpMetrics::new("decap", set),
+            frames_sealed: frames("rlwe_session_frames_sealed_total", "Session frames sealed."),
+            frames_opened: frames(
+                "rlwe_session_frames_opened_total",
+                "Session frames opened (MAC verified).",
+            ),
+            frames_rejected: frames(
+                "rlwe_session_frames_rejected_total",
+                "Session frames rejected (bad MAC / sequence / framing).",
+            ),
+            handshakes_initiated: MirroredCounter::new(reg.counter(
+                "rlwe_session_handshakes_total",
+                "Session handshakes by role.",
+                &[("param_set", set), ("role", "initiator")],
+            )),
+            handshakes_accepted: MirroredCounter::new(reg.counter(
+                "rlwe_session_handshakes_total",
+                "Session handshakes by role.",
+                &[("param_set", set), ("role", "responder")],
+            )),
+            handshake_failures: frames(
+                "rlwe_session_handshake_failures_total",
+                "Handshakes rejected (KEM decryption failure or bad confirm tag).",
+            ),
+            queue_depth: reg.gauge(
+                "rlwe_batch_queue_depth",
+                "Batch items currently in flight.",
+                &set_label,
+            ),
+            per_worker_items: reg.histogram(
+                "rlwe_batch_items_per_worker",
+                "Items assigned to each worker per batch (value = item count, not ns).",
+                &set_label,
+            ),
+        }
+    }
+
+    /// Marks `items` entering a batch split across `workers`: raises the
+    /// queue-depth gauge and records the per-worker chunk sizes the
+    /// engine's contiguous splitter will hand out.
+    pub(crate) fn batch_begin(&self, items: usize, workers: usize) {
+        self.queue_depth.add(items as i64);
+        if items == 0 {
+            return;
+        }
+        // Mirrors `batch::fan_out_with`: `workers` clamped to the item
+        // count, contiguous chunks of ceil(items / workers).
+        let workers = workers.max(1).min(items);
+        let chunk = items.div_ceil(workers);
+        let mut remaining = items;
+        while remaining > 0 {
+            let this = chunk.min(remaining);
+            self.per_worker_items.record_ns(this as u64);
+            remaining -= this;
+        }
+    }
+
+    /// Marks `items` leaving the batch: lowers the queue-depth gauge.
+    pub(crate) fn batch_end(&self, items: usize) {
+        self.queue_depth.sub(items as i64);
     }
 
     /// A point-in-time report, suitable for `println!`.
@@ -158,9 +388,9 @@ impl EngineMetrics {
                 self.encap.snapshot("encap"),
                 self.decap.snapshot("decap"),
             ],
-            frames_sealed: self.frames_sealed.load(Ordering::Relaxed),
-            frames_opened: self.frames_opened.load(Ordering::Relaxed),
-            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            frames_sealed: self.frames_sealed.get(),
+            frames_opened: self.frames_opened.get(),
+            frames_rejected: self.frames_rejected.get(),
         }
     }
 }
@@ -193,27 +423,30 @@ pub struct MetricsReport {
 
 impl std::fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}",
-            "op", "ok", "failed", "batches", "p50(µs)", "p90(µs)", "p99(µs)"
-        )?;
+        let mut table = TextTable::new(vec![
+            Col::left("op", 10),
+            Col::right("ok", 10),
+            Col::right("failed", 8),
+            Col::right("batches", 9),
+            Col::right("p50(µs)", 10),
+            Col::right("p90(µs)", 10),
+            Col::right("p99(µs)", 10),
+        ]);
         for op in &self.ops {
             if op.ok == 0 && op.failed == 0 {
                 continue;
             }
-            writeln!(
-                f,
-                "{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}",
-                op.name,
-                op.ok,
-                op.failed,
-                op.latency.samples,
-                op.latency.p50_us,
-                op.latency.p90_us,
-                op.latency.p99_us,
-            )?;
+            table.row([
+                op.name.to_string(),
+                op.ok.to_string(),
+                op.failed.to_string(),
+                op.latency.samples.to_string(),
+                op.latency.p50_us.to_string(),
+                op.latency.p90_us.to_string(),
+                op.latency.p99_us.to_string(),
+            ]);
         }
+        write!(f, "{}", table.render())?;
         writeln!(
             f,
             "frames: {} sealed, {} opened, {} rejected",
@@ -261,14 +494,56 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_derives_all_stats_from_one_sweep() {
+        // The skew regression: len/mean/quantiles must describe the same
+        // population even while writers are running.
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5000 {
+                        h.record(Duration::from_micros(100));
+                    }
+                });
+            }
+            for _ in 0..100 {
+                let snap = h.snapshot();
+                if snap.samples > 0 {
+                    // Every sample is exactly 100 µs: a consistent
+                    // snapshot must agree between count and sum.
+                    assert_eq!(snap.mean_us, 100.0);
+                    assert_eq!(snap.p50_us, 128);
+                }
+            }
+        });
+        assert_eq!(h.len(), 20_000);
+    }
+
+    #[test]
     fn report_renders_active_ops_only() {
         let m = EngineMetrics::new();
-        m.encrypt.ok.fetch_add(5, Ordering::Relaxed);
+        m.encrypt.ok.add(5);
         m.encrypt.batch_latency.record(Duration::from_micros(300));
         let text = m.report().to_string();
         assert!(text.contains("encrypt"));
         assert!(!text.contains("decap"));
         assert!(text.contains("frames: 0 sealed"));
+    }
+
+    #[test]
+    fn report_format_is_byte_compatible_with_the_legacy_renderer() {
+        let m = EngineMetrics::new();
+        m.encrypt.ok.add(6);
+        m.encrypt.batch_latency.record(Duration::from_micros(100));
+        m.frames_sealed.inc();
+        let text = m.report().to_string();
+        let snap = m.report().ops[0].latency;
+        let legacy = format!(
+            "{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}\n{:<10} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}\nframes: 1 sealed, 0 opened, 0 rejected\n",
+            "op", "ok", "failed", "batches", "p50(µs)", "p90(µs)", "p99(µs)",
+            "encrypt", 6, 0, snap.samples, snap.p50_us, snap.p90_us, snap.p99_us,
+        );
+        assert_eq!(text, legacy);
     }
 
     #[test]
@@ -278,13 +553,53 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..1000 {
-                        m.encrypt.ok.fetch_add(1, Ordering::Relaxed);
+                        m.encrypt.ok.inc();
                         m.encrypt.batch_latency.record(Duration::from_micros(10));
                     }
                 });
             }
         });
-        assert_eq!(m.encrypt.ok.load(Ordering::Relaxed), 4000);
+        assert_eq!(m.encrypt.ok.get(), 4000);
         assert_eq!(m.encrypt.batch_latency.len(), 4000);
+    }
+
+    #[test]
+    fn per_engine_cells_are_isolated_but_global_series_aggregate() {
+        let a = EngineMetrics::for_params("isolation-test");
+        let b = EngineMetrics::for_params("isolation-test");
+        a.encrypt.ok.add(3);
+        b.encrypt.ok.add(4);
+        assert_eq!(a.encrypt.ok.get(), 3);
+        assert_eq!(b.encrypt.ok.get(), 4);
+        // The shared global series sees both engines.
+        let global = rlwe_obs::global().counter(
+            "rlwe_batch_items_total",
+            "Batch items completed successfully.",
+            &[("op", "encrypt"), ("param_set", "isolation-test")],
+        );
+        assert_eq!(global.get(), 7);
+    }
+
+    #[test]
+    fn batch_begin_matches_the_fan_out_split() {
+        let m = EngineMetrics::for_params("split-test");
+        // 10 items over 4 workers: chunks of 3,3,3,1 — the same split
+        // batch::fan_out_with produces.
+        m.batch_begin(10, 4);
+        m.batch_end(10);
+        let h = rlwe_obs::global().histogram(
+            "rlwe_batch_items_per_worker",
+            "Items assigned to each worker per batch (value = item count, not ns).",
+            &[("param_set", "split-test")],
+        );
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.sum_ns(), 10);
+        let g = rlwe_obs::global().gauge(
+            "rlwe_batch_queue_depth",
+            "Batch items currently in flight.",
+            &[("param_set", "split-test")],
+        );
+        assert_eq!(g.get(), 0);
     }
 }

@@ -8,6 +8,44 @@
 
 use rlwe_core::{NttBackend, ParamSet, RlweContext, RlweError, SamplerKind};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global-registry handles for one parameter set's pool traffic.
+struct PoolObs {
+    hits: rlwe_obs::Counter,
+    misses: rlwe_obs::Counter,
+    build_ns: rlwe_obs::Histogram,
+}
+
+/// The per-set pool series, registered once per process. Every
+/// [`ContextPool`] (global or private) reports into the same series —
+/// the pool dimension that matters operationally is the parameter set,
+/// not the pool instance.
+fn pool_obs(set: ParamSet) -> &'static PoolObs {
+    static OBS: OnceLock<[PoolObs; 2]> = OnceLock::new();
+    let all = OBS.get_or_init(|| {
+        let reg = rlwe_obs::global();
+        let one = |label: &str| PoolObs {
+            hits: reg.counter(
+                "rlwe_pool_hits_total",
+                "Context pool lookups served from cache.",
+                &[("param_set", label)],
+            ),
+            misses: reg.counter(
+                "rlwe_pool_misses_total",
+                "Context pool lookups that had to build a context.",
+                &[("param_set", label)],
+            ),
+            build_ns: reg.histogram(
+                "rlwe_pool_build_ns",
+                "Wall-clock cost of each context build (tables + plans).",
+                &[("param_set", label)],
+            ),
+        };
+        [one("P1"), one("P2")]
+    });
+    &all[slot_index(set)]
+}
 
 /// Non-default context knobs a pooled context can be built with: the NTT
 /// backend and the sampler rung (notably [`SamplerKind::CtCdt`], the
@@ -95,13 +133,18 @@ impl ContextPool {
     /// Propagates context construction failures (cannot happen for the
     /// named parameter sets, which are known-good).
     pub fn get(&self, set: ParamSet) -> Result<Arc<RlweContext>, RlweError> {
+        let obs = pool_obs(set);
         let mut slot = self.slots[slot_index(set)]
             .lock()
             .expect("context pool lock poisoned");
         if let Some(ctx) = slot.as_ref() {
+            obs.hits.inc();
             return Ok(Arc::clone(ctx));
         }
+        obs.misses.inc();
+        let t0 = Instant::now();
         let ctx = Arc::new(RlweContext::new(set)?);
+        obs.build_ns.record(t0.elapsed());
         *slot = Some(Arc::clone(&ctx));
         Ok(ctx)
     }
@@ -122,24 +165,29 @@ impl ContextPool {
         if config == ContextConfig::default() {
             return self.get(set);
         }
+        let obs = pool_obs(set);
         let key = (set, config);
         {
             let custom = self.custom.lock().expect("context pool lock poisoned");
             if let Some((_, ctx)) = custom.iter().find(|(k, _)| *k == key) {
+                obs.hits.inc();
                 return Ok(Arc::clone(ctx));
             }
         }
+        obs.misses.inc();
         // Build outside the lock: the ~5 ms table construction must not
         // serialize unrelated configs or block cache hits. Two racers for
         // the *same* key may both build; the first insert wins and the
         // loser's context is dropped — a rarer and cheaper cost than a
         // process-wide stall.
+        let t0 = Instant::now();
         let built = Arc::new(
             RlweContext::builder(set)
                 .ntt_backend(config.backend)
                 .sampler(config.sampler)
                 .build()?,
         );
+        obs.build_ns.record(t0.elapsed());
         let mut custom = self.custom.lock().expect("context pool lock poisoned");
         if let Some((_, ctx)) = custom.iter().find(|(k, _)| *k == key) {
             return Ok(Arc::clone(ctx));

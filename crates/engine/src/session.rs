@@ -54,7 +54,6 @@ use rlwe_zq::ct;
 
 use crate::metrics::EngineMetrics;
 use rand::RngCore;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Frame magic byte.
@@ -204,7 +203,7 @@ impl StreamSender {
         let tag = frame_tag(&self.keys.mac, &self.sid, &frame);
         frame.extend_from_slice(&tag);
         if let Some(m) = &self.metrics {
-            m.frames_sealed.fetch_add(1, Ordering::Relaxed);
+            m.frames_sealed.inc();
         }
         frame
     }
@@ -237,8 +236,8 @@ impl StreamReceiver {
         let result = self.open_inner(buf);
         if let Some(m) = &self.metrics {
             match &result {
-                Ok(_) => m.frames_opened.fetch_add(1, Ordering::Relaxed),
-                Err(_) => m.frames_rejected.fetch_add(1, Ordering::Relaxed),
+                Ok(_) => m.frames_opened.inc(),
+                Err(_) => m.frames_rejected.inc(),
             };
         }
         result

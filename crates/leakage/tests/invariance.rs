@@ -264,3 +264,62 @@ fn decapsulation_hash_shape_depends_only_on_the_parameter_set() {
         "hash-call shape varied across independent keypairs/ciphertexts"
     );
 }
+
+#[test]
+fn toggling_observability_leaves_decap_operation_traces_bit_identical() {
+    // The `rlwe-obs` gate: span tracing and metric recording are keyed
+    // only by public data (wall-clock reads + relaxed atomic adds), so
+    // turning the whole observability layer on must not change a single
+    // operation in the decapsulation path. Pinned exactly: the hash-call
+    // trace (count and per-call message lengths — the DRBG/KDF shape the
+    // other gates police) and the NTT reduction-op trace, on both the
+    // accept and the implicit-reject path, with identical derived keys.
+    let ctx = RlweContext::builder(ParamSet::P1)
+        .sampler(SamplerKind::CtCdt)
+        .build()
+        .unwrap();
+    let (pk, sk, ct, key, mauled) = accept_and_reject_pair(&ctx, [51u8; 32]);
+
+    let run = |tracing: bool| {
+        rlwe_obs::set_tracing(tracing);
+        probe::start();
+        let accept_key = ctx.decapsulate_cca(&sk, &pk, &ct).unwrap();
+        let accept_trace = probe::take();
+        probe::start();
+        let reject_key = ctx.decapsulate_cca(&sk, &pk, &mauled).unwrap();
+        let reject_trace = probe::take();
+        rlwe_obs::set_tracing(false);
+        (accept_key, accept_trace, reject_key, reject_trace)
+    };
+
+    let (key_off, accept_off, rkey_off, reject_off) = run(false);
+    let (key_on, accept_on, rkey_on, reject_on) = run(true);
+
+    // Same fixture semantics under both modes...
+    assert_eq!(key_off, key, "obs-off accept key diverged from fixture");
+    assert_eq!(key_on, key, "obs-on accept key diverged from fixture");
+    assert_eq!(rkey_on, rkey_off, "reject-path keys diverged across modes");
+    // ...and bit-identical operation traces.
+    assert!(!accept_off.is_empty());
+    assert_eq!(
+        accept_on, accept_off,
+        "enabling tracing changed the accept-path hash-call shape"
+    );
+    assert_eq!(
+        reject_on, reject_off,
+        "enabling tracing changed the reject-path hash-call shape"
+    );
+
+    // The transform layer is equally blind to the toggle: identical
+    // reduction-op traces and outputs with tracing on and off.
+    let plan = NttPlan::new(256, 7681).unwrap();
+    let input: Vec<u32> = (0..256u32).map(|i| (i * 31) % 7681).collect();
+    let mut a_off = input.clone();
+    let t_off = plan.forward_traced(&mut a_off);
+    rlwe_obs::set_tracing(true);
+    let mut a_on = input.clone();
+    let t_on = plan.forward_traced(&mut a_on);
+    rlwe_obs::set_tracing(false);
+    assert_eq!(t_on, t_off, "NTT op trace changed under tracing");
+    assert_eq!(a_on, a_off, "NTT output changed under tracing");
+}

@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md).
 
 use rlwe_core::{ParamSet, RlweContext};
+use rlwe_obs::{group_digits, Col, TextTable};
 
 use crate::cost::CostModel;
 use crate::footprint::{self, SchemeOp};
@@ -181,6 +182,83 @@ pub fn table2(set: ParamSet) -> Vec<Table2Row> {
         .collect()
 }
 
+/// Table I's column layout — one spec shared by the header and the row
+/// renderer so they can never desynchronize. Widths include the
+/// inter-column spacing (empty separator), matching the historical
+/// `format!` strings byte for byte.
+fn table1_layout() -> TextTable {
+    TextTable::new(vec![
+        Col::left("Operation", 28),
+        Col::right("paper", 14),
+        Col::right("model", 14),
+        Col::right("ratio", 10),
+        Col::left("   params", 0),
+    ])
+    .separator("")
+}
+
+/// Table I's aligned header line (no trailing newline).
+pub fn table1_header() -> String {
+    table1_layout().header_line()
+}
+
+/// Renders one parameter set's Table I rows, aligned to
+/// [`table1_header`], one line per row, newline-terminated.
+pub fn render_table1(set: ParamSet) -> String {
+    let mut t = table1_layout();
+    for row in table1(set) {
+        t.row([
+            row.operation.clone(),
+            group_digits(row.paper_cycles as u64),
+            group_digits(row.model_cycles as u64),
+            format!("{:.3}", row.ratio()),
+            format!("   {}", row.params),
+        ]);
+    }
+    t.render_rows()
+}
+
+/// Table II's column layout (see [`table1_layout`]).
+fn table2_layout() -> TextTable {
+    TextTable::new(vec![
+        Col::left("Operation", 16),
+        Col::right("paper cyc", 12),
+        Col::right("model cyc", 12),
+        Col::right("ratio", 8),
+        Col::right("paper flash", 14),
+        Col::right("est. code", 14),
+        Col::right("paper RAM", 12),
+        Col::right("model RAM", 12),
+        Col::left("  params", 0),
+    ])
+    .separator("")
+}
+
+/// Table II's aligned header line (no trailing newline).
+pub fn table2_header() -> String {
+    table2_layout().header_line()
+}
+
+/// Renders one parameter set's Table II rows, aligned to
+/// [`table2_header`], one line per row, newline-terminated.
+pub fn render_table2(set: ParamSet) -> String {
+    let mut t = table2_layout();
+    for row in table2(set) {
+        t.row([
+            row.cycles.operation.clone(),
+            group_digits(row.cycles.paper_cycles as u64),
+            group_digits(row.cycles.model_cycles as u64),
+            format!("{:.3}", row.cycles.ratio()),
+            row.paper_flash.to_string(),
+            row.model_code_estimate.to_string(),
+            row.paper_ram.to_string(),
+            row.model_ram.to_string(),
+            format!("  {}", row.cycles.params),
+        ]);
+    }
+    t.render_rows()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +296,68 @@ mod tests {
                 assert_eq!(row.model_ram, row.paper_ram, "{}", row.cycles.operation);
             }
         }
+    }
+
+    #[test]
+    fn rendered_tables_match_the_legacy_format_strings() {
+        // The table binaries used hand-maintained `format!` strings
+        // before the shared TextTable formatter; the rendered output
+        // must be byte-identical to that layout.
+        assert_eq!(
+            table1_header(),
+            format!(
+                "{:<28}{:>14}{:>14}{:>10}   params",
+                "Operation", "paper", "model", "ratio"
+            )
+        );
+        let rows = table1(ParamSet::P1);
+        let legacy: String = rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "{:<28}{:>14}{:>14}{:>10.3}   {}\n",
+                    row.operation,
+                    group_digits(row.paper_cycles as u64),
+                    group_digits(row.model_cycles as u64),
+                    row.ratio(),
+                    row.params
+                )
+            })
+            .collect();
+        assert_eq!(render_table1(ParamSet::P1), legacy);
+
+        assert_eq!(
+            table2_header(),
+            format!(
+                "{:<16}{:>12}{:>12}{:>8}{:>14}{:>14}{:>12}{:>12}  params",
+                "Operation",
+                "paper cyc",
+                "model cyc",
+                "ratio",
+                "paper flash",
+                "est. code",
+                "paper RAM",
+                "model RAM"
+            )
+        );
+        let rows2 = table2(ParamSet::P1);
+        let legacy2: String = rows2
+            .iter()
+            .map(|row| {
+                format!(
+                    "{:<16}{:>12}{:>12}{:>8.3}{:>14}{:>14}{:>12}{:>12}  {}\n",
+                    row.cycles.operation,
+                    group_digits(row.cycles.paper_cycles as u64),
+                    group_digits(row.cycles.model_cycles as u64),
+                    row.cycles.ratio(),
+                    row.paper_flash,
+                    row.model_code_estimate,
+                    row.paper_ram,
+                    row.model_ram,
+                    row.cycles.params,
+                )
+            })
+            .collect();
+        assert_eq!(render_table2(ParamSet::P1), legacy2);
     }
 }

@@ -24,6 +24,34 @@ use crate::error::NttError;
 use crate::plan::NttPlan;
 use crate::trace::NttOpTrace;
 use crate::PolyScratch;
+use std::sync::OnceLock;
+
+/// Pre-resolved `rlwe_ntt_dispatch_total{reducer_kind}` counters, one
+/// per instantiation: construction-time dispatch decisions are counted
+/// in the global observability registry so the P1/P2 specialization
+/// claim is visible at runtime, not only in CI assertions.
+fn dispatch_counter(kind: ReducerKind) -> &'static rlwe_obs::Counter {
+    static COUNTERS: OnceLock<[rlwe_obs::Counter; 3]> = OnceLock::new();
+    let all = COUNTERS.get_or_init(|| {
+        [
+            ReducerKind::Q7681,
+            ReducerKind::Q12289,
+            ReducerKind::Barrett,
+        ]
+        .map(|k| {
+            rlwe_obs::global().counter(
+                "rlwe_ntt_dispatch_total",
+                "AnyNttPlan dispatch selections by reducer instantiation.",
+                &[("reducer_kind", k.label())],
+            )
+        })
+    });
+    match kind {
+        ReducerKind::Q7681 => &all[0],
+        ReducerKind::Q12289 => &all[1],
+        ReducerKind::Barrett => &all[2],
+    }
+}
 
 /// An [`NttPlan`] over whichever [`Reducer`] matches its modulus —
 /// specialized for the paper's primes, runtime Barrett otherwise.
@@ -82,11 +110,23 @@ impl AnyNttPlan {
     /// that already hold a generic plan (e.g. `RlweContext`, which keeps
     /// one for its `plan()` accessor) pay no second construction.
     pub fn promote(plan: NttPlan) -> Self {
-        match plan.q() {
+        let selected = match plan.q() {
             Q7681::Q => AnyNttPlan::Q7681(plan.retag(Q7681)),
             Q12289::Q => AnyNttPlan::Q12289(plan.retag(Q12289)),
             _ => AnyNttPlan::Generic(plan),
-        }
+        };
+        dispatch_counter(selected.kind()).inc();
+        selected
+    }
+
+    /// Wraps an already-built generic plan *without* promotion — the
+    /// escape hatch behind `rlwe-core`'s `ReducerPreference::Generic`.
+    /// Still counted (as a Barrett dispatch) in the observability
+    /// registry, so every constructed dispatch plan shows up in
+    /// `rlwe_ntt_dispatch_total`.
+    pub fn generic(plan: NttPlan) -> Self {
+        dispatch_counter(ReducerKind::Barrett).inc();
+        AnyNttPlan::Generic(plan)
     }
 
     /// Which reducer instantiation this plan dispatches to.
@@ -270,6 +310,18 @@ mod tests {
             AnyNttPlan::new(256, 8383489).unwrap().kind(),
             ReducerKind::Barrett
         );
+    }
+
+    #[test]
+    fn dispatch_decisions_are_counted_per_reducer_kind() {
+        let specialized = dispatch_counter(ReducerKind::Q7681).get();
+        let generic = dispatch_counter(ReducerKind::Barrett).get();
+        let _ = AnyNttPlan::new(256, 7681).unwrap();
+        let _ = AnyNttPlan::generic(NttPlan::new(256, 7681).unwrap());
+        // Counters are global and other tests run concurrently, so only
+        // lower bounds are exact here.
+        assert!(dispatch_counter(ReducerKind::Q7681).get() > specialized);
+        assert!(dispatch_counter(ReducerKind::Barrett).get() > generic);
     }
 
     #[test]

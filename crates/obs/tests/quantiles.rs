@@ -1,0 +1,75 @@
+//! Histogram quantile property test against a sorted-vector oracle:
+//! the interpolated estimate must land inside the bucket containing the
+//! true order statistic, quantiles must be monotone in `q`, and the
+//! mean must be exact (the sum is tracked exactly, not bucketed).
+
+use proptest::prelude::*;
+use rlwe_obs::hist::{Histogram, BUCKETS};
+
+/// The bucket index `Histogram` files `v` under (mirrors the private
+/// `bucket` fn; pinned here so the oracle and the histogram agree).
+fn bucket_of(v: u64) -> usize {
+    ((63 - v.max(1).leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_land_in_the_oracle_bucket(
+        values in prop::collection::vec(1u64..1_000_000_000, 1..=300),
+        q_permille in prop::collection::vec(0u32..=1000, 4),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.len(), values.len() as u64);
+        for q in q_permille.iter().map(|&p| p as f64 / 1000.0) {
+            // True order statistic at rank ceil(q·n), 1-based.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let oracle = sorted[rank - 1];
+            let (lo, hi) = Histogram::bucket_bounds(bucket_of(oracle));
+            let est = snap.quantile_ns(q);
+            prop_assert!(
+                est >= lo as f64 && est <= hi as f64,
+                "q={} est={} oracle={} bucket=[{}, {})",
+                q, est, oracle, lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(1u64..1_000_000, 2..=200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        let mut last = 0.0f64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = snap.quantile_ns(q);
+            prop_assert!(est >= last, "q={} est={} < previous {}", q, est, last);
+            last = est;
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed(
+        values in prop::collection::vec(1u64..1_000_000, 1..=200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((snap.mean_ns() - exact).abs() < 1e-6);
+    }
+}

@@ -60,6 +60,20 @@ pub enum ReducerKind {
     Q12289,
 }
 
+impl ReducerKind {
+    /// Stable lowercase identifier for use as a metric label value
+    /// (`reducer_kind` in `rlwe-obs` series). Unlike the `Display`
+    /// rendering this never contains spaces or `=` and is pinned by the
+    /// observability golden tests, so exported series names stay stable.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReducerKind::Barrett => "barrett",
+            ReducerKind::Q7681 => "q7681",
+            ReducerKind::Q12289 => "q12289",
+        }
+    }
+}
+
 impl std::fmt::Display for ReducerKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

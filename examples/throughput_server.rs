@@ -1,9 +1,12 @@
 //! Throughput server simulation: N clients perform a KEM handshake
 //! against one long-lived engine, then stream authenticated messages
 //! through their sessions; the engine also serves batched encryption
-//! traffic. Ends by printing the engine metrics report.
+//! traffic. Ends by printing what a metrics endpoint would serve — the
+//! engine's own report plus the process-wide `rlwe-obs` export.
 //!
-//! Run with `cargo run --release --example throughput_server`.
+//! Run with `cargo run --release --example throughput_server`;
+//! pass `--json` for the JSON snapshot instead of the Prometheus text
+//! exposition.
 
 use rlwe_suite::engine::{Engine, SessionError};
 use rlwe_suite::scheme::drbg::HashDrbg;
@@ -83,7 +86,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.workers()
     );
 
-    // --- Phase 3: the metrics report. ----------------------------------
+    // --- Phase 3: the metrics endpoint. --------------------------------
+    // The per-engine report (exact counts for THIS engine)...
     println!("\n=== engine metrics ===\n{}", engine.report());
+    // ...and the process-wide registry export: every layer's series
+    // (pool hits, NTT dispatch, batch queue, sessions, sampler draws,
+    // KEM latencies), labelled by parameter set. This string is exactly
+    // what a `/metrics` endpoint would serve.
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        println!(
+            "=== rlwe_obs::render_json() ===\n{}",
+            rlwe_suite::obs::render_json()
+        );
+    } else {
+        println!("=== rlwe_obs::render() ===\n{}", rlwe_suite::obs::render());
+    }
     Ok(())
 }

@@ -31,6 +31,11 @@
 //! * [`leakage`] — the constant-time regression harness: a dudect-style
 //!   Welch t-test over `decapsulate_cca` plus the deterministic
 //!   operation-count checks that gate CI (see `DESIGN.md` §5).
+//! * [`obs`] — unified observability: a metrics registry every layer
+//!   reports into (pool, NTT dispatch, batches, sessions, samplers,
+//!   KEM latencies), RAII span tracing of the pipeline phases, and
+//!   Prometheus/JSON exporters — `rlwe_suite::obs::render()` is a
+//!   ready-to-serve metrics endpoint body (see `DESIGN.md` §8).
 //!
 //! # Quickstart
 //!
@@ -112,5 +117,6 @@ pub use rlwe_hash as hash;
 pub use rlwe_leakage as leakage;
 pub use rlwe_m4sim as m4sim;
 pub use rlwe_ntt as ntt;
+pub use rlwe_obs as obs;
 pub use rlwe_sampler as sampler;
 pub use rlwe_zq as zq;
