@@ -1,0 +1,103 @@
+//! The unified error type for the serving front-end.
+
+use crate::config::ConfigError;
+use crate::wire::{ProtocolError, Status};
+use rlwe_core::RlweError;
+use rlwe_engine::SessionError;
+
+/// Everything that can go wrong starting, running, or talking to the
+/// server — one type so callers match on a single surface.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Configuration was rejected (see [`ConfigError`]).
+    Config(ConfigError),
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A wire frame was structurally invalid.
+    Protocol(ProtocolError),
+    /// The session layer rejected a handshake or sealed frame.
+    Session(SessionError),
+    /// The underlying scheme failed (bad ciphertext bytes, wrong
+    /// message length, parameter mismatch, …).
+    Scheme(RlweError),
+    /// The peer answered with a non-`Ok` status (client side).
+    Remote {
+        /// The status the server answered with.
+        status: Status,
+        /// The response body (for [`Status::Rejected`]: `code ‖ detail`).
+        detail: String,
+    },
+    /// The server is shutting down and refused new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "config: {e}"),
+            ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Protocol(e) => write!(f, "protocol: {e}"),
+            ServerError::Session(e) => write!(f, "session: {e}"),
+            ServerError::Scheme(e) => write!(f, "scheme: {e}"),
+            ServerError::Remote { status, detail } => {
+                write!(f, "server answered {status:?}: {detail}")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Config(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+            ServerError::Protocol(e) => Some(e),
+            ServerError::Session(e) => Some(e),
+            ServerError::Scheme(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ServerError {
+    fn from(e: ProtocolError) -> Self {
+        ServerError::Protocol(e)
+    }
+}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Session(e)
+    }
+}
+
+impl From<RlweError> for ServerError {
+    fn from(e: RlweError) -> Self {
+        ServerError::Scheme(e)
+    }
+}
+
+impl ServerError {
+    /// Whether retrying the same request may succeed (load shed, the
+    /// ~1% KEM handshake failure, or an interrupted transport).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServerError::Remote { status, .. } => matches!(status, Status::Busy),
+            ServerError::Session(SessionError::HandshakeFailed) => true,
+            _ => false,
+        }
+    }
+}

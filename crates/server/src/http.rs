@@ -1,0 +1,125 @@
+//! Minimal plaintext HTTP/1.0 handling for the metrics endpoint.
+//!
+//! The listener shares one port between the binary protocol and HTTP:
+//! the first byte disambiguates (protocol frames start with the
+//! non-ASCII [`crate::wire::MAGIC`]). Only `GET` is implemented, only
+//! three outcomes exist — `/metrics` serving [`rlwe_obs::render`]
+//! verbatim, `/healthz`, and `404` — and every response closes the
+//! connection, so no keep-alive state machine is needed.
+
+use std::io::{self, Read};
+
+/// Hard bound on the request head (request line + headers). A scrape
+/// request is a few hundred bytes; anything bigger is hostile.
+pub const MAX_HEAD: usize = 4096;
+
+/// The Prometheus text exposition content type served for `/metrics`.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method (`GET`, …).
+    pub method: String,
+    /// The request path (`/metrics`, …) without query string.
+    pub path: String,
+}
+
+/// Reads the request head (through the blank line) and parses the
+/// request line. `first_byte` is the already-consumed sniff byte.
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed head, oversize head, or timeout/close
+/// before the head completes.
+pub fn read_request(r: &mut impl Read, first_byte: u8) -> io::Result<HttpRequest> {
+    let mut head = vec![first_byte];
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "http request head exceeds bound",
+            ));
+        }
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "connection closed mid http head",
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    parse_request_line(&head)
+}
+
+fn parse_request_line(head: &[u8]) -> io::Result<HttpRequest> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 http head"))?;
+    let line = head
+        .lines()
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty http head"))?;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => (m, t),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed http request line",
+            ))
+        }
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+    })
+}
+
+/// Builds a complete HTTP/1.0 response with `Content-Length` and
+/// `Connection: close`.
+pub fn response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_strips_query() {
+        let head = b"GET /metrics?ts=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = parse_request_line(head).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn garbage_request_lines_are_errors() {
+        assert!(parse_request_line(b"\r\n\r\n").is_err());
+        assert!(parse_request_line(b"GET\r\n\r\n").is_err());
+        assert!(parse_request_line(b"GET /x NOTHTTP\r\n\r\n").is_err());
+        assert!(parse_request_line(&[0xFF, 0xFE, b'\r', b'\n']).is_err());
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let resp = response(200, "OK", "text/plain", b"hello");
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # rlwe-server
+//!
+//! A std-only TCP serving front-end for the rlwe engine — the piece
+//! that finally listens on a socket. Encrypted-controller deployments
+//! (arXiv 2406.14372, 2504.13403) assume exactly this shape: a
+//! long-lived networked service executing Ring-LWE operations over a
+//! stream of client requests.
+//!
+//! Five design commitments, each with its own module:
+//!
+//! * **Bounded everywhere** ([`queue`], [`wire`]) — submission queues
+//!   have hard per-shard capacities and frame bodies have a hard byte
+//!   bound, so a traffic spike or a hostile length prefix degrades into
+//!   typed `Busy`/`BadRequest` responses instead of unbounded memory.
+//! * **Thread-per-core, not thread-per-connection** ([`server`]) — one
+//!   nonblocking acceptor feeds a fixed worker pool through sharded
+//!   MPMC queues (`Mutex<VecDeque>` + `Condvar`, with cross-shard
+//!   stealing); parallelism is `workers`, regardless of client count.
+//! * **One protocol, two dialects** ([`wire`], [`http`]) — a
+//!   length-prefixed binary protocol multiplexes the engine's
+//!   authenticated session handshake/frames and raw
+//!   encap/decap/encrypt/decrypt ops; the same port answers plaintext
+//!   `GET /metrics` (serving [`rlwe_obs::render`] verbatim) and
+//!   `GET /healthz`, disambiguated by the first byte.
+//! * **Config from the environment** ([`config`]) — address, workers,
+//!   queue capacity, connection ceiling and every timeout come from
+//!   `RLWE_*` variables, validated into typed errors.
+//! * **Observable by default** ([`metrics`]) — accepted/rejected/active
+//!   connections, per-shard queue depths, shed counts and per-op
+//!   latency histograms flow into the process-wide `rlwe-obs` registry
+//!   the endpoint itself serves.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rlwe_server::{serve, Client, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".parse()?, // ephemeral port
+//!     ..ServerConfig::default()
+//! };
+//! let handle = serve(config)?;
+//!
+//! let mut client = Client::connect(handle.local_addr())?;
+//! client.handshake(&[7u8; 32], 8)?;
+//! let echo = client.exchange(b"over TCP, authenticated")?;
+//! assert_eq!(echo, b"over TCP, authenticated");
+//!
+//! let scrape = rlwe_server::http_get(handle.local_addr(), "/metrics")?;
+//! assert!(scrape.body.starts_with(b"# HELP"));
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{http_get, Client, HttpResponse};
+pub use config::{ConfigError, ServerConfig};
+pub use error::ServerError;
+pub use metrics::{RejectReason, ServerMetrics};
+pub use queue::ShardedQueue;
+pub use server::{serve, ServerHandle};
+pub use wire::{OpCode, ProtocolError, Request, Response, Status};

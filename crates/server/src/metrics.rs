@@ -1,0 +1,230 @@
+//! The server's `rlwe-obs` instrumentation, resolved once at startup.
+//!
+//! All handles point into the process-wide registry
+//! ([`rlwe_obs::global`]), so a single `GET /metrics` response carries
+//! the server series next to the engine/pool/NTT series the rest of
+//! the stack already exports. Series (all prefixed `rlwe_server_`):
+//!
+//! - `connections_accepted_total`, `connections_rejected_total{reason}`,
+//!   `connections_active` — front-door accounting.
+//! - `queue_depth{shard}` — live submission-queue depths.
+//! - `shed_total` — connections answered `Busy` because every shard
+//!   was at capacity (the bounded-memory guarantee made observable).
+//! - `requests_total{op}` / `request_ns{op,param_set}` — per-operation
+//!   counts and latency histograms.
+//! - `idle_evictions_total` — connections closed for silence.
+//! - `http_requests_total{path}` — metrics/health scrapes.
+
+use crate::wire::{OpCode, ALL_OPS};
+use rlwe_obs::{Counter, Gauge, Histogram};
+
+/// Reasons a connection can be refused at the front door (the
+/// `reason` label of `rlwe_server_connections_rejected_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every submission-queue shard was at capacity.
+    QueueFull,
+    /// The live-connection ceiling was reached.
+    MaxConns,
+    /// The server is draining for shutdown.
+    Shutdown,
+}
+
+impl RejectReason {
+    fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::MaxConns => "max_conns",
+            RejectReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Pre-resolved handles for every server series. See the
+/// [module docs](self).
+pub struct ServerMetrics {
+    accepted: Counter,
+    rejected_queue_full: Counter,
+    rejected_max_conns: Counter,
+    rejected_shutdown: Counter,
+    active: Gauge,
+    shed: Counter,
+    queue_depth: Vec<Gauge>,
+    requests: [Counter; ALL_OPS.len()],
+    request_ns: [Histogram; ALL_OPS.len()],
+    idle_evictions: Counter,
+    http_metrics: Counter,
+    http_healthz: Counter,
+    http_other: Counter,
+    dispatched: Counter,
+}
+
+impl ServerMetrics {
+    /// Resolves every handle against the global registry. `param_set`
+    /// labels the latency histograms; `shards` sizes the per-shard
+    /// depth gauges.
+    pub fn new(param_set: &str, shards: usize) -> Self {
+        let reg = rlwe_obs::global();
+        let rejected = |reason: RejectReason| {
+            reg.counter(
+                "rlwe_server_connections_rejected_total",
+                "Connections refused at the front door, by reason.",
+                &[("reason", reason.label())],
+            )
+        };
+        Self {
+            accepted: reg.counter(
+                "rlwe_server_connections_accepted_total",
+                "Connections accepted and queued for a worker.",
+                &[],
+            ),
+            rejected_queue_full: rejected(RejectReason::QueueFull),
+            rejected_max_conns: rejected(RejectReason::MaxConns),
+            rejected_shutdown: rejected(RejectReason::Shutdown),
+            active: reg.gauge(
+                "rlwe_server_connections_active",
+                "Connections currently queued or being served.",
+                &[],
+            ),
+            shed: reg.counter(
+                "rlwe_server_shed_total",
+                "Connections answered Busy because every queue shard was full.",
+                &[],
+            ),
+            queue_depth: (0..shards)
+                .map(|i| {
+                    let shard = i.to_string();
+                    reg.gauge(
+                        "rlwe_server_queue_depth",
+                        "Live submission-queue depth per shard.",
+                        &[("shard", shard.as_str())],
+                    )
+                })
+                .collect(),
+            requests: ALL_OPS.map(|op| {
+                reg.counter(
+                    "rlwe_server_requests_total",
+                    "Requests served, by operation.",
+                    &[("op", op.label())],
+                )
+            }),
+            request_ns: ALL_OPS.map(|op| {
+                reg.histogram(
+                    "rlwe_server_request_ns",
+                    "Request service latency in nanoseconds, by operation.",
+                    &[("op", op.label()), ("param_set", param_set)],
+                )
+            }),
+            idle_evictions: reg.counter(
+                "rlwe_server_idle_evictions_total",
+                "Connections closed after sitting idle past the deadline.",
+                &[],
+            ),
+            http_metrics: reg.counter(
+                "rlwe_server_http_requests_total",
+                "Plaintext HTTP requests served, by path.",
+                &[("path", "/metrics")],
+            ),
+            http_healthz: reg.counter(
+                "rlwe_server_http_requests_total",
+                "Plaintext HTTP requests served, by path.",
+                &[("path", "/healthz")],
+            ),
+            http_other: reg.counter(
+                "rlwe_server_http_requests_total",
+                "Plaintext HTTP requests served, by path.",
+                &[("path", "other")],
+            ),
+            dispatched: reg.counter(
+                "rlwe_server_connections_dispatched_total",
+                "Connections handed from the queue to a worker.",
+                &[],
+            ),
+        }
+    }
+
+    /// One accepted connection.
+    pub fn on_accept(&self) {
+        self.accepted.inc();
+        self.active.add(1);
+    }
+
+    /// One refused connection; queue-full refusals also count as shed.
+    pub fn on_reject(&self, reason: RejectReason) {
+        match reason {
+            RejectReason::QueueFull => {
+                self.rejected_queue_full.inc();
+                self.shed.inc();
+            }
+            RejectReason::MaxConns => self.rejected_max_conns.inc(),
+            RejectReason::Shutdown => self.rejected_shutdown.inc(),
+        }
+    }
+
+    /// A worker picked a connection off the queue.
+    pub fn on_dispatch(&self) {
+        self.dispatched.inc();
+    }
+
+    /// A live connection went away (served, evicted, or errored).
+    pub fn on_close(&self) {
+        self.active.sub(1);
+    }
+
+    /// One served request of operation `op` taking `elapsed`.
+    pub fn on_request(&self, op: OpCode, elapsed: std::time::Duration) {
+        let idx = ALL_OPS.iter().position(|o| *o == op).expect("known op");
+        self.requests[idx].inc();
+        self.request_ns[idx].record(elapsed);
+    }
+
+    /// One idle eviction.
+    pub fn on_idle_eviction(&self) {
+        self.idle_evictions.inc();
+    }
+
+    /// One plaintext HTTP request for `path`.
+    pub fn on_http(&self, path: &str) {
+        match path {
+            "/metrics" => self.http_metrics.inc(),
+            "/healthz" => self.http_healthz.inc(),
+            _ => self.http_other.inc(),
+        }
+    }
+
+    /// Depth gauges, one per shard, for [`crate::queue::ShardedQueue`].
+    pub fn queue_depth_gauges(&self) -> Vec<Gauge> {
+        self.queue_depth.clone()
+    }
+
+    /// Total accepted connections.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Total shed (Busy-answered) connections.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// Currently live connections.
+    pub fn active_connections(&self) -> i64 {
+        self.active.get()
+    }
+
+    /// Connections handed to workers so far.
+    pub fn dispatched_total(&self) -> u64 {
+        self.dispatched.get()
+    }
+
+    /// Total idle evictions.
+    pub fn idle_evictions_total(&self) -> u64 {
+        self.idle_evictions.get()
+    }
+
+    /// Requests served for one opcode.
+    pub fn requests_total(&self, op: OpCode) -> u64 {
+        let idx = ALL_OPS.iter().position(|o| *o == op).expect("known op");
+        self.requests[idx].get()
+    }
+}

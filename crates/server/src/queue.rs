@@ -1,0 +1,274 @@
+//! Sharded, bounded MPMC submission queues with explicit backpressure.
+//!
+//! The acceptor pushes accepted connections; workers pop them. Each
+//! shard is a `Mutex<VecDeque>` + `Condvar` pair with a hard capacity:
+//! [`ShardedQueue::push`] never blocks and never grows a shard past its
+//! bound — when every shard is full the item comes straight back to the
+//! caller, which is the server's cue to answer `Busy` and close. That
+//! is the whole load-shedding contract: *memory stays bounded because
+//! excess work is refused at the front door, not queued.*
+//!
+//! Workers pop from a home shard (chosen by worker index) and steal
+//! from the other shards when home is empty, so a burst hashed onto one
+//! shard cannot idle the rest of the pool. [`ShardedQueue::close`]
+//! wakes everyone; pops then drain whatever is still queued and return
+//! `None` only when the queue is both closed and empty — the graceful-
+//! shutdown drain rides on exactly that property.
+
+use rlwe_obs::Gauge;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Shard<T> {
+    items: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    depth: Gauge,
+}
+
+/// See the [module docs](self).
+pub struct ShardedQueue<T> {
+    shards: Vec<Shard<T>>,
+    capacity: usize,
+    closed: Mutex<bool>,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue with `shards` shards of `capacity` items each.
+    /// `depth_gauges` (one per shard, same order) mirror live depths
+    /// into the metrics registry; pass unregistered gauges in tests.
+    ///
+    /// # Panics
+    ///
+    /// If `shards == 0`, `capacity == 0`, or the gauge count differs.
+    pub fn new(shards: usize, capacity: usize, depth_gauges: Vec<Gauge>) -> Self {
+        assert!(shards >= 1 && capacity >= 1);
+        assert_eq!(depth_gauges.len(), shards);
+        Self {
+            shards: depth_gauges
+                .into_iter()
+                .map(|depth| Shard {
+                    items: Mutex::new(VecDeque::with_capacity(capacity)),
+                    ready: Condvar::new(),
+                    depth,
+                })
+                .collect(),
+            capacity,
+            closed: Mutex::new(false),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tries to enqueue `item`, preferring shard `start` and falling
+    /// back to the others. Returns the shard index it landed on, or
+    /// `Err(item)` when **every** shard is at capacity (the caller
+    /// sheds) or the queue is closed.
+    pub fn push(&self, start: usize, item: T) -> Result<usize, T> {
+        if *self.closed.lock().expect("queue closed flag poisoned") {
+            return Err(item);
+        }
+        let n = self.shards.len();
+        for probe in 0..n {
+            let idx = (start + probe) % n;
+            let shard = &self.shards[idx];
+            let mut q = shard.items.lock().expect("queue shard poisoned");
+            if q.len() < self.capacity {
+                q.push_back(item);
+                shard.depth.set(q.len() as i64);
+                drop(q);
+                shard.ready.notify_one();
+                return Ok(idx);
+            }
+        }
+        Err(item)
+    }
+
+    /// Pops one item, blocking up to `patience` on the home shard and
+    /// scanning the other shards (work stealing) when home is empty.
+    /// Returns `None` on timeout with nothing available, or when the
+    /// queue is closed **and** fully drained.
+    pub fn pop(&self, home: usize, patience: Duration) -> Option<T> {
+        let n = self.shards.len();
+        // Fast path: try every shard once, home first.
+        for probe in 0..n {
+            if let Some(item) = self.try_pop((home + probe) % n) {
+                return Some(item);
+            }
+        }
+        if self.is_closed() {
+            // One more scan closes the race between the drain scan
+            // above and the close flag flipping mid-scan.
+            return (0..n).find_map(|probe| self.try_pop((home + probe) % n));
+        }
+        // Block on the home shard's condvar; push notifies it.
+        let shard = &self.shards[home % n];
+        let q = shard.items.lock().expect("queue shard poisoned");
+        let (mut q, _timeout) = shard
+            .ready
+            .wait_timeout(q, patience)
+            .expect("queue shard poisoned");
+        if let Some(item) = q.pop_front() {
+            shard.depth.set(q.len() as i64);
+            return Some(item);
+        }
+        drop(q);
+        // Woken (by close, steal-worthy push elsewhere, or timeout):
+        // one last steal scan before reporting empty-handed.
+        (0..n).find_map(|probe| self.try_pop((home + probe) % n))
+    }
+
+    fn try_pop(&self, idx: usize) -> Option<T> {
+        let shard = &self.shards[idx];
+        let mut q = shard.items.lock().expect("queue shard poisoned");
+        let item = q.pop_front();
+        if item.is_some() {
+            shard.depth.set(q.len() as i64);
+        }
+        item
+    }
+
+    /// Current depth of one shard.
+    pub fn depth(&self, idx: usize) -> usize {
+        self.shards[idx]
+            .items
+            .lock()
+            .expect("queue shard poisoned")
+            .len()
+    }
+
+    /// Total queued items across shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.depth(i)).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Refuses further pushes and wakes every blocked popper. Already-
+    /// queued items remain poppable (drain semantics).
+    pub fn close(&self) {
+        *self.closed.lock().expect("queue closed flag poisoned") = true;
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+    }
+
+    /// Whether [`ShardedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        *self.closed.lock().expect("queue closed flag poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gauges(n: usize) -> Vec<Gauge> {
+        (0..n).map(|_| Gauge::new()).collect()
+    }
+
+    #[test]
+    fn push_overflows_to_a_free_shard_then_sheds() {
+        let q = ShardedQueue::new(2, 1, gauges(2));
+        assert_eq!(q.push(0, 'a'), Ok(0));
+        // Shard 0 full: lands on shard 1.
+        assert_eq!(q.push(0, 'b'), Ok(1));
+        // Everything full: the item comes back — the shed path.
+        assert_eq!(q.push(0, 'c'), Err('c'));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_steals_from_other_shards() {
+        let q = ShardedQueue::new(4, 8, gauges(4));
+        q.push(2, 7u32).unwrap();
+        // Home shard 0 is empty; the item sits on shard 2.
+        assert_eq!(q.pop(0, Duration::from_millis(10)), Some(7));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = ShardedQueue::new(1, 4, gauges(1));
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        q.close();
+        assert_eq!(q.push(0, 3), Err(3), "closed queue must refuse pushes");
+        assert_eq!(q.pop(0, Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop(0, Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop(0, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn depth_gauges_track_push_and_pop() {
+        let g = gauges(1);
+        let mirror = g[0].clone();
+        let q = ShardedQueue::new(1, 4, g);
+        q.push(0, 'x').unwrap();
+        assert_eq!(mirror.get(), 1);
+        q.pop(0, Duration::from_millis(1)).unwrap();
+        assert_eq!(mirror.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(ShardedQueue::new(3, 16, gauges(3)));
+        let produced = 4 * 50;
+        let consumed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..50usize {
+                        let mut item = t * 1000 + i;
+                        // Bounded queue: spin until accepted.
+                        loop {
+                            match q.push(i, item) {
+                                Ok(_) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for w in 0..3usize {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || loop {
+                    match q.pop(w, Duration::from_millis(20)) {
+                        Some(_) => {
+                            consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None if q.is_closed() => break,
+                        None => {}
+                    }
+                });
+            }
+            // Give producers time to finish, then close to release
+            // the consumers.
+            while consumed.load(std::sync::atomic::Ordering::Relaxed) < produced {
+                std::thread::yield_now();
+            }
+            q.close();
+        });
+        assert_eq!(
+            consumed.load(std::sync::atomic::Ordering::Relaxed),
+            produced
+        );
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+//! The serving core: acceptor, worker pool, per-connection protocol
+//! loop, and graceful shutdown.
+//!
+//! ## Thread architecture
+//!
+//! ```text
+//!                    ┌─────────────┐    sharded bounded queues
+//!   TCP clients ───▶ │  acceptor   │ ──▶ [shard 0] ──▶ worker 0, 4, …
+//!                    │ (nonblock,  │ ──▶ [shard 1] ──▶ worker 1, 5, …
+//!                    │  sheds when │ ──▶ [shard 2] ──▶ worker 2, 6, …
+//!                    │  full/over) │ ──▶ [shard 3] ──▶ worker 3, 7, …
+//!                    └─────────────┘      (workers steal cross-shard)
+//! ```
+//!
+//! One acceptor thread accepts, enforces the connection ceiling, and
+//! pushes connections round-robin onto the bounded shards; when every
+//! shard is full it answers a typed [`Status::Busy`] frame and closes —
+//! load is shed at the front door and queue memory stays bounded. Each
+//! worker pops a connection and serves it to completion (request loop
+//! with idle eviction), so `workers` is the true parallelism bound.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] flips the shutdown flag and closes the
+//! queue. The acceptor refuses new connections with
+//! [`Status::ShuttingDown`]; workers drain everything still queued and
+//! give every in-flight connection a [`ServerConfig::drain_timeout`]
+//! grace window — requests already in the pipe are served, then the
+//! connection closes. `shutdown` returns once every thread has joined.
+
+use crate::config::ServerConfig;
+use crate::http;
+use crate::metrics::{RejectReason, ServerMetrics};
+use crate::queue::ShardedQueue;
+use crate::wire::{
+    self, OpCode, ReadOutcome, Request, Status, MAGIC, REJECT_PERMANENT, REJECT_RETRYABLE,
+};
+use crate::ServerError;
+use rlwe_core::drbg::HashDrbg;
+use rlwe_core::{Ciphertext, PublicKey, SecretKey};
+use rlwe_engine::{Engine, SessionError, StreamReceiver, StreamSender};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Granularity at which blocked reads and the acceptor re-check the
+/// shutdown flag. Bounds shutdown latency without busy-spinning.
+const POLL: Duration = Duration::from_millis(25);
+
+/// One accepted connection travelling from acceptor to worker.
+struct Conn {
+    stream: TcpStream,
+    /// Whether this connection's live-count accounting was already
+    /// released (metrics scrapes release themselves before rendering so
+    /// the served body matches a post-close `render()` byte for byte).
+    released: bool,
+}
+
+/// Everything the acceptor, workers and handle share.
+struct Shared {
+    config: ServerConfig,
+    engine: Engine,
+    pk: PublicKey,
+    pk_bytes: Vec<u8>,
+    sk: SecretKey,
+    queue: ShardedQueue<Conn>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    /// Live (queued + serving) connections, for `max_conns`.
+    live: AtomicI64,
+    /// Per-request DRBG stream index (public counter, never secret).
+    req_seq: AtomicU64,
+}
+
+impl Shared {
+    fn release(&self, conn: &mut Conn) {
+        if !conn.released {
+            conn.released = true;
+            self.live.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.on_close();
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// (gracefully — same path as [`ServerHandle::shutdown`]).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds the configured address and spawns the acceptor and worker
+/// threads. The returned handle reports the bound address (useful with
+/// port 0) and owns the server's lifetime.
+///
+/// # Errors
+///
+/// [`ServerError::Config`] for invalid configuration,
+/// [`ServerError::Io`] if the bind fails, [`ServerError::Scheme`] if
+/// context or key construction fails.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    config.validate()?;
+    let engine = Engine::builder(config.param_set)
+        .workers(config.workers)
+        .build()?;
+    let (pk, sk) = engine.generate_keypair(&config.seed)?;
+    let pk_bytes = pk.to_bytes()?;
+    let metrics = ServerMetrics::new(&engine.context().params().obs_label(), config.queue_shards);
+    let queue = ShardedQueue::new(
+        config.queue_shards,
+        config.queue_capacity,
+        metrics.queue_depth_gauges(),
+    );
+    let listener = TcpListener::bind(config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        engine,
+        pk,
+        pk_bytes,
+        sk,
+        queue,
+        metrics,
+        shutdown: AtomicBool::new(false),
+        live: AtomicI64::new(0),
+        req_seq: AtomicU64::new(0),
+        config,
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rlwe-acceptor".into())
+            .spawn(move || acceptor_loop(&shared, listener))
+            .map_err(ServerError::Io)?
+    };
+    let workers = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rlwe-worker-{i}"))
+                .spawn(move || worker_loop(&shared, i))
+                .map_err(ServerError::Io)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics handles (live values; tests poll these
+    /// instead of scraping).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Current depth of one submission-queue shard.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shared.queue.depth(shard)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// connections (each gets the configured drain grace), join every
+    /// thread. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .field("shards", &self.shared.queue.shards())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------- acceptor
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener) {
+    let mut next_shard = 0usize;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                let _ = stream.set_nodelay(true);
+                handle_accept(shared, stream, &mut next_shard);
+            }
+            Err(e) if wire::is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(POLL.min(Duration::from_millis(5)));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake…):
+                // back off briefly rather than spinning.
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn handle_accept(shared: &Shared, mut stream: TcpStream, next_shard: &mut usize) {
+    if shared.shutdown.load(Ordering::Relaxed) {
+        shared.metrics.on_reject(RejectReason::Shutdown);
+        let _ = wire::write_frame(
+            &mut stream,
+            &wire::encode_response(Status::ShuttingDown, &[]),
+        );
+        return;
+    }
+    if shared.live.load(Ordering::Acquire) >= shared.config.max_conns as i64 {
+        shared.metrics.on_reject(RejectReason::MaxConns);
+        let _ = wire::write_frame(&mut stream, &wire::encode_response(Status::Busy, &[]));
+        return;
+    }
+    shared.live.fetch_add(1, Ordering::AcqRel);
+    shared.metrics.on_accept();
+    let conn = Conn {
+        stream,
+        released: false,
+    };
+    let shard = *next_shard;
+    *next_shard = (*next_shard + 1) % shared.queue.shards();
+    if let Err(mut conn) = shared.queue.push(shard, conn) {
+        // Every shard full (or the queue just closed): shed with a
+        // typed Busy frame and close — never queue unboundedly.
+        shared.metrics.on_reject(RejectReason::QueueFull);
+        let _ = wire::write_frame(&mut conn.stream, &wire::encode_response(Status::Busy, &[]));
+        shared.release(&mut conn);
+    }
+}
+
+// ---------------------------------------------------------------- workers
+
+fn worker_loop(shared: &Shared, worker_idx: usize) {
+    let home = worker_idx % shared.queue.shards();
+    loop {
+        match shared.queue.pop(home, POLL * 2) {
+            Some(conn) => {
+                shared.metrics.on_dispatch();
+                serve_conn(shared, conn);
+            }
+            None => {
+                if shared.queue.is_closed() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Session state bound to one connection on the server side.
+struct ConnSession {
+    tx: StreamSender,
+    rx: StreamReceiver,
+}
+
+/// How waiting for the start of the next request ended.
+enum FirstByte {
+    Byte(u8),
+    Eof,
+    IdleTimeout,
+    Err,
+}
+
+/// Polls for the first byte of the next request, re-checking the
+/// shutdown flag every [`POLL`]. The deadline is `idle_timeout` in
+/// normal operation and `drain_timeout` once shutdown begins — either
+/// way the wait is bounded, so shutdown can always join.
+fn await_first_byte(shared: &Shared, stream: &mut TcpStream) -> FirstByte {
+    let start = Instant::now();
+    let mut byte = [0u8; 1];
+    loop {
+        let limit = if shared.shutdown.load(Ordering::Relaxed) {
+            shared.config.drain_timeout
+        } else {
+            shared.config.idle_timeout
+        };
+        let Some(remaining) = limit.checked_sub(start.elapsed()) else {
+            return FirstByte::IdleTimeout;
+        };
+        if stream.set_read_timeout(Some(remaining.min(POLL))).is_err() {
+            return FirstByte::Err;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return FirstByte::Eof,
+            Ok(_) => return FirstByte::Byte(byte[0]),
+            Err(e) if wire::is_timeout(&e) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return FirstByte::Err,
+        }
+    }
+}
+
+fn serve_conn(shared: &Shared, mut conn: Conn) {
+    let mut session: Option<ConnSession> = None;
+    loop {
+        match await_first_byte(shared, &mut conn.stream) {
+            FirstByte::Byte(MAGIC) => {
+                if conn
+                    .stream
+                    .set_read_timeout(Some(shared.config.read_timeout))
+                    .is_err()
+                {
+                    break;
+                }
+                match wire::read_request_after_magic(&mut conn.stream) {
+                    ReadOutcome::Frame(req) => {
+                        let (status, body, close) = handle_request(shared, &mut session, req);
+                        let frame = wire::encode_response(status, &body);
+                        if wire::write_frame(&mut conn.stream, &frame).is_err() || close {
+                            break;
+                        }
+                    }
+                    ReadOutcome::Protocol(e) => {
+                        // Malformed frame: typed rejection, then close —
+                        // there is no way to resynchronise the stream.
+                        let frame =
+                            wire::encode_response(Status::BadRequest, e.to_string().as_bytes());
+                        let _ = wire::write_frame(&mut conn.stream, &frame);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            FirstByte::Byte(first) => {
+                // Plaintext HTTP (the metrics/health scrape path).
+                let _ = conn
+                    .stream
+                    .set_read_timeout(Some(shared.config.read_timeout));
+                serve_http(shared, &mut conn, first);
+                break;
+            }
+            FirstByte::IdleTimeout => {
+                if !shared.shutdown.load(Ordering::Relaxed) {
+                    shared.metrics.on_idle_eviction();
+                }
+                break;
+            }
+            FirstByte::Eof | FirstByte::Err => break,
+        }
+    }
+    shared.release(&mut conn);
+}
+
+// ---------------------------------------------------------------- requests
+
+type Reply = (Status, Vec<u8>, bool);
+
+fn ok(body: Vec<u8>) -> Reply {
+    (Status::Ok, body, false)
+}
+
+fn rejected(code: u8, detail: impl std::fmt::Display) -> Reply {
+    let mut body = vec![code];
+    body.extend_from_slice(detail.to_string().as_bytes());
+    (Status::Rejected, body, false)
+}
+
+fn handle_request(shared: &Shared, session: &mut Option<ConnSession>, req: Request) -> Reply {
+    let start = Instant::now();
+    let op = req.op;
+    let reply = dispatch_request(shared, session, req);
+    shared.metrics.on_request(op, start.elapsed());
+    reply
+}
+
+fn dispatch_request(shared: &Shared, session: &mut Option<ConnSession>, req: Request) -> Reply {
+    let ctx = shared.engine.context();
+    match req.op {
+        OpCode::Ping => ok(req.body),
+        OpCode::PublicKey => ok(shared.pk_bytes.clone()),
+        OpCode::SessionHello => match shared.engine.accept_session(&shared.sk, &req.body) {
+            Ok(sess) => {
+                let sid = sess.id().to_vec();
+                *session = Some(ConnSession {
+                    tx: sess.sender(),
+                    rx: sess.receiver(),
+                });
+                ok(sid)
+            }
+            Err(SessionError::HandshakeFailed) => {
+                rejected(REJECT_RETRYABLE, SessionError::HandshakeFailed)
+            }
+            Err(e) => rejected(REJECT_PERMANENT, e),
+        },
+        OpCode::SessionFrame => match session {
+            None => rejected(
+                REJECT_PERMANENT,
+                "no session established on this connection",
+            ),
+            Some(s) => match s.rx.open(&req.body) {
+                // Authenticated echo: the opened payload goes back
+                // sealed in the server→client direction.
+                Ok((payload, _)) => ok(s.tx.seal(&payload)),
+                Err(e) => rejected(REJECT_PERMANENT, e),
+            },
+        },
+        OpCode::Encrypt => {
+            let mut rng = shared.op_rng();
+            match ctx
+                .encrypt(&shared.pk, &req.body, &mut rng)
+                .and_then(|ct| ct.to_bytes())
+            {
+                Ok(bytes) => ok(bytes),
+                Err(e) => rejected(REJECT_PERMANENT, e),
+            }
+        }
+        OpCode::Decrypt => {
+            match Ciphertext::from_bytes(&req.body).and_then(|ct| ctx.decrypt(&shared.sk, &ct)) {
+                Ok(msg) => ok(msg),
+                Err(e) => rejected(REJECT_PERMANENT, e),
+            }
+        }
+        OpCode::Encap => {
+            let mut rng = shared.op_rng();
+            match ctx
+                .encapsulate(&shared.pk, &mut rng)
+                .and_then(|(ct, ss)| ct.to_bytes().map(|b| (b, ss)))
+            {
+                Ok((ct_bytes, ss)) => {
+                    let mut body = ss.as_bytes().to_vec();
+                    body.extend_from_slice(&ct_bytes);
+                    ok(body)
+                }
+                Err(e) => rejected(REJECT_PERMANENT, e),
+            }
+        }
+        OpCode::Decap => match Ciphertext::from_bytes(&req.body)
+            .and_then(|ct| ctx.decapsulate(&shared.sk, &ct))
+        {
+            Ok(ss) => ok(ss.as_bytes().to_vec()),
+            Err(e) => rejected(REJECT_PERMANENT, e),
+        },
+    }
+}
+
+impl Shared {
+    /// Fresh randomness for one server-side operation: an independent
+    /// DRBG stream per request off the configured seed. The stream
+    /// index is public (a counter), the seed is not.
+    fn op_rng(&self) -> HashDrbg {
+        let idx = self.req_seq.fetch_add(1, Ordering::Relaxed);
+        HashDrbg::for_stream(&self.config.seed, idx)
+    }
+}
+
+// ---------------------------------------------------------------- http
+
+fn serve_http(shared: &Shared, conn: &mut Conn, first_byte: u8) {
+    let req = match http::read_request(&mut conn.stream, first_byte) {
+        Ok(req) => req,
+        Err(_) => {
+            let resp = http::response(400, "Bad Request", "text/plain", b"bad request\n");
+            let _ = wire::write_frame(&mut conn.stream, &resp);
+            return;
+        }
+    };
+    shared.metrics.on_http(&req.path);
+    let resp = if req.method != "GET" {
+        http::response(
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            b"only GET is supported\n",
+        )
+    } else {
+        match req.path.as_str() {
+            "/metrics" => {
+                // Release this connection's accounting *before*
+                // rendering so the served body is byte-identical to a
+                // `render()` taken after the scrape completes — the
+                // scrape does not observe itself as an active
+                // connection.
+                shared.release(conn);
+                let body = rlwe_obs::render();
+                http::response(200, "OK", http::METRICS_CONTENT_TYPE, body.as_bytes())
+            }
+            "/healthz" => http::response(200, "OK", "text/plain", b"ok\n"),
+            _ => http::response(404, "Not Found", "text/plain", b"not found\n"),
+        }
+    };
+    let _ = wire::write_frame(&mut conn.stream, &resp);
+}

@@ -1,0 +1,171 @@
+//! Property tests for the server's length-prefixed wire protocol:
+//! encode/decode must round-trip every frame, and decoding arbitrary
+//! bytes, truncations, and corrupted tags must reject — never panic,
+//! never over-consume.
+//!
+//! Mirrors `crates/engine/tests/frames.rs`, one layer down: these are
+//! the outer TCP frames that *carry* the engine's sealed session
+//! frames.
+
+use proptest::prelude::*;
+use rlwe_server::wire::{
+    self, decode_request, decode_response, encode_request, encode_response, ProtocolError, ALL_OPS,
+    HEADER_LEN, MAGIC, MAX_BODY,
+};
+use rlwe_server::{OpCode, Status};
+
+/// All wire statuses, mirroring `ALL_OPS` for the response tests.
+const ALL_STATUSES: [Status; 5] = [
+    Status::Ok,
+    Status::Busy,
+    Status::BadRequest,
+    Status::Rejected,
+    Status::ShuttingDown,
+];
+
+fn any_op() -> impl Strategy<Value = OpCode> {
+    prop::sample::select(ALL_OPS.to_vec())
+}
+
+fn any_status() -> impl Strategy<Value = Status> {
+    prop::sample::select(ALL_STATUSES.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip(
+        op in any_op(),
+        body in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let bytes = encode_request(op, &body);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + body.len());
+        prop_assert_eq!(bytes[0], MAGIC);
+        let (req, used) = decode_request(&bytes).unwrap();
+        prop_assert_eq!(req.op, op);
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn responses_round_trip(
+        status in any_status(),
+        body in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let bytes = encode_response(status, &body);
+        let (resp, used) = decode_response(&bytes).unwrap();
+        prop_assert_eq!(resp.status, status);
+        prop_assert_eq!(resp.body, body);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics_and_never_over_consumes(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if let Ok((req, used)) = decode_request(&bytes) {
+            prop_assert!(used <= bytes.len());
+            prop_assert_eq!(used, HEADER_LEN + req.body.len());
+            prop_assert_eq!(bytes[0], MAGIC);
+        }
+        if let Ok((resp, used)) = decode_response(&bytes) {
+            prop_assert!(used <= bytes.len());
+            prop_assert_eq!(used, HEADER_LEN + resp.body.len());
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_requests_are_truncated_errors(
+        op in any_op(),
+        body in prop::collection::vec(any::<u8>(), 1..100),
+        cut in any::<u16>(),
+    ) {
+        let bytes = encode_request(op, &body);
+        let cut = (cut as usize) % bytes.len(); // strictly shorter
+        let err = decode_request(&bytes[..cut]).unwrap_err();
+        prop_assert_eq!(err, ProtocolError::Truncated);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected(
+        first in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // The shim has no prop_filter; remap the one excluded value.
+        let first = if first == MAGIC { 0x00 } else { first };
+        let mut bytes = encode_request(OpCode::Ping, &body);
+        bytes[0] = first;
+        prop_assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            ProtocolError::BadMagic(first)
+        );
+    }
+
+    #[test]
+    fn unknown_opcodes_and_statuses_are_rejected(tag in any::<u8>()) {
+        let mut bytes = encode_request(OpCode::Ping, b"x");
+        bytes[1] = tag;
+        match decode_request(&bytes) {
+            Ok((req, _)) => prop_assert_eq!(req.op as u8, tag),
+            Err(e) => prop_assert_eq!(e, ProtocolError::BadOpcode(tag)),
+        }
+        match decode_response(&bytes) {
+            Ok((resp, _)) => prop_assert_eq!(resp.status as u8, tag),
+            Err(e) => prop_assert_eq!(e, ProtocolError::BadStatus(tag)),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_reading_a_body(
+        excess in 1u64..1_000_000,
+    ) {
+        let len = (MAX_BODY as u64 + excess).min(u32::MAX as u64) as u32;
+        let mut bytes = encode_request(OpCode::Ping, &[]);
+        bytes[2..6].copy_from_slice(&len.to_be_bytes());
+        // No body bytes present at all — the bound must trip on the
+        // header alone, which is exactly what protects the server from
+        // hostile length prefixes.
+        prop_assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            ProtocolError::TooLarge(len as u64)
+        );
+    }
+}
+
+/// Streaming reads must agree with the buffer decoders: a frame fed
+/// through `read_request` byte-for-byte equals the `decode_request`
+/// result.
+#[test]
+fn stream_and_buffer_decoders_agree() {
+    for op in ALL_OPS {
+        let body: Vec<u8> = (0..37u8).collect();
+        let bytes = encode_request(op, &body);
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        match wire::read_request(&mut cursor) {
+            wire::ReadOutcome::Frame(req) => {
+                let (expect, _) = decode_request(&bytes).unwrap();
+                assert_eq!(req, expect);
+            }
+            other => panic!("stream read failed for {op:?}: {other:?}"),
+        }
+    }
+}
+
+/// A cleanly closed stream before any byte is `Eof`, mid-header it is
+/// `Truncated` — the distinction the idle-eviction loop relies on.
+#[test]
+fn stream_reader_distinguishes_eof_from_truncation() {
+    let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+    assert!(matches!(
+        wire::read_request(&mut empty),
+        wire::ReadOutcome::Eof
+    ));
+
+    let bytes = encode_request(OpCode::Ping, b"abc");
+    let mut partial = std::io::Cursor::new(bytes[..3].to_vec());
+    assert!(matches!(
+        wire::read_request(&mut partial),
+        wire::ReadOutcome::Protocol(ProtocolError::Truncated)
+    ));
+}

@@ -1,106 +1,111 @@
-//! Throughput server simulation: N clients perform a KEM handshake
-//! against one long-lived engine, then stream authenticated messages
-//! through their sessions; the engine also serves batched encryption
-//! traffic. Ends by printing what a metrics endpoint would serve — the
-//! engine's own report plus the process-wide `rlwe-obs` export.
+//! Throughput demo against the real TCP front-end: an in-process
+//! `rlwe-server` on a loopback port, driven by a fleet of client
+//! threads that each perform a KEM handshake and stream authenticated
+//! frames over actual sockets — plus concurrent `GET /metrics` scrapes
+//! of the same port. What used to be an in-memory simulation of a
+//! serving loop is now the serving loop.
 //!
 //! Run with `cargo run --release --example throughput_server`;
-//! pass `--json` for the JSON snapshot instead of the Prometheus text
-//! exposition.
+//! pass `--json` for the JSON metrics snapshot instead of the
+//! Prometheus text exposition.
 
-use rlwe_suite::engine::{Engine, SessionError};
-use rlwe_suite::scheme::drbg::HashDrbg;
-use rlwe_suite::scheme::ParamSet;
-use std::time::Instant;
+use rlwe_suite::server::{http_get, serve, Client, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 50;
 const FRAMES_PER_CLIENT: usize = 20;
-const BATCH: usize = 256;
+const KEM_OPS_PER_CLIENT: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
-    let engine = Engine::new(ParamSet::P1)?;
-    let (server_pk, server_sk) = engine.generate_keypair(&[1u8; 32])?;
-    println!(
-        "engine up: {:?}, {} workers, context built in {:?}",
-        engine.context().params().set().unwrap(),
-        engine.workers(),
-        t0.elapsed()
-    );
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse()?,
+        seed: [1u8; 32],
+        ..ServerConfig::default()
+    };
+    let handle = serve(config)?;
+    let addr = handle.local_addr();
+    println!("server up on {addr} in {:?}", t0.elapsed());
 
-    // --- Phase 1: N clients handshake and stream frames. ---------------
+    // --- Scraper: poll /metrics while the fleet is hammering. -----------
+    let done = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicUsize::new(0));
+    let scraper = {
+        let (done, scrapes) = (Arc::clone(&done), Arc::clone(&scrapes));
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                let resp = http_get(addr, "/metrics").expect("scrape failed");
+                assert_eq!(resp.status, 200);
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // --- The fleet: real TCP clients, handshake + sealed frames. --------
     let t1 = Instant::now();
-    let mut total_frames = 0usize;
-    let mut total_bytes = 0usize;
-    let mut handshake_retries = 0usize;
-    for client in 0..CLIENTS {
-        // Each client retries its handshake on the documented ~1% KEM
-        // decryption failure — the confirm tag makes that case explicit.
-        let (client_session, server_session) = (0..8u64)
-            .find_map(|attempt| {
-                let master = [client as u8; 32];
-                let mut rng = HashDrbg::for_stream(&master, attempt);
-                let (c, hello) = engine.initiate_session(&server_pk, &mut rng).ok()?;
-                match engine.accept_session(&server_sk, &hello) {
-                    Ok(s) => Some((c, s)),
-                    Err(SessionError::HandshakeFailed) => {
-                        handshake_retries += 1;
-                        None
-                    }
-                    Err(e) => panic!("unexpected handshake error: {e}"),
+    let total_bytes = Arc::new(AtomicUsize::new(0));
+    let fleet: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let total_bytes = Arc::clone(&total_bytes);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Retries the documented ~1% KEM handshake failure.
+                client.handshake(&[i as u8; 32], 16).expect("handshake");
+                for frame_no in 0..FRAMES_PER_CLIENT {
+                    let payload = format!("client {i} telemetry sample {frame_no}: temp=23.4");
+                    let echo = client.exchange(payload.as_bytes()).expect("exchange");
+                    assert_eq!(echo, payload.as_bytes());
+                    total_bytes.fetch_add(payload.len(), Ordering::Relaxed);
+                }
+                for _ in 0..KEM_OPS_PER_CLIENT {
+                    let (ss, ct) = client.encap().expect("encap");
+                    let ss2 = client.decap(&ct).expect("decap");
+                    assert_eq!(ss, ss2);
                 }
             })
-            .expect("client failed eight consecutive handshakes");
-
-        // Client streams; server receives and verifies every frame.
-        let mut tx = client_session.sender();
-        let mut rx = server_session.receiver();
-        for frame_no in 0..FRAMES_PER_CLIENT {
-            let payload = format!("client {client} telemetry sample {frame_no}: temp=23.4");
-            let frame = tx.seal(payload.as_bytes());
-            total_bytes += frame.len();
-            let (opened, _) = rx.open(&frame).expect("honest frame must verify");
-            assert_eq!(opened, payload.as_bytes());
-            total_frames += 1;
-        }
+        })
+        .collect();
+    for t in fleet {
+        t.join().expect("client thread panicked");
     }
     let dt = t1.elapsed();
+    done.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper panicked");
+
+    let frames = CLIENTS * FRAMES_PER_CLIENT;
     println!(
-        "sessions: {CLIENTS} handshakes ({handshake_retries} retries), \
-         {total_frames} frames / {total_bytes} wire bytes in {dt:?} \
-         ({:.0} frames/s after handshake amortisation)",
-        total_frames as f64 / dt.as_secs_f64()
+        "fleet: {CLIENTS} TCP clients, {frames} sealed round trips / {} payload bytes, \
+         {} KEM round trips, {} concurrent /metrics scrapes in {dt:?} \
+         ({:.0} frames/s)",
+        total_bytes.load(Ordering::Relaxed),
+        CLIENTS * KEM_OPS_PER_CLIENT,
+        scrapes.load(Ordering::Relaxed),
+        frames as f64 / dt.as_secs_f64()
+    );
+    println!(
+        "server: {} accepted, {} dispatched, {} shed, {} active now",
+        handle.metrics().accepted_total(),
+        handle.metrics().dispatched_total(),
+        handle.metrics().shed_total(),
+        handle.metrics().active_connections()
     );
 
-    // --- Phase 2: batched PKE traffic through the same engine. ---------
-    let t2 = Instant::now();
-    let msgs: Vec<Vec<u8>> = (0..BATCH)
-        .map(|i| vec![i as u8; engine.context().params().message_bytes()])
-        .collect();
-    let cts = engine.encrypt_batch(&server_pk, &msgs, &[9u8; 32]);
-    let ok = cts.iter().filter(|r| r.is_ok()).count();
-    println!(
-        "batch: {ok}/{BATCH} encryptions in {:?} ({:.0} ops/s across {} workers)",
-        t2.elapsed(),
-        BATCH as f64 / t2.elapsed().as_secs_f64(),
-        engine.workers()
-    );
-
-    // --- Phase 3: the metrics endpoint. --------------------------------
-    // The per-engine report (exact counts for THIS engine)...
-    println!("\n=== engine metrics ===\n{}", engine.report());
-    // ...and the process-wide registry export: every layer's series
-    // (pool hits, NTT dispatch, batch queue, sessions, sampler draws,
-    // KEM latencies), labelled by parameter set. This string is exactly
-    // what a `/metrics` endpoint would serve.
-    let json = std::env::args().any(|a| a == "--json");
-    if json {
+    // --- The metrics endpoint body, fetched over the wire. --------------
+    let scrape = http_get(addr, "/metrics")?;
+    handle.shutdown();
+    if std::env::args().any(|a| a == "--json") {
         println!(
             "=== rlwe_obs::render_json() ===\n{}",
             rlwe_suite::obs::render_json()
         );
     } else {
-        println!("=== rlwe_obs::render() ===\n{}", rlwe_suite::obs::render());
+        println!(
+            "=== GET /metrics ===\n{}",
+            String::from_utf8_lossy(&scrape.body)
+        );
     }
     Ok(())
 }

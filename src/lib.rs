@@ -36,6 +36,14 @@
 //!   KEM latencies), RAII span tracing of the pipeline phases, and
 //!   Prometheus/JSON exporters — `rlwe_suite::obs::render()` is a
 //!   ready-to-serve metrics endpoint body (see `DESIGN.md` §8).
+//! * [`server`] — the TCP serving front-end: a std-only
+//!   thread-per-core acceptor/worker architecture over sharded bounded
+//!   queues with typed `Busy` backpressure, a length-prefixed protocol
+//!   multiplexing the engine's authenticated sessions and raw KEM/PKE
+//!   ops, env-driven [`server::ServerConfig`], graceful drain-and-join
+//!   shutdown, and a same-port `GET /metrics` endpoint serving
+//!   [`obs::render`] verbatim (see `DESIGN.md` §9 and
+//!   `examples/serve.rs`).
 //!
 //! # Quickstart
 //!
@@ -119,4 +127,5 @@ pub use rlwe_m4sim as m4sim;
 pub use rlwe_ntt as ntt;
 pub use rlwe_obs as obs;
 pub use rlwe_sampler as sampler;
+pub use rlwe_server as server;
 pub use rlwe_zq as zq;
