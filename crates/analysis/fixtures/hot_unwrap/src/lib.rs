@@ -1,0 +1,50 @@
+//! Seeded-violation fixture: panics on a zero-allocation hot surface.
+//!
+//! Analyzed by `tests/fixtures.rs` under the crate name `rlwe-ntt`, so
+//! the `_into` surfaces and their transitive callees are audited.
+
+/// VIOLATION (panic-unwrap): unwrap on the audited `_into` surface.
+pub fn forward_into(data: &mut [u32]) {
+    let first = data.first().copied().unwrap();
+    data[0] = first;
+}
+
+/// VIOLATION (panic-expect, panic-index): reached transitively from the
+/// surface below, plus a computed index.
+fn butterfly(data: &mut [u32], i: usize, t: usize) -> u32 {
+    let hi = data.get(i + t).copied().expect("in range");
+    data[i + t] = hi;
+    hi
+}
+
+/// The audited seed that pulls `butterfly` into the closure.
+pub fn inverse_into(data: &mut [u32]) {
+    let _ = butterfly(data, 0, 1);
+}
+
+/// VIOLATION (panic-macro): panic! on an audited surface.
+pub fn reduce_with_scratch(data: &mut [u32], scratch: &mut [u32]) {
+    if scratch.len() < data.len() {
+        panic!("scratch too small");
+    }
+}
+
+/// Quiet: not a surface and never called from one.
+pub fn cold_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Quiet: a reasoned proof comment carries the documented invariant.
+pub fn normalize_into(data: &mut [u32]) {
+    // panic-allow(fixture: split point is data.len()/2 <= len by construction)
+    let (lo, _hi) = data.split_at_mut(data.len() / 2);
+    let head = lo.first().copied();
+    // panic-allow(fixture: lo is non-empty because callers pass n >= 2)
+    data[0] = head.expect("non-empty");
+}
+
+/// Quiet: `debug_assert!` bodies compile out of release builds.
+pub fn audited_debug_into(data: &mut [u32], q: u32) {
+    debug_assert!(data[0] < q);
+    data[0] = 0;
+}

@@ -1,0 +1,53 @@
+//! Negative fixture: the masked constant-time idioms from `rlwe_zq::ct`
+//! must produce ZERO findings — the lint's precision contract.
+//!
+//! Analyzed by `tests/fixtures.rs` under the crate name `rlwe-zq`, so
+//! the `_into` fns here are also on the audited panic surface.
+
+/// Constant-time equality mask, XOR-accumulate shape: no branch ever
+/// inspects the secret bytes.
+pub fn ct_eq_mask(/* ct: secret */ a: &[u8], b: &[u8]) -> u8 {
+    let mut acc = (a.len() ^ b.len()) as u64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= (x ^ y) as u64;
+    }
+    let nonzero = ((acc | acc.wrapping_neg()) >> 63) as u8;
+    nonzero.wrapping_sub(1)
+}
+
+/// Branch-free select: `(mask & a) | (!mask & b)`.
+pub fn ct_select_u8(mask: u8, /* ct: secret */ a: u8, b: u8) -> u8 {
+    (mask & a) | (!mask & b)
+}
+
+/// Slice-wide masked select over a secret candidate.
+pub fn ct_select_into(mask: u8, /* ct: secret */ a: &[u8], b: &[u8], out: &mut [u8]) {
+    let m = mask;
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+        *o = (m & *x) | (!m & *y);
+    }
+}
+
+/// Borrow-propagation comparison: the verdict is computed arithmetically.
+pub fn ct_lt_u32(/* ct: secret */ a: u32, b: u32) -> u32 {
+    let diff = (a as u64).wrapping_sub(b as u64);
+    ((diff >> 63) as u32).wrapping_neg()
+}
+
+/// Volatile-style scrub loop: writes, never reads, the secret.
+pub fn zeroize_into(/* ct: secret */ buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+}
+
+/// Masked conditional subtraction, the `zq` reduction idiom.
+pub fn ct_cond_sub_into(/* ct: secret */ x: &mut [u32], q: u32) {
+    for v in x.iter_mut() {
+        let cur = *v;
+        let diff = cur.wrapping_sub(q);
+        // mask = all-ones when cur >= q, arithmetically.
+        let mask = !(((diff as u64) >> 32) as u32).wrapping_neg();
+        *v = (mask & diff) | (!mask & cur);
+    }
+}

@@ -1,0 +1,81 @@
+//! Seeded-violation fixture: secret-dependent control flow.
+//!
+//! Not a workspace member — never compiled. The self-tests in
+//! `tests/fixtures.rs` feed this file to the analyzer and assert the
+//! seeded violations below are detected (and only these).
+
+/// VIOLATION (ct-branch): branches on an annotated secret bit.
+pub fn leak_bit(/* ct: secret */ bit: u8) -> u32 {
+    if bit == 1 {
+        expensive()
+    } else {
+        cheap()
+    }
+}
+
+/// VIOLATION (ct-branch): the secret flows through locals first.
+pub fn leak_derived(/* ct: secret */ key: u32) -> u32 {
+    let folded = key ^ (key >> 16);
+    let nibble = folded & 0xf;
+    match nibble {
+        0 => 1,
+        _ => 2,
+    }
+}
+
+/// VIOLATION (ct-short-circuit): `&&` stops evaluating on secret.
+pub fn leak_short_circuit(/* ct: secret */ a: bool, b: bool) -> bool {
+    let both = a && b;
+    both
+}
+
+/// VIOLATION (ct-return): early return leaks via timing which arm ran.
+pub fn leak_early_return(/* ct: secret */ s: u32, public_flag: bool) -> u32 {
+    if public_flag {
+        return s;
+    }
+    0
+}
+
+/// VIOLATION (ct-branch): a function-level source taints its callers.
+// ct: secret
+pub fn derive_subkey(material: u32) -> u32 {
+    material.wrapping_mul(0x9e37_79b9)
+}
+
+/// The call-site half of the pair above.
+pub fn caller_leaks() -> u32 {
+    let sub = derive_subkey(7);
+    if sub & 1 == 1 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Quiet: branching on public data stays silent.
+pub fn public_branch(n: usize) -> u32 {
+    if n > 8 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Quiet: a reasoned suppression silences an intentional verdict branch.
+pub fn suppressed(/* ct: secret */ verdict: u8) -> bool {
+    // ct-allow(fixture: verdict is public by protocol design)
+    if verdict == 1 {
+        true
+    } else {
+        false
+    }
+}
+
+fn expensive() -> u32 {
+    99
+}
+
+fn cheap() -> u32 {
+    1
+}

@@ -1,0 +1,68 @@
+//! Seeded-violation fixture: secret-dependent memory addressing.
+//!
+//! Not a workspace member — analyzed directly by `tests/fixtures.rs`.
+
+/// A cache-timing classic: the secret selects the table entry.
+pub struct SboxState {
+    // ct: secret
+    round_key: [u8; 16],
+    table: [u8; 256],
+}
+
+impl SboxState {
+    /// VIOLATION (ct-index): table lookup addressed by a secret field.
+    pub fn substitute(&self, i: usize) -> u8 {
+        self.table[self.round_key[i] as usize]
+    }
+}
+
+/// VIOLATION (ct-index): annotated secret parameter used as an index.
+pub fn select_leaky(table: &[u32], /* ct: secret */ which: usize) -> u32 {
+    table[which]
+}
+
+/// VIOLATION (ct-index + ct-branch): the secret flows out of a call
+/// into a local, which then both branches and indexes.
+pub fn window_lookup(table: &[u32], sk: &SecretKey) -> u32 {
+    let w = sk.window(0);
+    if w > 3 {
+        return 0;
+    }
+    table[w]
+}
+
+/// VIOLATION (ct-call-sink): the secret is handed to a helper that
+/// indexes with it — the leak is at the call site, the helper itself is
+/// fine on public inputs.
+pub fn lookup_helper(table: &[u32], i: usize) -> u32 {
+    table[i]
+}
+
+pub fn call_site_leak(table: &[u32], /* ct: secret */ s: usize) -> u32 {
+    lookup_helper(table, s)
+}
+
+/// Quiet: public index, same shape.
+pub fn select_public(table: &[u32], which: usize) -> u32 {
+    table[which]
+}
+
+/// Quiet: iterating a secret slice without addressing by its values.
+pub fn sum(/* ct: secret */ key: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    for b in key.iter() {
+        acc = acc.wrapping_add(*b as u32);
+    }
+    acc
+}
+
+/// Stand-in for the workspace type of the same name (built-in root).
+pub struct SecretKey {
+    coeffs: [u32; 8],
+}
+
+impl SecretKey {
+    pub fn window(&self, i: usize) -> usize {
+        (self.coeffs[i] & 7) as usize
+    }
+}

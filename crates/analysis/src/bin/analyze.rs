@@ -1,0 +1,63 @@
+//! CLI front-end for the workspace analyses.
+//!
+//! ```text
+//! cargo run -p rlwe-analysis --bin analyze                      # report + gate
+//! cargo run -p rlwe-analysis --bin analyze -- --write-baseline  # ratchet
+//! cargo run -p rlwe-analysis --bin analyze -- --report out.txt  # CI artifact
+//! ```
+//!
+//! Exit status: 0 when the tree matches the committed baseline exactly
+//! (no new findings, no stale entries), 1 otherwise.
+
+use rlwe_analysis::findings::{diff_baseline, parse_baseline, render_baseline, render_report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let report_path = args
+        .iter()
+        .position(|a| a == "--report")
+        .and_then(|i| args.get(i + 1));
+
+    let analysis = rlwe_analysis::analyze_workspace();
+    let report = render_report(&analysis.findings, analysis.suppressed);
+    print!("{report}");
+    if let Some(path) = report_path {
+        std::fs::write(path, &report).expect("report path writable");
+        eprintln!("report written to {path}");
+    }
+
+    let baseline_path = rlwe_analysis::baseline_path();
+    if write_baseline {
+        std::fs::write(&baseline_path, render_baseline(&analysis.findings))
+            .expect("baseline writable");
+        eprintln!("baseline written to {}", baseline_path.display());
+        return;
+    }
+
+    let baseline = parse_baseline(&std::fs::read_to_string(&baseline_path).unwrap_or_default());
+    let diff = diff_baseline(&analysis.findings, &baseline);
+    let mut failed = false;
+    if !diff.new.is_empty() {
+        failed = true;
+        eprintln!("\n{} finding(s) not in the baseline:", diff.new.len());
+        for f in &diff.new {
+            eprintln!("  {f}");
+        }
+        eprintln!("fix them or suppress with a reasoned ct-allow/panic-allow comment.");
+    }
+    if !diff.stale.is_empty() {
+        failed = true;
+        eprintln!(
+            "\n{} stale baseline entr(y/ies) — the code improved; ratchet with --write-baseline:",
+            diff.stale.len()
+        );
+        for k in &diff.stale {
+            eprintln!("  {k}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("\nclean: findings match the committed baseline exactly.");
+}

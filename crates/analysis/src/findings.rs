@@ -1,0 +1,247 @@
+//! Finding types, the committed-baseline format, and report rendering.
+//!
+//! A finding's *baseline key* deliberately excludes the line number:
+//! `rule <TAB> file <TAB> function <TAB> detail`. Line-keyed baselines
+//! churn on every unrelated edit; this key survives reformatting and
+//! code motion while still pinning the construct precisely enough that
+//! a *new* violation in the same function with a different shape shows
+//! up as new.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Every rule both analyses can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `if`/`match`/`while` condition or scrutinee mentions a secret.
+    CtBranch,
+    /// Slice/array index expression mentions a secret.
+    CtIndex,
+    /// Short-circuit `&&`/`||` with a secret operand.
+    CtShortCircuit,
+    /// `?` in a statement carrying a secret value.
+    CtTry,
+    /// Early `return` of a secret-bearing expression from a nested block.
+    CtReturn,
+    /// A secret argument flows into a callee parameter the callee
+    /// branches or indexes on.
+    CtCallSink,
+    /// `.unwrap()` on an audited panic-free surface.
+    PanicUnwrap,
+    /// `.expect(…)` without a `panic-allow(<invariant>)` proof comment.
+    PanicExpect,
+    /// `panic!`/`unreachable!`/`todo!`/`unimplemented!`.
+    PanicMacro,
+    /// `assert!`-family call without a documented `# Panics` contract.
+    PanicAssert,
+    /// Panicking slice/array indexing on an audited surface.
+    PanicIndex,
+}
+
+impl Rule {
+    /// Stable name used in baselines and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CtBranch => "ct-branch",
+            Rule::CtIndex => "ct-index",
+            Rule::CtShortCircuit => "ct-short-circuit",
+            Rule::CtTry => "ct-try",
+            Rule::CtReturn => "ct-return",
+            Rule::CtCallSink => "ct-call-sink",
+            Rule::PanicUnwrap => "panic-unwrap",
+            Rule::PanicExpect => "panic-expect",
+            Rule::PanicMacro => "panic-macro",
+            Rule::PanicAssert => "panic-assert",
+            Rule::PanicIndex => "panic-index",
+        }
+    }
+
+    /// Whether the rule belongs to the constant-time lint (as opposed to
+    /// the panic-path auditor) — decides which suppression comment
+    /// (`ct-allow` vs `panic-allow`) applies.
+    pub fn is_ct(self) -> bool {
+        matches!(
+            self,
+            Rule::CtBranch
+                | Rule::CtIndex
+                | Rule::CtShortCircuit
+                | Rule::CtTry
+                | Rule::CtReturn
+                | Rule::CtCallSink
+        )
+    }
+}
+
+/// One unsuppressed analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Function the finding is in (`Owner::name` for methods).
+    pub function: String,
+    /// 1-based line (reports only; not part of the baseline key).
+    pub line: u32,
+    /// What tripped the rule: the tainted identifier, the callee, etc.
+    pub detail: String,
+}
+
+impl Finding {
+    /// The line-independent baseline key.
+    pub fn key(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.rule.name(),
+            self.file,
+            self.function,
+            self.detail
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] in `{}`: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.function,
+            self.detail
+        )
+    }
+}
+
+/// Parses the committed baseline: one key per line, `#` comments and
+/// blank lines ignored. Returns the de-duplicated key set.
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders the baseline file for a set of findings (sorted, de-duplicated,
+/// with the header explaining the ratchet contract).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let keys: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+    let mut out = String::from(
+        "# rlwe-analysis accepted-findings baseline.\n\
+         #\n\
+         # One `rule<TAB>file<TAB>function<TAB>detail` key per line. The gate\n\
+         # (`cargo test -p rlwe-analysis`) fails when the tree has a finding not\n\
+         # listed here (fix it or suppress it with a reasoned ct-allow/panic-allow\n\
+         # comment) AND when a listed key no longer occurs (regenerate with\n\
+         # `cargo run -p rlwe-analysis --bin analyze -- --write-baseline` so the\n\
+         # baseline only ever ratchets down with the code change that earned it).\n\
+         # Never hand-edit entries in.\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// The gate's verdict: findings not in the baseline, and baseline
+/// entries no longer found (a stale baseline must be ratcheted).
+pub struct BaselineDiff {
+    pub new: Vec<Finding>,
+    pub stale: Vec<String>,
+}
+
+/// Diffs current findings against the committed baseline keys.
+pub fn diff_baseline(findings: &[Finding], baseline: &BTreeSet<String>) -> BaselineDiff {
+    let current: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+    let mut new: Vec<Finding> = findings
+        .iter()
+        .filter(|f| !baseline.contains(&f.key()))
+        .cloned()
+        .collect();
+    new.sort();
+    new.dedup_by_key(|f| f.key());
+    let stale = baseline.difference(&current).cloned().collect();
+    BaselineDiff { new, stale }
+}
+
+/// Renders the human-readable findings report (CI artifact).
+pub fn render_report(findings: &[Finding], suppressed: usize) -> String {
+    let mut sorted = findings.to_vec();
+    sorted.sort();
+    let mut out = String::new();
+    out.push_str("rlwe-analysis findings report\n");
+    out.push_str("=============================\n\n");
+    let ct = sorted.iter().filter(|f| f.rule.is_ct()).count();
+    out.push_str(&format!(
+        "{} finding(s): {} constant-time, {} panic-path; {} suppressed by allow-comments\n\n",
+        sorted.len(),
+        ct,
+        sorted.len() - ct,
+        suppressed
+    ));
+    let mut last_file = "";
+    for f in &sorted {
+        if f.file != last_file {
+            out.push_str(&format!("{}\n", f.file));
+            last_file = &f.file;
+        }
+        out.push_str(&format!(
+            "  {}: [{}] `{}` {}\n",
+            f.line,
+            f.rule.name(),
+            f.function,
+            f.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, function: &str, line: u32, detail: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            function: function.into(),
+            line,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn key_is_line_independent() {
+        let a = finding(Rule::CtBranch, "crates/core/src/fo.rs", "decap", 10, "mask");
+        let b = finding(Rule::CtBranch, "crates/core/src/fo.rs", "decap", 99, "mask");
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let fs = vec![
+            finding(Rule::PanicUnwrap, "a.rs", "f", 1, "unwrap"),
+            finding(Rule::CtIndex, "b.rs", "g", 2, "sk"),
+            finding(Rule::PanicUnwrap, "a.rs", "f", 7, "unwrap"), // dup key
+        ];
+        let parsed = parse_baseline(&render_baseline(&fs));
+        assert_eq!(parsed.len(), 2);
+        let diff = diff_baseline(&fs, &parsed);
+        assert!(diff.new.is_empty());
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_new_and_stale() {
+        let old = vec![finding(Rule::CtBranch, "a.rs", "f", 1, "x")];
+        let baseline = parse_baseline(&render_baseline(&old));
+        let now = vec![finding(Rule::CtTry, "a.rs", "f", 2, "y")];
+        let diff = diff_baseline(&now, &baseline);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].rule, Rule::CtTry);
+        assert_eq!(diff.stale.len(), 1);
+        assert!(diff.stale[0].starts_with("ct-branch"));
+    }
+}

@@ -1,0 +1,469 @@
+//! A hand-rolled Rust lexer — the foundation both analyses stand on.
+//!
+//! The workspace's offline-shim policy rules out `syn`, and neither
+//! analysis needs full parsing: they need a token stream in which
+//! string/char/raw-string literals, (nested) block comments, and
+//! lifetimes can never be mistaken for code, so that a `// ct: secret`
+//! annotation inside a string literal is inert and an `if` inside a
+//! comment is invisible. Everything downstream (item scanning, taint
+//! windows, suppression comments) works on these tokens.
+//!
+//! Invariant (property-tested): the concatenation of every token's text
+//! reproduces the input byte-for-byte — the lexer never drops, merges,
+//! or invents bytes, it only classifies them.
+
+/// Token classes. Keywords are ordinary [`TokenKind::Ident`]s; the
+/// scanner compares text where it matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (doc variants included).
+    LineComment,
+    /// `/* … */`, nesting tracked.
+    BlockComment,
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'a` — disambiguated from char literals.
+    Lifetime,
+    /// Integer or float literal, suffixes attached.
+    Number,
+    /// `"…"` / `b"…"` with escapes.
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#`, any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`.
+    Char,
+    /// Any punctuation; multi-char only for `&& || -> => :: ..`.
+    Punct,
+    /// Bytes the lexer cannot classify (kept for round-trip fidelity).
+    Unknown,
+}
+
+/// One token: classification plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` completely. Never fails: unclassifiable bytes become
+/// [`TokenKind::Unknown`] so the round-trip invariant holds on any
+/// input, including invalid Rust.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        b
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.peek(0).expect("caller checked non-empty");
+        match b {
+            b if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|c| c.is_ascii_whitespace()) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' if self.raw_string_ahead(0) => self.raw_string(),
+            b'b' => self.byte_prefixed(),
+            b if b.is_ascii_digit() => self.number(),
+            b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.ident(),
+            _ => self.punct(),
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Consume `/*`, then balance nested openers/closers.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Consumes a `"…"` body (opening quote at `pos`), honouring `\`
+    /// escapes. Unterminated strings run to EOF — still round-trips.
+    fn string(&mut self) -> TokenKind {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' if self.peek(1).is_some() => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    ///
+    /// Heuristic (the same one rustc's lexer uses): after the quote, an
+    /// identifier character *not* followed by a closing quote is a
+    /// lifetime; everything else is a char literal.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let ident_start =
+            |c: u8| c.is_ascii_alphabetic() || c == b'_' || c.is_ascii_digit() || c >= 0x80;
+        if c1.is_some_and(ident_start) && c2 != Some(b'\'') {
+            // Lifetime: quote plus identifier run.
+            self.bump();
+            while self.peek(0).is_some_and(ident_start) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        // Char literal: quote, escaped or plain payload, closing quote.
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' if self.peek(1).is_some() => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                // A char literal never spans a line; bail so an
+                // apostrophe in prose inside a comment cannot eat code
+                // (only reachable on invalid Rust).
+                b'\n' => return TokenKind::Char,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Char
+    }
+
+    /// Is `r"`/`r#…#"` starting at `pos + offset` (offset skips a `b`)?
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        debug_assert!(self.peek(offset) == Some(b'r') || offset == 0);
+        if self.peek(offset) != Some(b'r') {
+            return false;
+        }
+        let mut i = offset + 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Consumes `r##"…"##` (any hash depth; `pos` at the `r` or `b`).
+    fn raw_string(&mut self) -> TokenKind {
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some(b'#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return TokenKind::RawStr;
+                }
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// `b"…"`, `b'…'`, `br"…"`, or just an identifier starting with b.
+    fn byte_prefixed(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'"') => {
+                self.bump();
+                self.string()
+            }
+            Some(b'\'') => {
+                self.bump();
+                // Byte char literal: same shape as a char literal, and
+                // `b'a'` cannot be a lifetime, so consume directly.
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    match c {
+                        b'\\' if self.peek(1).is_some() => {
+                            self.bump();
+                            self.bump();
+                        }
+                        b'\'' => {
+                            self.bump();
+                            return TokenKind::Char;
+                        }
+                        b'\n' => return TokenKind::Char,
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b'r') if self.raw_string_ahead(1) => self.raw_string(),
+            _ => self.ident(),
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part, prefixes (0x/0o/0b), digit separators, and type
+        // suffixes are all ident-continue characters.
+        let cont = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        while self.peek(0).is_some_and(cont) {
+            self.bump();
+        }
+        // Fractional part: a dot followed by a digit (`1.5`), but not a
+        // range (`1..n`) or a method call (`1.pow(…)`).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(cont) {
+                self.bump();
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier prefix `r#ident` (raw strings were tried first).
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.bump();
+            self.bump();
+        }
+        let cont = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80;
+        while self.peek(0).is_some_and(cont) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        let b = self.bump();
+        // Join exactly the two-char operators the analyses care about
+        // (`&&`/`||` short-circuits, `->`/`=>`/`::`/`..` structure); all
+        // other punctuation stays single-byte so `>>` in nested generics
+        // never confuses angle-bracket matching.
+        let pair = |a: u8, c: u8| -> bool {
+            matches!(
+                (a, c),
+                (b'&', b'&')
+                    | (b'|', b'|')
+                    | (b'-', b'>')
+                    | (b'=', b'>')
+                    | (b':', b':')
+                    | (b'.', b'.')
+            )
+        };
+        if let Some(next) = self.peek(0) {
+            if pair(b, next) {
+                self.bump();
+            }
+        }
+        if b.is_ascii() {
+            TokenKind::Punct
+        } else {
+            TokenKind::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_arbitrary_source() {
+        let src = r##"fn f<'a>(x: &'a [u8]) -> u32 { // c'mt "quote
+            let s = "str \" with // fake comment";
+            let r = r#"raw " body"#; /* block /* nested */ still */
+            let c = '\''; let l: &'static str = "x";
+            x[0] as u32 + 0xFF_u32 + 1.5e3 as u32
+        }"##;
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn comments_inside_strings_are_strings() {
+        let toks = kinds(r#"let a = "// not a comment"; // real"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ c */ fn";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'a'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let x = r##"has "# inside"##; if y {}"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("inside")));
+        // The `if` after the raw string is still visible as code.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "if"));
+    }
+
+    #[test]
+    fn byte_literals_lex_as_one_token() {
+        let toks = kinds(r##"(b"bytes", b'x', br#"raw"#)"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && *t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn shift_right_is_two_tokens_but_and_and_is_one() {
+        let toks = kinds("a >> b && c");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(puncts, vec![">", ">", "&&"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..n { (1.5f64).floor(); 2.pow(3); }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && *t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "1.5f64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "2"));
+    }
+}

@@ -1,0 +1,283 @@
+//! rlwe-analysis: workspace static analysis for the ring-LWE suite.
+//!
+//! Two analyses over a hand-rolled lexer + item scanner (no external
+//! parser — the container policy is std-only):
+//!
+//! 1. a **secret-taint constant-time lint** ([`taint`]) rooted in the
+//!    `// ct: secret` annotation grammar plus built-in secret types,
+//!    flagging data-dependent control flow and memory addressing;
+//! 2. a **panic-path auditor** ([`panics`]) over the zero-allocation
+//!    `_into` surfaces and the server request path.
+//!
+//! Findings diff against the committed `analysis-baseline.txt` at the
+//! workspace root; `cargo test -p rlwe-analysis` is the CI gate. See
+//! DESIGN.md §10 for the annotation grammar and the baseline ratchet.
+
+#![forbid(unsafe_code)]
+
+pub mod findings;
+pub mod lexer;
+pub mod panics;
+pub mod scan;
+pub mod taint;
+
+use findings::Finding;
+use scan::{scan_file, FnItem, SourceFile};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// A loaded set of sources ready for analysis.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnItem>,
+    /// Union of `// ct: secret` field names across all files.
+    pub secret_fields: HashSet<String>,
+}
+
+/// Full analysis output.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by reasoned allow-comments.
+    pub suppressed: usize,
+}
+
+/// The workspace root, resolved from this crate's manifest dir
+/// (`crates/analysis` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Parses `members = [ … ]` out of the root manifest, skipping the
+/// external-dependency shims (`crates/shims/*` emulate third-party
+/// crates and are not part of the audited surface).
+fn workspace_members(root_manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in root_manifest.lines() {
+        let l = line.trim();
+        if l.starts_with("members") && l.contains('[') {
+            in_members = true;
+            continue;
+        }
+        if in_members {
+            if l.starts_with(']') {
+                break;
+            }
+            if let Some(path) = l.split('"').nth(1) {
+                if !path.starts_with("crates/shims") {
+                    members.push(path.to_string());
+                }
+            }
+        }
+    }
+    members
+}
+
+/// `name = "…"` from a crate manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    manifest
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("name"))
+        .and_then(|l| l.split('"').nth(1))
+        .map(str::to_string)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            out.extend(rust_files(&p));
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Loads every member's `src/` (plus the root facade) from the
+/// workspace at `root`.
+pub fn load_workspace(root: &Path) -> Workspace {
+    let root_manifest =
+        std::fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml readable");
+    // (crate name, source dir, member path prefix)
+    let mut sources: Vec<(String, PathBuf, String)> = Vec::new();
+    for member in workspace_members(&root_manifest) {
+        // This crate analyzes the others; analyzing its own fixture and
+        // test sources would make the gate self-referential.
+        if member == "crates/analysis" {
+            continue;
+        }
+        let manifest_path = root.join(&member).join("Cargo.toml");
+        let Ok(manifest) = std::fs::read_to_string(&manifest_path) else {
+            continue;
+        };
+        let name = package_name(&manifest).unwrap_or_else(|| member.clone());
+        sources.push((
+            name,
+            root.join(&member).join("src"),
+            format!("{member}/src"),
+        ));
+    }
+    let root_name = package_name(&root_manifest).unwrap_or_else(|| "root".to_string());
+    sources.push((root_name, root.join("src"), "src".to_string()));
+    load_sources(
+        sources
+            .into_iter()
+            .flat_map(|(name, dir, prefix)| {
+                rust_files(&dir).into_iter().map(move |p| {
+                    let rel = p
+                        .strip_prefix(&dir)
+                        .expect("file under its source dir")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    let src = std::fs::read_to_string(&p).unwrap_or_default();
+                    (name.clone(), format!("{prefix}/{rel}"), src)
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Builds a [`Workspace`] from in-memory `(crate, rel_path, src)`
+/// triples — the entry point tests and fixtures use.
+pub fn load_sources(sources: Vec<(String, String, String)>) -> Workspace {
+    let mut files = Vec::new();
+    let mut fns = Vec::new();
+    let mut secret_fields = HashSet::new();
+    for (crate_name, rel_path, src) in sources {
+        let file = SourceFile::new(&crate_name, &rel_path, src);
+        let scanned = scan_file(&file, files.len());
+        fns.extend(scanned.fns);
+        secret_fields.extend(scanned.secret_fields);
+        files.push(file);
+    }
+    Workspace {
+        files,
+        fns,
+        secret_fields,
+    }
+}
+
+/// Runs both analyses over a loaded workspace.
+pub fn analyze(ws: &Workspace) -> Analysis {
+    let summaries = taint::Summaries::build(&ws.fns);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+
+    // Constant-time pass 1: intraprocedural findings + sink facts.
+    let mut sinks: HashMap<String, Vec<(usize, String)>> = HashMap::new();
+    for f in &ws.fns {
+        let file = &ws.files[f.file];
+        let a = taint::analyze_fn_with_fields(file, f, &summaries, &ws.secret_fields, None);
+        findings.extend(a.findings);
+        suppressed += a.suppressed;
+        // Sink summaries resolve by bare name, so only free fns — a
+        // method name shared across types would mis-resolve.
+        if f.owner.is_none() && !a.sink_params.is_empty() {
+            let entry = sinks.entry(f.name.clone()).or_default();
+            for sp in a.sink_params {
+                if !entry.contains(&sp) {
+                    entry.push(sp);
+                }
+            }
+        }
+    }
+
+    // Constant-time pass 2: secret arguments into sink parameters.
+    if !sinks.is_empty() {
+        for f in &ws.fns {
+            let file = &ws.files[f.file];
+            let a =
+                taint::analyze_fn_with_fields(file, f, &summaries, &ws.secret_fields, Some(&sinks));
+            findings.extend(a.findings);
+            suppressed += a.suppressed;
+        }
+    }
+
+    // Panic-path audit.
+    let audited = panics::audited_set(&ws.files, &ws.fns);
+    for (idx, f) in ws.fns.iter().enumerate() {
+        if audited.contains(&idx) {
+            let (fs, sup) = panics::audit_fn(&ws.files[f.file], f);
+            findings.extend(fs);
+            suppressed += sup;
+        }
+    }
+
+    findings.sort();
+    findings.dedup_by_key(|f| f.key());
+    Analysis {
+        findings,
+        suppressed,
+    }
+}
+
+/// Convenience: load + analyze the real workspace.
+pub fn analyze_workspace() -> Analysis {
+    analyze(&load_workspace(&workspace_root()))
+}
+
+/// Path of the committed baseline.
+pub fn baseline_path() -> PathBuf {
+    workspace_root().join("analysis-baseline.txt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_skips_shims() {
+        let manifest = r#"
+[workspace]
+members = [
+    "crates/zq",
+    "crates/shims/rand",
+    "crates/server",
+]
+"#;
+        assert_eq!(
+            workspace_members(manifest),
+            vec!["crates/zq".to_string(), "crates/server".to_string()]
+        );
+    }
+
+    #[test]
+    fn package_name_parses() {
+        assert_eq!(
+            package_name("[package]\nname = \"rlwe-zq\"\nversion = \"0.1.0\"\n").as_deref(),
+            Some("rlwe-zq")
+        );
+    }
+
+    #[test]
+    fn load_sources_merges_secret_fields_across_files() {
+        let ws = load_sources(vec![
+            (
+                "a".into(),
+                "a/src/lib.rs".into(),
+                "struct S { // ct: secret\n seed: u64 }".into(),
+            ),
+            (
+                "b".into(),
+                "b/src/lib.rs".into(),
+                "fn f(s: &S) -> u8 { if s.seed > 0 { 1 } else { 0 } }".into(),
+            ),
+        ]);
+        let a = analyze(&ws);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, findings::Rule::CtBranch);
+    }
+}

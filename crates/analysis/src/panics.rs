@@ -1,0 +1,359 @@
+//! The panic-path auditor.
+//!
+//! Audited surfaces (DESIGN.md §10): the zero-allocation `_into` /
+//! `_with_scratch` entry points of `rlwe-core`, `rlwe-ntt`, and
+//! `rlwe-zq` — plus everything they transitively call inside those
+//! crates — and the whole server request path (`crates/server`). On an
+//! audited function, `unwrap`/`expect`, the `panic!` macro family, bare
+//! `assert!`s without a documented `# Panics` contract, and panicking
+//! slice indexing are findings unless suppressed by a reasoned
+//! `// panic-allow(<invariant>)` comment.
+//!
+//! `debug_assert!` bodies are exempt everywhere: they compile out of
+//! release builds and are the workspace's documented bound-audit idiom.
+
+use crate::findings::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::scan::{FnItem, SourceFile};
+use crate::taint::qualified;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Crates whose `_into`/`_with_scratch` surfaces seed the audit.
+pub const HOT_CRATES: &[&str] = &["rlwe-core", "rlwe-ntt", "rlwe-zq"];
+
+/// Crates audited in full (the server request path).
+pub const FULL_CRATES: &[&str] = &["rlwe-server"];
+
+/// Whether a function name is a zero-allocation surface seed.
+fn is_hot_seed(name: &str) -> bool {
+    name.ends_with("_into") || name.ends_with("_with_scratch") || name == "scrub"
+}
+
+/// Computes the audited-function set: seeds plus their transitive call
+/// closure within the hot crates, plus every fn in the full crates.
+/// `files[f.file]` must be the file each fn was scanned from.
+pub fn audited_set(files: &[SourceFile], fns: &[FnItem]) -> HashSet<usize> {
+    // Name → fn indices, for the (lexical, name-based) call resolution.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(idx);
+    }
+    let mut audited: HashSet<usize> = HashSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (idx, f) in fns.iter().enumerate() {
+        let krate = files[f.file].crate_name.as_str();
+        let seed =
+            FULL_CRATES.contains(&krate) || (HOT_CRATES.contains(&krate) && is_hot_seed(&f.name));
+        if seed && audited.insert(idx) {
+            queue.push_back(idx);
+        }
+    }
+    // BFS over called names; the closure stays within the hot crates
+    // (the server path is already fully audited, and shims/bench are
+    // out of scope).
+    while let Some(idx) = queue.pop_front() {
+        let f = &fns[idx];
+        let file = &files[f.file];
+        for name in called_names(file, f) {
+            for &callee in by_name.get(name.as_str()).map(Vec::as_slice).unwrap_or(&[]) {
+                let callee_crate = files[fns[callee].file].crate_name.as_str();
+                if HOT_CRATES.contains(&callee_crate) && audited.insert(callee) {
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+    audited
+}
+
+/// Simple called names in a fn body: `name (` and `.name (`.
+fn called_names(file: &SourceFile, f: &FnItem) -> HashSet<String> {
+    let mut names = HashSet::new();
+    let (lo, hi) = (f.body.0 + 1, f.body.1);
+    for i in lo..hi {
+        if file.kind(i) == TokenKind::Ident && i + 1 < hi && file.text(i + 1) == "(" {
+            names.insert(file.text(i).to_string());
+        }
+    }
+    names
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Audits one function; returns (findings, suppressed-count).
+pub fn audit_fn(file: &SourceFile, f: &FnItem) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let (lo, hi) = (f.body.0 + 1, f.body.1);
+    let mut push = |rule: Rule, line: u32, detail: String| {
+        let allowed = file.panic_allow.contains_key(&line)
+            || file.panic_allow.contains_key(&line.saturating_sub(1));
+        if allowed {
+            suppressed += 1;
+        } else {
+            findings.push(Finding {
+                rule,
+                file: file.rel_path.clone(),
+                function: qualified(f),
+                line,
+                detail,
+            });
+        }
+    };
+    let mut i = lo;
+    while i < hi {
+        let t = file.text(i);
+        // `debug_assert…!(…)` compiles out of release builds.
+        if t.starts_with("debug_assert") && i + 1 < hi && file.text(i + 1) == "!" {
+            i = skip_delim(file, i + 2, hi);
+            continue;
+        }
+        if file.kind(i) == TokenKind::Ident && i + 1 < hi {
+            let next = file.text(i + 1);
+            if next == "(" && i > lo && file.text(i - 1) == "." {
+                if t == "unwrap" {
+                    push(Rule::PanicUnwrap, file.line(i), "`.unwrap()`".to_string());
+                } else if t == "expect" {
+                    // The expect message is the closest thing to a detail.
+                    let close = skip_delim(file, i + 1, hi);
+                    let msg: String = (i + 2..close.saturating_sub(1))
+                        .map(|j| file.text(j))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    push(
+                        Rule::PanicExpect,
+                        file.line(i),
+                        format!(
+                            "`.expect({})` without panic-allow proof",
+                            truncate(&msg, 48)
+                        ),
+                    );
+                }
+            } else if next == "!" && i + 2 < hi && matches!(file.text(i + 2), "(" | "[" | "{") {
+                if PANIC_MACROS.contains(&t) {
+                    push(Rule::PanicMacro, file.line(i), format!("`{t}!`"));
+                    i = skip_delim(file, i + 2, hi);
+                    continue;
+                }
+                if ASSERT_MACROS.contains(&t) && !f.doc_panics {
+                    push(
+                        Rule::PanicAssert,
+                        file.line(i),
+                        format!("`{t}!` without a `# Panics` doc contract"),
+                    );
+                    i = skip_delim(file, i + 2, hi);
+                    continue;
+                }
+            }
+        }
+        if t == "[" {
+            let indexing = i > lo
+                && ((file.kind(i - 1) == TokenKind::Ident && !is_keyword(file.text(i - 1)))
+                    || matches!(file.text(i - 1), ")" | "]"));
+            if indexing {
+                let close = skip_delim(file, i, hi);
+                // Flattened index expression as the (stable) detail.
+                let expr: String = (i + 1..close.saturating_sub(1))
+                    .map(|j| file.text(j))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                // Full-range (`..`) and literal-only indices cannot panic
+                // in ways a bounds audit cares about less — still flag
+                // non-trivial expressions only.
+                if !index_is_trivial(&expr) {
+                    push(
+                        Rule::PanicIndex,
+                        file.line(i),
+                        format!("unchecked index `[{}]`", truncate(&expr, 48)),
+                    );
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (findings, suppressed)
+}
+
+/// Indices that cannot fail (`[..]`) or are audited by construction
+/// (integer literals against fixed-size arrays are overwhelmingly
+/// `[0]`-style field picks; real bound bugs live in computed indices).
+fn index_is_trivial(expr: &str) -> bool {
+    let e = expr.trim();
+    e.is_empty() || e == ".." || e.chars().all(|c| c.is_ascii_digit() || c.is_whitespace())
+}
+
+fn is_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "let"
+            | "fn"
+            | "return"
+            | "mut"
+            | "ref"
+            | "in"
+            | "as"
+            | "move"
+            | "loop"
+            | "break"
+            | "continue"
+    )
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        let mut cut = n;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &s[..cut])
+    }
+}
+
+/// Index after a balanced delimiter run starting at `open`.
+fn skip_delim(file: &SourceFile, open: usize, end: usize) -> usize {
+    let (o, c) = match file.text(open) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        let t = file.text(i);
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_file, SourceFile};
+
+    fn audit(crate_name: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(crate_name, "x/src/lib.rs", src.to_string());
+        let scanned = scan_file(&file, 0);
+        let files = vec![file];
+        let audited = audited_set(&files, &scanned.fns);
+        let mut out = Vec::new();
+        for (idx, f) in scanned.fns.iter().enumerate() {
+            if audited.contains(&idx) {
+                out.extend(audit_fn(&files[0], f).0);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unwrap_in_hot_surface_is_flagged() {
+        let f = audit(
+            "rlwe-ntt",
+            "fn forward_into(x: &mut [u32]) { let v = x.first().unwrap(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicUnwrap);
+    }
+
+    #[test]
+    fn non_surface_fn_in_hot_crate_is_not_audited_unless_called() {
+        let f = audit(
+            "rlwe-core",
+            "fn helper(x: Option<u8>) -> u8 { x.unwrap() }\nfn other() { }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn closure_reaches_transitive_callees() {
+        let f = audit(
+            "rlwe-core",
+            "fn encrypt_into(m: &[u8]) { helper(m); }\nfn helper(m: &[u8]) -> u8 { m.first().copied().unwrap() }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].function, "helper");
+    }
+
+    #[test]
+    fn server_crate_is_audited_in_full() {
+        let f = audit(
+            "rlwe-server",
+            "fn any_fn(x: Option<u8>) -> u8 { x.expect(\"present\") }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicExpect);
+    }
+
+    #[test]
+    fn panic_allow_with_reason_suppresses() {
+        let f = audit(
+            "rlwe-server",
+            "fn g(x: Option<u8>) -> u8 {\n// panic-allow(checked is_some on the line above)\nx.expect(\"present\") }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn assert_with_doc_panics_contract_is_allowed() {
+        let with_doc = audit(
+            "rlwe-zq",
+            "/// # Panics\n/// If empty.\nfn reduce_into(x: &mut [u32]) { assert!(!x.is_empty()); }",
+        );
+        assert!(with_doc.is_empty(), "{with_doc:?}");
+        let without = audit(
+            "rlwe-zq",
+            "fn reduce_into(x: &mut [u32]) { assert!(!x.is_empty()); }",
+        );
+        assert_eq!(without.len(), 1);
+        assert_eq!(without[0].rule, Rule::PanicAssert);
+    }
+
+    #[test]
+    fn debug_assert_is_always_exempt() {
+        let f = audit(
+            "rlwe-zq",
+            "fn reduce_into(x: &mut [u32], q: u32) { debug_assert!(x[0] < q); x[0] = 0; }",
+        );
+        // Neither the debug_assert nor its internal indexing fires; the
+        // literal `[0]` store is trivial.
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn computed_index_is_flagged_but_literal_is_not() {
+        let f = audit(
+            "rlwe-ntt",
+            "fn butterfly_into(x: &mut [u32], i: usize, j: usize) { let t = x[i + j]; x[0] = t; }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicIndex);
+        assert!(f[0].detail.contains("i + j"));
+    }
+
+    #[test]
+    fn panic_macro_family_is_flagged() {
+        let f = audit(
+            "rlwe-server",
+            "fn h(x: u8) { if x > 3 { unreachable!(\"nope\") } }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicMacro);
+    }
+}

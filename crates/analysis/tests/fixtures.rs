@@ -1,0 +1,103 @@
+//! Fixture self-tests: prove the analyzer catches each seeded violation
+//! and stays quiet on the masked constant-time idioms.
+//!
+//! The fixture crates under `fixtures/` are NOT workspace members and
+//! are never compiled; they are analyzed as source text, under crate
+//! names chosen to exercise the audited-surface rules.
+
+use rlwe_analysis::findings::{Finding, Rule};
+use rlwe_analysis::{analyze, load_sources};
+use std::path::Path;
+
+fn analyze_fixture(fixture: &str, crate_name: &str) -> (Vec<Finding>, usize) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture)
+        .join("src/lib.rs");
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} readable: {e}", path.display()));
+    let rel = format!("fixtures/{fixture}/src/lib.rs");
+    let ws = load_sources(vec![(crate_name.to_string(), rel, src)]);
+    let a = analyze(&ws);
+    (a.findings, a.suppressed)
+}
+
+/// `(rule, function)` pairs, sorted, for order-insensitive comparison.
+fn shape(findings: &[Finding]) -> Vec<(Rule, String)> {
+    let mut v: Vec<(Rule, String)> = findings
+        .iter()
+        .map(|f| (f.rule, f.function.clone()))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn secret_branch_fixture_violations_are_all_detected() {
+    let (findings, suppressed) = analyze_fixture("secret_branch", "fixture-ct");
+    let got = shape(&findings);
+    let want: Vec<(Rule, String)> = vec![
+        (Rule::CtBranch, "leak_bit".into()),
+        (Rule::CtBranch, "leak_derived".into()),
+        (Rule::CtBranch, "caller_leaks".into()),
+        (Rule::CtShortCircuit, "leak_short_circuit".into()),
+        (Rule::CtReturn, "leak_early_return".into()),
+    ];
+    for w in &want {
+        assert!(got.contains(w), "missing {w:?} in {got:?}");
+    }
+    // Nothing beyond the seeded violations: the public-branch and
+    // suppressed fns stay quiet.
+    assert_eq!(got.len(), want.len(), "unexpected extras: {got:?}");
+    assert_eq!(suppressed, 1, "the ct-allow verdict branch");
+}
+
+#[test]
+fn secret_index_fixture_violations_are_all_detected() {
+    let (findings, _) = analyze_fixture("secret_index", "fixture-ct");
+    let got = shape(&findings);
+    let want: Vec<(Rule, String)> = vec![
+        (Rule::CtIndex, "SboxState::substitute".into()),
+        (Rule::CtIndex, "select_leaky".into()),
+        (Rule::CtBranch, "window_lookup".into()),
+        (Rule::CtIndex, "window_lookup".into()),
+        (Rule::CtCallSink, "call_site_leak".into()),
+    ];
+    for w in &want {
+        assert!(got.contains(w), "missing {w:?} in {got:?}");
+    }
+    assert_eq!(got.len(), want.len(), "unexpected extras: {got:?}");
+}
+
+#[test]
+fn hot_unwrap_fixture_violations_are_all_detected() {
+    // Crate name rlwe-ntt puts the `_into` surfaces on the audit.
+    let (findings, suppressed) = analyze_fixture("hot_unwrap", "rlwe-ntt");
+    let got = shape(&findings);
+    let want: Vec<(Rule, String)> = vec![
+        (Rule::PanicUnwrap, "forward_into".into()),
+        (Rule::PanicExpect, "butterfly".into()),
+        (Rule::PanicIndex, "butterfly".into()),
+        (Rule::PanicMacro, "reduce_with_scratch".into()),
+    ];
+    for w in &want {
+        assert!(got.contains(w), "missing {w:?} in {got:?}");
+    }
+    // `cold_helper` (never called from a surface), the panic-allow'd
+    // expect, and the debug_assert body must all stay quiet.
+    assert_eq!(got.len(), want.len(), "unexpected extras: {got:?}");
+    assert_eq!(suppressed, 1, "the panic-allow'd expect");
+}
+
+#[test]
+fn masked_ok_fixture_is_completely_quiet() {
+    // Crate name rlwe-zq puts the `_into` fns on the panic audit too:
+    // the masked idioms must pass BOTH analyses with zero findings.
+    let (findings, suppressed) = analyze_fixture("masked_ok", "rlwe-zq");
+    assert!(
+        findings.is_empty(),
+        "masked constant-time idioms must not be flagged: {findings:?}"
+    );
+    assert_eq!(suppressed, 0, "no suppressions needed in masked code");
+}

@@ -15,6 +15,8 @@
 //! `benches/` (`cargo bench --workspace`). Those measure *this host*, not
 //! the Cortex-M4F; the M4F numbers come from the cost-model binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod literature;
 pub mod snapshot;
 

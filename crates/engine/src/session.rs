@@ -418,6 +418,7 @@ impl Session {
         })?;
         let session = Self::derive(ss.as_bytes(), ct_bytes, Role::Responder, metrics);
         let expected = confirm_tag(&session.i2r, &session.sid);
+        // ct-allow(the comparison itself is ct_eq; its verdict is the public accept/reject)
         if !ct::ct_eq(&expected, confirm) {
             return Err(SessionError::HandshakeFailed);
         }

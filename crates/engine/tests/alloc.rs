@@ -15,6 +15,10 @@
 //! Everything runs inside a single `#[test]` so no concurrent test can
 //! pollute the counters.
 
+// A counting global allocator has no safe formulation: `GlobalAlloc`
+// is an unsafe trait. This is the one unsafe block in the workspace.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

@@ -253,6 +253,7 @@ impl DecapClasses {
     /// Propagates scheme errors (cannot happen for named parameter sets).
     pub fn new(ctx: RlweContext, seed: [u8; 32], contrast: Contrast) -> Result<Self, RlweError> {
         let mut rng = HashDrbg::new(seed);
+        // ct-allow(harness setup; encap errors are structural, not secret-dependent)
         let (pk, sk) = ctx.generate_keypair(&mut rng)?;
         let accept_target = match contrast {
             Contrast::FixedVsRandom => 1,
@@ -262,15 +263,20 @@ impl DecapClasses {
         // every class-0 ciphertext provably round-trips (accept path).
         let mut accept_pool = Vec::with_capacity(accept_target);
         while accept_pool.len() < accept_target {
+            // ct-allow(leakage harness deliberately classifies decap outcomes to measure them)
             let (ct, k1) = ctx.encapsulate_cca(&pk, &mut rng)?;
+            // ct-allow(leakage harness deliberately classifies decap outcomes to measure them)
             let k2 = ctx.decapsulate_cca(&sk, &pk, &ct)?;
+            // ct-allow(leakage harness deliberately classifies decap outcomes to measure them)
             if k1 == k2 {
                 accept_pool.push(ct);
             }
         }
         let mut reject_pool = Vec::with_capacity(Self::RANDOM_POOL);
         while reject_pool.len() < Self::RANDOM_POOL {
+            // ct-allow(leakage harness deliberately classifies decap outcomes to measure them)
             let (ct, _) = ctx.encapsulate_cca(&pk, &mut rng)?;
+            // ct-allow(leakage harness deliberately classifies decap outcomes to measure them)
             if let Some(mauled) = first_parsing_maul(&ct) {
                 reject_pool.push(mauled);
             }

@@ -174,7 +174,13 @@ impl Client {
             )))?;
         let sealed = tx.seal(payload);
         let resp = self.request(OpCode::SessionFrame, &sealed)?;
-        let (_, rx) = self.session.as_mut().expect("session checked above");
+        // `request` never clears an established session, but a typed
+        // error beats asserting that invariant at a distance.
+        let Some((_, rx)) = self.session.as_mut() else {
+            return Err(ServerError::Session(SessionError::Scheme(
+                "session dropped mid-exchange".to_string(),
+            )));
+        };
         let (echo, _) = rx.open(&resp)?;
         Ok(echo)
     }
@@ -236,13 +242,9 @@ impl std::fmt::Debug for Client {
 }
 
 fn reject_detail(resp: &Response) -> String {
-    match resp.status {
-        Status::Rejected if !resp.body.is_empty() => {
-            format!(
-                "code {}: {}",
-                resp.body[0],
-                String::from_utf8_lossy(&resp.body[1..])
-            )
+    match (resp.status, resp.body.split_first()) {
+        (Status::Rejected, Some((code, msg))) => {
+            format!("code {}: {}", code, String::from_utf8_lossy(msg))
         }
         _ => String::from_utf8_lossy(&resp.body).into_owned(),
     }
@@ -292,7 +294,8 @@ fn parse_http_response(raw: &[u8]) -> Result<HttpResponse, ServerError> {
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(bad)?;
-    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad())?;
+    let head = raw.get(..split).ok_or_else(bad)?;
+    let head = std::str::from_utf8(head).map_err(|_| bad())?;
     let mut lines = head.lines();
     let status_line = lines.next().ok_or_else(bad)?;
     let status = status_line
@@ -303,6 +306,6 @@ fn parse_http_response(raw: &[u8]) -> Result<HttpResponse, ServerError> {
     Ok(HttpResponse {
         status,
         headers: lines.map(str::to_string).collect(),
-        body: raw[split + 4..].to_vec(),
+        body: raw.get(split + 4..).ok_or_else(bad)?.to_vec(),
     })
 }

@@ -73,14 +73,13 @@ impl<T> ShardedQueue<T> {
     /// `Err(item)` when **every** shard is at capacity (the caller
     /// sheds) or the queue is closed.
     pub fn push(&self, start: usize, item: T) -> Result<usize, T> {
-        if *self.closed.lock().expect("queue closed flag poisoned") {
+        if *lock_recover(&self.closed) {
             return Err(item);
         }
         let n = self.shards.len();
-        for probe in 0..n {
-            let idx = (start + probe) % n;
-            let shard = &self.shards[idx];
-            let mut q = shard.items.lock().expect("queue shard poisoned");
+        let probes = self.shards.iter().enumerate().cycle().skip(start % n);
+        for (idx, shard) in probes.take(n) {
+            let mut q = lock_recover(&shard.items);
             if q.len() < self.capacity {
                 q.push_back(item);
                 shard.depth.set(q.len() as i64);
@@ -110,12 +109,12 @@ impl<T> ShardedQueue<T> {
             return (0..n).find_map(|probe| self.try_pop((home + probe) % n));
         }
         // Block on the home shard's condvar; push notifies it.
-        let shard = &self.shards[home % n];
-        let q = shard.items.lock().expect("queue shard poisoned");
+        let shard = self.shards.get(home % n)?;
+        let q = lock_recover(&shard.items);
         let (mut q, _timeout) = shard
             .ready
             .wait_timeout(q, patience)
-            .expect("queue shard poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(item) = q.pop_front() {
             shard.depth.set(q.len() as i64);
             return Some(item);
@@ -127,8 +126,8 @@ impl<T> ShardedQueue<T> {
     }
 
     fn try_pop(&self, idx: usize) -> Option<T> {
-        let shard = &self.shards[idx];
-        let mut q = shard.items.lock().expect("queue shard poisoned");
+        let shard = self.shards.get(idx)?;
+        let mut q = lock_recover(&shard.items);
         let item = q.pop_front();
         if item.is_some() {
             shard.depth.set(q.len() as i64);
@@ -136,13 +135,11 @@ impl<T> ShardedQueue<T> {
         item
     }
 
-    /// Current depth of one shard.
+    /// Current depth of one shard (0 for an out-of-range index).
     pub fn depth(&self, idx: usize) -> usize {
-        self.shards[idx]
-            .items
-            .lock()
-            .expect("queue shard poisoned")
-            .len()
+        self.shards
+            .get(idx)
+            .map_or(0, |shard| lock_recover(&shard.items).len())
     }
 
     /// Total queued items across shards.
@@ -158,7 +155,7 @@ impl<T> ShardedQueue<T> {
     /// Refuses further pushes and wakes every blocked popper. Already-
     /// queued items remain poppable (drain semantics).
     pub fn close(&self) {
-        *self.closed.lock().expect("queue closed flag poisoned") = true;
+        *lock_recover(&self.closed) = true;
         for shard in &self.shards {
             shard.ready.notify_all();
         }
@@ -166,8 +163,20 @@ impl<T> ShardedQueue<T> {
 
     /// Whether [`ShardedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        *self.closed.lock().expect("queue closed flag poisoned")
+        *lock_recover(&self.closed)
     }
+}
+
+/// Locks `m`, recovering from poisoning instead of panicking.
+///
+/// Queue state cannot be left torn by a peer that panicked inside a
+/// critical section: every section performs a single `VecDeque`
+/// push/pop (plus a gauge store), each of which completes or does not
+/// happen. Recovering keeps the accept/drain path alive even if a
+/// worker thread dies, instead of cascading the panic through every
+/// thread that touches the queue.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -225,7 +225,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), ProtocolError>
     if header[0] != MAGIC {
         return Err(ProtocolError::BadMagic(header[0]));
     }
-    let len = u32::from_be_bytes(header[2..6].try_into().expect("4 bytes")) as u64;
+    let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as u64;
     if len > MAX_BODY as u64 {
         return Err(ProtocolError::TooLarge(len));
     }
@@ -270,15 +270,15 @@ pub fn decode_response(buf: &[u8]) -> Result<(Response, usize), ProtocolError> {
 }
 
 fn decode(buf: &[u8]) -> Result<(u8, &[u8]), ProtocolError> {
-    if buf.len() < HEADER_LEN {
-        return Err(ProtocolError::Truncated);
-    }
-    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("header length");
+    let header: &[u8; HEADER_LEN] = buf
+        .get(..HEADER_LEN)
+        .and_then(|h| h.try_into().ok())
+        .ok_or(ProtocolError::Truncated)?;
     let (tag, len) = parse_header(header)?;
-    if buf.len() < HEADER_LEN + len {
-        return Err(ProtocolError::Truncated);
-    }
-    Ok((tag, &buf[HEADER_LEN..HEADER_LEN + len]))
+    let body = buf
+        .get(HEADER_LEN..HEADER_LEN + len)
+        .ok_or(ProtocolError::Truncated)?;
+    Ok((tag, body))
 }
 
 /// How a blocking frame read ended without producing a frame.
@@ -326,8 +326,10 @@ pub fn read_request_after_magic(r: &mut impl Read) -> ReadOutcome<Request> {
         };
     }
     let mut header = [0u8; HEADER_LEN];
-    header[0] = MAGIC;
-    header[1..].copy_from_slice(&rest);
+    if let Some((first, tail)) = header.split_first_mut() {
+        *first = MAGIC;
+        tail.copy_from_slice(&rest);
+    }
     finish_request_read(r, header)
 }
 
@@ -389,6 +391,7 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
+        // panic-allow(the loop guard keeps `filled` strictly below `buf.len()`)
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Ok(filled),
             Ok(n) => filled += n,
