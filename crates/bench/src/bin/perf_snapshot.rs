@@ -30,9 +30,9 @@ use rlwe_bench::snapshot::{Snapshot, SnapshotEntry};
 
 /// The PR this snapshot belongs to — bump once per PR; it names the
 /// default `--json` output file and is recorded inside the document.
-const PR: u32 = 5;
+const PR: u32 = 6;
 use rlwe_core::drbg::HashDrbg;
-use rlwe_core::{ParamSet, ReducerPreference, RlweContext};
+use rlwe_core::{NttBackend, ParamSet, ReducerPreference, RlweContext};
 use rlwe_ntt::NttPlan;
 use rlwe_zq::reduce::{Q12289, Q7681};
 use rlwe_zq::Reducer;
@@ -101,6 +101,53 @@ fn bench_ntt_plan<R: Reducer>(snap: &mut Snapshot, plan: &NttPlan<R>, label: &st
     snap.push(SnapshotEntry::ns(format!("negacyclic_mul_{label}"), mul));
 }
 
+/// Vector-backend NTT arms for one plan: the single-polynomial AVX2
+/// transform (`_avx2`) and the eight-way interleaved transform
+/// (`_interleaved8`, reported **per polynomial**). On hosts without
+/// AVX2 these measure the bit-identical scalar fallback — the snapshot
+/// records whether the vector unit was live in `avx2_host`.
+fn bench_ntt_avx2<R: Reducer>(snap: &mut Snapshot, plan: &NttPlan<R>, label: &str, ntt_reps: u32) {
+    let n = plan.n();
+    let q = plan.q();
+    let poly = demo(n, q, 31);
+
+    let mut buf = poly.clone();
+    let fwd = time_ns(
+        || {
+            buf.copy_from_slice(&poly);
+            plan.forward_avx2(std::hint::black_box(&mut buf));
+        },
+        ntt_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("ntt_forward_{label}_avx2"), fwd));
+
+    let hat = plan.forward_copy(&poly);
+    let inv = time_ns(
+        || {
+            buf.copy_from_slice(&hat);
+            plan.inverse_avx2(std::hint::black_box(&mut buf));
+        },
+        ntt_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("ntt_inverse_{label}_avx2"), inv));
+
+    let refs: Vec<&[u32]> = (0..8).map(|_| poly.as_slice()).collect();
+    let mut wide = vec![0u32; 8 * n];
+    rlwe_ntt::avx2::interleave8_into(&refs, n, &mut wide);
+    let template = wide.clone();
+    let fwd8 = time_ns(
+        || {
+            wide.copy_from_slice(&template);
+            plan.forward_interleaved8(std::hint::black_box(&mut wide));
+        },
+        ntt_reps / 4,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("ntt_forward_{label}_interleaved8"),
+        fwd8 / 8.0,
+    ));
+}
+
 /// Scheme-layer arms (encrypt/decrypt) for one context; `label` as in
 /// [`bench_ntt_plan`].
 fn bench_scheme(snap: &mut Snapshot, ctx: &RlweContext, label: &str, scheme_reps: u32) {
@@ -130,6 +177,44 @@ fn bench_scheme(snap: &mut Snapshot, ctx: &RlweContext, label: &str, scheme_reps
         scheme_reps,
     );
     snap.push(SnapshotEntry::ns(format!("decrypt_{label}"), dec));
+}
+
+/// Precompute-ablation arms on one context: encryption through the
+/// per-key Shoup tables (`_prepared`) and through the eight-way
+/// interleaved group path (`_grouped8`, reported per message).
+fn bench_scheme_prepared(snap: &mut Snapshot, ctx: &RlweContext, label: &str, scheme_reps: u32) {
+    let mut rng = HashDrbg::new([7u8; 32]);
+    let (pk, _) = ctx.generate_keypair(&mut rng).expect("keygen");
+    let prepared = ctx.prepare_public_key(&pk).expect("prepare");
+    let msg = vec![0xA5u8; ctx.params().message_bytes()];
+    let mut scratch = ctx.new_scratch();
+    let mut ct = ctx.empty_ciphertext();
+
+    let enc = time_ns(
+        || {
+            ctx.encrypt_prepared_into(&prepared, &msg, &mut rng, &mut ct, &mut scratch)
+                .expect("encrypt");
+        },
+        scheme_reps,
+    );
+    snap.push(SnapshotEntry::ns(format!("encrypt_{label}_prepared"), enc));
+
+    let msgs: Vec<&[u8]> = (0..8).map(|_| msg.as_slice()).collect();
+    let mut cts: Vec<_> = (0..8).map(|_| ctx.empty_ciphertext()).collect();
+    let mut rngs: Vec<HashDrbg> = (0..8)
+        .map(|i| HashDrbg::for_stream(&[7u8; 32], i))
+        .collect();
+    let grp = time_ns(
+        || {
+            ctx.encrypt_group_into(&prepared, &msgs, &mut rngs, &mut cts, &mut scratch)
+                .expect("group encrypt");
+        },
+        scheme_reps / 4,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("encrypt_{label}_grouped8"),
+        grp / 8.0,
+    ));
 }
 
 fn main() {
@@ -162,6 +247,18 @@ fn main() {
     let p2_gen = NttPlan::new(512, 12289).expect("paper ring");
     bench_ntt_plan(&mut snap, &p2_gen, "p2_n512_generic", ntt_reps);
 
+    // --- Vector backend: AVX2 single-poly and interleaved-8 arms ---------
+    println!(
+        "(avx2 host: {})",
+        if rlwe_ntt::avx2::available() {
+            "yes"
+        } else {
+            "no — vector arms measure the scalar fallback"
+        }
+    );
+    bench_ntt_avx2(&mut snap, &p1, "p1_n256", ntt_reps);
+    bench_ntt_avx2(&mut snap, &p2, "p2_n512", ntt_reps);
+
     // --- Scheme layer: dispatched context vs forced-generic context ------
     for set in [ParamSet::P1, ParamSet::P2] {
         let label = match set {
@@ -185,6 +282,15 @@ fn main() {
             &format!("{label}_generic"),
             scheme_reps,
         );
+        // Ablation arms: the AVX2-backend context (headline encrypt
+        // through the vector transforms), then the per-key precompute
+        // and the interleaved group path on top of it.
+        let avx2_ctx = RlweContext::builder(set)
+            .ntt_backend(NttBackend::Avx2)
+            .build()
+            .expect("named set");
+        bench_scheme(&mut snap, &avx2_ctx, &format!("{label}_avx2"), scheme_reps);
+        bench_scheme_prepared(&mut snap, &avx2_ctx, label, scheme_reps);
     }
 
     for e in snap.entries() {

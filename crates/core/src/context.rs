@@ -29,6 +29,7 @@ use crate::encode::{decode_message_into, encode_message_add_assign};
 use crate::keys::{Ciphertext, PublicKey, SecretKey};
 use crate::params::{ParamSet, Params};
 use crate::poly::{Ntt, Poly};
+use crate::prepared::PreparedPublicKey;
 use crate::RlweError;
 
 /// Adapter turning any [`rand::RngCore`] into the sampler's word source.
@@ -57,6 +58,12 @@ pub enum NttBackend {
     /// ([`rlwe_ntt::swar`]). Forward only; the inverse falls back to the
     /// reference transform. Rings with `n < 8` also fall back.
     Swar,
+    /// Eight 32-bit lanes per AVX2 vector ([`rlwe_ntt::avx2`]). Selects
+    /// the explicit `std::arch` kernels when the host supports AVX2
+    /// (runtime-detected at plan construction) and falls back to the
+    /// bit-identical scalar reference transform otherwise, so the
+    /// backend is safe to configure unconditionally.
+    Avx2,
 }
 
 impl NttBackend {
@@ -66,6 +73,7 @@ impl NttBackend {
             NttBackend::Reference => "reference",
             NttBackend::Packed => "packed",
             NttBackend::Swar => "swar",
+            NttBackend::Avx2 => "avx2",
         }
     }
 }
@@ -285,7 +293,9 @@ impl RlweContextBuilder {
         // these widths lanes would silently overlap.
         let q = self.params.q();
         let max_q = match self.backend {
-            NttBackend::Reference => u32::MAX, // NttPlan::new enforces q < 2³⁰
+            // NttPlan::new enforces q < 2³⁰; the AVX2 lanes are full
+            // 32-bit words, so they share the reference bound.
+            NttBackend::Reference | NttBackend::Avx2 => u32::MAX,
             NttBackend::Packed | NttBackend::Swar => rlwe_ntt::packed::MAX_PACKED_Q,
         };
         if q >= max_q {
@@ -305,8 +315,12 @@ impl RlweContextBuilder {
         // outputs, different reduction tail; `promote` moves a clone's
         // tables into the specialized type rather than rebuilding them.
         let dispatch = match self.reducer {
-            ReducerPreference::Auto => AnyNttPlan::promote(plan.clone()),
-            ReducerPreference::Generic => AnyNttPlan::generic(plan.clone()),
+            ReducerPreference::Auto => {
+                AnyNttPlan::promote_for_backend(plan.clone(), self.backend.label())
+            }
+            ReducerPreference::Generic => {
+                AnyNttPlan::generic_for_backend(plan.clone(), self.backend.label())
+            }
         };
         let spec = self.params.spec();
         let pmat = ProbabilityMatrix::build(spec, spec.paper_rows(), 109)?;
@@ -447,6 +461,23 @@ impl RlweContext {
         self.backend
     }
 
+    /// Stable label of the configured NTT backend — the value this
+    /// context exported on the `ntt_backend` dimension of
+    /// `rlwe_ntt_dispatch_total` at construction (surfaced alongside
+    /// [`RlweContext::reducer_kind`], which CI pins the same way).
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// Whether the dispatched plan carries AVX2 twiddle tables — i.e.
+    /// the host supports AVX2 (runtime-detected once at construction)
+    /// and the ring is wide enough for the eight-lane kernels. When
+    /// `false`, [`NttBackend::Avx2`] transparently serves the
+    /// bit-identical scalar reference transform.
+    pub fn has_avx2(&self) -> bool {
+        self.dispatch.has_avx2()
+    }
+
     /// Which reducer instantiation the scheme kernels dispatched to —
     /// [`ReducerKind::Q7681`]/[`ReducerKind::Q12289`] for the paper's
     /// parameter sets under [`ReducerPreference::Auto`],
@@ -540,6 +571,7 @@ impl RlweContext {
     fn ntt_forward<R: Reducer>(&self, plan: &NttPlan<R>, a: &mut [u32], scratch: &mut PolyScratch) {
         match self.backend {
             NttBackend::Reference => plan.forward(a),
+            NttBackend::Avx2 => plan.forward_avx2(a),
             NttBackend::Packed => {
                 let mut w = scratch.take();
                 let half = a.len() / 2;
@@ -585,6 +617,14 @@ impl RlweContext {
     ) {
         match self.backend {
             NttBackend::Reference => parallel::forward3(plan, polys),
+            // Three vectorized transforms; twiddle loads are amortized
+            // across eight in-register lanes instead of across the three
+            // polynomials, so no fused loop nest is needed.
+            NttBackend::Avx2 => {
+                for p in polys {
+                    plan.forward_avx2(p);
+                }
+            }
             NttBackend::Packed => {
                 let half = self.params.n() / 2;
                 let mut words = [scratch.take(), scratch.take(), scratch.take()];
@@ -626,6 +666,7 @@ impl RlweContext {
             // SWAR provides a forward transform only; its inverse is the
             // reference Gentleman-Sande loop.
             NttBackend::Reference | NttBackend::Swar => plan.inverse(a),
+            NttBackend::Avx2 => plan.inverse_avx2(a),
             NttBackend::Packed => {
                 let mut w = scratch.take();
                 let half = a.len() / 2;
@@ -926,6 +967,257 @@ impl RlweContext {
         scratch.put(e1);
         scratch.put(e2);
         scratch.put(e3m);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Prepared-key encryption
+    // ------------------------------------------------------------------
+
+    /// Precomputes the per-key NTT-domain Shoup tables for `pk` — the
+    /// one-time cost that [`RlweContext::encrypt_prepared_into`] and
+    /// [`RlweContext::encrypt_group_into`] amortize across every
+    /// subsequent encrypt under the same key (see [`PreparedPublicKey`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParamMismatch`] if the key belongs to another set.
+    pub fn prepare_public_key(&self, pk: &PublicKey) -> Result<PreparedPublicKey, RlweError> {
+        if pk.params != self.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        Ok(PreparedPublicKey::build(pk))
+    }
+
+    /// Allocation-free encryption through a prepared key: identical to
+    /// [`RlweContext::encrypt_into`] for the same RNG state — bit for bit
+    /// — but the two key-dependent pointwise products run on the key's
+    /// precomputed Shoup tables instead of re-deriving Barrett reductions
+    /// per coefficient.
+    ///
+    /// # Errors
+    ///
+    /// See [`RlweContext::encrypt_into`].
+    pub fn encrypt_prepared_into<R: RngCore + ?Sized>(
+        &self,
+        prepared: &PreparedPublicKey,
+        msg: &[u8],
+        rng: &mut R,
+        ct: &mut Ciphertext,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        if prepared.params != self.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        if msg.len() != self.params.message_bytes() {
+            return Err(RlweError::MessageLength {
+                got: msg.len(),
+                expected: self.params.message_bytes(),
+            });
+        }
+        self.check_scratch(scratch)?;
+        with_dispatch!(self, |p| self
+            .encrypt_prepared_body(p, prepared, msg, rng, ct, scratch))
+    }
+
+    /// The monomorphized prepared-key encryption body. Sampling, the
+    /// encode and the triple forward NTT are exactly
+    /// [`RlweContext::encrypt_into`]'s; only the pointwise tail differs,
+    /// and its canonical outputs make the paths bit-identical.
+    fn encrypt_prepared_body<RR: Reducer, R: RngCore + ?Sized>(
+        &self,
+        plan: &NttPlan<RR>,
+        prepared: &PreparedPublicKey,
+        msg: &[u8],
+        rng: &mut R,
+        ct: &mut Ciphertext,
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        let n = self.params.n();
+        let q = self.params.q();
+        let modulus = self.plan.modulus();
+        let mut bits = BufferedBitSource::new(RngWords(rng));
+        let mut e1 = scratch.take();
+        let mut e2 = scratch.take();
+        let mut e3m = scratch.take();
+        {
+            let _span = self.obs.sp_enc_sample.enter();
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e1);
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e2);
+            self.sample_error_into(plan.reducer(), &mut bits, &mut e3m);
+        }
+        {
+            let _span = self.obs.sp_enc_encode.enter();
+            encode_message_add_assign(msg, &mut e3m, q);
+        }
+        {
+            let _span = self.obs.sp_enc_ntt.enter();
+            self.ntt_forward3(plan, [&mut e1, &mut e2, &mut e3m], scratch);
+        }
+        let _span = self.obs.sp_enc_pointwise.enter();
+        // c̃₁ = ã∘ẽ₁ + ẽ₂ ; c̃₂ = p̃∘ẽ₁ + NTT(e₃ + m̄) — fused Shoup
+        // multiply-adds against the per-key tables, written straight
+        // into the ciphertext storage.
+        ct.params = self.params;
+        ct.c1_hat.reset(n, *modulus);
+        ct.c2_hat.reset(n, *modulus);
+        rlwe_zq::shoup::mul_shoup_add_slice(
+            &e1,
+            &prepared.a_val,
+            &prepared.a_comp,
+            &e2,
+            ct.c1_hat.as_mut_slice(),
+            q,
+        );
+        rlwe_zq::shoup::mul_shoup_add_slice(
+            &e1,
+            &prepared.p_val,
+            &prepared.p_comp,
+            &e3m,
+            ct.c2_hat.as_mut_slice(),
+            q,
+        );
+        scratch.put(e1);
+        scratch.put(e2);
+        scratch.put(e3m);
+        Ok(())
+    }
+
+    /// Encrypts up to eight messages under one prepared key with
+    /// **interleaved** forward transforms: the group's error polynomials
+    /// are scattered into 8-lane-interleaved buffers and transformed
+    /// together ([`rlwe_ntt::avx2`]), so each twiddle factor is loaded
+    /// once per eight polynomials instead of once per polynomial.
+    /// `rlwe-engine`'s batch fan-out feeds its per-worker chunks through
+    /// this in groups of eight.
+    ///
+    /// Each message draws from its own RNG, in the same order as
+    /// [`RlweContext::encrypt_into`] — so for the same per-item RNG
+    /// states the group output is bit-identical to per-item encrypts
+    /// (partial groups simply leave the trailing lanes zero).
+    ///
+    /// # Errors
+    ///
+    /// * [`RlweError::Malformed`] if the group is empty, larger than 8,
+    ///   or `msgs`/`rngs`/`cts` lengths disagree.
+    /// * Otherwise as [`RlweContext::encrypt_prepared_into`].
+    pub fn encrypt_group_into<R: RngCore>(
+        &self,
+        prepared: &PreparedPublicKey,
+        msgs: &[&[u8]],
+        rngs: &mut [R],
+        cts: &mut [Ciphertext],
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        if prepared.params != self.params {
+            return Err(RlweError::ParamMismatch);
+        }
+        let k = msgs.len();
+        if k == 0 || k > 8 || rngs.len() != k || cts.len() != k {
+            return Err(RlweError::Malformed {
+                reason: format!(
+                    "encrypt group wants 1..=8 equal-length slices, got msgs={k} rngs={} cts={}",
+                    rngs.len(),
+                    cts.len()
+                ),
+            });
+        }
+        for msg in msgs {
+            if msg.len() != self.params.message_bytes() {
+                return Err(RlweError::MessageLength {
+                    got: msg.len(),
+                    expected: self.params.message_bytes(),
+                });
+            }
+        }
+        self.check_scratch(scratch)?;
+        with_dispatch!(self, |p| self
+            .encrypt_group_body(p, prepared, msgs, rngs, cts, scratch))
+    }
+
+    /// The monomorphized group-encryption body: per-item sampling and
+    /// encoding (own RNG each, same draw order as the single-message
+    /// path), three interleaved forward transforms over the whole group,
+    /// then per-item prepared pointwise tails.
+    fn encrypt_group_body<RR: Reducer, R: RngCore>(
+        &self,
+        plan: &NttPlan<RR>,
+        prepared: &PreparedPublicKey,
+        msgs: &[&[u8]],
+        rngs: &mut [R],
+        cts: &mut [Ciphertext],
+        scratch: &mut PolyScratch,
+    ) -> Result<(), RlweError> {
+        let n = self.params.n();
+        let q = self.params.q();
+        let modulus = self.plan.modulus();
+        let k = msgs.len();
+        let mut w1 = scratch.take_wide();
+        let mut w2 = scratch.take_wide();
+        let mut w3 = scratch.take_wide();
+        if k < 8 {
+            // Unused lanes must hold valid (zero) coefficients: the
+            // transform runs on all eight lanes unconditionally.
+            w1.fill(0);
+            w2.fill(0);
+            w3.fill(0);
+        }
+        let mut e1 = scratch.take();
+        let mut e2 = scratch.take();
+        let mut e3m = scratch.take();
+        {
+            let _span = self.obs.sp_enc_sample.enter();
+            for (lane, (msg, rng)) in msgs.iter().zip(rngs.iter_mut()).enumerate() {
+                let mut bits = BufferedBitSource::new(RngWords(rng));
+                self.sample_error_into(plan.reducer(), &mut bits, &mut e1);
+                self.sample_error_into(plan.reducer(), &mut bits, &mut e2);
+                self.sample_error_into(plan.reducer(), &mut bits, &mut e3m);
+                encode_message_add_assign(msg, &mut e3m, q);
+                for (wide, poly) in [(&mut w1, &e1), (&mut w2, &e2), (&mut w3, &e3m)] {
+                    for (dst, &src) in wide.iter_mut().skip(lane).step_by(8).zip(poly.iter()) {
+                        *dst = src;
+                    }
+                }
+            }
+        }
+        {
+            let _span = self.obs.sp_enc_ntt.enter();
+            self.dispatch.record_interleaved_dispatch();
+            plan.forward_interleaved8(&mut w1);
+            plan.forward_interleaved8(&mut w2);
+            plan.forward_interleaved8(&mut w3);
+        }
+        let _span = self.obs.sp_enc_pointwise.enter();
+        for (lane, ct) in cts.iter_mut().enumerate() {
+            rlwe_ntt::avx2::deinterleave8_lane(&w1, lane, &mut e1);
+            rlwe_ntt::avx2::deinterleave8_lane(&w2, lane, &mut e2);
+            rlwe_ntt::avx2::deinterleave8_lane(&w3, lane, &mut e3m);
+            ct.params = self.params;
+            ct.c1_hat.reset(n, *modulus);
+            ct.c2_hat.reset(n, *modulus);
+            rlwe_zq::shoup::mul_shoup_add_slice(
+                &e1,
+                &prepared.a_val,
+                &prepared.a_comp,
+                &e2,
+                ct.c1_hat.as_mut_slice(),
+                q,
+            );
+            rlwe_zq::shoup::mul_shoup_add_slice(
+                &e1,
+                &prepared.p_val,
+                &prepared.p_comp,
+                &e3m,
+                ct.c2_hat.as_mut_slice(),
+                q,
+            );
+        }
+        scratch.put(e1);
+        scratch.put(e2);
+        scratch.put(e3m);
+        scratch.put_wide(w1);
+        scratch.put_wide(w2);
+        scratch.put_wide(w3);
         Ok(())
     }
 
@@ -1254,7 +1546,12 @@ mod tests {
         // The backend changes the data layout, never the math: the same
         // seed must produce the same keys and ciphertext bytes.
         let mut fixtures: Vec<Vec<u8>> = Vec::new();
-        for backend in [NttBackend::Reference, NttBackend::Packed, NttBackend::Swar] {
+        for backend in [
+            NttBackend::Reference,
+            NttBackend::Packed,
+            NttBackend::Swar,
+            NttBackend::Avx2,
+        ] {
             let ctx = RlweContext::builder(ParamSet::P1)
                 .ntt_backend(backend)
                 .build()
@@ -1271,6 +1568,123 @@ mod tests {
         }
         assert_eq!(fixtures[0], fixtures[1], "packed backend diverged");
         assert_eq!(fixtures[0], fixtures[2], "swar backend diverged");
+        assert_eq!(fixtures[0], fixtures[3], "avx2 backend diverged");
+    }
+
+    #[test]
+    fn avx2_backend_reports_its_labels() {
+        let ctx = RlweContext::builder(ParamSet::P2)
+            .ntt_backend(NttBackend::Avx2)
+            .build()
+            .unwrap();
+        assert_eq!(ctx.backend(), NttBackend::Avx2);
+        assert_eq!(ctx.backend_label(), "avx2");
+        // `has_avx2` reflects runtime host detection; either way the
+        // backend must round-trip (scalar fallback on non-AVX2 hosts).
+        let mut rng = StdRng::seed_from_u64(50);
+        let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+        let msg = vec![0x2Du8; ctx.params().message_bytes()];
+        let ct = ctx.encrypt(&pk, &msg, &mut rng).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn prepared_key_encrypt_is_bit_identical_to_encrypt_into() {
+        for set in [ParamSet::P1, ParamSet::P2] {
+            let ctx = RlweContext::new(set).unwrap();
+            let mut rng = StdRng::seed_from_u64(51);
+            let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+            let prepared = ctx.prepare_public_key(&pk).unwrap();
+            let msg = vec![0x9Eu8; ctx.params().message_bytes()];
+            let mut scratch = ctx.new_scratch();
+            let mut rng_a = StdRng::seed_from_u64(52);
+            let mut rng_b = StdRng::seed_from_u64(52);
+            let mut ct_a = ctx.empty_ciphertext();
+            let mut ct_b = ctx.empty_ciphertext();
+            ctx.encrypt_into(&pk, &msg, &mut rng_a, &mut ct_a, &mut scratch)
+                .unwrap();
+            ctx.encrypt_prepared_into(&prepared, &msg, &mut rng_b, &mut ct_b, &mut scratch)
+                .unwrap();
+            assert_eq!(ct_a, ct_b, "{set}: prepared path diverged");
+            assert_eq!(ctx.decrypt(&sk, &ct_b).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn group_encrypt_is_bit_identical_to_per_item_encrypts() {
+        for (set, k) in [(ParamSet::P1, 8usize), (ParamSet::P2, 8), (ParamSet::P1, 3)] {
+            let ctx = RlweContext::new(set).unwrap();
+            let mut rng = StdRng::seed_from_u64(53);
+            let (pk, sk) = ctx.generate_keypair(&mut rng).unwrap();
+            let prepared = ctx.prepare_public_key(&pk).unwrap();
+            let msgs: Vec<Vec<u8>> = (0..k)
+                .map(|i| vec![0x11u8.wrapping_mul(i as u8 + 1); ctx.params().message_bytes()])
+                .collect();
+            let msg_refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+            let mut scratch = ctx.new_scratch();
+            // Per-item references through the plain path.
+            let mut want = Vec::new();
+            for (i, msg) in msgs.iter().enumerate() {
+                let mut rng_i = StdRng::seed_from_u64(100 + i as u64);
+                let mut ct = ctx.empty_ciphertext();
+                ctx.encrypt_into(&pk, msg, &mut rng_i, &mut ct, &mut scratch)
+                    .unwrap();
+                want.push(ct);
+            }
+            // The same RNG states through the grouped path.
+            let mut rngs: Vec<StdRng> = (0..k)
+                .map(|i| StdRng::seed_from_u64(100 + i as u64))
+                .collect();
+            let mut cts: Vec<Ciphertext> = (0..k).map(|_| ctx.empty_ciphertext()).collect();
+            ctx.encrypt_group_into(&prepared, &msg_refs, &mut rngs, &mut cts, &mut scratch)
+                .unwrap();
+            assert_eq!(cts, want, "{set} k={k}: grouped path diverged");
+            for (ct, msg) in cts.iter().zip(&msgs) {
+                assert_eq!(&ctx.decrypt(&sk, ct).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn group_encrypt_validates_its_inputs() {
+        let ctx = ctx_p1();
+        let mut rng = StdRng::seed_from_u64(54);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let prepared = ctx.prepare_public_key(&pk).unwrap();
+        let mut scratch = ctx.new_scratch();
+        let msg = vec![0u8; 32];
+        let mut rngs = vec![StdRng::seed_from_u64(0)];
+        let mut cts = vec![ctx.empty_ciphertext()];
+        // Empty group.
+        assert!(matches!(
+            ctx.encrypt_group_into(
+                &prepared,
+                &[],
+                &mut [] as &mut [StdRng],
+                &mut [],
+                &mut scratch
+            ),
+            Err(RlweError::Malformed { .. })
+        ));
+        // Mismatched slice lengths.
+        assert!(matches!(
+            ctx.encrypt_group_into(&prepared, &[&msg, &msg], &mut rngs, &mut cts, &mut scratch),
+            Err(RlweError::Malformed { .. })
+        ));
+        // Oversized group.
+        let nine: Vec<&[u8]> = (0..9).map(|_| msg.as_slice()).collect();
+        let mut rngs9: Vec<StdRng> = (0..9).map(StdRng::seed_from_u64).collect();
+        let mut cts9: Vec<Ciphertext> = (0..9).map(|_| ctx.empty_ciphertext()).collect();
+        assert!(matches!(
+            ctx.encrypt_group_into(&prepared, &nine, &mut rngs9, &mut cts9, &mut scratch),
+            Err(RlweError::Malformed { .. })
+        ));
+        // Wrong message length.
+        let short = vec![0u8; 31];
+        assert!(matches!(
+            ctx.encrypt_group_into(&prepared, &[&short], &mut rngs, &mut cts, &mut scratch),
+            Err(RlweError::MessageLength { .. })
+        ));
     }
 
     #[test]

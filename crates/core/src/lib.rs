@@ -49,6 +49,7 @@ mod error;
 mod keys;
 mod params;
 mod poly;
+mod prepared;
 mod serialize;
 
 pub mod drbg;
@@ -67,6 +68,7 @@ pub use error::RlweError;
 pub use keys::{Ciphertext, KeyPair, PublicKey, SecretKey};
 pub use params::{ParamSet, Params};
 pub use poly::{Coeff, Domain, Ntt, Poly};
+pub use prepared::PreparedPublicKey;
 pub use rlwe_ntt::PolyScratch;
 pub use rlwe_zq::ReducerKind;
 pub use serialize::{pack_coeffs, unpack_coeffs};

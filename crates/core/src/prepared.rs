@@ -1,0 +1,107 @@
+//! [`PreparedPublicKey`]: per-key NTT-domain precompute for encryption.
+//!
+//! Every encryption under a public key multiplies the fresh error
+//! polynomial `ẽ₁` by the *same* two key polynomials `ã` and `p̃`. The
+//! Barrett pointwise path recomputes the reduction from scratch on every
+//! coefficient of every encrypt; but a fixed multiplicand is exactly the
+//! situation Shoup's trick was made for ([`rlwe_zq::shoup`]). A
+//! `PreparedPublicKey` computes the Shoup companion word of every
+//! coefficient of `ã` and `p̃` **once per key**, after which each
+//! ciphertext coefficient costs one lazy multiply, one add and two masked
+//! corrections — no Barrett step, no per-encrypt key-dependent work.
+//!
+//! The tables live in structure-of-arrays layout (parallel value /
+//! companion `Vec<u32>`s) so the pointwise loop streams four contiguous
+//! arrays — the layout [`rlwe_zq::shoup::mul_shoup_add_slice`] consumes
+//! directly and a future vectorized pointwise kernel can load unpermuted.
+//!
+//! **Invalidation:** a prepared key is a pure function of the public
+//! key's coefficients (and modulus). `PublicKey`s are immutable once
+//! built, so a `PreparedPublicKey` never goes stale while its source key
+//! exists; re-deriving or re-deserializing a key requires preparing it
+//! again. `rlwe-engine`'s per-key cache keys prepared entries by a
+//! content fingerprint of the serialized key, so two `PublicKey` values
+//! with identical bytes share one entry and any byte difference misses
+//! the cache (see DESIGN.md §11).
+
+use crate::keys::PublicKey;
+use crate::params::Params;
+use rlwe_zq::shoup::shoup_precompute;
+
+/// NTT-domain Shoup tables for one public key (see the module docs).
+///
+/// Build via `RlweContext::prepare_public_key`; consume via
+/// `RlweContext::encrypt_prepared_into` or
+/// `RlweContext::encrypt_group_into`. Holds no secret material — every
+/// word is derived from the public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedPublicKey {
+    pub(crate) params: Params,
+    /// Coefficients of `ã` (canonical, as in the source key).
+    pub(crate) a_val: Vec<u32>,
+    /// Shoup companions `⌊ã_i · 2³² / q⌋`.
+    pub(crate) a_comp: Vec<u32>,
+    /// Coefficients of `p̃`.
+    pub(crate) p_val: Vec<u32>,
+    /// Shoup companions of `p̃`.
+    pub(crate) p_comp: Vec<u32>,
+}
+
+impl PreparedPublicKey {
+    /// Computes the tables for `pk` (whose coefficients are canonical by
+    /// the `Poly` invariant, so the Shoup precondition `w < q` holds).
+    pub(crate) fn build(pk: &PublicKey) -> Self {
+        let q = pk.params.q();
+        let a = pk.a_hat.as_slice();
+        let p = pk.p_hat.as_slice();
+        Self {
+            params: pk.params,
+            a_val: a.to_vec(),
+            a_comp: a.iter().map(|&w| shoup_precompute(w, q)).collect(),
+            p_val: p.to_vec(),
+            p_comp: p.iter().map(|&w| shoup_precompute(w, q)).collect(),
+        }
+    }
+
+    /// The parameters the source key belongs to.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The ring dimension n (each table holds this many words).
+    pub fn n(&self) -> usize {
+        self.a_val.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ParamSet, RlweContext};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tables_mirror_the_source_key() {
+        let ctx = RlweContext::new(ParamSet::P1).unwrap();
+        let mut rng = StdRng::seed_from_u64(60);
+        let (pk, _) = ctx.generate_keypair(&mut rng).unwrap();
+        let prep = ctx.prepare_public_key(&pk).unwrap();
+        assert_eq!(prep.n(), 256);
+        assert_eq!(prep.a_val, pk.a_poly().as_slice());
+        assert_eq!(prep.p_val, pk.p_poly().as_slice());
+        // Spot-check the companions against the scalar precompute.
+        let q = ctx.params().q();
+        for (&w, &c) in prep.a_val.iter().zip(prep.a_comp.iter()) {
+            assert_eq!(c, rlwe_zq::shoup::shoup_precompute(w, q));
+        }
+    }
+
+    #[test]
+    fn mismatched_parameters_are_rejected() {
+        let p1 = RlweContext::new(ParamSet::P1).unwrap();
+        let p2 = RlweContext::new(ParamSet::P2).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let (pk, _) = p1.generate_keypair(&mut rng).unwrap();
+        assert!(p2.prepare_public_key(&pk).is_err());
+    }
+}

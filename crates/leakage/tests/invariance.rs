@@ -198,6 +198,57 @@ fn specialized_plans_keep_the_pinned_reduction_op_traces() {
 }
 
 #[test]
+fn avx2_backend_is_bit_identical_to_the_traced_kernel_on_every_input_class() {
+    // The vector backend has no op trace of its own — its leakage story
+    // is *bit-identity by construction*: every AVX2 primitive mirrors a
+    // branch-free scalar primitive (masked corrections, lazy Shoup
+    // multiplies), so the gate is that on every adversarial input class
+    // the vector outputs equal the traced scalar kernel's outputs, while
+    // that kernel keeps its pinned closed-form trace. A data-dependent
+    // shortcut anywhere in the vector path would break the equality for
+    // some class.
+    for (set_label, n, q) in [("P1", 256usize, 7681u32), ("P2", 512, 12289)] {
+        let plan = AnyNttPlan::new(n, q).unwrap();
+        let expected_fwd = NttOpTrace::expected_forward(n);
+        for (class, input) in ntt_input_classes(n, q).into_iter().enumerate() {
+            // Scalar traced kernel: the already-gated ground truth.
+            let mut scalar = input.clone();
+            let trace = plan.forward_traced(&mut scalar);
+            assert_eq!(
+                trace, expected_fwd,
+                "{set_label}: scalar trace varied on class {class}"
+            );
+            // Single-polynomial vector path.
+            let mut vec_out = input.clone();
+            plan.forward_avx2(&mut vec_out);
+            assert_eq!(
+                vec_out, scalar,
+                "{set_label}: avx2 forward diverged on class {class}"
+            );
+            plan.inverse_avx2(&mut vec_out);
+            assert_eq!(
+                vec_out, input,
+                "{set_label}: avx2 round trip broke on class {class}"
+            );
+            // Interleaved eight-lane path, same class in every lane —
+            // lane coupling would show up as cross-lane divergence.
+            let refs: Vec<&[u32]> = (0..8).map(|_| input.as_slice()).collect();
+            let mut buf = vec![0u32; 8 * n];
+            rlwe_ntt::avx2::interleave8_into(&refs, n, &mut buf);
+            plan.forward_interleaved8(&mut buf);
+            let mut lane = vec![0u32; n];
+            for k in 0..8 {
+                rlwe_ntt::avx2::deinterleave8_lane(&buf, k, &mut lane);
+                assert_eq!(
+                    lane, scalar,
+                    "{set_label}: interleaved lane {k} diverged on class {class}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn ntt_trace_depends_only_on_the_ring_dimension() {
     // Same n, different q: the trace is structural, so it must be
     // identical — coefficient width plays no role in the op counts.

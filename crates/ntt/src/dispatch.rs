@@ -26,31 +26,51 @@ use crate::trace::NttOpTrace;
 use crate::PolyScratch;
 use std::sync::OnceLock;
 
-/// Pre-resolved `rlwe_ntt_dispatch_total{reducer_kind}` counters, one
-/// per instantiation: construction-time dispatch decisions are counted
-/// in the global observability registry so the P1/P2 specialization
-/// claim is visible at runtime, not only in CI assertions.
-fn dispatch_counter(kind: ReducerKind) -> &'static rlwe_obs::Counter {
-    static COUNTERS: OnceLock<[rlwe_obs::Counter; 3]> = OnceLock::new();
+/// The NTT backend labels `rlwe_ntt_dispatch_total` can carry:
+/// construction-time selections report the context's configured backend
+/// (`reference`/`packed`/`swar`/`avx2`), and the engine's grouped
+/// transforms additionally count one `interleaved` dispatch per
+/// interleaved transform group.
+pub const BACKEND_LABELS: [&str; 5] = ["reference", "packed", "swar", "avx2", "interleaved"];
+
+/// Pre-resolved `rlwe_ntt_dispatch_total{ntt_backend,reducer_kind}`
+/// counters, one per (instantiation × backend) pair: dispatch decisions
+/// are counted in the global observability registry so the P1/P2
+/// specialization claim — and now the selected NTT backend — is visible
+/// at runtime, not only in CI assertions.
+fn dispatch_counter(kind: ReducerKind, backend: &str) -> &'static rlwe_obs::Counter {
+    static COUNTERS: OnceLock<Vec<rlwe_obs::Counter>> = OnceLock::new();
+    const KINDS: [ReducerKind; 3] = [
+        ReducerKind::Q7681,
+        ReducerKind::Q12289,
+        ReducerKind::Barrett,
+    ];
     let all = COUNTERS.get_or_init(|| {
-        [
-            ReducerKind::Q7681,
-            ReducerKind::Q12289,
-            ReducerKind::Barrett,
-        ]
-        .map(|k| {
-            rlwe_obs::global().counter(
-                "rlwe_ntt_dispatch_total",
-                "AnyNttPlan dispatch selections by reducer instantiation.",
-                &[("reducer_kind", k.label())],
-            )
-        })
+        let mut v = Vec::with_capacity(KINDS.len() * BACKEND_LABELS.len());
+        for k in KINDS {
+            for b in BACKEND_LABELS {
+                v.push(rlwe_obs::global().counter(
+                    "rlwe_ntt_dispatch_total",
+                    "AnyNttPlan dispatch selections by NTT backend and reducer instantiation.",
+                    &[("ntt_backend", b), ("reducer_kind", k.label())],
+                ));
+            }
+        }
+        v
     });
-    match kind {
-        ReducerKind::Q7681 => &all[0],
-        ReducerKind::Q12289 => &all[1],
-        ReducerKind::Barrett => &all[2],
-    }
+    let ki = match kind {
+        ReducerKind::Q7681 => 0,
+        ReducerKind::Q12289 => 1,
+        ReducerKind::Barrett => 2,
+    };
+    // Unknown labels fall back to `reference` rather than panicking —
+    // the label set is closed over BACKEND_LABELS.
+    let bi = BACKEND_LABELS
+        .iter()
+        .position(|&b| b == backend)
+        .unwrap_or(0);
+    let idx = ki * BACKEND_LABELS.len() + bi;
+    all.get(idx).unwrap_or(&all[0])
 }
 
 /// An [`NttPlan`] over whichever [`Reducer`] matches its modulus —
@@ -110,12 +130,21 @@ impl AnyNttPlan {
     /// that already hold a generic plan (e.g. `RlweContext`, which keeps
     /// one for its `plan()` accessor) pay no second construction.
     pub fn promote(plan: NttPlan) -> Self {
+        Self::promote_for_backend(plan, "reference")
+    }
+
+    /// [`AnyNttPlan::promote`] with an explicit NTT-backend label for the
+    /// dispatch metric: `rlwe-core`'s context builder passes its
+    /// configured backend (`reference`/`packed`/`swar`/`avx2`) so
+    /// `rlwe_ntt_dispatch_total{ntt_backend,reducer_kind}` reports which
+    /// transform implementation the selected plan will actually serve.
+    pub fn promote_for_backend(plan: NttPlan, backend: &str) -> Self {
         let selected = match plan.q() {
             Q7681::Q => AnyNttPlan::Q7681(plan.retag(Q7681)),
             Q12289::Q => AnyNttPlan::Q12289(plan.retag(Q12289)),
             _ => AnyNttPlan::Generic(plan),
         };
-        dispatch_counter(selected.kind()).inc();
+        dispatch_counter(selected.kind(), backend).inc();
         selected
     }
 
@@ -125,8 +154,22 @@ impl AnyNttPlan {
     /// registry, so every constructed dispatch plan shows up in
     /// `rlwe_ntt_dispatch_total`.
     pub fn generic(plan: NttPlan) -> Self {
-        dispatch_counter(ReducerKind::Barrett).inc();
+        Self::generic_for_backend(plan, "reference")
+    }
+
+    /// [`AnyNttPlan::generic`] with an explicit NTT-backend label (see
+    /// [`AnyNttPlan::promote_for_backend`]).
+    pub fn generic_for_backend(plan: NttPlan, backend: &str) -> Self {
+        dispatch_counter(ReducerKind::Barrett, backend).inc();
         AnyNttPlan::Generic(plan)
+    }
+
+    /// Counts one interleaved-group transform dispatch for this plan's
+    /// reducer in `rlwe_ntt_dispatch_total{ntt_backend="interleaved"}` —
+    /// called by the engine's batch router once per interleaved
+    /// transform group, making the grouped fast path observable.
+    pub fn record_interleaved_dispatch(&self) {
+        dispatch_counter(self.kind(), "interleaved").inc();
     }
 
     /// Which reducer instantiation this plan dispatches to.
@@ -285,6 +328,55 @@ impl AnyNttPlan {
     ) -> Result<(), NttError> {
         with_plan!(self, |p| p.negacyclic_mul_into(a, b, out, scratch))
     }
+
+    /// Whether the selected plan carries AVX2 twiddle tables (host
+    /// support detected at construction and `n ≥ 16`). See
+    /// [`NttPlan::has_avx2`].
+    #[inline]
+    pub fn has_avx2(&self) -> bool {
+        with_plan!(self, |p| p.has_avx2())
+    }
+
+    /// Forward NTT through the AVX2 kernel when available, the scalar
+    /// reference otherwise — bit-identical either way (see
+    /// [`NttPlan::forward_avx2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_avx2(&self, a: &mut [u32]) {
+        with_plan!(self, |p| p.forward_avx2(a))
+    }
+
+    /// Inverse NTT through the AVX2 kernel when available (see
+    /// [`NttPlan::inverse_avx2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_avx2(&self, a: &mut [u32]) {
+        with_plan!(self, |p| p.inverse_avx2(a))
+    }
+
+    /// Forward-transforms an 8-way interleaved group in place (see
+    /// [`NttPlan::forward_interleaved8`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 8 * n`.
+    pub fn forward_interleaved8(&self, buf: &mut [u32]) {
+        with_plan!(self, |p| p.forward_interleaved8(buf))
+    }
+
+    /// Inverse-transforms an 8-way interleaved group in place (see
+    /// [`NttPlan::inverse_interleaved8`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 8 * n`.
+    pub fn inverse_interleaved8(&self, buf: &mut [u32]) {
+        with_plan!(self, |p| p.inverse_interleaved8(buf))
+    }
 }
 
 #[cfg(test)]
@@ -314,14 +406,48 @@ mod tests {
 
     #[test]
     fn dispatch_decisions_are_counted_per_reducer_kind() {
-        let specialized = dispatch_counter(ReducerKind::Q7681).get();
-        let generic = dispatch_counter(ReducerKind::Barrett).get();
+        let specialized = dispatch_counter(ReducerKind::Q7681, "reference").get();
+        let generic = dispatch_counter(ReducerKind::Barrett, "reference").get();
         let _ = AnyNttPlan::new(256, 7681).unwrap();
         let _ = AnyNttPlan::generic(NttPlan::new(256, 7681).unwrap());
         // Counters are global and other tests run concurrently, so only
         // lower bounds are exact here.
-        assert!(dispatch_counter(ReducerKind::Q7681).get() > specialized);
-        assert!(dispatch_counter(ReducerKind::Barrett).get() > generic);
+        assert!(dispatch_counter(ReducerKind::Q7681, "reference").get() > specialized);
+        assert!(dispatch_counter(ReducerKind::Barrett, "reference").get() > generic);
+    }
+
+    #[test]
+    fn backend_labels_are_counted_independently() {
+        let avx2_before = dispatch_counter(ReducerKind::Q12289, "avx2").get();
+        let interleaved_before = dispatch_counter(ReducerKind::Q12289, "interleaved").get();
+        let plan = AnyNttPlan::promote_for_backend(NttPlan::new(512, 12289).unwrap(), "avx2");
+        plan.record_interleaved_dispatch();
+        assert!(dispatch_counter(ReducerKind::Q12289, "avx2").get() > avx2_before);
+        assert!(dispatch_counter(ReducerKind::Q12289, "interleaved").get() > interleaved_before);
+        // The rendered metric carries both dimensions.
+        let text = rlwe_obs::render();
+        assert!(text.contains("ntt_backend=\"avx2\""));
+        assert!(text.contains("ntt_backend=\"interleaved\""));
+    }
+
+    #[test]
+    fn avx2_entry_points_are_bit_identical_through_the_dispatcher() {
+        let any = AnyNttPlan::new(512, 12289).unwrap();
+        let generic = NttPlan::new(512, 12289).unwrap();
+        let a: Vec<u32> = (0..512u32).map(|i| (i * 131 + 5) % 12289).collect();
+        let mut via_avx2 = a.clone();
+        any.forward_avx2(&mut via_avx2);
+        assert_eq!(via_avx2, generic.forward_copy(&a));
+        any.inverse_avx2(&mut via_avx2);
+        assert_eq!(via_avx2, a);
+
+        let mut buf = vec![0u32; 8 * 512];
+        let polys: Vec<&[u32]> = vec![&a; 8];
+        crate::avx2::interleave8_into(&polys, 512, &mut buf);
+        any.forward_interleaved8(&mut buf);
+        let mut lane = vec![0u32; 512];
+        crate::avx2::deinterleave8_lane(&buf, 3, &mut lane);
+        assert_eq!(lane, generic.forward_copy(&a));
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct NttPlan<R: Reducer = BarrettGeneric> {
     ipsi1_n_inv: ShoupPair,
     /// `2q`, precomputed for the lazy butterflies.
     two_q: u32,
+    /// Expanded per-lane twiddle tables for the AVX2 tail stages —
+    /// `Some` only when the host reported AVX2 at construction and
+    /// `n ≥ 16` (see [`crate::avx2`]).
+    avx2: Option<crate::avx2::Avx2Tables>,
 }
 
 impl NttPlan {
@@ -127,7 +131,7 @@ impl<R: Reducer> NttPlan<R> {
             pw[i] = modulus.mul(pw[i - 1], psi);
             ipw[i] = modulus.mul(ipw[i - 1], psi_inv);
         }
-        let psi_bitrev = (0..n)
+        let psi_bitrev: Vec<ShoupPair> = (0..n)
             .map(|i| ShoupPair::new(pw[bitrev(i, log_n)], q))
             .collect();
         let ipsi_bitrev: Vec<ShoupPair> = (0..n)
@@ -135,6 +139,7 @@ impl<R: Reducer> NttPlan<R> {
             .collect();
         let n_inv_val = modulus.inv(n as u32).expect("n < q is a unit");
         let ipsi1_n_inv = ShoupPair::new(modulus.mul(ipsi_bitrev[1].value, n_inv_val), q);
+        let avx2 = crate::avx2::Avx2Tables::build(n, &psi_bitrev, &ipsi_bitrev);
         Ok(Self {
             reducer,
             modulus,
@@ -146,6 +151,7 @@ impl<R: Reducer> NttPlan<R> {
             n_inv: ShoupPair::new(n_inv_val, q),
             ipsi1_n_inv,
             two_q: 2 * q,
+            avx2,
         })
     }
 
@@ -465,7 +471,14 @@ impl<R: Reducer> NttPlan<R> {
             n_inv: self.n_inv,
             ipsi1_n_inv: self.ipsi1_n_inv,
             two_q: self.two_q,
+            avx2: self.avx2,
         }
+    }
+
+    /// The AVX2 tail-stage tables, when this plan carries them.
+    #[inline]
+    pub(crate) fn avx2_tables(&self) -> Option<&crate::avx2::Avx2Tables> {
+        self.avx2.as_ref()
     }
 
     /// Validates a polynomial length against the plan.

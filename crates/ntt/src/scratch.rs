@@ -36,6 +36,7 @@ pub struct PolyScratch {
     n: usize,
     bufs: Vec<Vec<u32>>,
     bufs64: Vec<Vec<u64>>,
+    wide: Vec<Vec<u32>>,
 }
 
 impl PolyScratch {
@@ -45,6 +46,7 @@ impl PolyScratch {
             n,
             bufs: Vec::new(),
             bufs64: Vec::new(),
+            wide: Vec::new(),
         }
     }
 
@@ -99,6 +101,31 @@ impl PolyScratch {
         self.bufs64.push(buf);
     }
 
+    /// Checks out an `8n`-length interleaved-group buffer (for the AVX2
+    /// backend's eight-polynomials-per-transform layout; see
+    /// [`crate::avx2::interleave8_into`]).
+    #[must_use = "dropping the buffer forfeits the reuse; return it with put_wide()"]
+    pub fn take_wide(&mut self) -> Vec<u32> {
+        match self.wide.pop() {
+            Some(buf) => buf,
+            None => vec![0u32; 8 * self.n],
+        }
+    }
+
+    /// Returns an interleaved-group buffer to the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer's length differs from `8n`.
+    pub fn put_wide(&mut self, buf: Vec<u32>) {
+        assert_eq!(
+            buf.len(),
+            8 * self.n,
+            "returned wide buffer has the wrong length"
+        );
+        self.wide.push(buf);
+    }
+
     /// Number of `u32` buffers currently parked in the arena (for tests
     /// and capacity diagnostics).
     pub fn parked(&self) -> usize {
@@ -117,6 +144,9 @@ impl PolyScratch {
         }
         for buf in &mut self.bufs64 {
             rlwe_zq::ct::zeroize_u64(buf);
+        }
+        for buf in &mut self.wide {
+            rlwe_zq::ct::zeroize_u32(buf);
         }
     }
 }
@@ -172,6 +202,28 @@ mod tests {
         let w = s.take64();
         assert_eq!(w.len(), 64);
         s.put64(w);
+    }
+
+    #[test]
+    fn wide_buffers_have_eightfold_length_and_are_reused_and_scrubbed() {
+        let mut s = PolyScratch::new(16);
+        let mut w = s.take_wide();
+        assert_eq!(w.len(), 128);
+        w.fill(0xAAAA_5555);
+        let ptr = w.as_ptr();
+        s.put_wide(w);
+        s.scrub();
+        let w = s.take_wide();
+        assert_eq!(w.as_ptr(), ptr, "the same allocation comes back");
+        assert!(w.iter().all(|&c| c == 0), "wide buffer survived the scrub");
+        s.put_wide(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn returning_a_foreign_wide_buffer_panics() {
+        let mut s = PolyScratch::new(8);
+        s.put_wide(vec![0u32; 8]);
     }
 
     #[test]
