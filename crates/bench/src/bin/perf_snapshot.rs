@@ -15,11 +15,11 @@
 //!
 //! ```text
 //! cargo run --release -p rlwe-bench --bin perf_snapshot            # print only
-//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --json  # + BENCH_5.json
+//! cargo run --release -p rlwe-bench --bin perf_snapshot -- --json  # + BENCH_7.json
 //! cargo run --release -p rlwe-bench --bin perf_snapshot -- --smoke # CI: few reps
 //! ```
 //!
-//! `--json [PATH]` defaults to `BENCH_5.json` in the working directory;
+//! `--json [PATH]` defaults to `BENCH_7.json` in the working directory;
 //! `--smoke` cuts repetition counts ~100× so CI can exercise the binary in
 //! seconds (the numbers are then smoke-quality — trend data comes from
 //! full runs).
@@ -30,10 +30,13 @@ use rlwe_bench::snapshot::{Snapshot, SnapshotEntry};
 
 /// The PR this snapshot belongs to — bump once per PR; it names the
 /// default `--json` output file and is recorded inside the document.
-const PR: u32 = 6;
+const PR: u32 = 7;
 use rlwe_core::drbg::HashDrbg;
 use rlwe_core::{NttBackend, ParamSet, ReducerPreference, RlweContext};
 use rlwe_ntt::NttPlan;
+use rlwe_sampler::ct::CtCdtSampler;
+use rlwe_sampler::random::{BitSource, BufferedBitSource, SplitMix64};
+use rlwe_sampler::ProbabilityMatrix;
 use rlwe_zq::reduce::{Q12289, Q7681};
 use rlwe_zq::Reducer;
 
@@ -148,6 +151,100 @@ fn bench_ntt_avx2<R: Reducer>(snap: &mut Snapshot, plan: &NttPlan<R>, label: &st
     ));
 }
 
+/// Pre-PR-7 bit-source behavior for the sampler ablation: forwards only
+/// `take_bit`, so `take_bits` falls back to the trait's per-bit loop,
+/// and wraps an *unbuffered* source, so every register refill is a
+/// single-word fetch. Together these reproduce the scalar baseline the
+/// bulk-refill and word-at-a-time fast paths replaced.
+struct BitAtATime<B>(B);
+
+impl<B: BitSource> BitSource for BitAtATime<B> {
+    fn take_bit(&mut self) -> u32 {
+        self.0.take_bit()
+    }
+    fn bits_drawn(&self) -> u64 {
+        self.0.bits_drawn()
+    }
+}
+
+/// Sampler ablation arms (ns **per sample**, constant-time CDT rung,
+/// one ring-sized fill per measurement): the pre-PR scalar baseline
+/// (`_scalar`), the bulk-refill + word-wise bit extraction path on the
+/// same per-sample kernel (`_bulk`), the 8-lane table scan (`_avx2`
+/// where the host has it — otherwise the bit-identical scalar kernel),
+/// and the lane-parallel interleaved fill the fused grouped encrypt
+/// uses (`_interleaved8`, per sample across all eight lanes).
+fn bench_sampler<R: Reducer>(
+    snap: &mut Snapshot,
+    pmat: &ProbabilityMatrix,
+    r: R,
+    n: usize,
+    label: &str,
+    reps: u32,
+) {
+    let ct = CtCdtSampler::new(pmat);
+    let mut out = vec![0u32; n];
+
+    let scalar = time_ns(
+        || {
+            let mut bits = BitAtATime(BufferedBitSource::new(SplitMix64::new(0x5EED)));
+            for c in out.iter_mut() {
+                *c = ct.sample(&mut bits).to_zq_with(&r);
+            }
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("sample_ct_{label}_scalar"),
+        scalar / n as f64,
+    ));
+
+    let bulk = time_ns(
+        || {
+            let mut bits = BufferedBitSource::buffered(SplitMix64::new(0x5EED));
+            for c in out.iter_mut() {
+                *c = ct.sample(&mut bits).to_zq_with(&r);
+            }
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("sample_ct_{label}_bulk"),
+        bulk / n as f64,
+    ));
+
+    let vector = time_ns(
+        || {
+            let mut bits = BufferedBitSource::buffered(SplitMix64::new(0x5EED));
+            ct.sample_poly_into(&r, &mut bits, &mut out);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("sample_ct_{label}_avx2"),
+        vector / n as f64,
+    ));
+
+    let mut wide = vec![0u32; 8 * n];
+    let fused = time_ns(
+        || {
+            let mut sources: [BufferedBitSource<SplitMix64>; 8] = std::array::from_fn(|j| {
+                BufferedBitSource::buffered(SplitMix64::new(0x5EED ^ ((j as u64) << 56)))
+            });
+            ct.sample_interleaved8_into(&r, &mut sources, &mut wide);
+            std::hint::black_box(&wide);
+        },
+        reps / 4,
+    );
+    snap.push(SnapshotEntry::ns(
+        format!("sample_ct_{label}_interleaved8"),
+        fused / (8 * n) as f64,
+    ));
+}
+
 /// Scheme-layer arms (encrypt/decrypt) for one context; `label` as in
 /// [`bench_ntt_plan`].
 fn bench_scheme(snap: &mut Snapshot, ctx: &RlweContext, label: &str, scheme_reps: u32) {
@@ -258,6 +355,21 @@ fn main() {
     );
     bench_ntt_avx2(&mut snap, &p1, "p1_n256", ntt_reps);
     bench_ntt_avx2(&mut snap, &p2, "p2_n512", ntt_reps);
+
+    // --- Sampler layer: CT-CDT rung ablation (scalar / bulk / avx2 /
+    // fused-interleaved), ns per sample over one ring-sized fill --------
+    println!(
+        "(sampler avx2: {})",
+        if rlwe_sampler::avx2::available() {
+            "yes"
+        } else {
+            "no — the _avx2/_interleaved8 arms measure the scalar kernel"
+        }
+    );
+    let pmat1 = ProbabilityMatrix::paper_p1().expect("paper table");
+    bench_sampler(&mut snap, &pmat1, Q7681, 256, "p1", ntt_reps / 10);
+    let pmat2 = ProbabilityMatrix::paper_p2().expect("paper table");
+    bench_sampler(&mut snap, &pmat2, Q12289, 512, "p2", ntt_reps / 10);
 
     // --- Scheme layer: dispatched context vs forced-generic context ------
     for set in [ParamSet::P1, ParamSet::P2] {

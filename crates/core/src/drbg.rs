@@ -29,7 +29,12 @@ const DS_STREAM: &[u8] = b"rlwe-drbg/stream";
 pub struct HashDrbg {
     seed: [u8; 32],
     counter: u64,
-    buffer: [u8; 32],
+    /// Two buffered counter blocks: `SHA-256(seed ‖ c) ‖ SHA-256(seed ‖ c+1)`.
+    /// Refilling in pairs lets the hash layer interleave the two
+    /// independent compressions (`Sha256::digest_one_block_pair`), which
+    /// hides the SHA round-function latency on SHA-NI hosts. The output
+    /// byte stream is unchanged — still block `i` after block `i-1`.
+    buffer: [u8; 64],
     used: usize,
 }
 
@@ -39,8 +44,8 @@ impl HashDrbg {
         Self {
             seed,
             counter: 0,
-            buffer: [0; 32],
-            used: 32, // force a refill on first use
+            buffer: [0; 64],
+            used: 64, // force a refill on first use
         }
     }
 
@@ -59,11 +64,25 @@ impl HashDrbg {
     }
 
     fn refill(&mut self) {
-        let mut h = Sha256::new();
-        h.update(&self.seed);
-        h.update(&self.counter.to_le_bytes());
-        self.buffer = h.finalize();
-        self.counter += 1;
+        // `seed ‖ counter` is 40 bytes — one padded compression block —
+        // and a refill runs once per 64 output bytes, so digest the two
+        // counter blocks through the paired one-block fast path (bit-
+        // and probe-identical to the streaming hasher; on SHA-NI hosts
+        // the two hardware compressions interleave). Error sampling is
+        // DRBG-bound, so this is the encrypt hot path in disguise: see
+        // DESIGN.md §12.
+        let mut msg_a = [0u8; 40];
+        msg_a[..32].copy_from_slice(&self.seed); // panic-allow(constant split of [u8; 40])
+        msg_a[32..].copy_from_slice(&self.counter.to_le_bytes()); // panic-allow(constant split of [u8; 40])
+        let mut msg_b = msg_a;
+        msg_b[32..].copy_from_slice(&(self.counter + 1).to_le_bytes()); // panic-allow(constant split of [u8; 40])
+        let (a, b) = Sha256::digest_one_block_pair(&msg_a, &msg_b);
+        // panic-allow(constant split of the [u8; 64] buffer)
+        self.buffer[..32].copy_from_slice(&a);
+        self.buffer[32..].copy_from_slice(&b); // panic-allow(constant split of the [u8; 64] buffer)
+        rlwe_zq::ct::zeroize(&mut msg_a);
+        rlwe_zq::ct::zeroize(&mut msg_b);
+        self.counter += 2;
         self.used = 0;
     }
 }
@@ -82,12 +101,21 @@ impl RngCore for HashDrbg {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for byte in dest.iter_mut() {
-            if self.used == 32 {
+        // Slice-copy per buffered block pair instead of byte-at-a-time:
+        // the same byte stream (pinned by
+        // `byte_granularity_matches_bulk_fill` below), one bounds check
+        // per 64 buffered bytes. This is the scalar half of the
+        // bulk-refill path — `fill_words` batches on top.
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.used == 64 {
                 self.refill();
             }
-            *byte = self.buffer[self.used];
-            self.used += 1;
+            let n = (dest.len() - filled).min(64 - self.used);
+            // panic-allow(n = min(dest.len()-filled, 64-used) bounds both ranges)
+            dest[filled..filled + n].copy_from_slice(&self.buffer[self.used..self.used + n]);
+            self.used += n;
+            filled += n;
         }
     }
 

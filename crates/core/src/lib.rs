@@ -62,7 +62,7 @@ pub use context::{
 };
 pub use encode::{
     decode_coefficient, decode_message, decode_message_into, encode_message,
-    encode_message_add_assign,
+    encode_message_add_assign, encode_message_add_assign_strided,
 };
 pub use error::RlweError;
 pub use keys::{Ciphertext, KeyPair, PublicKey, SecretKey};

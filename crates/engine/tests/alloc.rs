@@ -227,4 +227,45 @@ fn into_paths_are_polynomial_allocation_free_after_warm_up() {
     let mut plain_out: Vec<_> = (0..ITEMS).map(|_| ectx.empty_ciphertext()).collect();
     rlwe_engine::encrypt_batch_into(&ectx, &epk, &msgs, &master, 1, &mut plain_out).unwrap();
     assert_eq!(grouped_out, plain_out, "cached grouped path changed bytes");
+
+    // --- Fused full-group path, measured directly: a warm
+    // `encrypt_group_into` with k = 8 samples lane-wise straight into the
+    // interleaved wide buffers (no per-lane scatter) and must perform
+    // ZERO polynomial-sized allocations per group — the bulk bit-source
+    // refill lives in a stack array, not on the heap. ---
+    let eprepared = ectx.prepare_public_key(&epk).unwrap();
+    let mut escratch = ectx.new_scratch();
+    let group_msgs: Vec<&[u8]> = msgs[..8].iter().map(|m| m.as_slice()).collect();
+    let mut group_rngs: Vec<HashDrbg> = (0..8).map(|i| HashDrbg::for_stream(&master, i)).collect();
+    let mut group_cts: Vec<_> = (0..8).map(|_| ectx.empty_ciphertext()).collect();
+    ectx.encrypt_group_into(
+        &eprepared,
+        &group_msgs,
+        &mut group_rngs,
+        &mut group_cts,
+        &mut escratch,
+    )
+    .unwrap();
+    let (_, fused_poly) = counted(|| {
+        for _ in 0..4 {
+            // Reseeding in place moves fresh DRBG state into the existing
+            // Vec storage — the counted region itself allocates nothing.
+            for (i, rng) in group_rngs.iter_mut().enumerate() {
+                *rng = HashDrbg::for_stream(&master, i as u64);
+            }
+            ectx.encrypt_group_into(
+                &eprepared,
+                &group_msgs,
+                &mut group_rngs,
+                &mut group_cts,
+                &mut escratch,
+            )
+            .unwrap();
+        }
+    });
+    assert_eq!(
+        fused_poly, 0,
+        "warm fused encrypt_group_into made {fused_poly} polynomial-sized \
+         allocations across 4 groups (must be zero)"
+    );
 }

@@ -20,12 +20,19 @@
 //! # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace `forbid`: the SHA-NI compression
+// backend (src/shani.rs) needs `#[target_feature]` intrinsics, and
+// `forbid` cannot be overridden by a scoped allow. The only `unsafe`
+// in the crate is the detection-gated `shani::kernel` module
+// (mirroring the rlwe-ntt / rlwe-sampler AVX2 precedent).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod hmac;
 mod kdf;
 mod sha256;
+#[cfg(target_arch = "x86_64")]
+mod shani;
 
 pub mod probe;
 

@@ -1,8 +1,9 @@
 //! SHA-256 (FIPS 180-4).
 
 /// Round constants: first 32 bits of the fractional parts of the cube
-/// roots of the first 64 primes.
-const K: [u32; 64] = [
+/// roots of the first 64 primes. `pub(crate)` so the SHA-NI backend
+/// ([`crate::shani`]) can load the same table four constants at a time.
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -81,6 +82,56 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// One-shot digest of a message short enough to fit a single padded
+    /// compression block (at most 55 bytes).
+    ///
+    /// Bit-identical to [`Sha256::digest`] on the same input and
+    /// recorded identically by the [`probe`](crate::probe). The fast
+    /// path exists for callers that digest millions of short
+    /// fixed-shape messages — the counter-mode DRBG in `rlwe-core`
+    /// hashes `seed ‖ counter` (40 bytes) for every 32 output bytes —
+    /// and skips the streaming hasher's buffer management, double-width
+    /// padding scratch and state struct entirely: one stack block, one
+    /// compression.
+    pub fn digest_one_block(msg: &[u8]) -> [u8; 32] {
+        crate::probe::record(msg.len() as u64);
+        let mut block = pad_one_block(msg);
+        let mut state = H0;
+        compress(&mut state, &block);
+        // The message may be key material (DRBG seed); erase our copy.
+        rlwe_zq::ct::zeroize(&mut block);
+        state_bytes(&state)
+    }
+
+    /// One-shot digests of **two** messages, each short enough to fit a
+    /// single padded compression block (at most 55 bytes).
+    ///
+    /// Equivalent to two [`Sha256::digest_one_block`] calls — same
+    /// digests, same probe records, in order — but on SHA-NI hosts the
+    /// two (independent) compressions run with interleaved instruction
+    /// streams, so the second block hides in the first block's round
+    /// latency. The counter-mode DRBG in `rlwe-core` refills its output
+    /// buffer two counter blocks at a time through this path.
+    pub fn digest_one_block_pair(msg_a: &[u8], msg_b: &[u8]) -> ([u8; 32], [u8; 32]) {
+        crate::probe::record(msg_a.len() as u64);
+        crate::probe::record(msg_b.len() as u64);
+        let mut block_a = pad_one_block(msg_a);
+        let mut block_b = pad_one_block(msg_b);
+        let mut state_a = H0;
+        let mut state_b = H0;
+        #[cfg(target_arch = "x86_64")]
+        crate::shani::compress2(&mut state_a, &block_a, &mut state_b, &block_b);
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            compress(&mut state_a, &block_a);
+            compress(&mut state_b, &block_b);
+        }
+        // The messages may be key material (DRBG seeds); erase our copies.
+        rlwe_zq::ct::zeroize(&mut block_a);
+        rlwe_zq::ct::zeroize(&mut block_b);
+        (state_bytes(&state_a), state_bytes(&state_b))
+    }
+
     /// Feeds more input.
     pub fn update(&mut self, data: &[u8]) {
         self.length += data.len() as u64;
@@ -125,56 +176,98 @@ impl Sha256 {
         // erase before they leave scope.
         rlwe_zq::ct::zeroize(&mut self.block);
         rlwe_zq::ct::zeroize(&mut pad);
-        let mut out = [0u8; 32];
-        for (i, w) in self.state.iter().enumerate() {
-            out[i * 4..(i + 1) * 4].copy_from_slice(&w.to_be_bytes());
-        }
-        out
+        state_bytes(&self.state)
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        compress(&mut self.state, block);
     }
+}
+
+/// Pads a ≤ 55-byte message into one compression block: the message,
+/// `0x80`, zeros, then the 64-bit big-endian bit length.
+fn pad_one_block(msg: &[u8]) -> [u8; 64] {
+    // panic-allow(documented contract: the one-block fast paths only exist for messages that fit one padded block)
+    assert!(
+        msg.len() <= 55,
+        "one-block digest requires msg.len() <= 55, got {}",
+        msg.len()
+    );
+    let mut block = [0u8; 64];
+    block[..msg.len()].copy_from_slice(msg);
+    block[msg.len()] = 0x80;
+    block[56..].copy_from_slice(&(msg.len() as u64 * 8).to_be_bytes());
+    block
+}
+
+/// Serializes the working state as the big-endian FIPS digest.
+fn state_bytes(state: &[u32; 8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, w) in state.iter().enumerate() {
+        out[i * 4..(i + 1) * 4].copy_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+/// Applies the SHA-256 compression function for one 64-byte block,
+/// dispatching to the SHA-NI kernel where the host has it (detection is
+/// cached by `std`, so the check is one relaxed load) and to the
+/// portable [`compress_scalar`] otherwise. The two are the same
+/// function computed by different instructions — FIPS vectors and the
+/// cross-check test in [`crate::shani`] pin the identity.
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::shani::available() {
+        crate::shani::compress(state, block);
+        return;
+    }
+    compress_scalar(state, block);
+}
+
+/// Portable compression function: the FIPS 180-4 round schedule in
+/// plain integer arithmetic.
+pub(crate) fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 #[cfg(test)]
@@ -226,6 +319,52 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), want, "split at {split}");
         }
+    }
+
+    #[test]
+    fn one_block_fast_path_matches_streaming_digest() {
+        for len in 0..=55usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 + len * 7) as u8).collect();
+            assert_eq!(
+                Sha256::digest_one_block(&data),
+                Sha256::digest(&data),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_block_fast_path_records_the_same_probe_shape() {
+        crate::probe::start();
+        Sha256::digest(&[7u8; 40]);
+        let streaming = crate::probe::take();
+        crate::probe::start();
+        Sha256::digest_one_block(&[7u8; 40]);
+        assert_eq!(crate::probe::take(), streaming);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-block digest")]
+    fn one_block_fast_path_rejects_oversize_messages() {
+        Sha256::digest_one_block(&[0u8; 56]);
+    }
+
+    #[test]
+    fn pair_fast_path_matches_two_single_digests() {
+        for (la, lb) in [(0usize, 55usize), (40, 40), (55, 0), (13, 27)] {
+            let a: Vec<u8> = (0..la).map(|i| (i * 3 + 1) as u8).collect();
+            let b: Vec<u8> = (0..lb).map(|i| (i * 5 + 2) as u8).collect();
+            let (da, db) = Sha256::digest_one_block_pair(&a, &b);
+            assert_eq!(da, Sha256::digest(&a), "a len {la}");
+            assert_eq!(db, Sha256::digest(&b), "b len {lb}");
+        }
+    }
+
+    #[test]
+    fn pair_fast_path_records_both_probe_entries_in_order() {
+        crate::probe::start();
+        Sha256::digest_one_block_pair(&[1u8; 40], &[2u8; 24]);
+        assert_eq!(crate::probe::take(), vec![40, 24]);
     }
 
     #[test]

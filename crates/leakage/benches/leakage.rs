@@ -27,7 +27,10 @@
 //!   the same property is `tests/invariance.rs`.
 
 use rlwe_core::{ParamSet, RlweContext, SamplerKind};
-use rlwe_leakage::{Contrast, DecapClasses};
+use rlwe_leakage::{Contrast, DecapClasses, TTest};
+use rlwe_sampler::ct::CtCdtSampler;
+use rlwe_sampler::random::{BufferedBitSource, SplitMix64};
+use rlwe_sampler::{ProbabilityMatrix, SignedSample};
 
 fn run(rung_label: &str, kind: SamplerKind, contrast: Contrast, iterations: usize) {
     let ctx = RlweContext::builder(ParamSet::P1)
@@ -41,6 +44,53 @@ fn run(rung_label: &str, kind: SamplerKind, contrast: Contrast, iterations: usiz
         Contrast::AcceptVsReject => "accept_vs_reject",
     };
     println!("decap_ttest/{rung_label}/{contrast_label}: {report}");
+}
+
+/// Dudect arm for the vectorized CT-CDT rung itself, below the decap
+/// pipeline: times `sample_block_into` (the 8-lane AVX2 table scan where
+/// the host has it, the bit-identical scalar kernel otherwise) over a
+/// P2-sized block, contrasting a fixed bit-stream seed against fresh
+/// per-measurement seeds. The scan's operation count is input-
+/// independent by construction (the deterministic gate is
+/// `tests/invariance.rs`); this arm watches the wall clock for
+/// data-dependent microarchitectural effects in the vector kernel.
+fn run_vector_rung(iterations: usize) {
+    let pmat = ProbabilityMatrix::paper_p2().expect("P2 probability matrix");
+    let sampler = CtCdtSampler::new(&pmat);
+    let mut block = vec![SignedSample::new(0, false); 512];
+    let mut t = TTest::new();
+    let mut reseed = SplitMix64::new(0xD0D0_CAFE);
+    use rlwe_sampler::random::WordSource;
+    for i in 0..iterations {
+        for class in [0usize, 1] {
+            let seed = if class == 0 {
+                0x5EED_F1D0
+            } else {
+                u64::from(reseed.next_word()) << 32 | u64::from(reseed.next_word())
+            };
+            let mut bits = BufferedBitSource::buffered(SplitMix64::new(seed));
+            let start = std::time::Instant::now();
+            sampler.sample_block_into(&mut bits, &mut block);
+            let elapsed = start.elapsed().as_nanos() as f64;
+            // Interleave classes and skip the first pair (cold caches).
+            if i > 0 {
+                t.push(class, elapsed);
+            }
+        }
+    }
+    std::hint::black_box(&block);
+    println!(
+        "sampler_ttest/ctcdt_vector_rung/fixed_vs_random_seed: |t| = {:.2} \
+         (means {:.0} ns vs {:.0} ns per 512-sample block) -> {}",
+        t.t_statistic().abs(),
+        t.class(0).mean(),
+        t.class(1).mean(),
+        if t.leaks() {
+            "DISTINGUISHABLE"
+        } else {
+            "indistinguishable"
+        }
+    );
 }
 
 fn main() {
@@ -57,6 +107,7 @@ fn main() {
             run(label, kind, contrast, iterations);
         }
     }
+    run_vector_rung(iterations);
     if bench_mode {
         println!("note: fixed_vs_random flags public-input cache effects by design; accept_vs_reject is the secret-decision contrast. Verdicts are wall-clock statistics for this machine; the deterministic CI gate is crates/leakage/tests/invariance.rs");
     }

@@ -248,6 +248,131 @@ fn avx2_backend_is_bit_identical_to_the_traced_kernel_on_every_input_class() {
     }
 }
 
+/// Word-source classes the vectorized CT-CDT scan must be blind to:
+/// all-zero words (every comparison u < c), all-one words (u maximal),
+/// patterned extremes straddling the AVX2 kernel's sign-bias boundary,
+/// an alternating min/max comb, and assorted pseudo-random streams.
+fn sampler_word_classes() -> Vec<(&'static str, WordClass)> {
+    vec![
+        ("zeros", WordClass::Const(0)),
+        ("ones", WordClass::Const(u32::MAX)),
+        ("sign_bias_edge", WordClass::Const(0x8000_0000)),
+        ("below_bias", WordClass::Const(0x7FFF_FFFF)),
+        ("comb", WordClass::Alternating(0, u32::MAX)),
+        ("rand_a", WordClass::Split(SplitMix64::new(0xA11CE))),
+        ("rand_b", WordClass::Split(SplitMix64::new(0xB0B))),
+        ("rand_c", WordClass::Split(SplitMix64::new(0x5EED_CAFE))),
+    ]
+}
+
+/// A cloneable word source for the adversarial classes above.
+#[derive(Clone)]
+enum WordClass {
+    Const(u32),
+    Alternating(u32, u32),
+    Split(SplitMix64),
+}
+
+impl rlwe_sampler::random::WordSource for WordClass {
+    fn next_word(&mut self) -> u32 {
+        match self {
+            WordClass::Const(w) => *w,
+            WordClass::Alternating(a, b) => {
+                let w = *a;
+                std::mem::swap(a, b);
+                w
+            }
+            WordClass::Split(rng) => rng.next_word(),
+        }
+    }
+}
+
+#[test]
+fn vectorized_ct_cdt_is_bit_identical_to_the_traced_scalar_kernel() {
+    // The sampler-layer analogue of the NTT gate above: the 8-lane table
+    // scan (AVX2 where the host has it, the shared scalar kernel
+    // otherwise) has no op trace of its own — its leakage story is
+    // bit-identity with `sample_traced`, whose 129-bit /
+    // full-table-scan trace the first test in this file pins exactly.
+    // Any data-dependent shortcut in the vector path (an early-exit scan,
+    // a lane-coupled compare, a bias error at the u128 limb boundary)
+    // breaks the equality on one of the adversarial word classes.
+    for (set_label, pmat, rows) in [
+        ("P1", ProbabilityMatrix::paper_p1().unwrap(), 55u64),
+        ("P2", ProbabilityMatrix::paper_p2().unwrap(), 59),
+    ] {
+        let ct = CtCdtSampler::new(&pmat);
+        for (class_label, class) in sampler_word_classes() {
+            // Block path: 251 samples (not a multiple of 8, so both the
+            // 8-lane body and the per-sample tail run) against the traced
+            // scalar kernel on an identical stream.
+            let mut vec_bits = BufferedBitSource::buffered(class.clone());
+            let mut ref_bits = BufferedBitSource::new(class.clone());
+            let mut block = vec![rlwe_sampler::SignedSample::new(0, false); 251];
+            ct.sample_block_into(&mut vec_bits, &mut block);
+            for (i, &got) in block.iter().enumerate() {
+                let (want, trace) = ct.sample_traced(&mut ref_bits);
+                assert_eq!(
+                    got, want,
+                    "{set_label}/{class_label}: block sample {i} diverged"
+                );
+                assert_eq!(
+                    trace.bits_drawn,
+                    CtCdtSampler::BITS_PER_SAMPLE,
+                    "{set_label}/{class_label}: traced bit draws varied at {i}"
+                );
+                assert_eq!(
+                    trace.comparisons, rows,
+                    "{set_label}/{class_label}: traced scan length varied at {i}"
+                );
+            }
+            // Bit-budget identity: the vector path consumed exactly the
+            // same number of bits as 251 traced samples.
+            assert_eq!(
+                vec_bits.bits_drawn(),
+                ref_bits.bits_drawn(),
+                "{set_label}/{class_label}: bit budgets diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_interleaved_ct_cdt_matches_per_lane_traced_samples() {
+    // The grouped-encrypt fusion: eight lanes sampled straight into the
+    // `8i + j` interleaved layout, each lane drawing only from its own
+    // source. Gate: gathering lane j must reproduce the traced scalar
+    // kernel run sequentially on lane j's source, for every adversarial
+    // word class (same class in every lane — coupling would show up as
+    // cross-lane divergence, as in the NTT gate).
+    let r = rlwe_zq::reduce::Q7681;
+    let pmat = ProbabilityMatrix::paper_p1().unwrap();
+    let ct = CtCdtSampler::new(&pmat);
+    let n = 64usize;
+    for (class_label, class) in sampler_word_classes() {
+        let mut sources: [_; 8] =
+            std::array::from_fn(|_| BufferedBitSource::buffered(class.clone()));
+        let mut wide = vec![0u32; 8 * n];
+        ct.sample_interleaved8_into(&r, &mut sources, &mut wide);
+        for lane in 0..8 {
+            let mut ref_bits = BufferedBitSource::new(class.clone());
+            for i in 0..n {
+                let (want, _) = ct.sample_traced(&mut ref_bits);
+                assert_eq!(
+                    wide[8 * i + lane],
+                    want.to_zq_with(&r),
+                    "{class_label}: lane {lane} coefficient {i} diverged"
+                );
+            }
+            assert_eq!(
+                sources[lane].bits_drawn(),
+                ref_bits.bits_drawn(),
+                "{class_label}: lane {lane} bit budget diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn ntt_trace_depends_only_on_the_ring_dimension() {
     // Same n, different q: the trace is structural, so it must be

@@ -39,6 +39,9 @@ use crate::SignedSample;
 pub struct CtCdtSampler {
     /// Cumulative probabilities, 128 fraction bits each.
     cum: Vec<u128>,
+    /// The same table as sign-biased draw-order limbs for the 8-lane
+    /// scan kernel ([`crate::avx2::scan8`]).
+    limbs: Vec<[u32; 4]>,
 }
 
 impl CtCdtSampler {
@@ -57,7 +60,8 @@ impl CtCdtSampler {
             }
             cum.push(v);
         }
-        Self { cum }
+        let limbs = cum.iter().map(|&c| crate::avx2::bias_limbs(c)).collect();
+        Self { cum, limbs }
     }
 
     /// Number of table comparisons every sample performs (the full table).
@@ -92,17 +96,113 @@ impl CtCdtSampler {
             k += rlwe_zq::ct::ct_ge_u128(u, c);
             comparisons += 1;
         }
-        let k = k.min(self.cum.len() as u32 - 1);
         // Sign: masked so that magnitude 0 ignores it (q - 0 = q ≡ 0
         // anyway, but SignedSample normalises through the mask).
         let sign_bit = bits.take_bit();
-        let nonzero_mask = (k != 0) as u32;
-        let sample = SignedSample::new(k as u16, (sign_bit & nonzero_mask) == 1);
+        let sample = self.finish(k, sign_bit);
         let trace = SampleTrace {
             bits_drawn: bits.bits_drawn() - bits_before,
             comparisons,
         };
         (sample, trace)
+    }
+
+    /// Clamp + masked sign application shared by the scalar and 8-lane
+    /// paths — the single place the raw rank becomes a [`SignedSample`].
+    #[inline]
+    fn finish(&self, k_raw: u32, sign_bit: u32) -> SignedSample {
+        let k = k_raw.min(self.cum.len() as u32 - 1);
+        let nonzero_mask = (k != 0) as u32;
+        SignedSample::new(k as u16, (sign_bit & nonzero_mask) == 1)
+    }
+
+    /// Eight samples through the lane-parallel table scan. Draw order is
+    /// the scalar order exactly — per sample: four 32-bit words (most
+    /// significant first), then the sign bit — so the consumed bit
+    /// stream is identical to eight sequential [`CtCdtSampler::sample`]
+    /// calls, and (because the scan consumes no bits) so is the output.
+    #[inline]
+    fn sample8<B: BitSource>(&self, bits: &mut B) -> [SignedSample; 8] {
+        let mut u = [[0u32; 4]; 8];
+        let mut signs = [0u32; 8];
+        for (lane, sign) in u.iter_mut().zip(signs.iter_mut()) {
+            for limb in lane.iter_mut() {
+                *limb = bits.take_bits(32);
+            }
+            *sign = bits.take_bit();
+        }
+        let ks = crate::avx2::scan8(&self.limbs, &u);
+        std::array::from_fn(|j| self.finish(ks[j], signs[j]))
+    }
+
+    /// Bulk sampling: fills `out` in blocks of eight through the 8-lane
+    /// scan (AVX2 when the host has it, the bit-identical scalar
+    /// reference otherwise), with a per-sample tail for `len % 8`.
+    /// Output and bit consumption are identical to `out.len()` sequential
+    /// [`CtCdtSampler::sample`] calls on the same source.
+    pub fn sample_block_into<B: BitSource>(&self, bits: &mut B, out: &mut [SignedSample]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.sample8(bits));
+        }
+        for s in chunks.into_remainder() {
+            *s = self.sample(bits);
+        }
+    }
+
+    /// [`CtCdtSampler::sample_block_into`] mapped straight to residues
+    /// through a [`rlwe_zq::Reducer`]'s masked sign application — the bulk
+    /// error-polynomial fill the scheme's hot paths draw through.
+    pub fn sample_poly_into<R: rlwe_zq::Reducer, B: BitSource>(
+        &self,
+        r: &R,
+        bits: &mut B,
+        out: &mut [u32],
+    ) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let s = self.sample8(bits);
+            for (o, s) in chunk.iter_mut().zip(&s) {
+                *o = s.to_zq_with(r);
+            }
+        }
+        for o in chunks.into_remainder() {
+            *o = self.sample(bits).to_zq_with(r);
+        }
+    }
+
+    /// Lane-parallel fill of an eight-way coefficient-interleaved buffer:
+    /// `wide[8·i + j]` receives coefficient `i` of lane `j`, drawn from
+    /// `sources[j]`. Each lane consumes only its own source, in exactly
+    /// the per-coefficient order of a sequential
+    /// [`CtCdtSampler::sample_poly_into`] over that source — the fused
+    /// grouped-encrypt path relies on this to keep grouped output bytes
+    /// identical to sequential encrypts.
+    ///
+    /// # Panics
+    ///
+    /// If `wide.len()` is not a multiple of 8.
+    pub fn sample_interleaved8_into<R: rlwe_zq::Reducer, B: BitSource>(
+        &self,
+        r: &R,
+        sources: &mut [B; 8],
+        wide: &mut [u32],
+    ) {
+        assert_eq!(wide.len() % 8, 0, "interleaved buffer must be 8-way");
+        let mut u = [[0u32; 4]; 8];
+        let mut signs = [0u32; 8];
+        for group in wide.chunks_exact_mut(8) {
+            for (j, src) in sources.iter_mut().enumerate() {
+                for limb in u[j].iter_mut() {
+                    *limb = src.take_bits(32);
+                }
+                signs[j] = src.take_bit();
+            }
+            let ks = crate::avx2::scan8(&self.limbs, &u);
+            for (j, out) in group.iter_mut().enumerate() {
+                *out = self.finish(ks[j], signs[j]).to_zq_with(r);
+            }
+        }
     }
 }
 
@@ -194,6 +294,57 @@ mod tests {
             if s.magnitude() == 0 {
                 assert!(!s.is_negative());
             }
+        }
+    }
+
+    #[test]
+    fn block_sampling_is_bit_identical_to_sequential() {
+        // Same source state: the 8-lane block path must reproduce the
+        // per-sample path exactly — values, signs, and bits consumed —
+        // including the non-multiple-of-8 tail.
+        let (ct, _) = sampler();
+        for len in [1usize, 7, 8, 9, 64, 251] {
+            let mut seq_bits = BufferedBitSource::new(SplitMix64::new(len as u64 + 11));
+            let mut blk_bits = seq_bits.clone();
+            let seq: Vec<SignedSample> = (0..len).map(|_| ct.sample(&mut seq_bits)).collect();
+            let mut blk = vec![SignedSample::new(0, false); len];
+            ct.sample_block_into(&mut blk_bits, &mut blk);
+            assert_eq!(seq, blk, "len {len}");
+            assert_eq!(seq_bits.bits_drawn(), blk_bits.bits_drawn(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn poly_fill_matches_per_sample_residues() {
+        let (ct, _) = sampler();
+        let r = rlwe_zq::reduce::Q7681;
+        let mut a = BufferedBitSource::new(SplitMix64::new(404));
+        let mut b = a.clone();
+        let mut bulk = vec![0u32; 100];
+        ct.sample_poly_into(&r, &mut a, &mut bulk);
+        let seq: Vec<u32> = (0..100).map(|_| ct.sample(&mut b).to_zq_with(&r)).collect();
+        assert_eq!(bulk, seq);
+    }
+
+    #[test]
+    fn interleaved_lane_fill_matches_per_lane_sequential() {
+        // Eight independent sources: the interleaved fill must give, for
+        // every lane j, exactly the polynomial a sequential fill from
+        // sources[j] alone would give — deposited at stride 8.
+        let (ct, _) = sampler();
+        let r = rlwe_zq::reduce::Q7681;
+        let n = 48;
+        let mut lanes: [BufferedBitSource<SplitMix64>; 8] =
+            std::array::from_fn(|j| BufferedBitSource::new(SplitMix64::new(900 + j as u64)));
+        let mut seq_lanes = lanes.clone();
+        let mut wide = vec![0u32; 8 * n];
+        ct.sample_interleaved8_into(&r, &mut lanes, &mut wide);
+        for (j, src) in seq_lanes.iter_mut().enumerate() {
+            let mut lane = vec![0u32; n];
+            ct.sample_poly_into(&r, src, &mut lane);
+            let gathered: Vec<u32> = (0..n).map(|i| wide[8 * i + j]).collect();
+            assert_eq!(gathered, lane, "lane {j}");
+            assert_eq!(src.bits_drawn(), lanes[j].bits_drawn(), "lane {j} bits");
         }
     }
 

@@ -16,6 +16,17 @@
 pub trait WordSource {
     /// Returns the next 32 uniformly random bits.
     fn next_word(&mut self) -> u32;
+
+    /// Fills `out` with the next `out.len()` words of the stream —
+    /// exactly the words `out.len()` successive [`WordSource::next_word`]
+    /// calls would return, in order. Sources backed by a block generator
+    /// (the SHA-256 DRBG) override this to amortize one squeeze over
+    /// many draws; the default just loops.
+    fn fill_words(&mut self, out: &mut [u32]) {
+        for w in out.iter_mut() {
+            *w = self.next_word();
+        }
+    }
 }
 
 /// A source of individual random bits with consumption accounting.
@@ -106,17 +117,48 @@ pub struct BufferedBitSource<W> {
     register: u32,
     bits_drawn: u64,
     words_fetched: u64,
+    /// Block-refill queue: words prefetched in stream order via
+    /// [`WordSource::fill_words`]. `block[block_pos..block_len]` is
+    /// pending; `block_cap == 0` disables prefetch ([`Self::new`]).
+    block: [u32; BLOCK_WORDS],
+    block_cap: usize,
+    block_len: usize,
+    block_pos: usize,
 }
 
+/// Words prefetched per [`WordSource::fill_words`] call in
+/// [`BufferedBitSource::buffered`] mode (64 bytes — two SHA-256 DRBG
+/// output blocks per squeeze-batch).
+const BLOCK_WORDS: usize = 16;
+
 impl<W: WordSource> BufferedBitSource<W> {
-    /// Wraps a word source; the first word is fetched lazily.
+    /// Wraps a word source; the first word is fetched lazily, one word
+    /// per refill — the paper's original discipline, and the mode to use
+    /// when the underlying source must not be read ahead of demand (the
+    /// rate-limited TRNG model).
     pub fn new(source: W) -> Self {
         Self {
             source,
             register: 1, // "empty" state: only the sentinel remains
             bits_drawn: 0,
             words_fetched: 0,
+            block: [0; BLOCK_WORDS],
+            block_cap: 0,
+            block_len: 0,
+            block_pos: 0,
         }
+    }
+
+    /// Like [`Self::new`], but refills fetch a 16-word block at a
+    /// time through [`WordSource::fill_words`], amortizing one DRBG
+    /// squeeze over many draws. The *served bit stream* is identical to
+    /// [`Self::new`] over the same source — prefetching only changes how
+    /// far the underlying source has been advanced at any instant, which
+    /// is observable solely by a later reader of the same source.
+    pub fn buffered(source: W) -> Self {
+        let mut s = Self::new(source);
+        s.block_cap = BLOCK_WORDS;
+        s
     }
 
     /// Number of unused payload bits in the register, via the paper's
@@ -125,14 +167,27 @@ impl<W: WordSource> BufferedBitSource<W> {
         31 - self.register.leading_zeros()
     }
 
-    /// Number of words fetched from the underlying source.
+    /// Number of words consumed into the bit register so far (block
+    /// prefetch does not count a word until it is actually served).
     pub fn words_fetched(&self) -> u64 {
         self.words_fetched
     }
 
     fn refill(&mut self) {
         debug_assert_eq!(self.register, 1, "refill only when exhausted");
-        self.register = self.source.next_word() | 0x8000_0000;
+        let word = if self.block_cap == 0 {
+            self.source.next_word()
+        } else {
+            if self.block_pos == self.block_len {
+                self.source.fill_words(&mut self.block[..self.block_cap]);
+                self.block_len = self.block_cap;
+                self.block_pos = 0;
+            }
+            let w = self.block[self.block_pos];
+            self.block_pos += 1;
+            w
+        };
+        self.register = word | 0x8000_0000;
         self.words_fetched += 1;
     }
 }
@@ -146,6 +201,30 @@ impl<W: WordSource> BitSource for BufferedBitSource<W> {
         self.register >>= 1;
         self.bits_drawn += 1;
         bit
+    }
+
+    /// Word-at-a-time override of the default per-bit loop: extracts up
+    /// to 31 payload bits per register visit with one mask + shift.
+    /// Serves exactly the bits (and values) the default LSB-first loop
+    /// would — pinned by `take_bits_is_lsb_first` below.
+    fn take_bits(&mut self, k: u32) -> u32 {
+        assert!(k <= 32);
+        let mut v = 0u32;
+        let mut got = 0u32;
+        while got < k {
+            if self.register == 1 {
+                self.refill();
+            }
+            let avail = 31 - self.register.leading_zeros();
+            let take = (k - got).min(avail);
+            // take ≤ 31, so the shift cannot overflow.
+            let mask = (1u32 << take) - 1;
+            v |= (self.register & mask) << got;
+            self.register >>= take;
+            got += take;
+        }
+        self.bits_drawn += k as u64;
+        v
     }
 
     fn bits_drawn(&self) -> u64 {
@@ -214,5 +293,51 @@ mod tests {
         b.take_bits(13);
         b.take_bit();
         assert_eq!(b.bits_drawn(), 14);
+    }
+
+    /// A bit-at-a-time shim that hides the fast `take_bits` override, so
+    /// tests can compare against the default LSB-first per-bit loop.
+    struct PerBit<'a, W>(&'a mut BufferedBitSource<W>);
+    impl<W: WordSource> BitSource for PerBit<'_, W> {
+        fn take_bit(&mut self) -> u32 {
+            self.0.take_bit()
+        }
+        fn bits_drawn(&self) -> u64 {
+            self.0.bits_drawn()
+        }
+    }
+
+    #[test]
+    fn fast_take_bits_matches_the_per_bit_loop() {
+        // Same source, same draw sequence of mixed widths: the word-at-a-
+        // time override must serve identical values and identical counts.
+        let widths = [1u32, 8, 5, 31, 32, 3, 0, 13, 29, 32, 1, 7];
+        let mut fast = BufferedBitSource::new(SplitMix64::new(0xFA57));
+        let mut slow_src = BufferedBitSource::new(SplitMix64::new(0xFA57));
+        for (i, &k) in widths.iter().cycle().take(500).enumerate() {
+            let a = fast.take_bits(k);
+            let b = PerBit(&mut slow_src).take_bits(k);
+            assert_eq!(a, b, "draw {i} (k = {k}) diverged");
+        }
+        assert_eq!(fast.bits_drawn(), slow_src.bits_drawn());
+        assert_eq!(fast.words_fetched(), slow_src.words_fetched());
+    }
+
+    #[test]
+    fn buffered_mode_serves_the_identical_bit_stream() {
+        // Block prefetch must not change a single served bit, the
+        // words-consumed count, or the bit accounting — only how far the
+        // underlying source has been read ahead.
+        let mut direct = BufferedBitSource::new(SplitMix64::new(0xB10C));
+        let mut blocked = BufferedBitSource::buffered(SplitMix64::new(0xB10C));
+        for i in 0..4000 {
+            match i % 3 {
+                0 => assert_eq!(direct.take_bit(), blocked.take_bit(), "bit {i}"),
+                1 => assert_eq!(direct.take_bits(8), blocked.take_bits(8), "byte {i}"),
+                _ => assert_eq!(direct.take_bits(32), blocked.take_bits(32), "word {i}"),
+            }
+        }
+        assert_eq!(direct.bits_drawn(), blocked.bits_drawn());
+        assert_eq!(direct.words_fetched(), blocked.words_fetched());
     }
 }

@@ -134,6 +134,62 @@ mod cross_rung_identity {
         }
 
         #[test]
+        fn vectorized_block_path_draws_the_same_distribution(seed in any::<u64>()) {
+            // The 8-lane block fill (AVX2 table scan where the host has
+            // it) must draw the identical Gaussian: chi-square the block
+            // path's output directly, and pin bit-identity against the
+            // per-sample scalar rung on the same stream.
+            let pmat = ProbabilityMatrix::paper_p1().unwrap();
+            let ct = CtCdtSampler::new(&pmat);
+            let mut blk_bits = BufferedBitSource::buffered(SplitMix64::new(seed));
+            let mut block = vec![SignedSample::new(0, false); RUNG_SAMPLES];
+            ct.sample_block_into(&mut blk_bits, &mut block);
+            let samples: Vec<i32> = block.iter().map(|s| s.signed_value()).collect();
+            let observed = stats::observed_signed_histogram(&samples, MAX_MAG);
+            let (_, expected) =
+                stats::expected_signed_histogram(&pmat, RUNG_SAMPLES as u64, MAX_MAG);
+            let chi2 = stats::chi_square(&observed, &expected);
+            prop_assert!(
+                chi2 < RUNG_CHI2_LIMIT,
+                "vectorized block path diverged from the exact distribution: chi2 = {}",
+                chi2
+            );
+            // Bit-identity with the scalar rung on the same stream.
+            let mut ref_bits = BufferedBitSource::new(SplitMix64::new(seed));
+            for (i, &got) in block.iter().take(2_000).enumerate() {
+                prop_assert_eq!(got, ct.sample(&mut ref_bits), "diverged at sample {}", i);
+            }
+        }
+
+        #[test]
+        fn lane_parallel_lut_path_draws_the_same_distribution(seed in any::<u64>()) {
+            // Same property for the Knuth-Yao lane-parallel fill feeding
+            // the fused grouped encrypt: the gathered per-lane streams
+            // must fit the exact Gaussian like `sample_lut` itself.
+            let pmat = ProbabilityMatrix::paper_p1().unwrap();
+            let ky = KnuthYao::new(pmat.clone()).unwrap();
+            let mut sources: [BufferedBitSource<SplitMix64>; 8] = std::array::from_fn(|j| {
+                BufferedBitSource::buffered(SplitMix64::new(seed ^ (j as u64) << 56))
+            });
+            let per_lane = RUNG_SAMPLES / 8;
+            let mut samples = Vec::with_capacity(8 * per_lane);
+            for _ in 0..per_lane {
+                for s in ky.sample_lanes8(&mut sources) {
+                    samples.push(s.signed_value());
+                }
+            }
+            let observed = stats::observed_signed_histogram(&samples, MAX_MAG);
+            let (_, expected) =
+                stats::expected_signed_histogram(&pmat, samples.len() as u64, MAX_MAG);
+            let chi2 = stats::chi_square(&observed, &expected);
+            prop_assert!(
+                chi2 < RUNG_CHI2_LIMIT,
+                "lane-parallel LUT path diverged from the exact distribution: chi2 = {}",
+                chi2
+            );
+        }
+
+        #[test]
         fn ct_rung_matches_variable_time_cdt_bit_for_bit(seed in any::<u64>()) {
             // Stronger than distribution identity: on the same bit stream
             // the CT sampler and the variable-time CDT sampler invert the

@@ -61,9 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     total_bytes.fetch_add(payload.len(), Ordering::Relaxed);
                 }
                 for _ in 0..KEM_OPS_PER_CLIENT {
-                    let (ss, ct) = client.encap().expect("encap");
-                    let ss2 = client.decap(&ct).expect("decap");
-                    assert_eq!(ss, ss2);
+                    // Like the handshake above, tolerate the scheme's
+                    // documented ~1% per-ciphertext decryption failure
+                    // (an FO implicit reject) by re-encapsulating.
+                    let ok = (0..16).any(|_| {
+                        let (ss, ct) = client.encap().expect("encap");
+                        let ss2 = client.decap(&ct).expect("decap");
+                        ss == ss2
+                    });
+                    assert!(ok, "16 consecutive KEM implicit rejects");
                 }
             })
         })
